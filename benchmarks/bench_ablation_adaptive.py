@@ -1,0 +1,84 @@
+"""Ablation: adaptive (self-tuning) ACE vs fixed n_w choices.
+
+An extension beyond the paper: the tuner of
+:class:`repro.core.adaptive.AdaptiveACEBufferPoolManager` discovers the
+device's write concurrency online.  This bench compares it to (i) the
+paper's oracle setting ``n_w = k_w``, (ii) a mis-tuned ``n_w = 1`` (no
+batching), and (iii) ``n_w = 4 * k_w`` (oversubmitted), on a device the
+tuner knows nothing about.
+"""
+
+from repro.bench.experiments import PAPER_OPTIONS, SCALE, _synthetic_trace
+from repro.bench.report import format_table, write_report
+from repro.bench.runner import StackConfig, build_stack
+from repro.core.adaptive import AdaptiveACEBufferPoolManager
+from repro.engine.executor import run_trace
+from repro.policies.lru import LRUPolicy
+from repro.storage.device import SimulatedSSD
+from repro.storage.profiles import PCIE_SSD
+from repro.workloads.synthetic import MS
+
+from benchmarks.conftest import run_once
+
+
+def _run_fixed(n_w: int, trace):
+    config = StackConfig(
+        profile=PCIE_SSD, policy="lru", variant="ace",
+        num_pages=SCALE.num_pages, pool_fraction=SCALE.pool_fraction,
+        n_w=n_w, n_e=n_w, options=PAPER_OPTIONS,
+    )
+    return run_trace(build_stack(config), trace, options=PAPER_OPTIONS,
+                     label=f"fixed n_w={n_w}")
+
+
+def _run_adaptive(trace):
+    device = SimulatedSSD(PCIE_SSD, num_pages=SCALE.num_pages)
+    device.format_pages(range(SCALE.num_pages))
+    capacity = max(4, int(SCALE.num_pages * SCALE.pool_fraction))
+    manager = AdaptiveACEBufferPoolManager(
+        capacity, LRUPolicy(), device,
+        explore_pages=64, exploit_pages=4096,
+    )
+    metrics = run_trace(manager, trace, options=PAPER_OPTIONS,
+                        label="adaptive")
+    return metrics, manager
+
+
+def run_ablation():
+    trace = _synthetic_trace(MS)
+    oracle = _run_fixed(PCIE_SSD.k_w, trace)
+    untuned = _run_fixed(1, trace)
+    oversubmitted = _run_fixed(PCIE_SSD.k_w * 4, trace)
+    adaptive, manager = _run_adaptive(trace)
+    rows = [
+        [m.label, f"{m.runtime_s:.3f}", f"{m.buffer.mean_writeback_batch:.1f}"]
+        for m in (untuned, oversubmitted, oracle, adaptive)
+    ]
+    converged = manager.tuned_n_w if manager.tuned_n_w else manager.current_n_w
+    text = format_table(
+        ["Variant", "runtime (s)", "mean wb batch"],
+        rows,
+        title=(
+            "Ablation: adaptive ACE vs fixed n_w (MS, LRU, PCIe; "
+            f"tuner converged to n_w={converged})"
+        ),
+    )
+    write_report("ablation_adaptive", text)
+    return untuned, oversubmitted, oracle, adaptive, manager
+
+
+def test_ablation_adaptive(benchmark):
+    untuned, oversubmitted, oracle, adaptive, manager = run_once(
+        benchmark, run_ablation
+    )
+    # The tuner finds the device's k_w without being told.
+    assert manager.tuned_n_w == PCIE_SSD.k_w or manager.current_n_w == PCIE_SSD.k_w
+    # Adaptive beats both mis-tunings...
+    assert adaptive.elapsed_us < untuned.elapsed_us
+    assert adaptive.elapsed_us < oversubmitted.elapsed_us
+    # ...and lands within a small factor of the oracle.
+    assert adaptive.elapsed_us < oracle.elapsed_us * 1.15
+
+
+if __name__ == "__main__":
+    run_ablation()

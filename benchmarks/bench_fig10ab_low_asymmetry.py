@@ -1,0 +1,23 @@
+"""Figures 10a-b: ACE speedups on the lower-asymmetry SATA and Virtual SSDs."""
+
+from repro.bench.experiments import fig10ab_low_asymmetry_devices
+from repro.policies.registry import PAPER_POLICIES
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10ab_low_asymmetry(benchmark):
+    data = run_once(benchmark, fig10ab_low_asymmetry_devices)
+    for device in ("SATA SSD", "Virtual SSD"):
+        for workload, per_policy in data[device].items():
+            for policy in PAPER_POLICIES:
+                # Gains persist on low-asymmetry devices (concurrency alone
+                # pays), and ACE never loses.
+                assert per_policy[policy] >= 1.0, (device, workload, policy)
+        # Write-intensive beats read-intensive on both devices.
+        for policy in PAPER_POLICIES:
+            assert data[device]["WIS"][policy] > data[device]["RIS"][policy]
+
+
+if __name__ == "__main__":
+    fig10ab_low_asymmetry_devices()

@@ -1,0 +1,31 @@
+"""Figures 10c-d: ACE speedup and runtime vs read/write ratio."""
+
+import pytest
+
+from repro.bench.experiments import fig10cd_rw_ratio_sweep
+from repro.policies.registry import PAPER_POLICIES
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10cd_rw_ratio(benchmark):
+    data = run_once(benchmark, fig10cd_rw_ratio_sweep)
+    speedups = data["speedups"]
+    fractions = data["read_fractions"]
+    assert fractions[0] == 0.0 and fractions[-1] == 1.0
+
+    for policy in PAPER_POLICIES:
+        series = speedups[policy]
+        # Write-only gains the most; gains fall off towards read-only.
+        assert series[0] == max(series), policy
+        assert series[0] > 1.3, policy
+        # Read-only: ACE behaves exactly like the baseline (paper: "the
+        # benefit never falls behind the classical approach").
+        assert series[-1] == pytest.approx(1.0, abs=0.02), policy
+        # The trend is monotone non-increasing (within jitter).
+        for earlier, later in zip(series, series[1:]):
+            assert later <= earlier * 1.05, (policy, series)
+
+
+if __name__ == "__main__":
+    fig10cd_rw_ratio_sweep()

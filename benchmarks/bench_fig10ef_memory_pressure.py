@@ -1,0 +1,34 @@
+"""Figures 10e-f: runtime and ACE speedup under varying memory pressure."""
+
+from repro.bench.experiments import fig10ef_memory_pressure
+from repro.policies.registry import PAPER_POLICIES
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10ef_memory_pressure(benchmark):
+    data = run_once(benchmark, fig10ef_memory_pressure)
+    speedups = data["speedups"]
+    fractions = data["pool_fractions"]
+    runtimes = data["runtimes"]
+
+    for policy in PAPER_POLICIES:
+        series = speedups[policy]
+        # ACE wins at every pool size.
+        assert all(s > 1.0 for s in series), (policy, series)
+        # Once the pool holds the 10% hot set, the speedup collapses
+        # towards 1 (few evictions, few writes): the largest pool's gain
+        # is below the peak gain.
+        peak = max(series)
+        assert series[-1] < peak, (policy, series)
+
+    # Runtime decreases as the bufferpool grows (fewer misses).
+    for policy in PAPER_POLICIES:
+        base_runtimes = runtimes[f"{policy} base"]
+        assert base_runtimes[-1] < base_runtimes[0], policy
+
+    assert fractions == sorted(fractions)
+
+
+if __name__ == "__main__":
+    fig10ef_memory_pressure()

@@ -1,0 +1,30 @@
+"""Figure 10g: speedup vs write-back concurrency n_w (peak at k_w)."""
+
+from repro.bench.experiments import fig10g_nw_sweep
+from repro.policies.registry import PAPER_POLICIES
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10g_nw_sweep(benchmark):
+    data = run_once(benchmark, fig10g_nw_sweep)
+    n_ws = data["n_ws"]
+    for policy in PAPER_POLICIES:
+        series = dict(zip(n_ws, data[policy]))
+        # Speedup grows with n_w up to the device concurrency k_w = 8...
+        assert series[2] > series[1], policy
+        assert series[4] > series[2], policy
+        assert series[8] > series[4], policy
+        # ...peaks at n_w = k_w...
+        best = max(series, key=series.__getitem__)
+        assert best == 8, (policy, series)
+        # ...and declines beyond it (queue pressure, wasted waves).
+        assert series[10] < series[8], policy
+        assert series[16] < series[8], policy
+        # Even modest concurrency is already substantial (paper: 1.2-1.3x
+        # at n_w in {4, 6}).
+        assert series[4] > 1.15, policy
+
+
+if __name__ == "__main__":
+    fig10g_nw_sweep()

@@ -1,0 +1,39 @@
+"""Figure 10h: the (alpha, n_w) ideal-speedup continuum at k_w = 8."""
+
+import pytest
+
+from repro.bench.experiments import fig10h_asymmetry_continuum
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10h_continuum(benchmark):
+    data = run_once(benchmark, fig10h_asymmetry_continuum)
+    measured = data["measured"]
+    model = data["model"]
+    alphas = data["alphas"]
+    n_ws = data["n_ws"]
+
+    # The corner (max alpha, n_w = k_w) is the global maximum.
+    flat_max = max(value for row in measured for value in row)
+    assert measured[-1][-1] == flat_max
+
+    # Speedup grows along both axes.
+    for row in measured:
+        assert row == sorted(row)  # increasing in n_w (up to k_w = 8)
+    for column in range(len(n_ws)):
+        by_alpha = [measured[i][column] for i in range(len(alphas))]
+        assert by_alpha == sorted(by_alpha)
+
+    # n_w = 1 means no batching: speedup ~1 for every alpha.
+    for i in range(len(alphas)):
+        assert measured[i][0] == pytest.approx(1.0, abs=0.03)
+
+    # Measurement tracks the closed-form model.
+    for m_row, i_row in zip(measured, model):
+        for m_value, i_value in zip(m_row, i_row):
+            assert m_value == pytest.approx(i_value, rel=0.35)
+
+
+if __name__ == "__main__":
+    fig10h_asymmetry_continuum()

@@ -1,0 +1,35 @@
+"""Figure 10i: higher-asymmetry devices gain more at every write intensity."""
+
+import pytest
+
+from repro.bench.experiments import fig10i_device_comparison
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10i_device_comparison(benchmark):
+    data = run_once(benchmark, fig10i_device_comparison)
+
+    # At the write-only end the paper orders gains by asymmetry:
+    # PCIe (2.8) > Virtual (2.0) > SATA (1.5) > Optane (1.1).  In our model
+    # the Virtual SSD's measured k_w = 19 (an IOPS-throttling artifact the
+    # paper notes in Table I) lets ACE amortize writes over a much larger
+    # batch than PCIe's k_w = 8, so Virtual lands at or slightly above
+    # PCIe; the asymmetry ordering holds among the NAND devices and against
+    # every lower-asymmetry device.  Documented in EXPERIMENTS.md.
+    write_only = {name: series[0] for name, series in data.items()
+                  if name != "read_fractions"}
+    assert write_only["PCIe SSD"] > write_only["SATA SSD"]
+    assert write_only["Virtual SSD"] > write_only["SATA SSD"]
+    assert write_only["SATA SSD"] > write_only["Optane SSD"]
+    assert write_only["Optane SSD"] > 1.0  # concurrency still pays
+
+    # Read-only end: no gain on any device.
+    for name, series in data.items():
+        if name == "read_fractions":
+            continue
+        assert series[-1] == pytest.approx(1.0, abs=0.02), name
+
+
+if __name__ == "__main__":
+    fig10i_device_comparison()

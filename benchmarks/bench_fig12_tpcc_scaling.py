@@ -1,0 +1,31 @@
+"""Figure 12: tpmC scaling with database size (warehouse count)."""
+
+from repro.bench.experiments import fig12_tpcc_scaling
+
+from benchmarks.conftest import run_once
+
+
+def test_fig12_tpcc_scaling(benchmark):
+    data = run_once(benchmark, fig12_tpcc_scaling)
+    gains = data["gains"]
+    tpmc = data["tpmc"]
+
+    # ACE's benefit persists at every scale — the figure's headline
+    # (paper: 1.33x at 125 warehouses, still 1.24x at 1000).
+    assert all(gain > 1.05 for gain in gains), gains
+    # And the gain stays stable rather than eroding away.
+    assert max(gains) / min(gains) < 1.3, gains
+
+    # ACE-LRU beats LRU in absolute tpmC everywhere.
+    for base, ace in zip(tpmc["LRU"], tpmc["ACE-LRU"]):
+        assert ace > base
+
+    # Note: the paper's mild absolute tpmC decline with data volume comes
+    # from PostgreSQL's data-management CPU overhead, which the simulator
+    # deliberately does not model (CPU cost per op is constant); absolute
+    # tpmC may therefore drift either way with scale.  Documented in
+    # EXPERIMENTS.md.
+
+
+if __name__ == "__main__":
+    fig12_tpcc_scaling()

@@ -1,0 +1,25 @@
+"""Figure 2: ideal speedup of ACE over an LRU baseline vs asymmetry."""
+
+import pytest
+
+from repro.bench.experiments import fig2_ideal_speedup
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2_ideal_speedup(benchmark):
+    data = run_once(benchmark, fig2_ideal_speedup)
+    measured = data["measured"]
+    # Monotone in alpha, ~1 at alpha=1 only in the no-benefit limit — even
+    # symmetric devices gain from concurrency, so >= 1 everywhere.
+    assert all(b >= a - 0.02 for a, b in zip(measured, measured[1:]))
+    assert measured[0] >= 1.0
+    # The paper's headline: benefit up to ~2.5x at high asymmetry.
+    assert 1.8 <= measured[-1] <= 3.5
+    # Model and measurement agree on shape at every alpha.
+    for model_value, measured_value in zip(data["model"], measured):
+        assert measured_value == pytest.approx(model_value, rel=0.35)
+
+
+if __name__ == "__main__":
+    fig2_ideal_speedup()

@@ -1,0 +1,38 @@
+"""Figures 8a-d: runtime of four policies x three variants x four workloads."""
+
+from repro.bench.experiments import fig8_synthetic_runtime
+from repro.engine.metrics import speedup
+from repro.policies.registry import PAPER_POLICIES
+
+from benchmarks.conftest import run_once
+
+
+def test_fig8_synthetic_runtime(benchmark):
+    results = run_once(benchmark, fig8_synthetic_runtime)
+
+    gains = {}
+    for workload, per_workload in results.items():
+        for policy in PAPER_POLICIES:
+            base = per_workload[(policy, "baseline")]
+            ace = per_workload[(policy, "ace")]
+            ace_pf = per_workload[(policy, "ace+pf")]
+            # ACE never loses to the baseline (paper: consistent gains).
+            assert ace.elapsed_us < base.elapsed_us, (workload, policy)
+            assert ace_pf.elapsed_us < base.elapsed_us, (workload, policy)
+            gains[(workload, policy)] = speedup(base, ace_pf)
+            # ACE batches write-backs at n_w; baseline writes singly.
+            assert base.buffer.mean_writeback_batch <= 1.0
+            assert ace.buffer.mean_writeback_batch > 4.0
+
+    # Write-intensive workload gains the most, read-intensive the least
+    # (paper: WIS up to 32.1%, RIS 8.1-13.9%).
+    for policy in PAPER_POLICIES:
+        assert gains[("WIS", policy)] > gains[("RIS", policy)], policy
+        assert gains[("MS", policy)] > gains[("RIS", policy)], policy
+        # Every workload with writes shows a real gain.
+        assert gains[("RIS", policy)] > 1.02, policy
+        assert gains[("MU", policy)] > 1.05, policy
+
+
+if __name__ == "__main__":
+    fig8_synthetic_runtime()

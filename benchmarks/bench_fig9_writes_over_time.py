@@ -1,0 +1,32 @@
+"""Figure 9: logical and physical writes over an extended run."""
+
+from repro.bench.experiments import fig9_writes_over_time
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9_writes_over_time(benchmark):
+    data = run_once(benchmark, fig9_writes_over_time)
+    base = data["LRU-WSR"]
+    ace = data["ACE-LRU-WSR"]
+
+    # Physical writes exceed logical writes (GC write amplification).
+    assert base["physical"][-1] > base["logical"][-1]
+    assert ace["physical"][-1] > ace["logical"][-1]
+
+    # Write counts grow monotonically over the run.
+    assert base["logical"] == sorted(base["logical"])
+    assert ace["logical"] == sorted(ace["logical"])
+
+    # ACE's total writes stay within a few percent of the baseline's...
+    lw_delta = abs(ace["logical"][-1] - base["logical"][-1]) / base["logical"][-1]
+    pw_delta = abs(ace["physical"][-1] - base["physical"][-1]) / base["physical"][-1]
+    assert lw_delta < 0.05
+    assert pw_delta < 0.10
+
+    # ...while ACE finishes the same work significantly faster.
+    assert ace["elapsed_s"][-1] < base["elapsed_s"][-1] * 0.95
+
+
+if __name__ == "__main__":
+    fig9_writes_over_time()

@@ -1,0 +1,23 @@
+"""Table I: empirically measured device asymmetry and concurrency."""
+
+import pytest
+
+from repro.bench.experiments import table1_device_characteristics
+from repro.storage.profiles import PAPER_DEVICES
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_device_probe(benchmark):
+    data = run_once(benchmark, table1_device_characteristics)
+    # The probe must recover every Table I row from measurements.
+    expected = {p.name: (p.alpha, p.k_r, p.k_w) for p in PAPER_DEVICES}
+    for name, (alpha, k_r, k_w) in expected.items():
+        measured = data[name]
+        assert measured["alpha"] == pytest.approx(alpha, rel=0.05)
+        assert measured["k_r"] == k_r
+        assert measured["k_w"] == k_w
+
+
+if __name__ == "__main__":
+    table1_device_characteristics()

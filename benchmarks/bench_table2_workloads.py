@@ -1,0 +1,26 @@
+"""Table II: synthetic workload definitions, validated by measurement."""
+
+import pytest
+
+from repro.bench.experiments import table2_workload_definitions
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_workloads(benchmark):
+    data = run_once(benchmark, table2_workload_definitions)
+    assert data["MS"]["read_fraction"] == pytest.approx(0.5, abs=0.02)
+    assert data["WIS"]["read_fraction"] == pytest.approx(0.1, abs=0.02)
+    assert data["RIS"]["read_fraction"] == pytest.approx(0.9, abs=0.02)
+    assert data["MU"]["read_fraction"] == pytest.approx(0.5, abs=0.02)
+    # Skewed workloads: ~90% of operations on 10% of the pages.
+    for name in ("MS", "WIS", "RIS"):
+        assert data[name]["locality"] == pytest.approx(0.9, abs=0.03)
+    # Uniform workload: the top-10%-of-pages share is far below 0.9.  It is
+    # not exactly 0.1 because picking the a-posteriori hottest pages at
+    # ~1.5 ops/page inflates the estimate (selection bias), so allow slack.
+    assert data["MU"]["locality"] < 0.4
+
+
+if __name__ == "__main__":
+    table2_workload_definitions()

@@ -1,0 +1,72 @@
+"""Extension bench: ACE across the YCSB core workloads.
+
+The paper evaluates pgbench-style mixes and TPC-C; YCSB's six core
+workloads cover complementary corners (zipfian skew, read-latest, scans,
+read-modify-write).  Expectations follow the paper's logic: gains scale
+with write intensity (A, F > B, D > C ~ 1.0), and scans (E) profit from the
+TaP prefetcher when inserts provide dirty victims.
+"""
+
+from repro.bench.experiments import PAPER_OPTIONS
+from repro.bench.report import format_table, write_report
+from repro.bench.runner import StackConfig, run_config
+from repro.engine.metrics import speedup
+from repro.storage.profiles import PCIE_SSD
+from repro.workloads.ycsb import YCSB_WORKLOADS, generate_ycsb_trace
+
+from benchmarks.conftest import run_once
+
+NUM_PAGES = 16_000
+NUM_OPS = 24_000
+
+
+def run_bench():
+    gains = {}
+    rows = []
+    for name in sorted(YCSB_WORKLOADS):
+        trace = generate_ycsb_trace(name, NUM_PAGES, NUM_OPS, seed=11)
+        base = run_config(
+            StackConfig(profile=PCIE_SSD, policy="lru", variant="baseline",
+                        num_pages=NUM_PAGES, options=PAPER_OPTIONS),
+            trace,
+        )
+        ace = run_config(
+            StackConfig(profile=PCIE_SSD, policy="lru", variant="ace+pf",
+                        num_pages=NUM_PAGES, options=PAPER_OPTIONS),
+            trace,
+        )
+        gains[name] = speedup(base, ace)
+        rows.append(
+            [
+                name,
+                YCSB_WORKLOADS[name].distribution,
+                f"{trace.read_fraction:.2f}",
+                f"{base.runtime_s:.3f}",
+                f"{ace.runtime_s:.3f}",
+                f"{gains[name]:.2f}x",
+            ]
+        )
+    text = format_table(
+        ["WL", "distribution", "read frac", "baseline (s)", "ACE+PF (s)",
+         "speedup"],
+        rows,
+        title="Extension: ACE+PF on the YCSB core workloads (LRU, PCIe SSD)",
+    )
+    write_report("ycsb", text)
+    return gains
+
+
+def test_ycsb(benchmark):
+    gains = run_once(benchmark, run_bench)
+    # Update-heavy workloads gain the most.
+    assert gains["A"] > gains["B"] > 1.0
+    assert gains["F"] > gains["B"]
+    # Read-only zipfian: no writes, no change.
+    assert abs(gains["C"] - 1.0) < 0.02
+    # Every workload with writes benefits; none regresses.
+    for name, gain in gains.items():
+        assert gain > 0.99, name
+
+
+if __name__ == "__main__":
+    run_bench()

@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one table or figure of the paper's evaluation
+section, asserts its qualitative shape, and persists the rendered rows
+under ``results/``.  Benches run once per invocation (``pedantic`` with a
+single round) because each is a full experiment, not a microbenchmark.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

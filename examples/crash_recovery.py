@@ -1,0 +1,88 @@
+"""Crash recovery: why delayed (and batched) write-back is safe.
+
+ACE aggressively batches write-backs, and both managers keep committed
+updates dirty in memory for a long time.  The WAL makes that safe.  This
+example runs transactions against an ACE pool, power-fails the system
+mid-run, replays the log, and verifies every committed update survived.
+
+Run with::
+
+    python examples/crash_recovery.py
+"""
+
+import random
+
+from repro import (
+    ACEBufferPoolManager,
+    ACEConfig,
+    LRUPolicy,
+    PCIE_SSD,
+    SimulatedSSD,
+    WriteAheadLog,
+    recover,
+    simulate_crash,
+)
+
+NUM_PAGES = 2_000
+POOL_SIZE = 120
+
+
+def main() -> None:
+    device = SimulatedSSD(PCIE_SSD, num_pages=NUM_PAGES)
+    device.format_pages(range(NUM_PAGES))
+    wal = WriteAheadLog(device.clock, records_per_page=8)
+    manager = ACEBufferPoolManager(
+        POOL_SIZE, LRUPolicy(), device, wal=wal,
+        config=ACEConfig.for_device(PCIE_SSD),
+    )
+
+    rng = random.Random(11)
+    committed: dict[int, int] = {}
+    in_flight: dict[int, int] = {}
+    for txn in range(300):
+        # A small transaction: 3 page updates, then commit (WAL flush).
+        for _ in range(3):
+            page = rng.randrange(NUM_PAGES)
+            in_flight[page] = manager.write_page(page)
+        if txn < 299:  # the very last transaction never commits
+            wal.flush()
+            committed.update(in_flight)
+            in_flight.clear()
+
+    print(f"Ran 300 transactions; {len(committed)} pages committed, "
+          f"{len(manager.dirty_pages())} pages still dirty in memory.")
+
+    image = simulate_crash(manager)
+    print(f"\nPOWER FAILURE: {len(image.lost_dirty_pages)} dirty pages lost "
+          f"from memory; WAL durable through LSN {image.wal.durable_lsn}.")
+
+    stale = sum(
+        1 for page, version in committed.items()
+        if image.device._payloads[page] != version
+    )
+    print(f"Device is stale for {stale} committed pages before recovery.")
+
+    report = recover(image)
+    print(f"\nREDO: scanned {report.records_scanned} records from "
+          f"LSN {report.start_lsn}, reapplied {report.redo_applied} updates.")
+
+    lost = [
+        page for page, version in committed.items()
+        if image.device._payloads[page] != version
+    ]
+    print(f"Committed pages still stale after recovery: {len(lost)}")
+    assert not lost, "durability violated!"
+    uncommitted_recovered = [
+        page for page, version in in_flight.items()
+        if image.device._payloads[page] == version
+        and committed.get(page) != version
+    ]
+    print(f"Uncommitted final transaction recovered: "
+          f"{len(uncommitted_recovered)} pages (expected 0 unless its "
+          f"records piggybacked on a group-commit flush).")
+    print("\nEvery committed update survived the crash — batched write-back "
+          "costs nothing in durability.")
+
+
+if __name__ == "__main__":
+    main()

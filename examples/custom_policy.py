@@ -1,0 +1,113 @@
+"""Extending ACE: write a custom replacement policy and wrap it.
+
+The paper's "ease of adoption" goal: ACE composes with *any* replacement
+policy through the virtual-order API.  This example implements MRU (Most
+Recently Used — useful for cyclic scans) from scratch against
+:class:`repro.ReplacementPolicy`, registers it, and shows that the
+unmodified ACE wrapper accelerates it exactly as it does the built-ins.
+
+Run with::
+
+    python examples/custom_policy.py
+"""
+
+from collections import OrderedDict
+from collections.abc import Iterator
+
+from repro import (
+    PCIE_SSD,
+    ReplacementPolicy,
+    register_policy,
+    run_trace,
+    speedup,
+)
+from repro.bench.runner import StackConfig, build_stack
+from repro.engine import ExecutionOptions
+from repro.workloads import MS, generate_trace
+
+NUM_PAGES = 8_000
+NUM_OPS = 15_000
+OPTIONS = ExecutionOptions(cpu_us_per_op=10.0)
+
+
+class MRUPolicy(ReplacementPolicy):
+    """Most Recently Used: evict the page touched last.
+
+    The implementation only has to provide membership tracking, a stateful
+    ``select_victim`` and the side-effect-free ``eviction_order`` (the
+    virtual order ACE's Writer and Evictor consume).
+    """
+
+    name = "mru"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Last item = most recently used = next victim.
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def insert(self, page: int, cold: bool = False) -> None:
+        if page in self._order:
+            raise ValueError(f"page {page} already tracked")
+        self._order[page] = None
+        if cold:
+            # Cold pages should leave first: for MRU that IS the MRU end,
+            # so a plain insert already does the right thing.
+            pass
+
+    def remove(self, page: int) -> None:
+        del self._order[page]
+
+    def on_access(self, page: int, is_write: bool = False) -> None:
+        self._order.move_to_end(page)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def pages(self) -> list[int]:
+        return list(self._order)
+
+    def select_victim(self) -> int | None:
+        for page in reversed(self._order):
+            if not self._view.is_pinned(page):
+                return page
+        return None
+
+    def eviction_order(self) -> Iterator[int]:
+        for page in reversed(self._order):
+            if not self._view.is_pinned(page):
+                yield page
+
+
+def main() -> None:
+    register_policy("mru", lambda capacity: MRUPolicy(), display="MRU")
+    print("Registered custom policy 'mru'; ACE wraps it unchanged.\n")
+
+    trace = generate_trace(MS, NUM_PAGES, NUM_OPS, seed=33)
+    results = {}
+    for variant in ("baseline", "ace", "ace+pf"):
+        config = StackConfig(
+            profile=PCIE_SSD, policy="mru", variant=variant,
+            num_pages=NUM_PAGES, options=OPTIONS,
+        )
+        manager = build_stack(config)
+        results[variant] = run_trace(
+            manager, trace, options=OPTIONS, label=f"MRU/{variant}"
+        )
+        metrics = results[variant]
+        print(f"{metrics.label:14s} runtime={metrics.runtime_s:7.3f}s  "
+              f"miss={metrics.miss_ratio:6.2%}  "
+              f"mean wb batch={metrics.buffer.mean_writeback_batch:4.1f}")
+
+    print(f"\nACE speedup over baseline MRU:    "
+          f"{speedup(results['baseline'], results['ace']):.2f}x")
+    print(f"ACE+PF speedup over baseline MRU: "
+          f"{speedup(results['baseline'], results['ace+pf']):.2f}x")
+    print("\nNo ACE code was modified: the wrapper consumed MRU's virtual")
+    print("order exactly as it consumes LRU's or Clock Sweep's.")
+
+
+if __name__ == "__main__":
+    main()

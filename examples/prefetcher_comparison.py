@@ -1,0 +1,113 @@
+"""Prefetcher comparison: TaP, history table, composite, and NPL.
+
+ACE's Reader accepts any prefetching technique (paper §IV-D).  This example
+runs three access patterns — a sequential scan, a looping pattern with
+repeatable transitions, and a random skew — through ACE with each
+prefetcher and reports misses, prefetch accuracy, and runtime, showing why
+the paper combines a sequential detector with a history table.
+
+Run with::
+
+    python examples/prefetcher_comparison.py
+"""
+
+import random
+
+from repro import (
+    CompositePrefetcher,
+    HistoryPrefetcher,
+    LRUPolicy,
+    NPLPrefetcher,
+    PCIE_SSD,
+    SimulatedSSD,
+    TaPPrefetcher,
+    run_trace,
+)
+from repro.core import ACEBufferPoolManager, ACEConfig
+from repro.engine import ExecutionOptions
+from repro.workloads import Trace
+
+NUM_PAGES = 6_000
+POOL_SIZE = 360
+OPTIONS = ExecutionOptions(cpu_us_per_op=10.0)
+
+
+def sequential_scan() -> Trace:
+    """Two update-heavy passes over a table — TaP's home turf.
+
+    The scan updates a quarter of the rows, so evictions regularly find
+    dirty victims and ACE's prefetch path engages (on a pure read scan
+    ACE follows the classical path, per Algorithm 1).
+    """
+    rng = random.Random(4)
+    pages = list(range(3000)) * 2
+    writes = [rng.random() < 0.25 for _ in pages]
+    return Trace(pages, writes, name="sequential scan")
+
+
+def loop_pattern() -> Trace:
+    """A repeating join-like loop — the history table learns transitions.
+
+    The loop is larger than the pool (so it keeps missing) and includes
+    updates (so dirty victims open the prefetch path on each miss).
+    """
+    rng = random.Random(5)
+    hops = [rng.randrange(NUM_PAGES) for _ in range(800)]
+    pages = hops * 12
+    writes = [rng.random() < 0.3 for _ in pages]
+    return Trace(pages, writes, name="loop pattern")
+
+
+def random_skew() -> Trace:
+    """90/10 random skew — no prefetcher should help (or hurt)."""
+    rng = random.Random(6)
+    hot = [rng.randrange(NUM_PAGES) for _ in range(600)]
+    pages = [
+        hot[rng.randrange(len(hot))] if rng.random() < 0.9
+        else rng.randrange(NUM_PAGES)
+        for _ in range(6000)
+    ]
+    return Trace(pages, [False] * len(pages), name="random skew")
+
+
+def prefetchers():
+    return {
+        "none": None,
+        "NPL(4)": NPLPrefetcher(depth=4, max_page=NUM_PAGES),
+        "TaP": TaPPrefetcher(max_page=NUM_PAGES),
+        "history": HistoryPrefetcher(),
+        "composite": CompositePrefetcher(max_page=NUM_PAGES),
+    }
+
+
+def run(trace: Trace, name: str, prefetcher) -> None:
+    device = SimulatedSSD(PCIE_SSD, num_pages=NUM_PAGES)
+    device.format_pages(range(NUM_PAGES))
+    config = ACEConfig.for_device(PCIE_SSD, prefetch_enabled=prefetcher is not None)
+    manager = ACEBufferPoolManager(
+        POOL_SIZE, LRUPolicy(), device, config=config, prefetcher=prefetcher
+    )
+    metrics = run_trace(manager, trace, options=OPTIONS, label=name)
+    stats = manager.stats
+    accuracy = (
+        f"{stats.prefetch_accuracy:6.1%}" if stats.prefetch_issued else "   n/a"
+    )
+    print(f"  {name:10s} runtime={metrics.runtime_s:7.3f}s  "
+          f"misses={stats.misses:6d}  prefetched={stats.prefetch_issued:6d}  "
+          f"accuracy={accuracy}")
+
+
+def main() -> None:
+    for trace in (sequential_scan(), loop_pattern(), random_skew()):
+        print(f"\n{trace.name} ({len(trace)} requests):")
+        for name, prefetcher in prefetchers().items():
+            run(trace, name, prefetcher)
+    print(
+        "\nTaP wins on scans, the history table on repeatable transitions,\n"
+        "and the composite follows whichever signal is present — with cold\n"
+        "placement keeping the random-skew case harmless."
+    )
+
+
+if __name__ == "__main__":
+    main()

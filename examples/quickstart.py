@@ -1,0 +1,80 @@
+"""Quickstart: wrap a replacement policy with ACE and measure the gain.
+
+Builds the paper's PCIe SSD (alpha = 2.8, k_w = 8), runs the same mixed
+skewed workload through a classic LRU bufferpool and through ACE-LRU (with
+and without prefetching), and prints runtime, miss ratio, and write-batch
+statistics for each.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ACEBufferPoolManager,
+    ACEConfig,
+    BufferPoolManager,
+    LRUPolicy,
+    PCIE_SSD,
+    SimulatedSSD,
+    run_trace,
+    speedup,
+)
+from repro.engine import ExecutionOptions
+from repro.workloads import MS, generate_trace
+
+NUM_PAGES = 10_000   # database size in pages
+POOL_SIZE = 600      # bufferpool frames (6% of the data, as in the paper)
+NUM_OPS = 20_000     # page requests to replay
+
+
+def build_device() -> SimulatedSSD:
+    """A fresh, formatted simulated PCIe SSD."""
+    device = SimulatedSSD(PCIE_SSD, num_pages=NUM_PAGES)
+    device.format_pages(range(NUM_PAGES))
+    return device
+
+
+def main() -> None:
+    trace = generate_trace(MS, NUM_PAGES, NUM_OPS, seed=7)
+    options = ExecutionOptions(cpu_us_per_op=10.0)
+    print(f"Workload: {trace} on {PCIE_SSD.name} "
+          f"(alpha={PCIE_SSD.alpha}, k_w={PCIE_SSD.k_w})\n")
+
+    # 1. The classic bufferpool: one I/O at a time.
+    baseline = BufferPoolManager(POOL_SIZE, LRUPolicy(), build_device())
+    base_metrics = run_trace(baseline, trace, options=options, label="LRU")
+
+    # 2. ACE wrapping the same policy: batched concurrent write-back.
+    ace = ACEBufferPoolManager(
+        POOL_SIZE, LRUPolicy(), build_device(),
+        config=ACEConfig.for_device(PCIE_SSD),
+    )
+    ace_metrics = run_trace(ace, trace, options=options, label="ACE-LRU")
+
+    # 3. ACE with the composite prefetcher (TaP + history table).
+    ace_pf = ACEBufferPoolManager(
+        POOL_SIZE, LRUPolicy(), build_device(),
+        config=ACEConfig.for_device(PCIE_SSD, prefetch_enabled=True),
+    )
+    pf_metrics = run_trace(ace_pf, trace, options=options, label="ACE-LRU+PF")
+
+    for metrics, manager in (
+        (base_metrics, baseline), (ace_metrics, ace), (pf_metrics, ace_pf)
+    ):
+        stats = manager.stats
+        print(
+            f"{metrics.label:11s} runtime={metrics.runtime_s:7.3f}s  "
+            f"miss={stats.miss_ratio:6.2%}  "
+            f"writebacks={stats.writebacks:5d}  "
+            f"mean batch={stats.mean_writeback_batch:4.1f}"
+        )
+
+    print(f"\nACE speedup:     {speedup(base_metrics, ace_metrics):.2f}x")
+    print(f"ACE+PF speedup:  {speedup(base_metrics, pf_metrics):.2f}x")
+    print("\nThe batched write-back (mean batch = k_w = 8) amortizes the")
+    print("asymmetric write cost — same policy, same workload, less time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""SSD wear analysis: SMART counters, write amplification, ACE's impact.
+
+The paper's Table III / Figure 9 argument: ACE's batched write-backs do not
+increase flash wear.  This example runs an extended write-heavy workload on
+an FTL-backed device for LRU-WSR and ACE-LRU-WSR, captures SMART snapshots,
+and reports logical writes, NAND writes, write amplification, erase cycles,
+and the wear-leveling spread.
+
+Run with::
+
+    python examples/wear_analysis.py
+"""
+
+from repro import (
+    LRUWSRPolicy,
+    PCIE_SSD,
+    SimulatedSSD,
+    SmartMonitor,
+    run_trace,
+    speedup,
+)
+from repro.bufferpool import BufferPoolManager
+from repro.core import ACEBufferPoolManager, ACEConfig
+from repro.engine import ExecutionOptions
+from repro.workloads import WIS, generate_trace
+
+NUM_PAGES = 8_000
+POOL_SIZE = 480
+NUM_OPS = 30_000
+OPTIONS = ExecutionOptions(cpu_us_per_op=10.0)
+
+
+def build(variant: str):
+    device = SimulatedSSD(
+        PCIE_SSD, num_pages=NUM_PAGES, with_ftl=True, over_provision=0.08
+    )
+    device.format_pages(range(NUM_PAGES))
+    if variant == "baseline":
+        manager = BufferPoolManager(POOL_SIZE, LRUWSRPolicy(), device)
+    else:
+        manager = ACEBufferPoolManager(
+            POOL_SIZE, LRUWSRPolicy(), device,
+            config=ACEConfig.for_device(PCIE_SSD, prefetch_enabled=True),
+        )
+    return manager, SmartMonitor(device, endurance_cycles=3000)
+
+
+def main() -> None:
+    trace = generate_trace(WIS, NUM_PAGES, NUM_OPS, seed=17)
+    print(f"Write-intensive workload ({NUM_OPS} ops, 90% writes) on an "
+          f"FTL-backed {PCIE_SSD.name}\n")
+    metrics = {}
+    for variant, label in (("baseline", "LRU-WSR"), ("ace", "ACE-LRU-WSR")):
+        manager, monitor = build(variant)
+        before = monitor.snapshot()
+        metrics[label] = run_trace(manager, trace, options=OPTIONS, label=label)
+        after = monitor.snapshot()
+        delta = after.delta(before)
+        erase_counts = [
+            count for count in manager.device.ftl.erase_counts() if count
+        ]
+        spread = (max(erase_counts) - min(erase_counts)) if erase_counts else 0
+        print(f"{label}:")
+        print(f"  runtime          {metrics[label].runtime_s:9.3f} s")
+        print(f"  host writes      {delta.host_writes:9d}")
+        print(f"  NAND writes      {delta.nand_writes:9d}")
+        print(f"  write amp        {after.write_amplification:9.2f}x")
+        print(f"  erase cycles     {delta.erase_cycles:9d}")
+        print(f"  wear (worst blk) {monitor.wear_percentage():8.2f}%")
+        print(f"  erase spread     {spread:9d} cycles\n")
+
+    base, ace = metrics["LRU-WSR"], metrics["ACE-LRU-WSR"]
+    write_delta = 100 * (ace.physical_writes - base.physical_writes) / base.physical_writes
+    print(f"Speedup: {speedup(base, ace):.2f}x with {write_delta:+.2f}% "
+          f"physical writes — the paper's 'no hidden cost' result.")
+
+
+if __name__ == "__main__":
+    main()

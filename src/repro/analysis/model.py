@@ -1,0 +1,119 @@
+"""Closed-form performance model for ACE (Figures 2 and 10h).
+
+The paper's intuition in cost-model form.  Consider a saturated bufferpool
+serving a request stream with buffer miss ratio ``m``; a fraction ``f_d`` of
+evictions target a dirty page.  With single-page I/O (the classic manager),
+a miss whose victim is dirty costs a read plus a write::
+
+    C_base = t_r * (1 + f_d * alpha)            (per miss)
+
+ACE amortises the dirty-victim write over a concurrent batch of ``n_w``
+pages, which completes in ``ceil(n_w / k_w)`` device waves::
+
+    C_ace = t_r * (1 + f_d * alpha * ceil(n_w / k_w) / n_w)
+
+The ideal speedup ``C_base / C_ace`` grows with the asymmetry ``alpha`` and
+with ``n_w`` up to ``k_w`` (one full wave), then degrades — exactly the
+shape of Figure 10h.  A hit fraction ``1 - m`` with per-request CPU cost
+dilutes the gain, which the full model accounts for.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "amortization_factor",
+    "ideal_speedup",
+    "speedup_vs_alpha",
+    "speedup_grid",
+]
+
+
+def amortization_factor(n_w: int, k_w: int) -> float:
+    """Per-page share of a concurrent write batch: ``ceil(n_w/k_w) / n_w``.
+
+    1.0 for single-page writes; ``1/k_w`` at the sweet spot ``n_w = k_w``.
+    """
+    if n_w < 1 or k_w < 1:
+        raise ValueError("n_w and k_w must be at least 1")
+    return math.ceil(n_w / k_w) / n_w
+
+
+def ideal_speedup(
+    alpha: float,
+    n_w: int,
+    k_w: int,
+    dirty_fraction: float = 0.5,
+    miss_ratio: float = 1.0,
+    cpu_per_read: float = 0.0,
+) -> float:
+    """Ideal ACE speedup over the single-I/O baseline.
+
+    Parameters
+    ----------
+    alpha:
+        Device read/write asymmetry.
+    n_w, k_w:
+        Write-back batch size and device write concurrency.
+    dirty_fraction:
+        Fraction of evictions whose victim is dirty (grows with the
+        workload's write intensity; ~0 for read-only workloads).
+    miss_ratio:
+        Buffer miss ratio; hits cost only CPU and dilute the gain.
+    cpu_per_read:
+        CPU cost per request, expressed in units of the read latency.
+    """
+    if alpha < 1.0:
+        raise ValueError(f"alpha must be >= 1: {alpha}")
+    if not 0.0 <= dirty_fraction <= 1.0:
+        raise ValueError(f"dirty fraction must be in [0, 1]: {dirty_fraction}")
+    if not 0.0 < miss_ratio <= 1.0:
+        raise ValueError(f"miss ratio must be in (0, 1]: {miss_ratio}")
+    factor = amortization_factor(n_w, k_w)
+    base_per_request = cpu_per_read + miss_ratio * (1.0 + dirty_fraction * alpha)
+    ace_per_request = cpu_per_read + miss_ratio * (
+        1.0 + dirty_fraction * alpha * factor
+    )
+    return base_per_request / ace_per_request
+
+
+def speedup_vs_alpha(
+    alphas: list[float],
+    k_w: int = 8,
+    dirty_fraction: float = 0.5,
+    miss_ratio: float = 1.0,
+    cpu_per_read: float = 0.0,
+) -> list[float]:
+    """Ideal speedup as asymmetry grows, at the tuned ``n_w = k_w`` (Fig. 2)."""
+    return [
+        ideal_speedup(
+            alpha,
+            n_w=k_w,
+            k_w=k_w,
+            dirty_fraction=dirty_fraction,
+            miss_ratio=miss_ratio,
+            cpu_per_read=cpu_per_read,
+        )
+        for alpha in alphas
+    ]
+
+
+def speedup_grid(
+    alphas: list[float],
+    n_ws: list[int],
+    k_w: int = 8,
+    dirty_fraction: float = 0.5,
+) -> list[list[float]]:
+    """Speedup over the (alpha, n_w) continuum of Figure 10h.
+
+    Returns a row per ``alpha`` with one column per ``n_w``.  The maximum
+    sits at the largest alpha and ``n_w = k_w``.
+    """
+    return [
+        [
+            ideal_speedup(alpha, n_w=n_w, k_w=k_w, dirty_fraction=dirty_fraction)
+            for n_w in n_ws
+        ]
+        for alpha in alphas
+    ]

@@ -1,0 +1,130 @@
+"""Terminal plots: line charts and heatmaps rendered in ASCII.
+
+The benches persist their figure data as plain tables; these helpers add a
+visual rendering so ``results/`` files read like the paper's figures.  No
+plotting dependency is required.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["line_chart", "heatmap"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named series as an ASCII line chart.
+
+    Each series is drawn with its own marker; a legend maps markers to
+    names.  Values are linearly scaled into the plot box.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("plot box too small")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, "
+                f"x-axis has {len(x_values)}"
+            )
+    if len(x_values) < 2:
+        raise ValueError("need at least two x positions")
+
+    markers = "ox+*sd^v"
+    all_values = [v for values in series.values() for v in values]
+    y_min = min(all_values)
+    y_max = max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min = float(min(x_values))
+    x_max = float(max(x_values))
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(x_values, values):
+            col = round((float(x) - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * label_width} +{'-' * width}"
+    lines.append(axis)
+    x_axis = f"{x_min:.3g}".ljust(width // 2) + f"{x_max:.3g}".rjust(width // 2)
+    lines.append(f"{' ' * label_width}  {x_axis}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    row_labels: Sequence[object],
+    column_labels: Sequence[object],
+    values: Sequence[Sequence[float]],
+    title: str = "",
+    cell_width: int = 7,
+) -> str:
+    """Render a matrix as a shaded ASCII heatmap with numeric cells.
+
+    Used for Figure 10h's (alpha, n_w) speedup continuum: darker shading
+    (denser glyphs) means larger values.
+    """
+    if len(values) != len(row_labels):
+        raise ValueError("one row of values per row label required")
+    for row in values:
+        if len(row) != len(column_labels):
+            raise ValueError("one value per column label required")
+    flat = [v for row in values for v in row]
+    if not flat:
+        raise ValueError("empty heatmap")
+    v_min, v_max = min(flat), max(flat)
+    span = (v_max - v_min) or 1.0
+
+    def shade(value: float) -> str:
+        level = int((value - v_min) / span * (len(_BLOCKS) - 1))
+        return _BLOCKS[level]
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " " * 10 + "".join(
+        str(label).rjust(cell_width) for label in column_labels
+    )
+    lines.append(header)
+    for label, row in zip(row_labels, values):
+        cells = "".join(
+            f"{shade(v)}{v:5.2f} ".rjust(cell_width) for v in row
+        )
+        lines.append(f"{str(label):>9s} {cells}")
+    lines.append(f"scale: {_BLOCKS[0]!r} = {v_min:.3g} ... "
+                 f"{_BLOCKS[-1]!r} = {v_max:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Report rendering: ASCII tables and series, mirroring the paper's layout.
+
+Every bench prints the rows/series its figure or table reports and also
+writes them under ``results/`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from pathlib import Path
+
+__all__ = ["format_table", "format_series", "results_dir", "write_report"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render named series against a shared x-axis (a figure's data)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for name in series:
+            row.append(series[name][index])
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def results_dir() -> Path:
+    """Directory where benches persist their reports.
+
+    Defaults to ``results/`` under the current working directory;
+    override with the ``REPRO_RESULTS_DIR`` environment variable.
+    """
+    path = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a rendered report and echo it to stdout."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(text)
+    return path

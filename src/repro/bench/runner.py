@@ -1,0 +1,192 @@
+"""Experiment runner: build (device, policy, manager) stacks and compare them.
+
+Encapsulates the paper's methodology (§VI): for each configuration a fresh
+device is created and formatted, the *same* pre-generated request stream is
+replayed against the baseline manager and its ACE counterparts, and metrics
+come off the shared virtual clock.  Reusing one trace across variants is
+the apples-to-apples property the paper gets by re-running identical
+pgbench/TPC-C settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bufferpool.manager import BufferPoolManager
+from repro.bufferpool.wal import WriteAheadLog
+from repro.core.ace import ACEBufferPoolManager
+from repro.core.config import ACEConfig
+from repro.engine.executor import ExecutionOptions, run_trace, run_transactions
+from repro.engine.metrics import RunMetrics
+from repro.policies.registry import make_policy
+from repro.prefetch.base import Prefetcher
+from repro.storage.clock import VirtualClock
+from repro.storage.device import SimulatedSSD
+from repro.storage.profiles import DeviceProfile
+from repro.workloads.tpcc.transactions import TransactionType
+from repro.workloads.trace import PageRequest, Trace
+
+__all__ = ["StackConfig", "build_stack", "run_config", "compare_policies", "VARIANTS"]
+
+#: The three bufferpool variants every figure compares.
+VARIANTS = ("baseline", "ace", "ace+pf")
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """Everything needed to build a (device, policy, manager) stack.
+
+    Parameters
+    ----------
+    profile:
+        Device profile (asymmetry/concurrency characteristics).
+    policy:
+        Replacement policy registry name.
+    variant:
+        "baseline" (classic single-I/O), "ace" (batched write-back), or
+        "ace+pf" (batched write-back + concurrent prefetching).
+    num_pages:
+        Database size in pages.
+    pool_fraction:
+        Bufferpool capacity as a fraction of the database size (the paper
+        uses 6 % unless sweeping memory pressure).
+    n_w, n_e:
+        ACE overrides; default to the device's ``k_w`` (the paper's tuning).
+    with_ftl:
+        Attach an FTL for physical-write accounting.
+    with_wal:
+        Attach a write-ahead log on a separate simulated device.
+    options:
+        Execution-model knobs (CPU costs, background intervals).
+    """
+
+    profile: DeviceProfile
+    policy: str
+    variant: str
+    num_pages: int
+    pool_fraction: float = 0.06
+    n_w: int | None = None
+    n_e: int | None = None
+    with_ftl: bool = False
+    with_wal: bool = False
+    over_provision: float = 0.10
+    options: ExecutionOptions = field(default_factory=ExecutionOptions)
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise ValueError(
+                f"variant must be one of {VARIANTS}, got {self.variant!r}"
+            )
+        if self.num_pages < 8:
+            raise ValueError("database must have at least 8 pages")
+        if not 0.0 < self.pool_fraction <= 1.0:
+            raise ValueError(
+                f"pool fraction must be in (0, 1]: {self.pool_fraction}"
+            )
+
+    @property
+    def pool_capacity(self) -> int:
+        return max(4, int(self.num_pages * self.pool_fraction))
+
+    @property
+    def label(self) -> str:
+        return f"{self.policy}/{self.variant}"
+
+
+def build_stack(
+    config: StackConfig, prefetcher: Prefetcher | None = None
+) -> BufferPoolManager:
+    """Instantiate a fresh formatted device and the configured manager."""
+    clock = VirtualClock()
+    device = SimulatedSSD(
+        config.profile,
+        num_pages=config.num_pages,
+        clock=clock,
+        with_ftl=config.with_ftl,
+        over_provision=config.over_provision,
+    )
+    device.format_pages(range(config.num_pages))
+    capacity = config.pool_capacity
+    policy = make_policy(config.policy, capacity)
+    wal = WriteAheadLog(clock) if config.with_wal else None
+
+    if config.variant == "baseline":
+        return BufferPoolManager(capacity, policy, device, wal=wal)
+
+    ace_config = ACEConfig.for_device(
+        config.profile,
+        prefetch_enabled=(config.variant == "ace+pf"),
+        n_w=config.n_w,
+        n_e=config.n_e,
+    )
+    return ACEBufferPoolManager(
+        capacity, policy, device, wal=wal, config=ace_config,
+        prefetcher=prefetcher,
+    )
+
+
+def run_config(
+    config: StackConfig,
+    trace: Trace,
+    label: str | None = None,
+) -> RunMetrics:
+    """Build the stack for ``config`` and replay ``trace`` through it."""
+    manager = build_stack(config)
+    return run_trace(
+        manager,
+        trace,
+        options=config.options,
+        label=label if label is not None else f"{config.label}/{trace.name}",
+    )
+
+
+def run_config_transactions(
+    config: StackConfig,
+    transactions: list[tuple[TransactionType, list[PageRequest]]],
+    label: str | None = None,
+) -> RunMetrics:
+    """Build the stack for ``config`` and replay a transaction stream."""
+    manager = build_stack(config)
+    return run_transactions(
+        manager,
+        transactions,
+        options=config.options,
+        label=label if label is not None else config.label,
+    )
+
+
+def compare_policies(
+    profile: DeviceProfile,
+    policies: tuple[str, ...],
+    trace: Trace,
+    num_pages: int,
+    variants: tuple[str, ...] = VARIANTS,
+    pool_fraction: float = 0.06,
+    n_w: int | None = None,
+    n_e: int | None = None,
+    with_ftl: bool = False,
+    options: ExecutionOptions | None = None,
+) -> dict[tuple[str, str], RunMetrics]:
+    """Run every (policy, variant) pair on the same trace.
+
+    Returns metrics keyed by ``(policy, variant)`` — the raw material of
+    Figures 8, 10 and 11.
+    """
+    if options is None:
+        options = ExecutionOptions()
+    results: dict[tuple[str, str], RunMetrics] = {}
+    for policy in policies:
+        for variant in variants:
+            config = StackConfig(
+                profile=profile,
+                policy=policy,
+                variant=variant,
+                num_pages=num_pages,
+                pool_fraction=pool_fraction,
+                n_w=n_w,
+                n_e=n_e,
+                with_ftl=with_ftl,
+                options=options,
+            )
+            results[(policy, variant)] = run_config(config, trace)
+    return results

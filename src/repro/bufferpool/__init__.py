@@ -1,0 +1,43 @@
+"""PostgreSQL-style bufferpool substrate: frames, table, manager, WAL."""
+
+from repro.bufferpool.background import BackgroundWriter, Checkpointer
+from repro.bufferpool.descriptor import BufferDescriptor
+from repro.bufferpool.manager import BufferPoolManager
+from repro.bufferpool.partitioned import PartitionedBufferPoolManager
+from repro.bufferpool.pool import FramePool
+from repro.bufferpool.stats import BufferStats
+from repro.bufferpool.table import BufferTable
+from repro.bufferpool.recovery import (
+    CrashImage,
+    RecoveryReport,
+    recover,
+    simulate_crash,
+)
+from repro.bufferpool.tag import BufferTag, ForkNumber
+from repro.bufferpool.wal import (
+    WAL_DEVICE_PROFILE,
+    WalRecord,
+    WalRecordKind,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "BufferPoolManager",
+    "PartitionedBufferPoolManager",
+    "BufferDescriptor",
+    "BufferStats",
+    "BufferTable",
+    "BufferTag",
+    "ForkNumber",
+    "FramePool",
+    "WriteAheadLog",
+    "WalRecord",
+    "WalRecordKind",
+    "WAL_DEVICE_PROFILE",
+    "BackgroundWriter",
+    "Checkpointer",
+    "CrashImage",
+    "RecoveryReport",
+    "simulate_crash",
+    "recover",
+]

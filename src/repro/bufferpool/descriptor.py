@@ -1,0 +1,40 @@
+"""Buffer descriptors: per-frame metadata, as in PostgreSQL's ``BufferDesc``.
+
+A descriptor records which page occupies a frame and its state bits: dirty
+(modified since the last write-back), pin count (references holding the page
+in memory), and usage bookkeeping is delegated to the replacement policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BufferDescriptor"]
+
+
+@dataclass
+class BufferDescriptor:
+    """State of one bufferpool frame."""
+
+    frame_id: int
+    page: int | None = None
+    dirty: bool = False
+    pin_count: int = 0
+    #: Set while the frame holds a prefetched page that was never requested;
+    #: cleared on the first real access.  Used for prefetch-accuracy stats.
+    prefetched: bool = False
+
+    @property
+    def in_use(self) -> bool:
+        return self.page is not None
+
+    @property
+    def pinned(self) -> bool:
+        return self.pin_count > 0
+
+    def reset(self) -> None:
+        """Return the descriptor to the empty state (frame freed)."""
+        self.page = None
+        self.dirty = False
+        self.pin_count = 0
+        self.prefetched = False

@@ -1,0 +1,295 @@
+"""The baseline buffer manager: classic one-page-at-a-time replacement.
+
+This is the state-of-the-art design the paper argues against (Section I,
+"The Challenge"): when a requested page misses and the pool is full, one
+victim is chosen by the replacement policy; if it is dirty it is written
+back — **one I/O at a time** — then evicted, and the requested page is read.
+One read is thereby "exchanged" for one write, irrespective of the device's
+asymmetry and concurrency.
+
+:class:`~repro.core.ace.ACEBufferPoolManager` subclasses this class and
+overrides only the miss-handling path, mirroring how the paper implements
+ACE as a wrapper inside PostgreSQL's ``bufmgr.c`` without touching the
+replacement policies themselves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.bufferpool.pool import FramePool
+from repro.bufferpool.stats import BufferStats
+from repro.bufferpool.table import BufferTable
+from repro.bufferpool.wal import WriteAheadLog
+from repro.errors import PageNotBufferedError, PoolExhaustedError
+from repro.policies.base import ReplacementPolicy
+from repro.storage.device import SimulatedSSD
+
+__all__ = ["BufferPoolManager"]
+
+
+class BufferPoolManager:
+    """Classic bufferpool: policy-driven replacement, single-page write-back.
+
+    Parameters
+    ----------
+    capacity:
+        Pool size in pages (PostgreSQL's ``shared_buffers``).
+    policy:
+        A replacement policy; the manager binds itself as the policy's
+        :class:`~repro.policies.base.PageStateView`.
+    device:
+        The simulated storage device holding the database pages.
+    wal:
+        Optional write-ahead log; when present, every page write request is
+        logged before the page is dirtied (crash-consistency ordering).
+    """
+
+    #: Variant label used in reports ("baseline" vs "ace"/"ace+pf").
+    variant = "baseline"
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: ReplacementPolicy,
+        device: SimulatedSSD,
+        wal: WriteAheadLog | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.policy = policy
+        self.device = device
+        self.wal = wal
+        self.pool = FramePool(capacity)
+        self.table = BufferTable()
+        self.stats = BufferStats()
+        # Fast-path mirrors of the descriptor state bits.  Policies probe
+        # dirty/pinned state on every victim-selection step, so these are
+        # the hottest lookups in the system; the descriptors remain the
+        # authoritative record.
+        self._dirty_set: set[int] = set()
+        self._pinned_set: set[int] = set()
+        policy.bind(self)
+
+    # ------------------------------------------------------ PageStateView
+
+    def is_dirty(self, page: int) -> bool:
+        return page in self._dirty_set
+
+    def is_pinned(self, page: int) -> bool:
+        return page in self._pinned_set
+
+    # --------------------------------------------------------- client API
+
+    def read_page(self, page: int) -> object | None:
+        """Fetch ``page`` for reading; returns its payload."""
+        self.stats.read_requests += 1
+        return self._get_page(page, for_write=False)
+
+    def write_page(self, page: int, payload: object | None = None) -> object:
+        """Fetch ``page`` for writing and apply an update.
+
+        If ``payload`` is ``None`` the stored version counter is
+        incremented; otherwise the payload replaces the page contents.
+        Returns the new payload.  The update's redo image is WAL-logged
+        before any data-page write can reach the device (WAL-before-data).
+        """
+        self.stats.write_requests += 1
+        current = self._get_page(page, for_write=True)
+        frame_id = self.table.lookup(page)
+        assert frame_id is not None
+        if payload is None:
+            base = current if isinstance(current, int) else 0
+            payload = base + 1
+        self.pool.set_payload(frame_id, payload)
+        if self.wal is not None:
+            self.wal.log_update(page, payload)
+        return payload
+
+    def access(self, page: int, is_write: bool) -> object | None:
+        """Dispatch a trace request: read or write ``page``."""
+        if is_write:
+            return self.write_page(page)
+        return self.read_page(page)
+
+    def contains(self, page: int) -> bool:
+        """Whether ``page`` is currently resident."""
+        return page in self.table
+
+    def resident_pages(self) -> list[int]:
+        return self.table.pages()
+
+    def dirty_pages(self) -> list[int]:
+        """Resident pages with unflushed modifications."""
+        return [
+            d.page
+            for d in self.pool.descriptors
+            if d.in_use and d.dirty and d.page is not None
+        ]
+
+    def pin(self, page: int) -> None:
+        """Pin a resident page so it cannot be evicted."""
+        descriptor = self._descriptor_of(page)
+        descriptor.pin_count += 1
+        self._pinned_set.add(page)
+
+    def unpin(self, page: int) -> None:
+        descriptor = self._descriptor_of(page)
+        if descriptor.pin_count == 0:
+            raise ValueError(f"page {page} is not pinned")
+        descriptor.pin_count -= 1
+        if descriptor.pin_count == 0:
+            self._pinned_set.discard(page)
+
+    def flush_page(self, page: int) -> None:
+        """Write a resident dirty page back to the device (stays resident)."""
+        descriptor = self._descriptor_of(page)
+        if descriptor.dirty:
+            self._write_back([page])
+
+    def flush_all(self) -> int:
+        """Checkpoint-style flush of every dirty page; returns the count.
+
+        The baseline manager flushes one page at a time, as the paper notes
+        state-of-the-art systems do.
+        """
+        dirty = self.dirty_pages()
+        for page in dirty:
+            self._write_back([page])
+        if self.wal is not None:
+            self.wal.checkpoint_record()
+        return len(dirty)
+
+    # -------------------------------------------------------- miss handling
+
+    def _get_page(self, page: int, for_write: bool) -> object | None:
+        frame_id = self.table.lookup(page)
+        if frame_id is not None:
+            self.stats.hits += 1
+            descriptor = self.pool.descriptors[frame_id]
+            if descriptor.prefetched:
+                descriptor.prefetched = False
+                self.stats.prefetch_hits += 1
+            self.policy.on_access(page, is_write=for_write)
+            self._observe_access(page)
+            if for_write:
+                self._mark_dirty(page, frame_id)
+            return self.pool.payload(frame_id)
+
+        self.stats.misses += 1
+        self._handle_miss(page)
+        frame_id = self.table.lookup(page)
+        if frame_id is None:
+            raise PageNotBufferedError(
+                f"miss handling failed to load page {page}"
+            )
+        self._observe_access(page)
+        if for_write:
+            self._mark_dirty(page, frame_id)
+        return self.pool.payload(frame_id)
+
+    def _handle_miss(self, page: int) -> None:
+        """Classic miss path: make one frame available, read the page.
+
+        Subclasses (ACE) override this method; everything else in the
+        manager is shared.
+        """
+        if not self.pool.has_free():
+            victim = self.policy.select_victim()
+            if victim is None:
+                raise PoolExhaustedError("all pages are pinned")
+            if self.is_dirty(victim):
+                # The classic exchange: one write-back for one read.
+                self.stats.dirty_evictions += 1
+                self._write_back([victim])
+            else:
+                self.stats.clean_evictions += 1
+            self._evict(victim)
+        self._load(page)
+
+    def _observe_access(self, page: int) -> None:
+        """Hook for prefetcher training; the baseline manager has none."""
+
+    # ----------------------------------------------------------- internals
+
+    def _descriptor_of(self, page: int):
+        frame_id = self.table.lookup(page)
+        if frame_id is None:
+            raise PageNotBufferedError(f"page {page} is not resident")
+        return self.pool.descriptors[frame_id]
+
+    def _mark_dirty(self, page: int, frame_id: int) -> None:
+        self.pool.descriptors[frame_id].dirty = True
+        self._dirty_set.add(page)
+
+    def _write_back(self, pages: Iterable[int], background: bool = False) -> int:
+        """Write the given resident dirty pages to the device in one batch.
+
+        The baseline manager always calls this with a single page; ACE's
+        Writer calls it with up to ``n_w`` pages, which the device executes
+        concurrently.  Pages are marked clean afterwards.  Returns the
+        number of pages written.
+        """
+        batch: dict[int, object | None] = {}
+        for page in pages:
+            descriptor = self._descriptor_of(page)
+            if not descriptor.dirty:
+                raise ValueError(f"page {page} is not dirty")
+            frame_id = descriptor.frame_id
+            batch[page] = self.pool.payload(frame_id)
+        if not batch:
+            return 0
+        if self.wal is not None:
+            # WAL-before-data: log records covering these pages must be
+            # durable before the pages themselves are written.
+            self.wal.flush()
+        self.device.write_batch(batch)
+        for page in batch:
+            self._descriptor_of(page).dirty = False
+            self._dirty_set.discard(page)
+        self.stats.writebacks += len(batch)
+        self.stats.writeback_batches += 1
+        if background:
+            self.stats.background_writebacks += len(batch)
+        return len(batch)
+
+    def _evict(self, page: int) -> None:
+        """Drop a clean resident page from the pool."""
+        descriptor = self._descriptor_of(page)
+        if descriptor.dirty:
+            raise ValueError(
+                f"cannot evict dirty page {page}; write it back first"
+            )
+        if descriptor.pinned:
+            raise ValueError(f"cannot evict pinned page {page}")
+        if descriptor.prefetched:
+            self.stats.prefetch_unused += 1
+        self.stats.evictions += 1
+        frame_id = self.table.delete(page)
+        self.policy.remove(page)
+        self.pool.free(frame_id)
+
+    def _load(self, page: int, cold: bool = False) -> None:
+        """Read ``page`` from the device and install it into a free frame."""
+        payload = self.device.read_page(page)
+        self._install_fetched(page, payload, cold=cold, prefetched=False)
+
+    def _install_fetched(self, page: int, payload: object | None,
+                         cold: bool, prefetched: bool) -> None:
+        """Install a page whose payload was already read in a batch."""
+        descriptor = self.pool.allocate()
+        descriptor.page = page
+        descriptor.dirty = False
+        descriptor.prefetched = prefetched
+        if prefetched:
+            self.stats.prefetch_issued += 1
+        self.pool.set_payload(descriptor.frame_id, payload)
+        self.table.insert(page, descriptor.frame_id)
+        self.policy.insert(page, cold=cold)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(capacity={self.capacity}, "
+            f"policy={self.policy.name}, resident={len(self.table)})"
+        )

@@ -1,0 +1,57 @@
+"""The frame pool: fixed array of page frames plus a free list.
+
+Mirrors PostgreSQL's shared buffer array: frames are identified by a stable
+``frame_id`` (PostgreSQL's ``buffer_id``) and hold the page payload.  The
+simulator stores a small Python object per frame (typically a version
+counter) instead of 8 KB of bytes.
+"""
+
+from __future__ import annotations
+
+from repro.bufferpool.descriptor import BufferDescriptor
+
+__all__ = ["FramePool"]
+
+
+class FramePool:
+    """Fixed-capacity pool of frames with O(1) allocate/free."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"pool capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.descriptors = [BufferDescriptor(frame_id=i) for i in range(capacity)]
+        self._payloads: list[object | None] = [None] * capacity
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_count(self) -> int:
+        return self.capacity - len(self._free)
+
+    def has_free(self) -> bool:
+        return bool(self._free)
+
+    def allocate(self) -> BufferDescriptor:
+        """Take a free frame; raises ``RuntimeError`` if none is available."""
+        if not self._free:
+            raise RuntimeError("frame pool exhausted — evict before allocating")
+        return self.descriptors[self._free.pop()]
+
+    def free(self, frame_id: int) -> None:
+        """Return a frame to the free list and clear its descriptor."""
+        descriptor = self.descriptors[frame_id]
+        if not descriptor.in_use:
+            raise ValueError(f"frame {frame_id} is already free")
+        descriptor.reset()
+        self._payloads[frame_id] = None
+        self._free.append(frame_id)
+
+    def payload(self, frame_id: int) -> object | None:
+        return self._payloads[frame_id]
+
+    def set_payload(self, frame_id: int, payload: object | None) -> None:
+        self._payloads[frame_id] = payload

@@ -1,0 +1,71 @@
+"""Bufferpool statistics: hits, misses, evictions, write-backs, prefetching.
+
+These counters feed the paper's reported metrics: buffer misses/hits
+(Table III), logical writes (client write requests reaching the bufferpool),
+write-backs (pages flushed to the device), and prefetch accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BufferStats"]
+
+
+@dataclass
+class BufferStats:
+    """Counters maintained by the buffer manager."""
+
+    #: Page requests served from memory / requiring device I/O.
+    hits: int = 0
+    misses: int = 0
+    #: Client-level read/write page requests (a write request dirties a page).
+    read_requests: int = 0
+    write_requests: int = 0
+    #: Pages removed from the pool, split by their state at eviction time.
+    evictions: int = 0
+    clean_evictions: int = 0
+    dirty_evictions: int = 0
+    #: Pages written back to the device and the batches used to do so.
+    writebacks: int = 0
+    writeback_batches: int = 0
+    #: Write-backs initiated by background processes (writer/checkpointer).
+    background_writebacks: int = 0
+    #: Prefetching effectiveness.
+    prefetch_issued: int = 0
+    prefetch_hits: int = 0
+    prefetch_unused: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def mean_writeback_batch(self) -> float:
+        """Average write-back batch size — ~1 for classic, ~n_w for ACE."""
+        if self.writeback_batches == 0:
+            return 0.0
+        return self.writebacks / self.writeback_batches
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetched pages that were accessed before eviction."""
+        used_or_wasted = self.prefetch_hits + self.prefetch_unused
+        if used_or_wasted == 0:
+            return 0.0
+        return self.prefetch_hits / used_or_wasted
+
+    def copy(self) -> "BufferStats":
+        return BufferStats(**vars(self))

@@ -1,0 +1,43 @@
+"""The buffer table: page number -> frame id mapping.
+
+PostgreSQL keeps this as a partitioned shared hash table; a Python dict
+provides the same interface for the simulator.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BufferTable"]
+
+
+class BufferTable:
+    """Hash map from page number to the frame currently holding it."""
+
+    def __init__(self) -> None:
+        self._frame_of: dict[int, int] = {}
+
+    def lookup(self, page: int) -> int | None:
+        """Frame id holding ``page``, or ``None`` if not resident."""
+        return self._frame_of.get(page)
+
+    def insert(self, page: int, frame_id: int) -> None:
+        if page in self._frame_of:
+            raise ValueError(
+                f"page {page} already mapped to frame {self._frame_of[page]}"
+            )
+        self._frame_of[page] = frame_id
+
+    def delete(self, page: int) -> int:
+        """Remove the mapping for ``page`` and return the freed frame id."""
+        try:
+            return self._frame_of.pop(page)
+        except KeyError:
+            raise KeyError(f"page {page} is not in the buffer table") from None
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._frame_of
+
+    def __len__(self) -> int:
+        return len(self._frame_of)
+
+    def pages(self) -> list[int]:
+        return list(self._frame_of)

@@ -1,0 +1,43 @@
+"""Buffer tags: structured page identity, as in PostgreSQL.
+
+PostgreSQL identifies every page with a ``buffer_tag`` — the relation file,
+the fork, and the block number within the fork.  The simulator flattens
+tags to a single integer page number (the device's address space), but the
+structured form is preserved here for the database layout layer
+(:mod:`repro.engine.database`), which assigns each relation a contiguous
+page range and converts between the two representations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+__all__ = ["ForkNumber", "BufferTag"]
+
+
+class ForkNumber(IntEnum):
+    """PostgreSQL relation forks (we only simulate the main fork's I/O)."""
+
+    MAIN = 0
+    FSM = 1
+    VISIBILITY_MAP = 2
+    INIT = 3
+
+
+@dataclass(frozen=True, order=True)
+class BufferTag:
+    """Identity of a disk page: (relation, fork, block)."""
+
+    rel_id: int
+    block: int
+    fork: ForkNumber = ForkNumber.MAIN
+
+    def __post_init__(self) -> None:
+        if self.rel_id < 0:
+            raise ValueError(f"relation id cannot be negative: {self.rel_id}")
+        if self.block < 0:
+            raise ValueError(f"block number cannot be negative: {self.block}")
+
+    def __str__(self) -> str:
+        return f"rel{self.rel_id}/{self.fork.name.lower()}/blk{self.block}"

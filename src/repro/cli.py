@@ -1,0 +1,292 @@
+"""Command-line interface: probe devices, run workloads, compare variants.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro probe                          # Table I measurements
+    python -m repro run --workload MS --policy lru --variant ace
+    python -m repro compare --workload WIS --policies lru,cflru
+    python -m repro tpcc --warehouses 4 --transactions 300
+    python -m repro experiment fig8                # regenerate a paper figure
+
+Every command prints a small report and exits 0 on success; the heavy
+lifting lives in :mod:`repro.bench`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.bench.report import format_table
+from repro.bench.runner import StackConfig, build_stack, run_config
+from repro.engine.executor import ExecutionOptions, run_transactions
+from repro.engine.metrics import speedup
+from repro.policies.registry import PAPER_POLICIES, POLICY_NAMES, display_name
+from repro.storage.probe import probe_device
+from repro.storage.profiles import (
+    OPTANE_SSD,
+    PAPER_DEVICES,
+    PCIE_SSD,
+    SATA_SSD,
+    VIRTUAL_SSD,
+    DeviceProfile,
+    emulated_profile,
+)
+from repro.workloads.synthetic import MS, MU, RIS, WIS, generate_trace, rw_ratio_spec
+from repro.workloads.tpcc.driver import TPCCWorkload
+
+__all__ = ["main", "build_parser"]
+
+_DEVICES: dict[str, DeviceProfile] = {
+    "optane": OPTANE_SSD,
+    "pcie": PCIE_SSD,
+    "sata": SATA_SSD,
+    "virtual": VIRTUAL_SSD,
+}
+
+_WORKLOADS = {"MS": MS, "WIS": WIS, "RIS": RIS, "MU": MU}
+
+
+def _resolve_device(args: argparse.Namespace) -> DeviceProfile:
+    if getattr(args, "alpha", None) is not None:
+        return emulated_profile(alpha=args.alpha, k_w=args.k_w)
+    return _DEVICES[args.device]
+
+
+def _resolve_workload(name: str, read_fraction: float | None):
+    if read_fraction is not None:
+        return rw_ratio_spec(read_fraction)
+    try:
+        return _WORKLOADS[name.upper()]
+    except KeyError:
+        known = ", ".join(_WORKLOADS)
+        raise SystemExit(f"unknown workload {name!r}; known: {known}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ACE bufferpool reproduction: probe, run, compare, tpcc.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    probe = sub.add_parser("probe", help="measure alpha/k of the devices")
+    probe.add_argument(
+        "--device", choices=sorted(_DEVICES) + ["all"], default="all"
+    )
+
+    def add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", default="MS", help="MS|WIS|RIS|MU")
+        p.add_argument("--read-fraction", type=float, default=None,
+                       help="override: custom read fraction with 90/10 skew")
+        p.add_argument("--device", choices=sorted(_DEVICES), default="pcie")
+        p.add_argument("--alpha", type=float, default=None,
+                       help="use an emulated device with this asymmetry")
+        p.add_argument("--k-w", type=int, default=8,
+                       help="write concurrency for the emulated device")
+        p.add_argument("--pages", type=int, default=10_000)
+        p.add_argument("--ops", type=int, default=20_000)
+        p.add_argument("--pool", type=float, default=0.06,
+                       help="bufferpool size as a fraction of the data")
+        p.add_argument("--n-w", type=int, default=None)
+        p.add_argument("--cpu-us", type=float, default=10.0)
+        p.add_argument("--seed", type=int, default=42)
+
+    run = sub.add_parser("run", help="run one workload/policy/variant")
+    add_run_options(run)
+    run.add_argument("--policy", choices=POLICY_NAMES, default="lru")
+    run.add_argument(
+        "--variant", choices=("baseline", "ace", "ace+pf"), default="ace"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="baseline vs ACE vs ACE+PF across policies"
+    )
+    add_run_options(compare)
+    compare.add_argument(
+        "--policies", default=",".join(PAPER_POLICIES),
+        help="comma-separated policy names",
+    )
+
+    tpcc = sub.add_parser("tpcc", help="run the TPC-C mix")
+    tpcc.add_argument("--warehouses", type=int, default=4)
+    tpcc.add_argument("--transactions", type=int, default=300)
+    tpcc.add_argument("--row-scale", type=float, default=0.05)
+    tpcc.add_argument("--policy", choices=POLICY_NAMES, default="clock")
+    tpcc.add_argument("--device", choices=sorted(_DEVICES), default="pcie")
+    tpcc.add_argument("--cpu-us", type=float, default=10.0)
+    tpcc.add_argument("--seed", type=int, default=42)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument(
+        "name",
+        help="table1|table2|table3|fig2|fig8|fig9|fig10ab|fig10cd|fig10ef|"
+             "fig10g|fig10h|fig10i|fig11|fig12",
+    )
+
+    summary = sub.add_parser(
+        "summary", help="assemble EXPERIMENTS.md from results/"
+    )
+    summary.add_argument("--output", default="EXPERIMENTS.md")
+
+    return parser
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    profiles: Sequence[DeviceProfile]
+    if args.device == "all":
+        profiles = PAPER_DEVICES
+    else:
+        profiles = [_DEVICES[args.device]]
+    rows = []
+    for profile in profiles:
+        measured = probe_device(profile, max_batch=96)
+        rows.append(
+            [measured.name, f"{measured.alpha:.2f}", measured.k_r, measured.k_w]
+        )
+    print(format_table(["Device", "alpha", "k_r", "k_w"], rows,
+                       title="Measured device characteristics"))
+    return 0
+
+
+def _stack_config(args: argparse.Namespace, policy: str, variant: str) -> StackConfig:
+    return StackConfig(
+        profile=_resolve_device(args),
+        policy=policy,
+        variant=variant,
+        num_pages=args.pages,
+        pool_fraction=args.pool,
+        n_w=args.n_w,
+        options=ExecutionOptions(cpu_us_per_op=args.cpu_us),
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _resolve_workload(args.workload, args.read_fraction)
+    trace = generate_trace(spec, args.pages, args.ops, seed=args.seed)
+    metrics = run_config(_stack_config(args, args.policy, args.variant), trace)
+    print(metrics.summary())
+    print(f"  hit ratio        {metrics.buffer.hit_ratio:8.2%}")
+    print(f"  mean write batch {metrics.buffer.mean_writeback_batch:8.1f}")
+    print(f"  ops/s (virtual)  {metrics.ops_per_second:8.0f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = _resolve_workload(args.workload, args.read_fraction)
+    trace = generate_trace(spec, args.pages, args.ops, seed=args.seed)
+    policies = [name.strip() for name in args.policies.split(",") if name.strip()]
+    rows = []
+    for policy in policies:
+        base = run_config(_stack_config(args, policy, "baseline"), trace)
+        ace = run_config(_stack_config(args, policy, "ace"), trace)
+        ace_pf = run_config(_stack_config(args, policy, "ace+pf"), trace)
+        rows.append(
+            [
+                display_name(policy),
+                f"{base.runtime_s:.3f}",
+                f"{ace.runtime_s:.3f}",
+                f"{ace_pf.runtime_s:.3f}",
+                f"{speedup(base, ace):.2f}x",
+                f"{speedup(base, ace_pf):.2f}x",
+            ]
+        )
+    print(format_table(
+        ["Policy", "base (s)", "ACE (s)", "ACE+PF (s)", "ACE", "ACE+PF"],
+        rows,
+        title=f"{spec.name} on {_resolve_device(args).name}",
+    ))
+    return 0
+
+
+def _cmd_tpcc(args: argparse.Namespace) -> int:
+    workload = TPCCWorkload(
+        warehouses=args.warehouses, row_scale=args.row_scale, seed=args.seed
+    )
+    stream = list(workload.transaction_stream(args.transactions))
+    options = ExecutionOptions(cpu_us_per_op=args.cpu_us)
+    rows = []
+    results = {}
+    for variant in ("baseline", "ace+pf"):
+        config = StackConfig(
+            profile=_DEVICES[args.device],
+            policy=args.policy,
+            variant=variant,
+            num_pages=workload.total_pages,
+            options=options,
+        )
+        manager = build_stack(config)
+        metrics = run_transactions(manager, stream, options=options,
+                                   label=variant)
+        results[variant] = metrics
+        rows.append(
+            [variant, f"{metrics.runtime_s:.3f}", f"{metrics.tpmc:.0f}",
+             f"{metrics.miss_ratio:.3f}"]
+        )
+    print(format_table(
+        ["Variant", "runtime (s)", "tpmC", "miss ratio"], rows,
+        title=f"TPC-C mix: {args.warehouses} warehouses, "
+              f"{args.transactions} transactions",
+    ))
+    print(f"speedup: {speedup(results['baseline'], results['ace+pf']):.2f}x")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.bench import experiments
+
+    table = {
+        "table1": experiments.table1_device_characteristics,
+        "table2": experiments.table2_workload_definitions,
+        "table3": experiments.table3_overheads,
+        "fig2": experiments.fig2_ideal_speedup,
+        "fig8": experiments.fig8_synthetic_runtime,
+        "fig9": experiments.fig9_writes_over_time,
+        "fig10ab": experiments.fig10ab_low_asymmetry_devices,
+        "fig10cd": experiments.fig10cd_rw_ratio_sweep,
+        "fig10ef": experiments.fig10ef_memory_pressure,
+        "fig10g": experiments.fig10g_nw_sweep,
+        "fig10h": experiments.fig10h_asymmetry_continuum,
+        "fig10i": experiments.fig10i_device_comparison,
+        "fig11": experiments.fig11_tpcc_transactions,
+        "fig12": experiments.fig12_tpcc_scaling,
+    }
+    name = args.name.lower()
+    if name not in table:
+        known = ", ".join(sorted(table))
+        raise SystemExit(f"unknown experiment {args.name!r}; known: {known}")
+    table[name]()
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.bench.summary import assemble_experiments_md
+
+    path = assemble_experiments_md(args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "probe": _cmd_probe,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "tpcc": _cmd_tpcc,
+    "experiment": _cmd_experiment,
+    "summary": _cmd_summary,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

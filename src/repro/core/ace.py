@@ -1,0 +1,167 @@
+"""ACE: the Asymmetry & Concurrency-aware bufferpool manager (Algorithm 1).
+
+ACE wraps an unmodified replacement policy and changes only what happens on
+a buffer miss whose eviction candidate is **dirty**:
+
+* the :class:`~repro.core.writer.Writer` concurrently writes back the next
+  ``n_w`` dirty pages in the policy's virtual order (one device write wave
+  when ``n_w = k_w``), amortising the asymmetric write cost;
+* without prefetching, the :class:`~repro.core.evictor.Evictor` then drops
+  just the (now clean) victim — ACE behaves exactly like the classic
+  manager otherwise;
+* with prefetching, the Evictor drops ``n_e`` pages and the
+  :class:`~repro.core.reader.Reader` concurrently reads the missed page
+  plus up to ``n_e - 1`` predicted pages, exploiting read concurrency.
+
+When the candidate is clean, or on a miss with free frames, ACE follows the
+classical path (modulo opportunistic prefetching into free slots), so a
+read-only workload behaves *identically* to the baseline — the paper's
+"no penalty" property.
+"""
+
+from __future__ import annotations
+
+from repro.bufferpool.manager import BufferPoolManager
+from repro.bufferpool.wal import WriteAheadLog
+from repro.core.config import ACEConfig
+from repro.core.evictor import Evictor
+from repro.core.reader import Reader
+from repro.core.writer import Writer
+from repro.errors import PoolExhaustedError
+from repro.policies.base import ReplacementPolicy
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.composite import CompositePrefetcher
+from repro.storage.device import SimulatedSSD
+
+__all__ = ["ACEBufferPoolManager"]
+
+
+class ACEBufferPoolManager(BufferPoolManager):
+    """The ACE wrapper over any replacement policy.
+
+    Parameters
+    ----------
+    capacity, policy, device, wal:
+        As in :class:`~repro.bufferpool.manager.BufferPoolManager`.
+    config:
+        ACE tuning; defaults to the paper's ``n_w = n_e = k_w`` for the
+        device in use, with prefetching disabled.
+    prefetcher:
+        Read-ahead policy for the Reader.  Defaults to the paper's
+        composite (TaP sequential + history table) when prefetching is
+        enabled.  Any :class:`~repro.prefetch.base.Prefetcher` works.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: ReplacementPolicy,
+        device: SimulatedSSD,
+        wal: WriteAheadLog | None = None,
+        config: ACEConfig | None = None,
+        prefetcher: Prefetcher | None = None,
+    ) -> None:
+        super().__init__(capacity, policy, device, wal=wal)
+        if config is None:
+            config = ACEConfig.for_device(device.profile)
+        self.config = config
+        if prefetcher is None and config.prefetch_enabled:
+            prefetcher = CompositePrefetcher(max_page=device.num_pages)
+        self.writer = Writer(self, config.n_w)
+        self.evictor = Evictor(self, config.n_e)
+        self.reader = (
+            Reader(
+                self,
+                prefetcher,
+                cold_placement=(config.prefetch_placement == "cold"),
+            )
+            if prefetcher is not None
+            else None
+        )
+
+    @property
+    def variant(self) -> str:  # type: ignore[override]
+        return "ace+pf" if self.prefetching_enabled else "ace"
+
+    @property
+    def prefetching_enabled(self) -> bool:
+        return self.config.prefetch_enabled and self.reader is not None
+
+    # ------------------------------------------------------- Algorithm 1
+
+    def _handle_miss(self, page: int) -> None:
+        if self.reader is not None:
+            self.reader.prefetcher.on_miss(page)
+
+        if self.pool.has_free():
+            # Lines 9-16: free slots available; optionally prefetch into
+            # them — "up to n_e - 1 pages, depending on available slots".
+            if self.prefetching_enabled:
+                limit = min(self.config.n_e - 1, self.pool.free_count - 1)
+                self._fetch_with_prefetch(page, limit)
+            else:
+                self._load(page)
+            return
+
+        victim = self.policy.select_victim()
+        if victim is None:
+            raise PoolExhaustedError("all pages are pinned")
+
+        if not self.is_dirty(victim):
+            # Lines 19-22: clean top page — identical to the classic path.
+            self.stats.clean_evictions += 1
+            self._evict(victim)
+            self._load(page)
+            return
+
+        # Lines 25-27: dirty top page — concurrently write n_w dirty pages.
+        self.stats.dirty_evictions += 1
+        writeback_set = self.writer.select_writeback_set(victim)
+
+        if not self.prefetching_enabled:
+            # Lines 38-39: write the batch, evict only the victim.
+            self.writer.flush(writeback_set)
+            self.evictor.evict([victim])
+            self._load(page)
+            return
+
+        # Lines 31-36: evict n_e pages and prefetch n_e - 1.
+        eviction_set = self.evictor.select_eviction_set(victim)
+        # Pages about to be evicted must be clean; fold any dirty ones into
+        # the same concurrent write batch ("pages written and to be evicted
+        # can be different", Algorithm 1 comment).
+        batch = dict.fromkeys(writeback_set)
+        for candidate in eviction_set:
+            if self.is_dirty(candidate):
+                batch.setdefault(candidate)
+        self.writer.flush(list(batch))
+        self.evictor.evict(eviction_set)
+        # The co-evicted pages (everything but the victim) were clean or
+        # just cleaned; count them as clean evictions.
+        self.stats.clean_evictions += len(eviction_set) - 1
+        self._fetch_with_prefetch(page, len(eviction_set) - 1)
+
+    def _fetch_with_prefetch(self, page: int, limit: int) -> None:
+        assert self.reader is not None
+        prefetch_set = self.reader.select_prefetch_set(page, limit)
+        self.reader.fetch(page, prefetch_set)
+
+    def _observe_access(self, page: int) -> None:
+        if self.reader is not None:
+            self.reader.prefetcher.observe(page)
+
+    # ----------------------------------------------------------- flushing
+
+    def flush_all(self) -> int:
+        """Checkpoint-style flush, batched ``n_w`` pages at a time.
+
+        The paper augments PostgreSQL's checkpointer and background writer
+        to "always perform n_w writes concurrently"; the ACE manager's own
+        flush does the same.
+        """
+        dirty = self.dirty_pages()
+        for start in range(0, len(dirty), self.config.n_w):
+            self._write_back(dirty[start : start + self.config.n_w])
+        if self.wal is not None:
+            self.wal.checkpoint_record()
+        return len(dirty)

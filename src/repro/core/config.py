@@ -1,0 +1,74 @@
+"""ACE configuration: write-back batch size, eviction width, prefetching.
+
+The paper tunes ACE as follows (Section IV-A):
+
+* ``n_w`` — the number of dirty pages written back concurrently — is set to
+  the device's write concurrency ``k_w``, so one batched write-back costs a
+  single write latency ("the concurrent writes take place at the same
+  latency as a single write");
+* ``n_e`` — the number of pages evicted (and hence ``n_e - 1`` prefetched)
+  when prefetching is enabled — is *also* set to ``k_w``: values between 1
+  and ``k_r`` were tested, and evicting more than ``k_w`` pages hurt
+  locality more than the extra read concurrency helped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.profiles import DeviceProfile
+
+__all__ = ["ACEConfig"]
+
+
+@dataclass(frozen=True)
+class ACEConfig:
+    """Tuning knobs of the ACE bufferpool manager.
+
+    Parameters
+    ----------
+    n_w:
+        Write-back batch size (the paper's ``n_w``; optimal at ``k_w``).
+    n_e:
+        Pages evicted per dirty-victim miss when prefetching is enabled;
+        ``n_e - 1`` pages are prefetched into the freed slots.
+    prefetch_enabled:
+        Toggles the Reader component (ACE vs ACE+prefetching in Figure 8).
+    prefetch_placement:
+        Where prefetched pages enter the replacement order: ``"cold"``
+        (the paper's choice — least-recently-used position, so wrong
+        predictions drop cheaply) or ``"hot"`` (most-recently-used; kept
+        as an ablation knob to demonstrate why the paper's choice wins).
+    """
+
+    n_w: int
+    n_e: int
+    prefetch_enabled: bool = False
+    prefetch_placement: str = "cold"
+
+    def __post_init__(self) -> None:
+        if self.n_w < 1:
+            raise ValueError(f"n_w must be at least 1: {self.n_w}")
+        if self.n_e < 1:
+            raise ValueError(f"n_e must be at least 1: {self.n_e}")
+        if self.prefetch_placement not in ("cold", "hot"):
+            raise ValueError(
+                f"placement must be 'cold' or 'hot': {self.prefetch_placement!r}"
+            )
+
+    @classmethod
+    def for_device(
+        cls,
+        profile: DeviceProfile,
+        prefetch_enabled: bool = False,
+        n_w: int | None = None,
+        n_e: int | None = None,
+    ) -> "ACEConfig":
+        """The paper's tuning: ``n_w = n_e = k_w`` of the device in use."""
+        resolved_n_w = n_w if n_w is not None else profile.k_w
+        resolved_n_e = n_e if n_e is not None else resolved_n_w
+        return cls(
+            n_w=resolved_n_w,
+            n_e=resolved_n_e,
+            prefetch_enabled=prefetch_enabled,
+        )

@@ -1,0 +1,49 @@
+"""ACE Evictor: drop one or ``n_e`` (clean) pages in virtual order.
+
+Paper Section IV-C.  After the Writer has cleaned the head of the virtual
+order, the Evictor decides *how many* pages to drop: one (classic locality-
+preserving behaviour) or ``n_e`` (making room for the Reader to prefetch
+``n_e - 1`` pages).  Which pages are dropped still follows the replacement
+policy's virtual order — the Evictor adds no ordering of its own, which is
+why ACE composes with any replacement algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.bufferpool.manager import BufferPoolManager
+
+__all__ = ["Evictor"]
+
+
+class Evictor:
+    """Drops eviction candidates selected from the policy's virtual order."""
+
+    def __init__(self, manager: "BufferPoolManager", n_e: int) -> None:
+        if n_e < 1:
+            raise ValueError(f"n_e must be at least 1: {n_e}")
+        self.manager = manager
+        self.n_e = n_e
+        self.multi_evictions = 0
+        self.pages_evicted = 0
+
+    def select_eviction_set(self, victim: int) -> list[int]:
+        """Up to ``n_e`` pages to evict, led by the current victim."""
+        candidates = [victim]
+        for page in self.manager.policy.next_evictable(self.n_e):
+            if len(candidates) >= self.n_e:
+                break
+            if page != victim:
+                candidates.append(page)
+        return candidates
+
+    def evict(self, pages: list[int]) -> int:
+        """Drop the given (clean) pages from the bufferpool."""
+        for page in pages:
+            self.manager._evict(page)
+        if len(pages) > 1:
+            self.multi_evictions += 1
+        self.pages_evicted += len(pages)
+        return len(pages)

@@ -1,0 +1,79 @@
+"""ACE Reader: concurrent prefetch of ``n_e - 1`` pages on a buffer miss.
+
+Paper Section IV-D.  The Reader is the optional component that exploits the
+device's *read* concurrency: when the Evictor freed ``n_e`` slots, the
+Reader asks its prefetcher for up to ``n_e - 1`` predictions and reads them
+**in the same concurrent batch** as the page that missed.  The missed page
+is installed at the most-recently-used position; prefetched pages are
+installed at the least-recently-used position so that a wrong prediction is
+simply dropped at the next eviction without ever costing a write.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.prefetch.base import Prefetcher
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.bufferpool.manager import BufferPoolManager
+
+__all__ = ["Reader"]
+
+
+class Reader:
+    """Fetches a missed page plus prefetch candidates in one batch."""
+
+    def __init__(
+        self,
+        manager: "BufferPoolManager",
+        prefetcher: Prefetcher,
+        cold_placement: bool = True,
+    ) -> None:
+        self.manager = manager
+        self.prefetcher = prefetcher
+        self.cold_placement = cold_placement
+        self.batched_fetches = 0
+        self.pages_prefetched = 0
+
+    def select_prefetch_set(self, page: int, limit: int) -> list[int]:
+        """Up to ``limit`` prefetchable pages for a miss on ``page``.
+
+        Suggestions already resident in the pool, out of device range, or
+        duplicated are filtered out; the prefetcher's confidence rules
+        (stream detection, fetch threshold) are applied inside ``suggest``.
+        """
+        if limit <= 0:
+            return []
+        manager = self.manager
+        num_pages = manager.device.num_pages
+        selected: list[int] = []
+        seen = {page}
+        for candidate in self.prefetcher.suggest(page, limit):
+            if candidate in seen or manager.contains(candidate):
+                continue
+            if num_pages is not None and not 0 <= candidate < num_pages:
+                continue
+            seen.add(candidate)
+            selected.append(candidate)
+            if len(selected) == limit:
+                break
+        return selected
+
+    def fetch(self, page: int, prefetch_pages: list[int]) -> None:
+        """Concurrently read ``page`` + ``prefetch_pages`` and install them.
+
+        The missed page enters hot (MRU); prefetched pages enter cold (LRU
+        end) and are flagged so prefetch accuracy can be measured.
+        """
+        manager = self.manager
+        batch = [page] + prefetch_pages
+        payloads = manager.device.read_batch(batch)
+        manager._install_fetched(page, payloads[0], cold=False, prefetched=False)
+        for candidate, payload in zip(prefetch_pages, payloads[1:]):
+            manager._install_fetched(
+                candidate, payload, cold=self.cold_placement, prefetched=True
+            )
+        if prefetch_pages:
+            self.batched_fetches += 1
+            self.pages_prefetched += len(prefetch_pages)

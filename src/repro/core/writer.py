@@ -1,0 +1,54 @@
+"""ACE Writer: concurrent write-back of the next ``n_w`` dirty pages.
+
+Paper Section IV-B.  The Writer materialises the write-back policy of the
+augmented design space: it picks the next ``n_w`` *dirty* pages in the
+replacement policy's virtual eviction order (``populate_pages_to_writeback``
+in Algorithm 1) and flushes them in a single concurrent device batch.  With
+``n_w = k_w`` the batch completes at the latency of one write, amortising
+the asymmetric write cost and making the following evictions "free" — they
+will, with high probability, target clean pages.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.bufferpool.manager import BufferPoolManager
+
+__all__ = ["Writer"]
+
+
+class Writer:
+    """Selects and concurrently flushes write-back candidates."""
+
+    def __init__(self, manager: "BufferPoolManager", n_w: int) -> None:
+        if n_w < 1:
+            raise ValueError(f"n_w must be at least 1: {n_w}")
+        self.manager = manager
+        self.n_w = n_w
+        self.batches_issued = 0
+        self.pages_written = 0
+
+    def select_writeback_set(self, victim: int) -> list[int]:
+        """The paper's ``populate_pages_to_writeback()``.
+
+        Returns up to ``n_w`` dirty pages led by the current (dirty) victim,
+        followed by the next dirty pages in the policy's virtual order.
+        """
+        candidates = [victim]
+        for page in self.manager.policy.next_dirty(self.n_w):
+            if len(candidates) >= self.n_w:
+                break
+            if page != victim:
+                candidates.append(page)
+        return candidates
+
+    def flush(self, pages: list[int]) -> int:
+        """Issue one concurrent write batch and mark the pages clean."""
+        if not pages:
+            return 0
+        written = self.manager._write_back(pages)
+        self.batches_issued += 1
+        self.pages_written += written
+        return written

@@ -1,0 +1,22 @@
+"""Execution substrate: database layout, trace execution, metrics."""
+
+from repro.engine.database import AppendCursor, Database, Relation
+from repro.engine.executor import ExecutionOptions, run_trace, run_transactions
+from repro.engine.latency import LatencyRecorder
+from repro.engine.metrics import RunMetrics, percent_delta, speedup
+from repro.engine.multiclient import interleave_traces, interleave_transactions
+
+__all__ = [
+    "Database",
+    "Relation",
+    "AppendCursor",
+    "ExecutionOptions",
+    "run_trace",
+    "run_transactions",
+    "RunMetrics",
+    "speedup",
+    "percent_delta",
+    "interleave_traces",
+    "interleave_transactions",
+    "LatencyRecorder",
+]

@@ -1,0 +1,189 @@
+"""B-tree index substrate: page-level access patterns of index traversals.
+
+PostgreSQL reads index pages through the same bufferpool as heap pages, so
+a faithful request stream interleaves both: every key lookup touches the
+(red-hot) root, one or two (warm) internal pages, and a (cooler) leaf
+before reaching the heap.  This module models a B-tree's *page shape* —
+fanout, height, page ranges per level — and emits the page-access
+sequences of lookups, range scans, and inserts, without materialising keys.
+
+The index is laid out over a relation allocated from the shared
+:class:`~repro.engine.database.Database`, so index pages compete for
+bufferpool frames exactly like data pages.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.engine.database import Database, Relation
+from repro.workloads.trace import PageRequest
+
+__all__ = ["BTreeIndex", "BTreeShape"]
+
+
+@dataclass(frozen=True)
+class BTreeShape:
+    """Static shape of a B-tree over ``num_keys`` keys."""
+
+    num_keys: int
+    fanout: int
+    leaf_capacity: int
+    height: int            # number of levels including the leaf level
+    pages_per_level: tuple[int, ...]  # root first, leaves last
+
+    @property
+    def total_pages(self) -> int:
+        return sum(self.pages_per_level)
+
+
+def _compute_shape(num_keys: int, fanout: int, leaf_capacity: int) -> BTreeShape:
+    leaves = max(1, math.ceil(num_keys / leaf_capacity))
+    levels = [leaves]
+    while levels[-1] > 1:
+        levels.append(math.ceil(levels[-1] / fanout))
+    levels.reverse()  # root first
+    return BTreeShape(
+        num_keys=num_keys,
+        fanout=fanout,
+        leaf_capacity=leaf_capacity,
+        height=len(levels),
+        pages_per_level=tuple(levels),
+    )
+
+
+class BTreeIndex:
+    """A page-shape B-tree over a key space, backed by a relation.
+
+    Parameters
+    ----------
+    database:
+        The shared layout; the index allocates its pages here.
+    name:
+        Relation name for the index (e.g. ``"pgbench_accounts_pkey"``).
+    num_keys:
+        Number of indexed keys (rows of the underlying table).
+    fanout:
+        Children per internal page (~a few hundred for 8 KB pages).
+    leaf_capacity:
+        Index entries per leaf page.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        name: str,
+        num_keys: int,
+        fanout: int = 256,
+        leaf_capacity: int = 256,
+    ) -> None:
+        if num_keys < 1:
+            raise ValueError("an index needs at least one key")
+        if fanout < 2 or leaf_capacity < 1:
+            raise ValueError("fanout must be >= 2 and leaf capacity >= 1")
+        self.shape = _compute_shape(num_keys, fanout, leaf_capacity)
+        self.relation: Relation = database.add_relation(
+            name, num_rows=self.shape.total_pages, rows_per_page=1
+        )
+        # Per-level base offsets inside the relation, root first.
+        offsets = []
+        offset = 0
+        for count in self.shape.pages_per_level:
+            offsets.append(offset)
+            offset += count
+        self._level_offsets = tuple(offsets)
+
+    # ------------------------------------------------------------ mapping
+
+    def _page_at(self, level: int, index_in_level: int) -> int:
+        count = self.shape.pages_per_level[level]
+        if not 0 <= index_in_level < count:
+            raise IndexError(
+                f"level {level} has {count} pages; asked for {index_in_level}"
+            )
+        return self.relation.page_of_block(
+            self._level_offsets[level] + index_in_level
+        )
+
+    def root_page(self) -> int:
+        return self._page_at(0, 0)
+
+    def leaf_of_key(self, key: int) -> int:
+        """The leaf page holding ``key``."""
+        self._check_key(key)
+        leaf_index = key // self.shape.leaf_capacity
+        return self._page_at(self.shape.height - 1, leaf_index)
+
+    def path_to_key(self, key: int) -> list[int]:
+        """Root-to-leaf page path for a key lookup."""
+        self._check_key(key)
+        path = []
+        leaves = self.shape.pages_per_level[-1]
+        leaf_index = key // self.shape.leaf_capacity
+        for level in range(self.shape.height):
+            count = self.shape.pages_per_level[level]
+            # The key's subtree at this level, by proportional position.
+            index_in_level = min(count - 1, leaf_index * count // leaves)
+            path.append(self._page_at(level, index_in_level))
+        return path
+
+    # ----------------------------------------------------------- accesses
+
+    def lookup(self, key: int) -> list[PageRequest]:
+        """Page reads of a single-key index probe."""
+        return [PageRequest(page, False) for page in self.path_to_key(key)]
+
+    def insert(self, key: int, split_probability: float = 0.0,
+               rng: random.Random | None = None) -> list[PageRequest]:
+        """Page accesses of an index insert: traverse, then dirty the leaf.
+
+        With ``split_probability`` the leaf "splits": its neighbour and the
+        parent are dirtied too (the occasional write burst real B-trees
+        exhibit).
+        """
+        path = self.path_to_key(key)
+        requests = [PageRequest(page, False) for page in path]
+        requests.append(PageRequest(path[-1], True))
+        if split_probability > 0.0:
+            if rng is None:
+                rng = random.Random(key)
+            if rng.random() < split_probability:
+                leaf_level = self.shape.height - 1
+                leaf_count = self.shape.pages_per_level[leaf_level]
+                leaf_index = key // self.shape.leaf_capacity
+                neighbour = min(leaf_count - 1, leaf_index + 1)
+                requests.append(
+                    PageRequest(self._page_at(leaf_level, neighbour), True)
+                )
+                if len(path) >= 2:
+                    requests.append(PageRequest(path[-2], True))
+        return requests
+
+    def range_scan(self, start_key: int, num_keys: int) -> list[PageRequest]:
+        """Page reads of a leaf-level range scan: one probe + leaf walk."""
+        if num_keys < 1:
+            raise ValueError("scan must cover at least one key")
+        self._check_key(start_key)
+        requests = [PageRequest(page, False) for page in self.path_to_key(start_key)]
+        leaf_level = self.shape.height - 1
+        leaf_count = self.shape.pages_per_level[leaf_level]
+        first_leaf = start_key // self.shape.leaf_capacity
+        last_key = min(start_key + num_keys - 1, self.shape.num_keys - 1)
+        last_leaf = last_key // self.shape.leaf_capacity
+        for leaf_index in range(first_leaf + 1, min(last_leaf, leaf_count - 1) + 1):
+            requests.append(PageRequest(self._page_at(leaf_level, leaf_index), False))
+        return requests
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < self.shape.num_keys:
+            raise IndexError(
+                f"key {key} outside [0, {self.shape.num_keys})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"BTreeIndex({self.relation.name!r}, keys={self.shape.num_keys}, "
+            f"height={self.shape.height}, pages={self.shape.total_pages})"
+        )

@@ -1,0 +1,98 @@
+"""Multi-client interleaving: merge per-client streams into one schedule.
+
+The paper drives PostgreSQL with 20 concurrent pgbench/TPC-C users.  The
+simulator executes a single serialised request stream (DESIGN.md discusses
+why that preserves the I/O-path comparisons), but *which* pages interleave
+still matters: concurrent clients dilute each other's locality in the
+shared bufferpool.  This module builds such interleavings deterministically
+so experiments can include the effect.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.workloads.trace import PageRequest, Trace
+
+__all__ = ["interleave_traces", "interleave_transactions"]
+
+
+def interleave_traces(
+    traces: Sequence[Trace],
+    mode: str = "round_robin",
+    seed: int = 42,
+    name: str | None = None,
+) -> Trace:
+    """Merge per-client traces into one interleaved trace.
+
+    ``mode`` is ``"round_robin"`` (each client advances one request per
+    turn, the tightest interleaving) or ``"random"`` (the next request
+    comes from a uniformly chosen client with work remaining — a fairer
+    model of independent clients).
+    """
+    if not traces:
+        raise ValueError("need at least one client trace")
+    if mode not in ("round_robin", "random"):
+        raise ValueError(f"unknown interleaving mode: {mode!r}")
+
+    pages: list[int] = []
+    writes: list[bool] = []
+    positions = [0] * len(traces)
+    remaining = sum(len(trace) for trace in traces)
+    rng = random.Random(seed)
+    active = [index for index, trace in enumerate(traces) if len(trace)]
+
+    while remaining:
+        if mode == "round_robin":
+            next_active = []
+            for index in active:
+                trace = traces[index]
+                position = positions[index]
+                pages.append(trace.pages[position])
+                writes.append(trace.writes[position])
+                positions[index] = position + 1
+                remaining -= 1
+                if positions[index] < len(trace):
+                    next_active.append(index)
+            active = next_active
+        else:
+            index = active[rng.randrange(len(active))]
+            trace = traces[index]
+            position = positions[index]
+            pages.append(trace.pages[position])
+            writes.append(trace.writes[position])
+            positions[index] = position + 1
+            remaining -= 1
+            if positions[index] == len(trace):
+                active.remove(index)
+
+    label = name if name is not None else f"interleaved[{len(traces)}]"
+    return Trace(pages, writes, name=label)
+
+
+def interleave_transactions(
+    client_streams: Sequence[Sequence[tuple[object, list[PageRequest]]]],
+    seed: int = 42,
+) -> list[tuple[object, list[PageRequest]]]:
+    """Randomly interleave per-client transaction streams.
+
+    Transactions stay atomic (their page requests are not split); only the
+    transaction order across clients is interleaved, as a DBMS serialising
+    short transactions would exhibit.
+    """
+    if not client_streams:
+        raise ValueError("need at least one client stream")
+    rng = random.Random(seed)
+    positions = [0] * len(client_streams)
+    active = [
+        index for index, stream in enumerate(client_streams) if len(stream)
+    ]
+    merged: list[tuple[object, list[PageRequest]]] = []
+    while active:
+        index = active[rng.randrange(len(active))]
+        merged.append(client_streams[index][positions[index]])
+        positions[index] += 1
+        if positions[index] == len(client_streams[index]):
+            active.remove(index)
+    return merged

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "BufferPoolError", "PoolExhaustedError", "PageNotBufferedError"]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class BufferPoolError(ReproError):
+    """Base class for buffer manager errors."""
+
+
+class PoolExhaustedError(BufferPoolError):
+    """Raised when no frame can be freed (every page is pinned)."""
+
+
+class PageNotBufferedError(BufferPoolError):
+    """Raised when an operation requires a page to be resident and it is not."""

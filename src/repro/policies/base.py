@@ -1,0 +1,165 @@
+"""Replacement-policy API: the "virtual order" at the heart of ACE.
+
+The paper's key refactoring (Section III) is that a page replacement
+algorithm defines a **virtual order** of pages — the order in which pages
+would eventually be evicted — and that this single order should drive two
+*separate* decisions:
+
+* the **write-back policy** consumes the virtual order restricted to dirty
+  pages (the next ``n_w`` dirty pages the policy would evict);
+* the **eviction policy** consumes the virtual order itself (the next
+  ``n_e`` pages to drop, which should be clean by then).
+
+Accordingly, every policy here exposes two views of the same decision:
+
+``select_victim()``
+    The classical, *stateful* call: pick one page to replace.  It may
+    mutate policy state (Clock Sweep decrements usage counts, LRU-WSR gives
+    dirty hot pages a second chance).
+``eviction_order()``
+    A *side-effect-free* iterator over pages in the order the policy would
+    evict them from its current state.  ACE's Writer and Evictor peek at
+    this order without disturbing the policy, which is what lets ACE wrap
+    any replacement algorithm unchanged.
+
+Policies learn page dirty/pinned state through a :class:`PageStateView`
+supplied by the buffer manager via :meth:`ReplacementPolicy.bind`; they never
+track dirtiness themselves, mirroring how PostgreSQL's freelist code reads
+buffer descriptor flags.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from typing import Protocol
+
+__all__ = ["PageStateView", "ReplacementPolicy", "NullPageStateView"]
+
+
+class PageStateView(Protocol):
+    """What a policy may ask the buffer manager about a buffered page."""
+
+    def is_dirty(self, page: int) -> bool:
+        """Whether the buffered page has unflushed modifications."""
+        ...
+
+    def is_pinned(self, page: int) -> bool:
+        """Whether the page is pinned and therefore not evictable."""
+        ...
+
+
+class NullPageStateView:
+    """A view for standalone policy use: nothing dirty, nothing pinned."""
+
+    def is_dirty(self, page: int) -> bool:
+        return False
+
+    def is_pinned(self, page: int) -> bool:
+        return False
+
+
+class ReplacementPolicy(ABC):
+    """Base class for page replacement algorithms.
+
+    Subclasses maintain only page *membership and ordering*; dirty and pin
+    state is read through the bound :class:`PageStateView`.
+
+    The lifecycle calls a buffer manager makes:
+
+    * :meth:`insert` when a page enters the pool (``cold=True`` places it at
+      the eviction end — used by ACE for prefetched pages so that wrong
+      predictions are cheap to drop);
+    * :meth:`on_access` on every buffer hit;
+    * :meth:`select_victim` when a frame must be freed;
+    * :meth:`remove` when the page actually leaves the pool.
+    """
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    def __init__(self) -> None:
+        self._view: PageStateView = NullPageStateView()
+
+    def bind(self, view: PageStateView) -> None:
+        """Attach the buffer manager's page-state view."""
+        self._view = view
+
+    # -- membership -------------------------------------------------------
+
+    @abstractmethod
+    def insert(self, page: int, cold: bool = False) -> None:
+        """Track a page that entered the bufferpool.
+
+        ``cold=True`` requests placement at the eviction end of the virtual
+        order (least-recently-used position or equivalent).
+        """
+
+    @abstractmethod
+    def remove(self, page: int) -> None:
+        """Stop tracking a page that left the bufferpool."""
+
+    @abstractmethod
+    def on_access(self, page: int, is_write: bool = False) -> None:
+        """Record a buffer hit on ``page``."""
+
+    @abstractmethod
+    def __contains__(self, page: int) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def pages(self) -> list[int]:
+        """All tracked pages (order unspecified)."""
+
+    # -- decisions ---------------------------------------------------------
+
+    @abstractmethod
+    def select_victim(self) -> int | None:
+        """Pick one page to replace (stateful; skips pinned pages).
+
+        Returns ``None`` only if every tracked page is pinned.  The caller
+        is responsible for write-back (if dirty) and for :meth:`remove`.
+        """
+
+    @abstractmethod
+    def eviction_order(self) -> Iterator[int]:
+        """Yield unpinned pages in eviction order, without side effects.
+
+        This is the policy's *virtual order* (paper Section III): position
+        ``i`` is the page that would be the victim after ``i`` evictions,
+        assuming no intervening accesses.
+        """
+
+    # -- derived helpers used by ACE ---------------------------------------
+
+    def next_dirty(self, n: int) -> list[int]:
+        """The next ``n`` dirty pages in the virtual order (may be fewer).
+
+        This is exactly the paper's ``populate_pages_to_writeback()``: the
+        candidate set for ACE's concurrent write-back.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative: {n}")
+        selected: list[int] = []
+        for page in self.eviction_order():
+            if self._view.is_dirty(page):
+                selected.append(page)
+                if len(selected) == n:
+                    break
+        return selected
+
+    def next_evictable(self, n: int) -> list[int]:
+        """The next ``n`` pages in the virtual order (may be fewer)."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative: {n}")
+        selected: list[int] = []
+        for page in self.eviction_order():
+            selected.append(page)
+            if len(selected) == n:
+                break
+        return selected
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(pages={len(self)})"

@@ -1,0 +1,119 @@
+"""FOR-inspired operation-aware replacement (paper §VII related work).
+
+The paper cites FOR / FOR+ [40] as flash-friendly policies that weight
+pages by the *operations* they absorb: evicting a dirty page costs a flash
+write (``alpha`` reads worth of time), evicting a clean-but-hot page costs
+future re-reads.  This module implements a simplified operation-aware
+policy in that spirit:
+
+* every page keeps exponentially-decayed read and write frequencies
+  (decay per access, so old activity fades);
+* a page's retention weight is ``read_freq + alpha * write_freq`` if it is
+  dirty (re-dirtying is likely; evicting it costs a write now) and
+  ``read_freq`` if clean;
+* the victim is the page with the lowest weight, ties broken by recency.
+
+Unlike CFLRU/LRU-WSR, which treat dirtiness as a binary hint, the weight
+uses the device's measured asymmetry directly — so the policy itself is
+storage-aware, and ACE composes with it like with any other policy (its
+virtual order is just ascending weight).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+
+from repro.policies.base import ReplacementPolicy
+
+__all__ = ["FORPolicy"]
+
+
+class FORPolicy(ReplacementPolicy):
+    """Operation-aware replacement with asymmetry-weighted frequencies."""
+
+    name = "for"
+
+    def __init__(self, alpha: float = 2.0, decay: float = 0.95) -> None:
+        super().__init__()
+        if alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1: {alpha}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1]: {decay}")
+        self.alpha = alpha
+        self.decay = decay
+        self._order: OrderedDict[int, None] = OrderedDict()  # recency tie-break
+        self._read_freq: dict[int, float] = {}
+        self._write_freq: dict[int, float] = {}
+
+    # -- membership -------------------------------------------------------
+
+    def insert(self, page: int, cold: bool = False) -> None:
+        if page in self._order:
+            raise ValueError(f"page {page} already tracked")
+        self._order[page] = None
+        if cold:
+            self._order.move_to_end(page, last=False)
+        self._read_freq[page] = 0.0 if cold else 1.0
+        self._write_freq[page] = 0.0
+
+    def remove(self, page: int) -> None:
+        if page not in self._order:
+            raise KeyError(f"page {page} not tracked")
+        del self._order[page]
+        del self._read_freq[page]
+        del self._write_freq[page]
+
+    def on_access(self, page: int, is_write: bool = False) -> None:
+        if page not in self._order:
+            raise KeyError(f"page {page} not tracked")
+        self._order.move_to_end(page)
+        self._read_freq[page] *= self.decay
+        self._write_freq[page] *= self.decay
+        if is_write:
+            self._write_freq[page] += 1.0
+        else:
+            self._read_freq[page] += 1.0
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def pages(self) -> list[int]:
+        return list(self._order)
+
+    # -- weights -----------------------------------------------------------
+
+    def weight(self, page: int) -> float:
+        """Retention weight: higher = keep longer.
+
+        Dirty pages add their (asymmetry-scaled) write frequency: evicting
+        them costs a flash write *now*, and frequent writers would be
+        re-dirtied immediately.
+        """
+        retention = self._read_freq[page]
+        if self._view.is_dirty(page):
+            retention += self.alpha * self._write_freq[page]
+        return retention
+
+    def _ranked(self) -> list[int]:
+        recency = {page: index for index, page in enumerate(self._order)}
+        return sorted(
+            self._order,
+            key=lambda page: (self.weight(page), recency[page]),
+        )
+
+    # -- decisions ---------------------------------------------------------
+
+    def select_victim(self) -> int | None:
+        for page in self._ranked():
+            if not self._view.is_pinned(page):
+                return page
+        return None
+
+    def eviction_order(self) -> Iterator[int]:
+        for page in self._ranked():
+            if not self._view.is_pinned(page):
+                yield page

@@ -1,0 +1,86 @@
+"""LFU replacement (least frequently used), with LRU tie-breaking.
+
+Not part of the paper's evaluation quartet, but a classic frequency-based
+policy that exercises a different corner of the virtual-order API: victim
+order is (access count, recency), so ACE's Writer sees an eviction order
+that can change wholesale after a single hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+
+from repro.policies.base import ReplacementPolicy
+
+__all__ = ["LFUPolicy"]
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Least Frequently Used with least-recently-used tie-breaking."""
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Insertion/access order doubles as the recency tie-breaker:
+        # earlier = less recently used.
+        self._order: OrderedDict[int, None] = OrderedDict()
+        self._frequency: dict[int, int] = {}
+
+    # -- membership -------------------------------------------------------
+
+    def insert(self, page: int, cold: bool = False) -> None:
+        if page in self._order:
+            raise ValueError(f"page {page} already tracked")
+        self._order[page] = None
+        if cold:
+            self._order.move_to_end(page, last=False)
+        # Cold (prefetched) pages start at frequency 0: first to go.
+        self._frequency[page] = 0 if cold else 1
+
+    def remove(self, page: int) -> None:
+        if page not in self._order:
+            raise KeyError(f"page {page} not tracked")
+        del self._order[page]
+        del self._frequency[page]
+
+    def on_access(self, page: int, is_write: bool = False) -> None:
+        if page not in self._order:
+            raise KeyError(f"page {page} not tracked")
+        self._frequency[page] += 1
+        self._order.move_to_end(page)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def pages(self) -> list[int]:
+        return list(self._order)
+
+    def frequency(self, page: int) -> int:
+        """Access count of a tracked page (diagnostics/tests)."""
+        return self._frequency[page]
+
+    # -- decisions ---------------------------------------------------------
+
+    def _ranked(self) -> list[int]:
+        """Pages by (frequency, recency): the LFU virtual order."""
+        recency = {page: index for index, page in enumerate(self._order)}
+        return sorted(
+            self._order,
+            key=lambda page: (self._frequency[page], recency[page]),
+        )
+
+    def select_victim(self) -> int | None:
+        for page in self._ranked():
+            if not self._view.is_pinned(page):
+                return page
+        return None
+
+    def eviction_order(self) -> Iterator[int]:
+        for page in self._ranked():
+            if not self._view.is_pinned(page):
+                yield page

@@ -1,0 +1,80 @@
+"""Least Recently Used replacement.
+
+The paper implements LRU in PostgreSQL as an "LRU freelist queue" and builds
+CFLRU and LRU-WSR on top of it; we mirror that layering
+(:class:`~repro.policies.cflru.CFLRUPolicy` and
+:class:`~repro.policies.lru_wsr.LRUWSRPolicy` subclass this class).
+
+The implementation is an ordered map: iteration order runs from the
+least-recently-used page (eviction end) to the most-recently-used page.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+
+from repro.policies.base import ReplacementPolicy
+
+__all__ = ["LRUPolicy"]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic LRU over an ordered map (O(1) hit/insert/remove)."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Front (first item) = least recently used = next eviction candidate.
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    # -- membership -------------------------------------------------------
+
+    def insert(self, page: int, cold: bool = False) -> None:
+        if page in self._order:
+            raise ValueError(f"page {page} already tracked")
+        self._order[page] = None
+        if cold:
+            # Eviction end: the paper places prefetched pages in the
+            # least-recently-used position so mispredictions drop cheaply.
+            self._order.move_to_end(page, last=False)
+
+    def remove(self, page: int) -> None:
+        if page not in self._order:
+            raise KeyError(f"page {page} not tracked")
+        del self._order[page]
+
+    def on_access(self, page: int, is_write: bool = False) -> None:
+        if page not in self._order:
+            raise KeyError(f"page {page} not tracked")
+        self._order.move_to_end(page)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def pages(self) -> list[int]:
+        return list(self._order)
+
+    def lru_to_mru(self) -> list[int]:
+        """Pages from least to most recently used (for subclasses/tests)."""
+        return list(self._order)
+
+    # -- decisions ---------------------------------------------------------
+
+    def select_victim(self) -> int | None:
+        for page in self._order:
+            if not self._view.is_pinned(page):
+                return page
+        return None
+
+    def eviction_order(self) -> Iterator[int]:
+        # Iterate the live order directly: consumers materialise their
+        # result before mutating the policy, and the copy-free path keeps
+        # ACE's frequent virtual-order peeks O(consumed) not O(pool).
+        for page in self._order:
+            if not self._view.is_pinned(page):
+                yield page

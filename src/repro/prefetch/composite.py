@@ -1,0 +1,51 @@
+"""The ACE Reader's prefetch selection: sequential if a stream, else history.
+
+Paper Algorithm 1, ``prefetch_pages(P, x)``: if ``P`` is part of a detected
+sequential stream, read ``P`` and the next ``x`` pages concurrently
+(sequential prefetcher); otherwise consult the history-based prefetcher.
+This module composes :class:`~repro.prefetch.tap.TaPPrefetcher` and
+:class:`~repro.prefetch.history.HistoryPrefetcher` accordingly.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.history import HistoryPrefetcher
+from repro.prefetch.tap import TaPPrefetcher
+
+__all__ = ["CompositePrefetcher"]
+
+
+class CompositePrefetcher(Prefetcher):
+    """TaP for sequential streams, history table for everything else."""
+
+    name = "composite"
+
+    def __init__(
+        self,
+        sequential: TaPPrefetcher | None = None,
+        history: HistoryPrefetcher | None = None,
+        max_page: int | None = None,
+    ) -> None:
+        self.sequential = (
+            sequential if sequential is not None else TaPPrefetcher(max_page=max_page)
+        )
+        self.history = history if history is not None else HistoryPrefetcher()
+        self.sequential_suggestions = 0
+        self.history_suggestions = 0
+
+    def observe(self, page: int) -> None:
+        self.history.observe(page)
+
+    def on_miss(self, page: int) -> None:
+        self.sequential.on_miss(page)
+
+    def suggest(self, page: int, n: int) -> list[int]:
+        if self.sequential.in_stream(page):
+            suggestions = self.sequential.suggest(page, n)
+            if suggestions:
+                self.sequential_suggestions += len(suggestions)
+                return suggestions
+        suggestions = self.history.suggest(page, n)
+        self.history_suggestions += len(suggestions)
+        return suggestions

@@ -1,0 +1,58 @@
+"""Virtual time source shared by simulated devices and the execution engine.
+
+The reproduction deliberately avoids real threads and real sleeps: under
+CPython's GIL, genuine concurrent I/O submission would be dominated by
+interpreter overhead and would blur the asymmetry/concurrency effects the
+paper isolates.  Instead, every component that "spends time" advances a
+shared :class:`VirtualClock`, and batch costs are computed analytically by
+:class:`repro.storage.latency.LatencyModel`.  This makes runs deterministic
+and lets the cost model match the paper's first-order analysis exactly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonic virtual clock measured in microseconds.
+
+    The clock only moves forward.  Components call :meth:`advance` with the
+    duration of the work they modelled (an I/O batch, a slice of CPU time).
+    """
+
+    __slots__ = ("_now_us",)
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        if start_us < 0:
+            raise ValueError(f"clock cannot start in the past: {start_us}")
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_s(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now_us / 1e6
+
+    def advance(self, delta_us: float) -> float:
+        """Move the clock forward by ``delta_us`` and return the new time.
+
+        Raises ``ValueError`` on negative deltas: virtual time is monotonic
+        by construction and a negative advance always indicates a bug in the
+        caller's cost accounting.
+        """
+        if delta_us < 0:
+            raise ValueError(f"cannot advance clock by negative time: {delta_us}")
+        self._now_us += delta_us
+        return self._now_us
+
+    def elapsed_since(self, t0_us: float) -> float:
+        """Microseconds elapsed between ``t0_us`` and now."""
+        return self._now_us - t0_us
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now_us={self._now_us:.3f})"

@@ -1,0 +1,224 @@
+"""Simulated SSD with asymmetry, concurrency, and an optional FTL backend.
+
+:class:`SimulatedSSD` is the storage substrate every experiment runs on.  It
+combines three pieces:
+
+* a :class:`~repro.storage.latency.LatencyModel` that converts I/O batches
+  into virtual time (asymmetry ``alpha``, concurrency ``k_r``/``k_w``);
+* a :class:`~repro.storage.clock.VirtualClock` that accumulates that time;
+* optionally a :class:`~repro.storage.ftl.FlashTranslationLayer` that tracks
+  physical writes, garbage collection, and wear.
+
+The device also stores page payloads (any Python object, typically a version
+counter) so that durability invariants — "an acknowledged write is readable
+afterwards" — can be property-tested end to end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.storage.clock import VirtualClock
+from repro.storage.ftl import FlashTranslationLayer
+from repro.storage.latency import LatencyModel
+from repro.storage.profiles import DeviceProfile
+
+__all__ = ["SimulatedSSD", "DeviceStats"]
+
+
+@dataclass
+class DeviceStats:
+    """Logical I/O counters for one simulated device."""
+
+    reads: int = 0
+    writes: int = 0
+    read_batches: int = 0
+    write_batches: int = 0
+    read_time_us: float = 0.0
+    write_time_us: float = 0.0
+    largest_write_batch: int = 0
+    largest_read_batch: int = 0
+    write_batch_size_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_ios(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def total_time_us(self) -> float:
+        return self.read_time_us + self.write_time_us
+
+    @property
+    def mean_write_batch(self) -> float:
+        if self.write_batches == 0:
+            return 0.0
+        return self.writes / self.write_batches
+
+    def copy(self) -> "DeviceStats":
+        fresh = DeviceStats(
+            reads=self.reads,
+            writes=self.writes,
+            read_batches=self.read_batches,
+            write_batches=self.write_batches,
+            read_time_us=self.read_time_us,
+            write_time_us=self.write_time_us,
+            largest_write_batch=self.largest_write_batch,
+            largest_read_batch=self.largest_read_batch,
+        )
+        fresh.write_batch_size_histogram = dict(self.write_batch_size_histogram)
+        return fresh
+
+
+class SimulatedSSD:
+    """A page-addressable SSD simulator driven by a virtual clock.
+
+    Parameters
+    ----------
+    profile:
+        Device characteristics (``alpha``, ``k_r``, ``k_w``, latencies).
+    num_pages:
+        Exported capacity in pages.  Required when ``with_ftl`` is true.
+    clock:
+        Shared virtual clock; a private clock is created if omitted.
+    with_ftl:
+        Attach a flash translation layer so physical writes / GC / wear are
+        tracked (needed for Table III and Figure 9).
+    pages_per_block, over_provision:
+        Forwarded to the FTL when enabled.
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        num_pages: int | None = None,
+        clock: VirtualClock | None = None,
+        with_ftl: bool = False,
+        pages_per_block: int = 64,
+        over_provision: float = 0.10,
+    ) -> None:
+        self.profile = profile
+        self.model: LatencyModel = profile.latency_model()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.num_pages = num_pages
+        self.stats = DeviceStats()
+        self._payloads: dict[int, object] = {}
+        self.ftl: FlashTranslationLayer | None = None
+        if with_ftl:
+            if num_pages is None:
+                raise ValueError("an FTL-backed device needs num_pages")
+            self.ftl = FlashTranslationLayer(
+                num_logical_pages=num_pages,
+                pages_per_block=pages_per_block,
+                over_provision=over_provision,
+            )
+
+    # ----------------------------------------------------------------- reads
+
+    def read_page(self, page: int) -> object | None:
+        """Read a single page; advances the clock by one read latency."""
+        return self.read_batch([page])[0]
+
+    def read_batch(self, pages: list[int] | tuple[int, ...]) -> list[object | None]:
+        """Read ``pages`` concurrently; the batch costs ``ceil(n/k_r)`` waves.
+
+        Returns the payload stored for each page (``None`` for pages never
+        written — a freshly formatted database page).
+        """
+        n = len(pages)
+        if n == 0:
+            return []
+        self._check_pages(pages)
+        elapsed = self.model.read_batch_us(n)
+        self.clock.advance(elapsed)
+        self.stats.reads += n
+        self.stats.read_batches += 1
+        self.stats.read_time_us += elapsed
+        if n > self.stats.largest_read_batch:
+            self.stats.largest_read_batch = n
+        if self.ftl is not None:
+            for page in pages:
+                self.ftl.read(page)
+        return [self._payloads.get(page) for page in pages]
+
+    # ---------------------------------------------------------------- writes
+
+    def write_page(self, page: int, payload: object | None = None) -> None:
+        """Write a single page; advances the clock by one write latency."""
+        self.write_batch({page: payload})
+
+    def write_batch(
+        self,
+        pages: Mapping[int, object] | Iterable[int],
+    ) -> None:
+        """Write a batch of pages concurrently.
+
+        ``pages`` is either a mapping ``page -> payload`` or a plain iterable
+        of page numbers (payload preserved if previously written, else the
+        page is marked present with ``None``).  The batch costs
+        ``ceil(n/k_w)`` write waves — this is the concurrency ACE exploits.
+        """
+        if isinstance(pages, Mapping):
+            items = list(pages.items())
+        else:
+            items = [(page, self._payloads.get(page)) for page in pages]
+        n = len(items)
+        if n == 0:
+            return
+        page_ids = [page for page, _ in items]
+        if len(set(page_ids)) != n:
+            raise ValueError(f"duplicate pages in write batch: {page_ids}")
+        self._check_pages(page_ids)
+        elapsed = self.model.write_batch_us(n)
+        self.clock.advance(elapsed)
+        self.stats.writes += n
+        self.stats.write_batches += 1
+        self.stats.write_time_us += elapsed
+        histogram = self.stats.write_batch_size_histogram
+        histogram[n] = histogram.get(n, 0) + 1
+        if n > self.stats.largest_write_batch:
+            self.stats.largest_write_batch = n
+        for page, payload in items:
+            self._payloads[page] = payload
+            if self.ftl is not None:
+                self.ftl.write(page)
+
+    # ------------------------------------------------------------- utilities
+
+    def contains(self, page: int) -> bool:
+        """Whether ``page`` has ever been written to this device."""
+        return page in self._payloads
+
+    def format_pages(self, pages: Iterable[int]) -> None:
+        """Pre-populate pages (database load) without advancing the clock.
+
+        Counters are reset afterwards so experiments measure steady-state
+        behaviour, mirroring the paper's device preconditioning step.
+        """
+        for page in pages:
+            self._payloads[page] = 0
+            if self.ftl is not None:
+                self.ftl.write(page)
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero logical and (if present) physical counters."""
+        self.stats = DeviceStats()
+        if self.ftl is not None:
+            self.ftl.reset_counters()
+
+    def _check_pages(self, pages: Iterable[int]) -> None:
+        if self.num_pages is None:
+            return
+        for page in pages:
+            if not 0 <= page < self.num_pages:
+                raise IndexError(
+                    f"page {page} out of device range [0, {self.num_pages})"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedSSD({self.profile.name!r}, alpha={self.profile.alpha}, "
+            f"k_r={self.profile.k_r}, k_w={self.profile.k_w}, "
+            f"t={self.clock.now_us:.0f}us)"
+        )

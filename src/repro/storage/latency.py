@@ -1,0 +1,132 @@
+"""Analytical latency model for an SSD with asymmetry and concurrency.
+
+The model follows the paper's characterisation of modern SSDs (Section II):
+
+* **Asymmetry** ``alpha``: a page write costs ``alpha`` times a page read.
+  ``alpha`` folds in the amortised cost of out-of-place updates and garbage
+  collection (the mechanisms themselves are modelled separately by
+  :mod:`repro.storage.ftl` for *write accounting*; their *latency* impact is
+  what ``alpha`` captures).
+* **Concurrency** ``k_r`` / ``k_w``: up to ``k`` I/Os of the same kind
+  proceed in parallel at (approximately) the latency of one.  A batch of
+  ``n`` I/Os therefore completes in ``ceil(n / k)`` device "waves".
+* **Submission overhead**: each I/O in a batch pays a small fixed cost
+  (syscall / queueing), plus a superlinear queue-pressure term.  The
+  quadratic term models the thread/queue management overhead the paper
+  observes when ``n_w`` exceeds the device concurrency (Figure 10g: speedup
+  peaks at ``n_w = k_w`` and *declines* beyond it).
+
+A batch of ``n`` reads costs::
+
+    ceil(n / k_r) * read_latency + n * submit_overhead + n^2 * queue_overhead
+
+and a batch of ``n`` writes costs the same with ``k_w`` and
+``alpha * read_latency``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Closed-form batch latency for a device with (``alpha``, ``k_r``, ``k_w``).
+
+    Parameters
+    ----------
+    read_latency_us:
+        Latency of a single page read, in microseconds.
+    alpha:
+        Read/write asymmetry; a single page write costs
+        ``alpha * read_latency_us``.
+    k_r, k_w:
+        Read and write concurrency: how many I/Os of each kind the device
+        can serve in parallel without queueing.
+    submit_overhead_us:
+        Fixed per-I/O submission cost (added once per I/O in a batch).
+    queue_overhead_us:
+        Quadratic queue-pressure coefficient for reads; a batch of ``n``
+        reads pays an extra ``queue_overhead_us * n**2``.  Small but
+        nonzero so that oversubmitting is strictly worse.
+    queue_overhead_write_us:
+        Quadratic queue-pressure coefficient for writes.  Defaults to the
+        read coefficient; flash program interference makes write queue
+        pressure higher on real devices, which is what produces the
+        speedup decline past ``n_w = k_w`` in Figure 10g.
+    """
+
+    read_latency_us: float = 100.0
+    alpha: float = 1.0
+    k_r: int = 1
+    k_w: int = 1
+    submit_overhead_us: float = 1.0
+    queue_overhead_us: float = 0.02
+    queue_overhead_write_us: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.read_latency_us <= 0:
+            raise ValueError("read latency must be positive")
+        if self.alpha < 1.0:
+            raise ValueError(
+                f"alpha < 1 would mean writes are faster than reads: {self.alpha}"
+            )
+        if self.k_r < 1 or self.k_w < 1:
+            raise ValueError("concurrency levels must be at least 1")
+        if self.queue_overhead_write_us is None:
+            object.__setattr__(
+                self, "queue_overhead_write_us", self.queue_overhead_us
+            )
+        if (
+            self.submit_overhead_us < 0
+            or self.queue_overhead_us < 0
+            or self.queue_overhead_write_us < 0
+        ):
+            raise ValueError("overheads cannot be negative")
+
+    @property
+    def write_latency_us(self) -> float:
+        """Latency of a single page write (before submission overhead)."""
+        return self.alpha * self.read_latency_us
+
+    def read_batch_us(self, n: int) -> float:
+        """Total latency of ``n`` concurrently submitted page reads."""
+        return self._batch_us(n, self.read_latency_us, self.k_r, self.queue_overhead_us)
+
+    def write_batch_us(self, n: int) -> float:
+        """Total latency of ``n`` concurrently submitted page writes."""
+        return self._batch_us(
+            n, self.write_latency_us, self.k_w, self.queue_overhead_write_us
+        )
+
+    def _batch_us(self, n: int, unit_us: float, k: int, queue_us: float) -> float:
+        if n < 0:
+            raise ValueError(f"batch size cannot be negative: {n}")
+        if n == 0:
+            return 0.0
+        waves = math.ceil(n / k)
+        overhead = n * self.submit_overhead_us + n * n * queue_us
+        return waves * unit_us + overhead
+
+    def amortized_write_us(self, n: int) -> float:
+        """Per-page cost of writing ``n`` pages in one concurrent batch.
+
+        This is the quantity ACE's Writer optimises: it is minimised at
+        ``n = k_w`` (one full wave) and degrades for ``n > k_w``.
+        """
+        if n <= 0:
+            raise ValueError(f"batch size must be positive: {n}")
+        return self.write_batch_us(n) / n
+
+    def effective_asymmetry(self, n_w: int) -> float:
+        """Asymmetry *after* write amortization over a batch of ``n_w``.
+
+        The paper argues ACE "bridges the asymmetry" when
+        ``alpha <= k_w``: a full write wave costs one write latency for
+        ``k_w`` pages, so the per-page write cost approaches
+        ``alpha / k_w`` reads.
+        """
+        return self.amortized_write_us(n_w) / self.read_latency_us

@@ -1,0 +1,138 @@
+"""Device profiles replicating the paper's experimental SSDs (Table I).
+
+The paper characterises four devices through careful benchmarking::
+
+    Device        alpha   k_r   k_w
+    Optane SSD     1.1      6     5
+    PCIe SSD       2.8     80     8
+    SATA SSD       1.5     25     9
+    Virtual SSD    2.0     11    19
+
+``alpha`` and ``k`` come straight from Table I.  Base read latencies are not
+reported in the paper; we pick representative values for each device class
+(Optane ~10us random read, datacenter NVMe ~90us, SATA ~170us, and a
+network-attached virtual volume ~240us) consistent with the paper's remark
+that the SATA and Virtual SSDs are "significantly slower than the PCIe SSD".
+Absolute runtimes therefore differ from the paper's testbed, but relative
+behaviour — which is what every figure reports — is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.storage.latency import LatencyModel
+
+__all__ = [
+    "DeviceProfile",
+    "OPTANE_SSD",
+    "PCIE_SSD",
+    "SATA_SSD",
+    "VIRTUAL_SSD",
+    "PAPER_DEVICES",
+    "emulated_profile",
+]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static description of a storage device used to build simulators.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name (used in reports).
+    alpha:
+        Read/write asymmetry (write latency / read latency).
+    k_r, k_w:
+        Read and write concurrency.
+    read_latency_us:
+        Single-page random read latency.
+    submit_overhead_us, queue_overhead_us, queue_overhead_write_us:
+        Per-I/O submission cost and quadratic queue-pressure coefficients
+        (see :class:`repro.storage.latency.LatencyModel`).
+    """
+
+    name: str
+    alpha: float
+    k_r: int
+    k_w: int
+    read_latency_us: float
+    submit_overhead_us: float = 1.0
+    queue_overhead_us: float = 0.02
+    queue_overhead_write_us: float | None = None
+
+    def latency_model(self) -> LatencyModel:
+        """Build the analytical latency model for this device."""
+        return LatencyModel(
+            read_latency_us=self.read_latency_us,
+            alpha=self.alpha,
+            k_r=self.k_r,
+            k_w=self.k_w,
+            submit_overhead_us=self.submit_overhead_us,
+            queue_overhead_us=self.queue_overhead_us,
+            queue_overhead_write_us=self.queue_overhead_write_us,
+        )
+
+    def with_(self, **changes: object) -> "DeviceProfile":
+        """Return a copy of this profile with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: Intel Optane P4800X (375 GB). 3D XPoint: near-symmetric, modest parallelism.
+OPTANE_SSD = DeviceProfile(
+    name="Optane SSD", alpha=1.1, k_r=6, k_w=5, read_latency_us=10.0,
+    submit_overhead_us=0.5, queue_overhead_us=0.01,
+)
+
+#: Intel P4510 (1 TB) datacenter NVMe. High asymmetry, deep read parallelism.
+#: Write queue pressure is higher than read queue pressure (flash program
+#: interference), which is what caps the useful write batch at k_w.
+PCIE_SSD = DeviceProfile(
+    name="PCIe SSD", alpha=2.8, k_r=80, k_w=8, read_latency_us=90.0,
+    submit_overhead_us=1.0, queue_overhead_us=0.01,
+    queue_overhead_write_us=0.3,
+)
+
+#: Intel S4610 (240 GB) SATA SSD.
+SATA_SSD = DeviceProfile(
+    name="SATA SSD", alpha=1.5, k_r=25, k_w=9, read_latency_us=170.0,
+    submit_overhead_us=1.5, queue_overhead_us=0.05,
+)
+
+#: AWS gp2-class network volume (1.2 TB, 60k provisioned IOPS).  k here
+#: reflects the provider's IOPS throttling rather than flash internals,
+#: which is why its k_w exceeds k_r (Table I footnote in the paper).
+VIRTUAL_SSD = DeviceProfile(
+    name="Virtual SSD", alpha=2.0, k_r=11, k_w=19, read_latency_us=240.0,
+    submit_overhead_us=2.0, queue_overhead_us=0.05,
+)
+
+#: The four devices of Table I, in the paper's order.
+PAPER_DEVICES = (OPTANE_SSD, PCIE_SSD, SATA_SSD, VIRTUAL_SSD)
+
+
+def emulated_profile(
+    alpha: float,
+    k_w: int,
+    k_r: int | None = None,
+    read_latency_us: float = 100.0,
+) -> DeviceProfile:
+    """Build an idealised emulated device, as used for Figures 2 and 10h.
+
+    The paper's last experiment emulates devices with ideal asymmetry
+    ``alpha`` in 1..8 at fixed ``k_w = 8``.  Emulated devices have zero
+    submission overhead so the measured speedup matches the closed-form
+    model exactly.
+    """
+    if k_r is None:
+        k_r = max(k_w * 4, 8)
+    return DeviceProfile(
+        name=f"Emulated(alpha={alpha:g},k_w={k_w})",
+        alpha=alpha,
+        k_r=k_r,
+        k_w=k_w,
+        read_latency_us=read_latency_us,
+        submit_overhead_us=0.0,
+        queue_overhead_us=0.0,
+    )

@@ -1,0 +1,93 @@
+"""SMART-style attribute reporting for simulated devices.
+
+The paper captures SMART (Self-Monitoring, Analysis and Reporting
+Technology) attributes to count physical NAND writes (Section VI, "Impact on
+SSD Wear Out").  This module provides the equivalent observation layer over
+the simulator: snapshot the device, run a workload, snapshot again, and the
+delta gives host writes, NAND writes, erase cycles, and a wear estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.device import SimulatedSSD
+
+__all__ = ["SmartAttributes", "SmartMonitor"]
+
+
+@dataclass(frozen=True)
+class SmartAttributes:
+    """A point-in-time snapshot of wear-relevant device attributes."""
+
+    host_reads: int
+    host_writes: int
+    nand_writes: int
+    erase_cycles: int
+    max_block_erases: int
+    power_on_us: float
+
+    @property
+    def write_amplification(self) -> float:
+        """NAND writes per host write (1.0 before any writes)."""
+        if self.host_writes == 0:
+            return 1.0
+        return self.nand_writes / self.host_writes
+
+    def delta(self, earlier: "SmartAttributes") -> "SmartAttributes":
+        """Attribute difference between this snapshot and an earlier one."""
+        return SmartAttributes(
+            host_reads=self.host_reads - earlier.host_reads,
+            host_writes=self.host_writes - earlier.host_writes,
+            nand_writes=self.nand_writes - earlier.nand_writes,
+            erase_cycles=self.erase_cycles - earlier.erase_cycles,
+            max_block_erases=self.max_block_erases,
+            power_on_us=self.power_on_us - earlier.power_on_us,
+        )
+
+
+class SmartMonitor:
+    """Reads SMART attributes off a :class:`SimulatedSSD`.
+
+    Parameters
+    ----------
+    device:
+        The device to observe.  Physical-write attributes require the device
+        to have an FTL; without one, NAND writes are reported equal to host
+        writes (a device that hides its internals).
+    endurance_cycles:
+        Rated program/erase cycles per block, used for the wear estimate.
+    """
+
+    def __init__(self, device: SimulatedSSD, endurance_cycles: int = 3000) -> None:
+        if endurance_cycles <= 0:
+            raise ValueError("endurance must be positive")
+        self.device = device
+        self.endurance_cycles = endurance_cycles
+
+    def snapshot(self) -> SmartAttributes:
+        """Capture the current SMART attributes."""
+        stats = self.device.stats
+        ftl = self.device.ftl
+        if ftl is not None:
+            nand_writes = ftl.counters.physical_writes
+            erase_cycles = ftl.counters.erases
+            erase_counts = ftl.erase_counts()
+            max_block_erases = max(erase_counts) if erase_counts else 0
+        else:
+            nand_writes = stats.writes
+            erase_cycles = 0
+            max_block_erases = 0
+        return SmartAttributes(
+            host_reads=stats.reads,
+            host_writes=stats.writes,
+            nand_writes=nand_writes,
+            erase_cycles=erase_cycles,
+            max_block_erases=max_block_erases,
+            power_on_us=self.device.clock.now_us,
+        )
+
+    def wear_percentage(self) -> float:
+        """Fraction of rated endurance consumed by the worst block (0-100)."""
+        snapshot = self.snapshot()
+        return 100.0 * snapshot.max_block_erases / self.endurance_cycles

@@ -1,0 +1,35 @@
+"""Workload substrate: traces, synthetic mixes, pgbench, TPC-C."""
+
+from repro.workloads.pgbench import PgbenchWorkload
+from repro.workloads.synthetic import (
+    MS,
+    MU,
+    PAPER_WORKLOADS,
+    RIS,
+    WIS,
+    WorkloadSpec,
+    generate_trace,
+    rw_ratio_spec,
+)
+from repro.workloads.trace import PageRequest, Trace
+from repro.workloads.traceio import load_trace, save_trace
+from repro.workloads.ycsb import YCSB_WORKLOADS, YCSBConfig, generate_ycsb_trace
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "YCSBConfig",
+    "YCSB_WORKLOADS",
+    "generate_ycsb_trace",
+    "PageRequest",
+    "Trace",
+    "WorkloadSpec",
+    "MS",
+    "WIS",
+    "RIS",
+    "MU",
+    "PAPER_WORKLOADS",
+    "generate_trace",
+    "rw_ratio_spec",
+    "PgbenchWorkload",
+]

@@ -1,0 +1,133 @@
+"""Synthetic workloads: the paper's MS, WIS, RIS and MU mixes (Table II).
+
+Each workload is characterised by a **read/write ratio** (the fraction of
+page requests that are reads) and a **locality** ``x/y`` — ``x`` percent of
+all operations touch ``y`` percent of the pages (90/10 for the skewed
+workloads, uniform otherwise).  The paper's four synthetic workloads,
+inspired by the flash-bufferpool literature it cites:
+
+=====  ====================  ==========  =========
+name   meaning               read/write  locality
+=====  ====================  ==========  =========
+MS     Mixed Skewed          50/50       90/10
+WIS    Write-Intensive Skewed 10/90      90/10
+RIS    Read-Intensive Skewed  90/10      90/10
+MU     Mixed Uniform          50/50      uniform
+=====  ====================  ==========  =========
+
+The generator also powers the read/write-ratio sweeps of Figures 10c, 10d
+and 10i (ratio 0/100 ... 100/0 at fixed 90/10 locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "WorkloadSpec",
+    "MS",
+    "WIS",
+    "RIS",
+    "MU",
+    "PAPER_WORKLOADS",
+    "generate_trace",
+    "rw_ratio_spec",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a synthetic workload.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in reports ("MS", "WIS", ...).
+    read_fraction:
+        Probability that a request is a read (0.9 means 90/10 read/write).
+    locality:
+        ``(op_fraction, page_fraction)`` — e.g. ``(0.9, 0.1)`` sends 90 % of
+        operations to a randomly chosen 10 % of the pages; ``None`` means
+        uniform access.
+    description:
+        Human-readable label.
+    """
+
+    name: str
+    read_fraction: float
+    locality: tuple[float, float] | None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(
+                f"read fraction must be in [0, 1]: {self.read_fraction}"
+            )
+        if self.locality is not None:
+            op_fraction, page_fraction = self.locality
+            if not 0.0 < op_fraction < 1.0 or not 0.0 < page_fraction < 1.0:
+                raise ValueError(f"locality fractions must be in (0, 1): {self.locality}")
+
+
+MS = WorkloadSpec("MS", 0.5, (0.9, 0.1), "Mixed Skewed (50/50 r/w, 90/10)")
+WIS = WorkloadSpec("WIS", 0.1, (0.9, 0.1), "Write-Intensive Skewed (10/90 r/w, 90/10)")
+RIS = WorkloadSpec("RIS", 0.9, (0.9, 0.1), "Read-Intensive Skewed (90/10 r/w, 90/10)")
+MU = WorkloadSpec("MU", 0.5, None, "Mixed Uniform (50/50 r/w, uniform)")
+
+#: The paper's four synthetic workloads, in presentation order.
+PAPER_WORKLOADS = (MS, WIS, RIS, MU)
+
+
+def rw_ratio_spec(read_fraction: float) -> WorkloadSpec:
+    """A 90/10-locality workload with the given read fraction.
+
+    Used for the read/write-ratio sweeps (Figures 10c, 10d, 10i), where the
+    paper varies the ratio from 0/100 (write-only) to 100/0 (read-only) at
+    locality 90/10.
+    """
+    percent_reads = round(read_fraction * 100)
+    return WorkloadSpec(
+        name=f"{percent_reads}/{100 - percent_reads}",
+        read_fraction=read_fraction,
+        locality=(0.9, 0.1),
+        description=f"{percent_reads}% reads, 90/10 locality",
+    )
+
+
+def generate_trace(
+    spec: WorkloadSpec,
+    num_pages: int,
+    num_ops: int,
+    seed: int = 42,
+) -> Trace:
+    """Generate a page-request trace for ``spec`` over ``num_pages`` pages.
+
+    The hot set is a random subset of the page space (not a contiguous
+    prefix), so sequential-prefetch effects do not leak into skew effects.
+    Generation is vectorised with numpy and fully determined by ``seed``.
+    """
+    if num_pages < 2:
+        raise ValueError(f"need at least 2 pages: {num_pages}")
+    if num_ops < 1:
+        raise ValueError(f"need at least 1 operation: {num_ops}")
+    rng = np.random.default_rng(seed)
+
+    if spec.locality is None:
+        pages = rng.integers(0, num_pages, num_ops)
+    else:
+        op_fraction, page_fraction = spec.locality
+        hot_count = max(1, int(round(num_pages * page_fraction)))
+        permutation = rng.permutation(num_pages)
+        hot_pages = permutation[:hot_count]
+        cold_pages = permutation[hot_count:]
+        goes_hot = rng.random(num_ops) < op_fraction
+        hot_choices = hot_pages[rng.integers(0, len(hot_pages), num_ops)]
+        cold_choices = cold_pages[rng.integers(0, len(cold_pages), num_ops)]
+        pages = np.where(goes_hot, hot_choices, cold_choices)
+
+    writes = rng.random(num_ops) >= spec.read_fraction
+    return Trace.from_arrays(pages, writes, name=spec.name)

@@ -1,0 +1,98 @@
+"""TPC-C workload driver: mix sampling and trace generation.
+
+Builds a scaled :class:`~repro.workloads.tpcc.schema.TPCCDatabase`, seeds
+its districts with initial orders (so Delivery/OrderStatus/StockLevel have
+work on arrival, as after the standard initial load), and emits transaction
+streams either at the paper's standard mix or as single-transaction-type
+workloads (Figure 11 evaluates both).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.workloads.tpcc.schema import DISTRICTS_PER_WAREHOUSE, TPCCDatabase
+from repro.workloads.tpcc.transactions import (
+    STANDARD_MIX,
+    TPCCTransactionGenerator,
+    TransactionType,
+)
+from repro.workloads.trace import PageRequest, Trace
+
+__all__ = ["TPCCWorkload"]
+
+
+class TPCCWorkload:
+    """A runnable TPC-C workload over a scaled database.
+
+    Parameters
+    ----------
+    warehouses:
+        Number of warehouses (the TPC-C scaling unit; Figure 12 sweeps it).
+    row_scale:
+        Per-warehouse cardinality scale (see
+        :class:`~repro.workloads.tpcc.schema.TPCCDatabase`).
+    initial_orders_per_district:
+        Orders pre-created per district before the measured run, so the
+        delivery queue and order history are non-empty.
+    """
+
+    def __init__(
+        self,
+        warehouses: int = 10,
+        row_scale: float = 0.1,
+        seed: int = 42,
+        initial_orders_per_district: int = 30,
+    ) -> None:
+        self.db = TPCCDatabase(warehouses=warehouses, row_scale=row_scale, seed=seed)
+        self.generator = TPCCTransactionGenerator(self.db, seed=seed + 1)
+        self._rng = random.Random(seed + 2)
+        for w in range(warehouses):
+            for d in range(DISTRICTS_PER_WAREHOUSE):
+                for _ in range(initial_orders_per_district):
+                    self.db.allocate_order(w, d)
+
+    @property
+    def total_pages(self) -> int:
+        return self.db.total_pages
+
+    def sample_type(self, mix: dict[TransactionType, float] | None = None) -> TransactionType:
+        """Draw a transaction type from ``mix`` (standard mix by default)."""
+        if mix is None:
+            mix = STANDARD_MIX
+        kinds = list(mix)
+        weights = [mix[kind] for kind in kinds]
+        return self._rng.choices(kinds, weights=weights, k=1)[0]
+
+    def transaction_stream(
+        self,
+        count: int,
+        mix: dict[TransactionType, float] | None = None,
+        only: TransactionType | None = None,
+    ) -> Iterator[tuple[TransactionType, list[PageRequest]]]:
+        """Yield ``count`` transactions as (type, page requests) pairs.
+
+        ``only`` restricts the stream to a single transaction type, as in
+        the paper's per-transaction TPC-C experiments.
+        """
+        if count < 0:
+            raise ValueError("transaction count cannot be negative")
+        for _ in range(count):
+            kind = only if only is not None else self.sample_type(mix)
+            yield kind, self.generator.generate(kind)
+
+    def trace(
+        self,
+        count: int,
+        mix: dict[TransactionType, float] | None = None,
+        only: TransactionType | None = None,
+    ) -> Trace:
+        """Flatten a transaction stream into a page-request trace."""
+        requests: list[PageRequest] = []
+        for _, transaction in self.transaction_stream(count, mix=mix, only=only):
+            requests.extend(transaction)
+        label = only.value if only is not None else "mix"
+        return Trace.from_requests(
+            requests, name=f"tpcc-w{self.db.warehouses}-{label}"
+        )

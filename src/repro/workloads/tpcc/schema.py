@@ -1,0 +1,213 @@
+"""TPC-C schema laid out over device pages.
+
+A TPC-C database has nine tables whose cardinalities scale with the number
+of warehouses (paper §VI-B): per warehouse there are 10 districts, 30,000
+customers, 100,000 stock rows, 30,000 initial orders (3,000 per district)
+with ~10 order lines each, and 9,000 pending new-orders; the item catalog
+(100,000 rows) is global.
+
+``row_scale`` shrinks every per-warehouse cardinality proportionally so the
+simulated page space stays laptop-sized while preserving the *relative*
+footprints (stock and order-line dominate, warehouse/district pages are
+white-hot).  The paper's 500-warehouse/50 GB setup corresponds to
+``warehouses=500, row_scale=1.0``; benches use fewer warehouses with
+``row_scale=0.1`` and note the substitution in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.engine.database import AppendCursor, Database
+
+__all__ = ["TPCCDatabase", "DISTRICTS_PER_WAREHOUSE", "nurand"]
+
+DISTRICTS_PER_WAREHOUSE = 10
+
+# Spec cardinalities (per warehouse unless noted).
+_SPEC_CUSTOMERS_PER_DISTRICT = 3_000
+_SPEC_STOCK_PER_WAREHOUSE = 100_000
+_SPEC_ITEMS_TOTAL = 100_000
+_SPEC_ORDERS_PER_DISTRICT = 3_000
+_SPEC_NEW_ORDERS_PER_DISTRICT = 900
+_SPEC_LINES_PER_ORDER = 10
+
+
+def nurand(rng: random.Random, a: int, x: int, y: int, c: int) -> int:
+    """TPC-C non-uniform random: NURand(A, x, y) with constant ``c``."""
+    return (((rng.randint(0, a) | rng.randint(x, y)) + c) % (y - x + 1)) + x
+
+
+class TPCCDatabase:
+    """Page layout and row→page mapping for a scaled TPC-C database."""
+
+    def __init__(
+        self,
+        warehouses: int = 10,
+        row_scale: float = 0.1,
+        seed: int = 42,
+    ) -> None:
+        if warehouses < 1:
+            raise ValueError("need at least one warehouse")
+        if not 0.001 <= row_scale <= 1.0:
+            raise ValueError(f"row_scale must be in [0.001, 1]: {row_scale}")
+        self.warehouses = warehouses
+        self.row_scale = row_scale
+        self._rng = random.Random(seed)
+        # NURand C constants, drawn once per database as the spec requires.
+        self.c_customer = self._rng.randint(0, 1023)
+        self.c_item = self._rng.randint(0, 8191)
+
+        def scaled(value: int, minimum: int = 10) -> int:
+            return max(minimum, math.ceil(value * row_scale))
+
+        self.customers_per_district = scaled(_SPEC_CUSTOMERS_PER_DISTRICT)
+        self.stock_per_warehouse = scaled(_SPEC_STOCK_PER_WAREHOUSE, minimum=100)
+        self.num_items = scaled(_SPEC_ITEMS_TOTAL, minimum=100)
+        self.orders_per_district = scaled(_SPEC_ORDERS_PER_DISTRICT)
+        self.new_orders_per_district = scaled(_SPEC_NEW_ORDERS_PER_DISTRICT)
+        self.lines_per_order = _SPEC_LINES_PER_ORDER
+
+        num_districts = warehouses * DISTRICTS_PER_WAREHOUSE
+        database = Database(name=f"tpcc-w{warehouses}")
+        self.warehouse = database.add_relation(
+            "warehouse", warehouses, rows_per_page=25
+        )
+        self.district = database.add_relation(
+            "district", num_districts, rows_per_page=10
+        )
+        self.customer = database.add_relation(
+            "customer",
+            num_districts * self.customers_per_district,
+            rows_per_page=20,
+        )
+        self.stock = database.add_relation(
+            "stock", warehouses * self.stock_per_warehouse, rows_per_page=30
+        )
+        self.item = database.add_relation(
+            "item", self.num_items, rows_per_page=50
+        )
+        self.orders = database.add_relation(
+            "orders", num_districts * self.orders_per_district, rows_per_page=25
+        )
+        self.new_order = database.add_relation(
+            "new_order",
+            num_districts * self.new_orders_per_district,
+            rows_per_page=50,
+        )
+        self.order_line = database.add_relation(
+            "order_line",
+            num_districts * self.orders_per_district * self.lines_per_order,
+            rows_per_page=30,
+        )
+        history_pages = max(64, num_districts)
+        self.history = database.add_relation(
+            "history", 0, rows_per_page=40, headroom_pages=history_pages
+        )
+        self.database = database
+        self.history_cursor = AppendCursor(self.history)
+
+        # Per-district ring positions for order/new-order/order-line growth.
+        self._next_order: list[int] = [0] * num_districts
+        self._oldest_new_order: list[int] = [0] * num_districts
+
+    # ------------------------------------------------------- page mapping
+
+    @property
+    def total_pages(self) -> int:
+        return self.database.total_pages
+
+    def district_index(self, w: int, d: int) -> int:
+        self._check_wd(w, d)
+        return w * DISTRICTS_PER_WAREHOUSE + d
+
+    def warehouse_page(self, w: int) -> int:
+        self._check_w(w)
+        return self.warehouse.page_of_row(w)
+
+    def district_page(self, w: int, d: int) -> int:
+        return self.district.page_of_row(self.district_index(w, d))
+
+    def customer_page(self, w: int, d: int, c: int) -> int:
+        if not 0 <= c < self.customers_per_district:
+            raise IndexError(f"customer {c} out of range")
+        row = self.district_index(w, d) * self.customers_per_district + c
+        return self.customer.page_of_row(row)
+
+    def stock_page(self, w: int, item: int) -> int:
+        self._check_w(w)
+        stock_row = item % self.stock_per_warehouse
+        return self.stock.page_of_row(w * self.stock_per_warehouse + stock_row)
+
+    def item_page(self, item: int) -> int:
+        if not 0 <= item < self.num_items:
+            raise IndexError(f"item {item} out of range")
+        return self.item.page_of_row(item)
+
+    def order_page(self, w: int, d: int, order_seq: int) -> int:
+        """Page of the order at ring position ``order_seq`` in district."""
+        slot = order_seq % self.orders_per_district
+        row = self.district_index(w, d) * self.orders_per_district + slot
+        return self.orders.page_of_row(row)
+
+    def new_order_page(self, w: int, d: int, seq: int) -> int:
+        slot = seq % self.new_orders_per_district
+        row = self.district_index(w, d) * self.new_orders_per_district + slot
+        return self.new_order.page_of_row(row)
+
+    def order_line_pages(self, w: int, d: int, order_seq: int, lines: int) -> list[int]:
+        """Distinct pages covering ``lines`` lines of the given order."""
+        slot = order_seq % self.orders_per_district
+        base_line = (
+            self.district_index(w, d) * self.orders_per_district + slot
+        ) * self.lines_per_order
+        pages: list[int] = []
+        for line in range(min(lines, self.lines_per_order)):
+            page = self.order_line.page_of_row(base_line + line)
+            if not pages or pages[-1] != page:
+                pages.append(page)
+        return pages
+
+    # ----------------------------------------------------- order sequencing
+
+    def allocate_order(self, w: int, d: int) -> int:
+        """Take the district's next order number (D_NEXT_O_ID)."""
+        index = self.district_index(w, d)
+        order_seq = self._next_order[index]
+        self._next_order[index] += 1
+        return order_seq
+
+    def pop_oldest_new_order(self, w: int, d: int) -> int | None:
+        """Oldest undelivered order of the district, or ``None`` if empty."""
+        index = self.district_index(w, d)
+        oldest = self._oldest_new_order[index]
+        if oldest >= self._next_order[index]:
+            return None
+        self._oldest_new_order[index] = oldest + 1
+        return oldest
+
+    def latest_order(self, w: int, d: int) -> int | None:
+        """Most recently placed order of the district (for OrderStatus)."""
+        index = self.district_index(w, d)
+        if self._next_order[index] == 0:
+            return None
+        return self._next_order[index] - 1
+
+    def recent_orders(self, w: int, d: int, count: int) -> list[int]:
+        """Up to ``count`` most recent order numbers (for StockLevel)."""
+        index = self.district_index(w, d)
+        newest = self._next_order[index]
+        oldest = max(0, newest - count)
+        return list(range(oldest, newest))
+
+    # ------------------------------------------------------------- checks
+
+    def _check_w(self, w: int) -> None:
+        if not 0 <= w < self.warehouses:
+            raise IndexError(f"warehouse {w} out of range [0, {self.warehouses})")
+
+    def _check_wd(self, w: int, d: int) -> None:
+        self._check_w(w)
+        if not 0 <= d < DISTRICTS_PER_WAREHOUSE:
+            raise IndexError(f"district {d} out of range")

@@ -1,0 +1,75 @@
+"""Trace persistence: save and load page-request traces.
+
+Reproducibility plumbing: experiments can dump the exact request stream
+they executed and reload it later (or on another machine) byte-for-byte.
+Two formats:
+
+* ``.npz`` — compact binary via numpy (pages as int64, writes as bool);
+* ``.csv`` — human-readable ``page,is_write`` rows with a header.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+__all__ = ["save_trace", "load_trace"]
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path``; the suffix selects the format."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        np.savez_compressed(
+            path,
+            pages=np.asarray(trace.pages, dtype=np.int64),
+            writes=np.asarray(trace.writes, dtype=bool),
+            name=np.asarray(trace.name),
+        )
+    elif path.suffix == ".csv":
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["page", "is_write"])
+            for page, is_write in zip(trace.pages, trace.writes):
+                writer.writerow([page, int(is_write)])
+    else:
+        raise ValueError(
+            f"unsupported trace format {path.suffix!r}; use .npz or .csv"
+        )
+    return path
+
+
+def load_trace(path: str | Path, name: str | None = None) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no trace file at {path}")
+    if path.suffix == ".npz":
+        with np.load(path, allow_pickle=False) as data:
+            pages = data["pages"]
+            writes = data["writes"]
+            stored_name = str(data["name"]) if "name" in data else path.stem
+        return Trace.from_arrays(
+            pages, writes, name=name if name is not None else stored_name
+        )
+    if path.suffix == ".csv":
+        pages: list[int] = []
+        writes: list[bool] = []
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header != ["page", "is_write"]:
+                raise ValueError(f"unrecognised trace CSV header: {header}")
+            for row in reader:
+                pages.append(int(row[0]))
+                writes.append(bool(int(row[1])))
+        return Trace(
+            pages, writes, name=name if name is not None else path.stem
+        )
+    raise ValueError(
+        f"unsupported trace format {path.suffix!r}; use .npz or .csv"
+    )

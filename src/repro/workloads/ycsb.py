@@ -1,0 +1,166 @@
+"""YCSB core workloads A-F as page-request generators.
+
+The Yahoo! Cloud Serving Benchmark's six core workloads are the de-facto
+key-value access patterns; mapped onto pages they exercise the bufferpool
+corners the paper's four synthetic mixes do not (zipfian skew, read-latest
+recency, range scans, read-modify-write):
+
+=====  =====================  =======================================
+ name  operations             distribution
+=====  =====================  =======================================
+  A    50% read / 50% update  zipfian
+  B    95% read / 5% update   zipfian
+  C    100% read              zipfian
+  D    95% read / 5% insert   latest (reads concentrate on new keys)
+  E    95% scan / 5% insert   zipfian start + short uniform scan
+  F    50% read / 50% RMW     zipfian (RMW = read then write same page)
+=====  =====================  =======================================
+
+Records map to pages through ``records_per_page``; the zipfian generator
+uses bounded inverse-CDF sampling so runs are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+__all__ = ["YCSBConfig", "YCSB_WORKLOADS", "generate_ycsb_trace", "zipfian_ranks"]
+
+
+@dataclass(frozen=True)
+class YCSBConfig:
+    """One YCSB core workload's parameters."""
+
+    name: str
+    read_fraction: float
+    update_fraction: float
+    insert_fraction: float = 0.0
+    scan_fraction: float = 0.0
+    rmw_fraction: float = 0.0
+    distribution: str = "zipfian"  # zipfian | latest | uniform
+    max_scan_length: int = 20
+
+    def __post_init__(self) -> None:
+        total = (
+            self.read_fraction + self.update_fraction + self.insert_fraction
+            + self.scan_fraction + self.rmw_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation mix of {self.name} sums to {total}")
+        if self.distribution not in ("zipfian", "latest", "uniform"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+
+
+YCSB_WORKLOADS: dict[str, YCSBConfig] = {
+    "A": YCSBConfig("A", read_fraction=0.5, update_fraction=0.5),
+    "B": YCSBConfig("B", read_fraction=0.95, update_fraction=0.05),
+    "C": YCSBConfig("C", read_fraction=1.0, update_fraction=0.0),
+    "D": YCSBConfig(
+        "D", read_fraction=0.95, update_fraction=0.0,
+        insert_fraction=0.05, distribution="latest",
+    ),
+    "E": YCSBConfig(
+        "E", read_fraction=0.0, update_fraction=0.0,
+        insert_fraction=0.05, scan_fraction=0.95,
+    ),
+    "F": YCSBConfig("F", read_fraction=0.5, update_fraction=0.0, rmw_fraction=0.5),
+}
+
+
+def zipfian_ranks(
+    rng: np.random.Generator, count: int, universe: int, theta: float = 0.99
+) -> np.ndarray:
+    """Sample ``count`` zipfian ranks in [0, universe) via inverse CDF.
+
+    Rank 0 is the most popular item.  ``theta`` is YCSB's zipfian constant.
+    """
+    if universe < 1:
+        raise ValueError("universe must be positive")
+    if not 0.0 < theta < 1.0:
+        raise ValueError(f"theta must be in (0, 1): {theta}")
+    weights = 1.0 / np.power(np.arange(1, universe + 1), theta)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    uniforms = rng.random(count)
+    return np.searchsorted(cdf, uniforms)
+
+
+def generate_ycsb_trace(
+    workload: str,
+    num_pages: int,
+    num_ops: int,
+    records_per_page: int = 16,
+    seed: int = 42,
+    theta: float = 0.99,
+) -> Trace:
+    """Generate a page-level trace for YCSB core workload ``workload``.
+
+    ``num_pages`` is the table's page span (records = pages x
+    records_per_page); inserts extend a virtual tail that wraps within the
+    page span, and "latest" reads concentrate near the insertion point.
+    """
+    config = YCSB_WORKLOADS.get(workload.upper())
+    if config is None:
+        known = ", ".join(sorted(YCSB_WORKLOADS))
+        raise KeyError(f"unknown YCSB workload {workload!r}; known: {known}")
+    if num_pages < 2 or num_ops < 1:
+        raise ValueError("need at least 2 pages and 1 operation")
+
+    rng = np.random.default_rng(seed)
+    # A random permutation decouples popularity rank from page number, so
+    # zipfian skew does not masquerade as sequentiality.
+    page_of_rank = rng.permutation(num_pages)
+
+    pages: list[int] = []
+    writes: list[bool] = []
+    insert_cursor = num_pages - 1  # tail page index (grows, wraps)
+    operation_draws = rng.random(num_ops)
+    scan_lengths = rng.integers(1, config.max_scan_length + 1, num_ops)
+    zipf_pool = zipfian_ranks(rng, num_ops, num_pages, theta=theta)
+    latest_offsets = zipfian_ranks(rng, num_ops, num_pages, theta=theta)
+    uniform_pool = rng.integers(0, num_pages, num_ops)
+
+    def skewed_page(index: int) -> int:
+        if config.distribution == "uniform":
+            return int(uniform_pool[index])
+        if config.distribution == "latest":
+            # Concentrate near the newest pages (just behind the cursor).
+            offset = int(latest_offsets[index])
+            return (insert_cursor - offset) % num_pages
+        return int(page_of_rank[zipf_pool[index]])
+
+    for index in range(num_ops):
+        draw = operation_draws[index]
+        if draw < config.read_fraction:
+            pages.append(skewed_page(index))
+            writes.append(False)
+        elif draw < config.read_fraction + config.update_fraction:
+            pages.append(skewed_page(index))
+            writes.append(True)
+        elif draw < (
+            config.read_fraction + config.update_fraction
+            + config.insert_fraction
+        ):
+            insert_cursor = (insert_cursor + 1) % num_pages
+            pages.append(insert_cursor)
+            writes.append(True)
+        elif draw < (
+            config.read_fraction + config.update_fraction
+            + config.insert_fraction + config.scan_fraction
+        ):
+            start = skewed_page(index)
+            for step in range(int(scan_lengths[index])):
+                pages.append((start + step) % num_pages)
+                writes.append(False)
+        else:  # read-modify-write
+            page = skewed_page(index)
+            pages.append(page)
+            writes.append(False)
+            pages.append(page)
+            writes.append(True)
+
+    return Trace(pages, writes, name=f"ycsb-{config.name}")

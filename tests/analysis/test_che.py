@@ -1,0 +1,91 @@
+"""Tests for Che's approximation, cross-checked against the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.che import (
+    characteristic_time,
+    expected_hit_ratio,
+    lru_hit_ratio,
+    two_class_popularities,
+)
+
+
+class TestCharacteristicTime:
+    def test_uniform_popularities(self):
+        p = np.full(100, 0.01)
+        t_c = characteristic_time(p, 50)
+        # Uniform case: C = N (1 - exp(-T/N)) -> T = -N ln(1 - C/N).
+        expected = -100 * np.log(1 - 0.5)
+        assert t_c == pytest.approx(expected, rel=1e-6)
+
+    def test_cache_fills_exactly(self):
+        p = two_class_popularities(1000, 0.9, 0.1)
+        t_c = characteristic_time(p, 100)
+        filled = np.sum(-np.expm1(-p / p.sum() * t_c))
+        assert filled == pytest.approx(100, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            characteristic_time(np.array([]), 1)
+        with pytest.raises(ValueError):
+            characteristic_time(np.array([0.5, 0.5]), 2)
+        with pytest.raises(ValueError):
+            characteristic_time(np.array([-0.1, 1.1]), 1)
+
+
+class TestHitRatio:
+    def test_bounds(self):
+        p = two_class_popularities(500, 0.9, 0.1)
+        hit = lru_hit_ratio(p, 100)
+        assert 0.0 < hit < 1.0
+
+    def test_monotone_in_capacity(self):
+        p = two_class_popularities(1000, 0.9, 0.1)
+        ratios = [lru_hit_ratio(p, c) for c in (20, 60, 120, 400)]
+        assert ratios == sorted(ratios)
+
+    def test_skew_beats_uniform(self):
+        skewed = two_class_popularities(1000, 0.9, 0.1)
+        uniform = np.full(1000, 1e-3)
+        assert lru_hit_ratio(skewed, 60) > lru_hit_ratio(uniform, 60)
+
+    def test_two_class_popularities_shape(self):
+        p = two_class_popularities(100, 0.9, 0.1)
+        assert p.sum() == pytest.approx(1.0)
+        assert p[0] == pytest.approx(0.09)
+        assert p[-1] == pytest.approx(0.1 / 90)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_class_popularities(1, 0.9, 0.1)
+        with pytest.raises(ValueError):
+            two_class_popularities(10, 1.0, 0.1)
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("pool_fraction", (0.04, 0.06, 0.12))
+    def test_predicts_simulated_lru_hit_ratio(self, pool_fraction):
+        """Che's approximation matches the simulated LRU bufferpool.
+
+        This cross-checks the whole bufferpool path against independent
+        theory: an IRM 90/10 stream through the LRU manager must produce
+        (nearly) the analytically predicted hit ratio.
+        """
+        from repro.bench.runner import StackConfig, run_config
+        from repro.storage.profiles import PCIE_SSD
+        from repro.workloads.synthetic import MS, generate_trace
+
+        num_pages = 6000
+        trace = generate_trace(MS, num_pages, 30_000, seed=5)
+        config = StackConfig(
+            profile=PCIE_SSD, policy="lru", variant="baseline",
+            num_pages=num_pages, pool_fraction=pool_fraction,
+        )
+        metrics = run_config(config, trace)
+        predicted = expected_hit_ratio(
+            num_pages, config.pool_capacity, op_fraction=0.9, page_fraction=0.1
+        )
+        # Cold-start misses and finite-run noise keep this from being
+        # exact; a few points of absolute tolerance is a strong check.
+        assert metrics.buffer.hit_ratio == pytest.approx(predicted, abs=0.05)

@@ -1,0 +1,97 @@
+"""Tests for the closed-form ideal-speedup model (Figures 2 and 10h)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.model import (
+    amortization_factor,
+    ideal_speedup,
+    speedup_grid,
+    speedup_vs_alpha,
+)
+
+
+class TestAmortization:
+    def test_single_write_no_amortization(self):
+        assert amortization_factor(1, 8) == 1.0
+
+    def test_full_wave(self):
+        assert amortization_factor(8, 8) == pytest.approx(1 / 8)
+
+    def test_over_wave(self):
+        assert amortization_factor(9, 8) == pytest.approx(2 / 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amortization_factor(0, 8)
+
+
+class TestIdealSpeedup:
+    def test_no_asymmetry_no_writes_means_no_gain(self):
+        assert ideal_speedup(1.0, 8, 8, dirty_fraction=0.0) == pytest.approx(1.0)
+
+    def test_read_only_workload_no_gain(self):
+        assert ideal_speedup(4.0, 8, 8, dirty_fraction=0.0) == pytest.approx(1.0)
+
+    def test_speedup_always_at_least_one(self):
+        assert ideal_speedup(2.0, 4, 8) >= 1.0
+
+    def test_monotone_in_alpha(self):
+        values = [ideal_speedup(alpha, 8, 8) for alpha in (1.0, 2.0, 4.0, 8.0)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_peak_at_nw_equals_kw(self):
+        """Figure 10g / 10h: best speedup at n_w = k_w."""
+        values = {n_w: ideal_speedup(4.0, n_w, 8) for n_w in range(1, 17)}
+        assert max(values, key=values.__getitem__) == 8
+
+    def test_hits_dilute_gain(self):
+        full_miss = ideal_speedup(4.0, 8, 8, miss_ratio=1.0)
+        few_misses = ideal_speedup(4.0, 8, 8, miss_ratio=0.1, cpu_per_read=0.5)
+        assert few_misses < full_miss
+
+    def test_paper_magnitude(self):
+        """Fig. 2's headline: ~2.5x at high asymmetry for an LRU baseline."""
+        value = ideal_speedup(8.0, 8, 8, dirty_fraction=0.5)
+        assert 2.0 < value < 3.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ideal_speedup(0.5, 8, 8)
+        with pytest.raises(ValueError):
+            ideal_speedup(2.0, 8, 8, dirty_fraction=1.5)
+        with pytest.raises(ValueError):
+            ideal_speedup(2.0, 8, 8, miss_ratio=0.0)
+
+    @given(
+        alpha=st.floats(min_value=1.0, max_value=16.0),
+        n_w=st.integers(1, 32),
+        k_w=st.integers(1, 32),
+        dirty=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_never_below_baseline_when_batched_sensibly(self, alpha, n_w, k_w, dirty):
+        """For n_w <= k_w the amortization factor <= 1, so speedup >= 1."""
+        if n_w <= k_w:
+            assert ideal_speedup(alpha, n_w, k_w, dirty_fraction=dirty) >= 1.0 - 1e-12
+
+
+class TestCurves:
+    def test_speedup_vs_alpha_shape(self):
+        curve = speedup_vs_alpha([1.0, 2.0, 4.0, 8.0], k_w=8)
+        assert curve == sorted(curve)
+        assert curve[0] == pytest.approx(1.0, abs=0.5)
+
+    def test_grid_dimensions(self):
+        grid = speedup_grid([1.0, 4.0], [1, 4, 8], k_w=8)
+        assert len(grid) == 2
+        assert len(grid[0]) == 3
+
+    def test_grid_max_at_corner(self):
+        """Fig 10h: max speedup at highest alpha and n_w = k_w."""
+        alphas = [1.0, 2.0, 4.0, 8.0]
+        n_ws = [1, 2, 4, 8]
+        grid = speedup_grid(alphas, n_ws, k_w=8)
+        flat_max = max(max(row) for row in grid)
+        assert grid[-1][-1] == flat_max

@@ -1,0 +1,51 @@
+"""Fast structural tests for the experiment harness (tiny scales).
+
+The real paper-scale runs live in ``benchmarks/``; these tests run the same
+code paths at miniature scale so the harness itself is covered by
+``pytest tests/``.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ExperimentScale,
+    fig2_ideal_speedup,
+    fig10g_nw_sweep,
+    fig10h_asymmetry_continuum,
+    table2_workload_definitions,
+)
+
+TINY = ExperimentScale(num_pages=1500, num_ops=3000)
+
+
+@pytest.fixture(autouse=True)
+def isolated_results(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestHarness:
+    def test_table2_structure(self, isolated_results):
+        data = table2_workload_definitions(TINY)
+        assert set(data) == {"MS", "WIS", "RIS", "MU"}
+        assert (isolated_results / "table2_workloads.txt").exists()
+
+    def test_fig2_structure(self, isolated_results):
+        data = fig2_ideal_speedup(TINY)
+        assert len(data["alphas"]) == len(data["measured"]) == len(data["model"])
+        assert data["measured"][-1] > data["measured"][0]
+
+    def test_fig10g_structure(self, isolated_results):
+        data = fig10g_nw_sweep(TINY, policies=("lru",), n_ws=(1, 4, 8))
+        assert len(data["lru"]) == 3
+        assert data["lru"][2] > data["lru"][0]
+
+    def test_fig10h_structure(self, isolated_results):
+        data = fig10h_asymmetry_continuum(
+            TINY, alphas=(1.0, 4.0), n_ws=(1, 8)
+        )
+        assert len(data["measured"]) == 2
+        assert len(data["measured"][0]) == 2
+        assert data["measured"][1][1] == max(
+            value for row in data["measured"] for value in row
+        )

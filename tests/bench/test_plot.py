@@ -1,0 +1,80 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.bench.plot import heatmap, line_chart
+
+
+class TestLineChart:
+    def test_contains_title_and_legend(self):
+        chart = line_chart(
+            [1, 2, 3], {"alpha": [1.0, 2.0, 3.0]}, title="My chart"
+        )
+        assert chart.splitlines()[0] == "My chart"
+        assert "o alpha" in chart
+
+    def test_extremes_labelled(self):
+        chart = line_chart([0, 10], {"s": [5.0, 25.0]})
+        assert "25" in chart
+        assert "5" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = line_chart(
+            [0, 1], {"a": [0.0, 1.0], "b": [1.0, 0.0]}
+        )
+        assert "o a" in chart and "x b" in chart
+
+    def test_monotone_series_renders_monotone(self):
+        chart = line_chart([0, 1, 2, 3], {"up": [0.0, 1.0, 2.0, 3.0]},
+                           width=20, height=8)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        columns = []
+        for row_index, row in enumerate(rows):
+            body = row.split("|", 1)[1]
+            for col_index, char in enumerate(body):
+                if char == "o":
+                    columns.append((col_index, row_index))
+        columns.sort()
+        row_positions = [row for _, row in columns]
+        assert row_positions == sorted(row_positions, reverse=True)
+
+    def test_flat_series_ok(self):
+        chart = line_chart([0, 1], {"flat": [2.0, 2.0]})
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {})
+        with pytest.raises(ValueError):
+            line_chart([0], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [1.0, 2.0]}, width=2)
+
+
+class TestHeatmap:
+    def test_contains_labels_and_values(self):
+        text = heatmap(
+            ["a=1", "a=2"], ["n=1", "n=2"],
+            [[1.0, 2.0], [3.0, 4.0]], title="grid",
+        )
+        assert "grid" in text
+        assert "a=1" in text and "n=2" in text
+        assert "4.00" in text
+
+    def test_scale_line(self):
+        text = heatmap(["r"], ["c"], [[5.0]])
+        assert "scale:" in text
+
+    def test_shading_monotone(self):
+        text = heatmap(["r"], ["c1", "c2"], [[0.0, 10.0]])
+        row = [line for line in text.splitlines() if line.startswith("        r")][0]
+        # The max cell uses the densest glyph, the min the sparsest.
+        assert "@" in row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heatmap(["a"], ["b"], [])
+        with pytest.raises(ValueError):
+            heatmap(["a"], ["b"], [[1.0, 2.0]])

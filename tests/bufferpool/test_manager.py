@@ -1,0 +1,237 @@
+"""Tests for the baseline buffer manager."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bufferpool.manager import BufferPoolManager
+from repro.errors import PageNotBufferedError, PoolExhaustedError
+from repro.policies.clock import ClockSweepPolicy
+from repro.policies.lru import LRUPolicy
+
+from tests.bufferpool.conftest import make_device, make_manager
+
+
+class TestHitsAndMisses:
+    def test_first_access_misses(self, manager):
+        manager.read_page(0)
+        assert manager.stats.misses == 1
+        assert manager.stats.hits == 0
+
+    def test_second_access_hits(self, manager):
+        manager.read_page(0)
+        manager.read_page(0)
+        assert manager.stats.hits == 1
+        assert manager.contains(0)
+
+    def test_request_counters(self, manager):
+        manager.read_page(0)
+        manager.write_page(1)
+        assert manager.stats.read_requests == 1
+        assert manager.stats.write_requests == 1
+
+    def test_hit_ratio(self, manager):
+        manager.read_page(0)
+        manager.read_page(0)
+        manager.read_page(0)
+        manager.read_page(1)
+        assert manager.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_miss_reads_from_device(self, manager):
+        manager.read_page(5)
+        assert manager.device.stats.reads == 1
+
+
+class TestEviction:
+    def test_pool_never_exceeds_capacity(self):
+        manager = make_manager(capacity=4)
+        for page in range(20):
+            manager.read_page(page)
+        assert len(manager.table) == 4
+        assert manager.pool.used_count == 4
+
+    def test_lru_victim_evicted(self):
+        manager = make_manager(capacity=2)
+        manager.read_page(0)
+        manager.read_page(1)
+        manager.read_page(2)
+        assert not manager.contains(0)
+        assert manager.contains(1)
+        assert manager.contains(2)
+
+    def test_clean_eviction_issues_no_write(self):
+        manager = make_manager(capacity=2)
+        manager.read_page(0)
+        manager.read_page(1)
+        manager.read_page(2)
+        assert manager.device.stats.writes == 0
+        assert manager.stats.clean_evictions == 1
+
+    def test_dirty_eviction_writes_single_page(self):
+        manager = make_manager(capacity=2)
+        manager.write_page(0)
+        manager.read_page(1)
+        manager.read_page(2)  # evicts dirty page 0
+        assert manager.device.stats.writes == 1
+        assert manager.stats.dirty_evictions == 1
+        assert manager.stats.writeback_batches == 1
+        assert manager.stats.mean_writeback_batch == pytest.approx(1.0)
+
+    def test_all_pinned_raises(self):
+        manager = make_manager(capacity=2)
+        manager.read_page(0)
+        manager.read_page(1)
+        manager.pin(0)
+        manager.pin(1)
+        with pytest.raises(PoolExhaustedError):
+            manager.read_page(2)
+
+    def test_pinned_page_survives_pressure(self):
+        manager = make_manager(capacity=2)
+        manager.read_page(0)
+        manager.pin(0)
+        for page in range(1, 10):
+            manager.read_page(page)
+        assert manager.contains(0)
+        manager.unpin(0)
+
+    def test_unpin_unpinned_rejected(self):
+        manager = make_manager()
+        manager.read_page(0)
+        with pytest.raises(ValueError):
+            manager.unpin(0)
+
+
+class TestWritePath:
+    def test_write_increments_version(self, manager):
+        assert manager.write_page(3) == 1
+        assert manager.write_page(3) == 2
+        assert manager.read_page(3) == 2
+
+    def test_explicit_payload(self, manager):
+        manager.write_page(3, payload="hello")
+        assert manager.read_page(3) == "hello"
+
+    def test_write_marks_dirty(self, manager):
+        manager.write_page(3)
+        assert manager.is_dirty(3)
+        assert manager.dirty_pages() == [3]
+
+    def test_read_does_not_dirty(self, manager):
+        manager.read_page(3)
+        assert not manager.is_dirty(3)
+
+    def test_flush_page_cleans(self, manager):
+        manager.write_page(3)
+        manager.flush_page(3)
+        assert not manager.is_dirty(3)
+        assert manager.device.stats.writes == 1
+        assert manager.contains(3)  # flush does not evict
+
+    def test_flush_page_clean_is_noop(self, manager):
+        manager.read_page(3)
+        manager.flush_page(3)
+        assert manager.device.stats.writes == 0
+
+    def test_flush_page_nonresident_rejected(self, manager):
+        with pytest.raises(PageNotBufferedError):
+            manager.flush_page(123)
+
+    def test_flush_all(self, manager):
+        for page in range(3):
+            manager.write_page(page)
+        flushed = manager.flush_all()
+        assert flushed == 3
+        assert manager.dirty_pages() == []
+        # Baseline flushes one page at a time.
+        assert manager.stats.writeback_batches == 3
+
+    def test_dirty_page_version_survives_eviction(self):
+        """No lost update: the evicted dirty version is what comes back."""
+        manager = make_manager(capacity=2)
+        manager.write_page(0)
+        manager.write_page(0)
+        manager.read_page(1)
+        manager.read_page(2)  # evicts page 0 (dirty, version 2)
+        assert not manager.contains(0)
+        assert manager.read_page(0) == 2
+
+
+class TestAccessDispatch:
+    def test_access_routes_reads_and_writes(self, manager):
+        manager.access(1, is_write=False)
+        manager.access(1, is_write=True)
+        assert manager.stats.read_requests == 1
+        assert manager.stats.write_requests == 1
+
+
+class TestStateView:
+    def test_nonresident_pages_not_dirty_or_pinned(self, manager):
+        assert not manager.is_dirty(200)
+        assert not manager.is_pinned(200)
+
+    def test_pin_reflects_in_view(self, manager):
+        manager.read_page(0)
+        manager.pin(0)
+        assert manager.is_pinned(0)
+
+
+class TestConstruction:
+    def test_zero_capacity_rejected(self):
+        device = make_device()
+        with pytest.raises(ValueError):
+            BufferPoolManager(0, LRUPolicy(), device)
+
+    def test_policy_bound_to_manager(self):
+        policy = LRUPolicy()
+        manager = make_manager(policy=policy)
+        manager.write_page(0)
+        assert policy.next_dirty(1) == [0]
+
+    def test_variant_label(self, manager):
+        assert manager.variant == "baseline"
+
+    def test_repr(self, manager):
+        assert "BufferPoolManager" in repr(manager)
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.booleans()),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_durability_and_capacity_invariants(self, requests):
+        """After any request mix: pool within capacity, reads see last write."""
+        manager = make_manager(capacity=6, num_pages=64)
+        versions = dict.fromkeys(range(64), 0)
+        for page, is_write in requests:
+            if is_write:
+                versions[page] = manager.write_page(page)
+            else:
+                value = manager.read_page(page)
+                expected = versions[page] if versions[page] else None
+                # format_pages wrote payload 0 at load time
+                assert value == (versions[page] if versions[page] else 0)
+            assert manager.pool.used_count <= 6
+        manager.flush_all()
+        # After a checkpoint the device holds the latest version of all.
+        for page, version in versions.items():
+            if version:
+                assert manager.device._payloads[page] == version
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_clock_policy_integration(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        manager = make_manager(capacity=5, num_pages=64, policy=ClockSweepPolicy())
+        for _ in range(200):
+            manager.access(rng.randrange(64), rng.random() < 0.5)
+        assert manager.pool.used_count <= 5
+        assert len(manager.policy) == manager.pool.used_count
+        assert set(manager.policy.pages()) == set(manager.resident_pages())

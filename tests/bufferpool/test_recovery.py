@@ -1,0 +1,163 @@
+"""Tests for crash simulation and redo recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bufferpool.manager import BufferPoolManager
+from repro.bufferpool.recovery import recover, simulate_crash
+from repro.bufferpool.wal import WalRecordKind, WriteAheadLog
+from repro.core.ace import ACEBufferPoolManager
+from repro.core.config import ACEConfig
+from repro.policies.lru import LRUPolicy
+from repro.storage.device import SimulatedSSD
+
+from tests.bufferpool.conftest import TEST_PROFILE
+
+
+def make_wal_manager(capacity=8, num_pages=128, ace=False, records_per_page=4):
+    device = SimulatedSSD(TEST_PROFILE, num_pages=num_pages)
+    device.format_pages(range(num_pages))
+    wal = WriteAheadLog(device.clock, records_per_page=records_per_page)
+    if ace:
+        manager = ACEBufferPoolManager(
+            capacity, LRUPolicy(), device, wal=wal,
+            config=ACEConfig(n_w=4, n_e=4),
+        )
+    else:
+        manager = BufferPoolManager(capacity, LRUPolicy(), device, wal=wal)
+    return manager, wal
+
+
+class TestWalRecords:
+    def test_update_records_carry_redo_payload(self):
+        manager, wal = make_wal_manager()
+        manager.write_page(3)
+        record = wal._records[-1]
+        assert record.kind is WalRecordKind.UPDATE
+        assert record.page == 3
+        assert record.payload == 1
+
+    def test_durable_lsn_advances_on_flush(self):
+        manager, wal = make_wal_manager(records_per_page=100)
+        manager.write_page(3)
+        assert wal.durable_lsn == 0
+        wal.flush()
+        assert wal.durable_lsn == 1
+
+    def test_records_since(self):
+        manager, wal = make_wal_manager(records_per_page=1)
+        for page in range(5):
+            manager.write_page(page)
+        assert len(wal.records_since(2)) == 3
+        with pytest.raises(ValueError):
+            wal.records_since(-1)
+
+    def test_checkpoint_sets_last_checkpoint_lsn(self):
+        manager, wal = make_wal_manager()
+        manager.write_page(0)
+        manager.flush_all()
+        assert wal.last_checkpoint_lsn == wal.lsn
+
+
+class TestCrash:
+    def test_crash_requires_wal(self):
+        device = SimulatedSSD(TEST_PROFILE, num_pages=16)
+        device.format_pages(range(16))
+        manager = BufferPoolManager(4, LRUPolicy(), device)
+        with pytest.raises(ValueError):
+            simulate_crash(manager)
+
+    def test_crash_reports_lost_dirty_pages(self):
+        manager, wal = make_wal_manager()
+        manager.write_page(3)
+        manager.write_page(7)
+        image = simulate_crash(manager)
+        assert image.lost_dirty_pages == (3, 7)
+
+    def test_crashed_manager_unusable(self):
+        manager, _ = make_wal_manager()
+        manager.write_page(3)
+        simulate_crash(manager)
+        with pytest.raises(Exception):
+            manager.read_page(3)
+
+
+class TestRecovery:
+    def test_committed_update_survives_crash(self):
+        manager, wal = make_wal_manager(records_per_page=100)
+        manager.write_page(3)      # version 1, dirty in memory only
+        wal.flush()                # commit
+        image = simulate_crash(manager)
+        assert image.device._payloads[3] == 0  # crash lost the update
+        report = recover(image)
+        assert report.redo_applied == 1
+        assert image.device._payloads[3] == 1  # redo restored it
+
+    def test_uncommitted_update_lost(self):
+        manager, wal = make_wal_manager(records_per_page=100)
+        manager.write_page(3)      # never flushed: not durable
+        image = simulate_crash(manager)
+        report = recover(image)
+        assert report.redo_applied == 0
+        assert image.device._payloads[3] == 0
+
+    def test_redo_applies_latest_version_once(self):
+        manager, wal = make_wal_manager(records_per_page=1)
+        for _ in range(5):
+            manager.write_page(3)
+        image = simulate_crash(manager)
+        writes_before = image.device.stats.writes
+        report = recover(image)
+        assert report.redo_applied == 5      # records scanned as redo
+        assert image.device.stats.writes == writes_before + 1  # one write
+        assert image.device._payloads[3] == 5
+
+    def test_recovery_starts_from_checkpoint(self):
+        manager, wal = make_wal_manager(records_per_page=1)
+        manager.write_page(1)
+        manager.flush_all()        # checkpoint: page 1 is on the device
+        manager.write_page(2)
+        image = simulate_crash(manager)
+        report = recover(image)
+        assert report.start_lsn == wal.last_checkpoint_lsn
+        # Only the post-checkpoint update is redone.
+        assert report.redo_applied == 1
+        assert image.device._payloads[2] == 1
+
+    def test_recovery_with_ace_manager(self):
+        manager, wal = make_wal_manager(ace=True, records_per_page=1)
+        for page in range(12):
+            manager.write_page(page)
+        image = simulate_crash(manager)
+        recover(image)
+        for page in range(12):
+            assert image.device._payloads[page] == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 31), st.booleans()),
+            min_size=1, max_size=120,
+        ),
+        st.booleans(),
+    )
+    def test_durability_property(self, operations, use_ace):
+        """Every committed write is recovered; versions never regress."""
+        manager, wal = make_wal_manager(
+            capacity=6, num_pages=32, ace=use_ace, records_per_page=3
+        )
+        committed: dict[int, int] = {}
+        pending: dict[int, int] = {}
+        for page, commit in operations:
+            pending[page] = manager.write_page(page)
+            if commit:
+                wal.flush()
+                committed.update(pending)
+                pending.clear()
+        image = simulate_crash(manager)
+        recover(image)
+        for page, version in committed.items():
+            recovered = image.device._payloads[page]
+            assert isinstance(recovered, int)
+            assert recovered >= version

@@ -1,0 +1,62 @@
+"""Shared fixtures for ACE tests."""
+
+from __future__ import annotations
+
+from repro.core.ace import ACEBufferPoolManager
+from repro.core.config import ACEConfig
+from repro.policies.lru import LRUPolicy
+from repro.prefetch.base import Prefetcher
+from repro.storage.device import SimulatedSSD
+from repro.storage.profiles import DeviceProfile
+
+#: Overhead-free profile with k_w = 4 so batch effects are easy to assert.
+ACE_TEST_PROFILE = DeviceProfile(
+    name="ace-test", alpha=2.0, k_r=8, k_w=4, read_latency_us=100.0,
+    submit_overhead_us=0.0, queue_overhead_us=0.0,
+)
+
+
+class ScriptedPrefetcher(Prefetcher):
+    """Suggests a fixed successor mapping — fully controllable in tests."""
+
+    name = "scripted"
+
+    def __init__(self, suggestions: dict[int, list[int]] | None = None) -> None:
+        self.suggestions = suggestions if suggestions is not None else {}
+        self.observed: list[int] = []
+        self.misses: list[int] = []
+
+    def observe(self, page: int) -> None:
+        self.observed.append(page)
+
+    def on_miss(self, page: int) -> None:
+        self.misses.append(page)
+
+    def suggest(self, page: int, n: int) -> list[int]:
+        return list(self.suggestions.get(page, []))[:n]
+
+
+def make_ace(
+    capacity=8,
+    num_pages=256,
+    n_w=4,
+    n_e=None,
+    prefetch=False,
+    prefetcher=None,
+    policy=None,
+    profile=ACE_TEST_PROFILE,
+):
+    device = SimulatedSSD(profile, num_pages=num_pages)
+    device.format_pages(range(num_pages))
+    config = ACEConfig(
+        n_w=n_w,
+        n_e=n_e if n_e is not None else n_w,
+        prefetch_enabled=prefetch,
+    )
+    return ACEBufferPoolManager(
+        capacity,
+        policy if policy is not None else LRUPolicy(),
+        device,
+        config=config,
+        prefetcher=prefetcher,
+    )

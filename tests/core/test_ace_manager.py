@@ -1,0 +1,372 @@
+"""Tests for the ACE bufferpool manager (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ACEConfig
+from repro.errors import PoolExhaustedError
+from repro.storage.profiles import PCIE_SSD
+
+from tests.core.conftest import ScriptedPrefetcher, make_ace
+
+
+def fill_dirty(manager, pages):
+    """Write each page once so the pool holds them dirty."""
+    for page in pages:
+        manager.write_page(page)
+
+
+class TestCleanPath:
+    def test_clean_victim_behaves_classically(self):
+        manager = make_ace(capacity=2)
+        manager.read_page(0)
+        manager.read_page(1)
+        manager.read_page(2)  # victim 0 is clean: drop + single read
+        assert not manager.contains(0)
+        assert manager.device.stats.writes == 0
+        assert manager.stats.clean_evictions == 1
+
+    def test_read_only_workload_identical_to_baseline(self):
+        """The paper's no-penalty property: zero writes -> zero difference."""
+        from repro.bufferpool.manager import BufferPoolManager
+        from repro.policies.lru import LRUPolicy
+        from repro.storage.device import SimulatedSSD
+        from tests.core.conftest import ACE_TEST_PROFILE
+
+        pattern = [0, 1, 2, 3, 1, 4, 0, 5, 6, 2, 7, 8, 1, 9] * 20
+
+        def run(cls, **kwargs):
+            device = SimulatedSSD(ACE_TEST_PROFILE, num_pages=64)
+            device.format_pages(range(64))
+            manager = cls(4, LRUPolicy(), device, **kwargs)
+            for page in pattern:
+                manager.read_page(page)
+            return manager
+
+        baseline = run(BufferPoolManager)
+        ace = make_ace(capacity=4, num_pages=64)
+        for page in pattern:
+            ace.read_page(page)
+        assert ace.stats.misses == baseline.stats.misses
+        assert ace.device.stats.writes == baseline.device.stats.writes == 0
+        assert ace.device.clock.now_us == baseline.device.clock.now_us
+
+
+class TestDirtyPathWithoutPrefetch:
+    def test_writer_batches_nw_dirty_pages(self):
+        manager = make_ace(capacity=4, n_w=4)
+        fill_dirty(manager, [0, 1, 2, 3])
+        manager.read_page(10)  # victim 0 dirty -> batch-write all 4
+        assert manager.device.stats.writes == 4
+        assert manager.device.stats.write_batches == 1
+        assert manager.device.stats.largest_write_batch == 4
+
+    def test_only_victim_evicted(self):
+        manager = make_ace(capacity=4, n_w=4)
+        fill_dirty(manager, [0, 1, 2, 3])
+        manager.read_page(10)
+        assert not manager.contains(0)
+        for page in (1, 2, 3):
+            assert manager.contains(page)
+            assert not manager.is_dirty(page)  # cleaned, not evicted
+
+    def test_subsequent_evictions_are_free(self):
+        """After one batched write-back the next n_w - 1 evictions are free."""
+        manager = make_ace(capacity=4, n_w=4)
+        fill_dirty(manager, [0, 1, 2, 3])
+        manager.read_page(10)
+        writes_after_first = manager.device.stats.writes
+        manager.read_page(11)
+        manager.read_page(12)
+        manager.read_page(13)
+        assert manager.device.stats.writes == writes_after_first
+
+    def test_batch_limited_by_available_dirty_pages(self):
+        manager = make_ace(capacity=4, n_w=4)
+        manager.write_page(0)
+        manager.read_page(1)
+        manager.read_page(2)
+        manager.read_page(3)
+        manager.read_page(10)  # victim 0 dirty, but it is the only dirty page
+        assert manager.device.stats.writes == 1
+
+    def test_writer_follows_virtual_order(self):
+        manager = make_ace(capacity=4, n_w=2)
+        fill_dirty(manager, [0, 1, 2, 3])
+        # LRU order is 0,1,2,3 -> the write-back set must be {0, 1}.
+        manager.read_page(10)
+        assert not manager.is_dirty(0) if manager.contains(0) else True
+        assert not manager.is_dirty(1)
+        assert manager.is_dirty(2)
+        assert manager.is_dirty(3)
+
+    def test_batch_write_costs_single_wave(self):
+        manager = make_ace(capacity=4, n_w=4)
+        fill_dirty(manager, [0, 1, 2, 3])
+        t0 = manager.device.clock.now_us
+        manager.read_page(10)
+        elapsed = manager.device.clock.now_us - t0
+        # One write wave (200us for alpha=2) + one read (100us).
+        assert elapsed == pytest.approx(300.0)
+
+    def test_amortization_beats_baseline_on_dirty_churn(self):
+        from repro.bufferpool.manager import BufferPoolManager
+        from repro.policies.lru import LRUPolicy
+        from repro.storage.device import SimulatedSSD
+        from tests.core.conftest import ACE_TEST_PROFILE
+
+        def churn(manager):
+            for page in range(64):
+                manager.write_page(page)
+            return manager.device.clock.now_us
+
+        device = SimulatedSSD(ACE_TEST_PROFILE, num_pages=64)
+        device.format_pages(range(64))
+        baseline_time = churn(BufferPoolManager(4, LRUPolicy(), device))
+        ace_time = churn(make_ace(capacity=4, n_w=4))
+        assert ace_time < baseline_time
+
+
+class TestDirtyPathWithPrefetch:
+    def test_evicts_ne_pages_and_prefetches(self):
+        prefetcher = ScriptedPrefetcher({10: [20, 21, 22]})
+        manager = make_ace(capacity=4, n_w=4, prefetch=True, prefetcher=prefetcher)
+        fill_dirty(manager, [0, 1, 2, 3])
+        manager.read_page(10)
+        # n_e = 4 pages evicted, requested page + 3 prefetched installed.
+        for page in (0, 1, 2, 3):
+            assert not manager.contains(page)
+        for page in (10, 20, 21, 22):
+            assert manager.contains(page)
+        assert manager.stats.prefetch_issued == 3
+
+    def test_prefetched_pages_sit_at_eviction_end(self):
+        prefetcher = ScriptedPrefetcher({10: [20, 21, 22]})
+        manager = make_ace(capacity=4, n_w=4, prefetch=True, prefetcher=prefetcher)
+        fill_dirty(manager, [0, 1, 2, 3])
+        manager.read_page(10)
+        order = list(manager.policy.eviction_order())
+        # Requested page 10 is MRU (last); prefetched pages come first.
+        assert order[-1] == 10
+        assert set(order[:3]) == {20, 21, 22}
+
+    def test_prefetch_batch_read_is_concurrent(self):
+        prefetcher = ScriptedPrefetcher({10: [20, 21, 22]})
+        manager = make_ace(capacity=4, n_w=4, prefetch=True, prefetcher=prefetcher)
+        fill_dirty(manager, [0, 1, 2, 3])
+        t0 = manager.device.clock.now_us
+        manager.read_page(10)
+        elapsed = manager.device.clock.now_us - t0
+        # One write wave (200) + one concurrent read wave of 4 <= k_r (100).
+        assert elapsed == pytest.approx(300.0)
+
+    def test_prefetch_hit_counted(self):
+        prefetcher = ScriptedPrefetcher({10: [20]})
+        manager = make_ace(capacity=4, n_w=4, prefetch=True, prefetcher=prefetcher)
+        fill_dirty(manager, [0, 1, 2, 3])
+        manager.read_page(10)
+        assert manager.stats.misses == 5
+        manager.read_page(20)  # hit on a prefetched page
+        assert manager.stats.misses == 5
+        assert manager.stats.prefetch_hits == 1
+
+    def test_unused_prefetch_counted_on_eviction(self):
+        prefetcher = ScriptedPrefetcher({10: [20]})
+        manager = make_ace(capacity=4, n_w=4, prefetch=True, prefetcher=prefetcher)
+        fill_dirty(manager, [0, 1, 2, 3])
+        manager.read_page(10)
+        # Page 20 was prefetched cold; evict it by pressure without use.
+        for page in range(30, 40):
+            manager.read_page(page)
+        assert manager.stats.prefetch_unused >= 1
+
+    def test_dirty_coeviction_candidates_are_flushed(self):
+        """Eviction set members that are dirty join the same write batch."""
+        prefetcher = ScriptedPrefetcher({10: [20, 21, 22]})
+        manager = make_ace(capacity=4, n_w=2, n_e=4, prefetch=True,
+                           prefetcher=prefetcher)
+        fill_dirty(manager, [0, 1, 2, 3])
+        manager.read_page(10)
+        # n_w=2 would clean {0,1}, but eviction of {0,1,2,3} forces 2 and 3
+        # into the batch too; nothing dirty may be dropped.
+        assert manager.device.stats.writes == 4
+        assert manager.device.stats.write_batches == 1
+
+    def test_no_suggestions_still_makes_progress(self):
+        prefetcher = ScriptedPrefetcher({})
+        manager = make_ace(capacity=4, n_w=4, prefetch=True, prefetcher=prefetcher)
+        fill_dirty(manager, [0, 1, 2, 3])
+        manager.read_page(10)
+        assert manager.contains(10)
+        assert manager.pool.free_count == 3  # evicted 4, refilled 1
+
+    def test_resident_suggestions_filtered(self):
+        prefetcher = ScriptedPrefetcher({10: [1, 20]})
+        manager = make_ace(capacity=4, n_w=4, prefetch=True, prefetcher=prefetcher)
+        fill_dirty(manager, [0, 1, 2, 3])
+        manager.read_page(10)
+        # Page 1 was evicted before the fetch, so it is actually fetchable;
+        # re-run with a still-resident suggestion instead.
+        manager2 = make_ace(capacity=4, n_w=4, prefetch=True,
+                            prefetcher=ScriptedPrefetcher({10: [11]}))
+        manager2.read_page(11)   # 11 resident
+        manager2.read_page(10)   # suggestion 11 must be filtered
+        assert manager2.stats.prefetch_issued == 0
+
+    def test_out_of_range_suggestions_filtered(self):
+        prefetcher = ScriptedPrefetcher({10: [9999, -3]})
+        manager = make_ace(capacity=4, num_pages=256, n_w=4, prefetch=True,
+                           prefetcher=prefetcher)
+        fill_dirty(manager, [0, 1, 2, 3])
+        manager.read_page(10)
+        assert manager.stats.prefetch_issued == 0
+
+    def test_free_slot_prefetch_bounded_by_ne(self):
+        prefetcher = ScriptedPrefetcher({10: [20, 21, 22, 23, 24, 25]})
+        manager = make_ace(capacity=16, n_w=4, n_e=4, prefetch=True,
+                           prefetcher=prefetcher)
+        manager.read_page(10)  # plenty of free slots, but limit is n_e - 1
+        assert manager.stats.prefetch_issued == 3
+
+
+class TestMissTraining:
+    def test_prefetcher_sees_misses_and_accesses(self):
+        prefetcher = ScriptedPrefetcher({})
+        manager = make_ace(capacity=4, prefetch=True, prefetcher=prefetcher)
+        manager.read_page(0)
+        manager.read_page(0)
+        manager.read_page(1)
+        assert prefetcher.misses == [0, 1]
+        assert prefetcher.observed == [0, 0, 1]
+
+
+class TestConfig:
+    def test_defaults_to_device_kw(self):
+        from repro.storage.device import SimulatedSSD
+        from repro.policies.lru import LRUPolicy
+        from repro.core.ace import ACEBufferPoolManager
+
+        device = SimulatedSSD(PCIE_SSD, num_pages=64)
+        device.format_pages(range(64))
+        manager = ACEBufferPoolManager(8, LRUPolicy(), device)
+        assert manager.config.n_w == 8
+        assert manager.config.n_e == 8
+        assert not manager.prefetching_enabled
+
+    def test_for_device_overrides(self):
+        config = ACEConfig.for_device(PCIE_SSD, n_w=4)
+        assert config.n_w == 4
+        assert config.n_e == 4
+        config = ACEConfig.for_device(PCIE_SSD, n_w=4, n_e=2)
+        assert config.n_e == 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ACEConfig(n_w=0, n_e=1)
+        with pytest.raises(ValueError):
+            ACEConfig(n_w=1, n_e=0)
+
+    def test_variant_labels(self):
+        assert make_ace().variant == "ace"
+        assert make_ace(prefetch=True).variant == "ace+pf"
+
+    def test_default_prefetcher_is_composite(self):
+        manager = make_ace(prefetch=True)
+        from repro.prefetch.composite import CompositePrefetcher
+        assert isinstance(manager.reader.prefetcher, CompositePrefetcher)
+
+
+class TestFlushAll:
+    def test_checkpoint_batches_by_nw(self):
+        manager = make_ace(capacity=10, n_w=4)
+        fill_dirty(manager, range(10))
+        manager.flush_all()
+        assert manager.dirty_pages() == []
+        # 10 pages in batches of 4 -> 3 batches (4 + 4 + 2).
+        assert manager.device.stats.write_batches == 3
+
+
+class TestExhaustion:
+    def test_all_pinned_raises(self):
+        manager = make_ace(capacity=2)
+        manager.read_page(0)
+        manager.read_page(1)
+        manager.pin(0)
+        manager.pin(1)
+        with pytest.raises(PoolExhaustedError):
+            manager.read_page(2)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.booleans()),
+            min_size=1,
+            max_size=300,
+        ),
+        st.booleans(),
+    )
+    def test_functional_equivalence_with_baseline(self, requests, prefetch):
+        """ACE returns the same data as the baseline for any request mix."""
+        from repro.bufferpool.manager import BufferPoolManager
+        from repro.policies.lru import LRUPolicy
+        from repro.storage.device import SimulatedSSD
+        from tests.core.conftest import ACE_TEST_PROFILE
+
+        device = SimulatedSSD(ACE_TEST_PROFILE, num_pages=64)
+        device.format_pages(range(64))
+        baseline = BufferPoolManager(6, LRUPolicy(), device)
+        ace = make_ace(capacity=6, num_pages=64, prefetch=prefetch)
+        for page, is_write in requests:
+            expected = baseline.access(page, is_write)
+            actual = ace.access(page, is_write)
+            assert actual == expected
+            assert ace.pool.used_count <= 6
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.booleans()),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_no_dirty_page_ever_dropped(self, requests):
+        """Durability: flushing at the end reconciles device and truth."""
+        manager = make_ace(capacity=6, num_pages=64, n_w=4)
+        versions: dict[int, int] = {}
+        for page, is_write in requests:
+            if is_write:
+                versions[page] = manager.write_page(page)
+            else:
+                manager.read_page(page)
+        manager.flush_all()
+        for page, version in versions.items():
+            assert manager.device._payloads[page] == version
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_ace_never_slower_than_baseline_on_mixed_churn(self, seed):
+        import random
+
+        from repro.bufferpool.manager import BufferPoolManager
+        from repro.policies.lru import LRUPolicy
+        from repro.storage.device import SimulatedSSD
+        from tests.core.conftest import ACE_TEST_PROFILE
+
+        rng = random.Random(seed)
+        requests = [(rng.randrange(64), rng.random() < 0.5) for _ in range(400)]
+
+        device = SimulatedSSD(ACE_TEST_PROFILE, num_pages=64)
+        device.format_pages(range(64))
+        baseline = BufferPoolManager(6, LRUPolicy(), device)
+        for page, is_write in requests:
+            baseline.access(page, is_write)
+
+        ace = make_ace(capacity=6, num_pages=64, n_w=4)
+        for page, is_write in requests:
+            ace.access(page, is_write)
+
+        assert ace.device.clock.now_us <= baseline.device.clock.now_us + 1e-6

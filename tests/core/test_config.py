@@ -1,0 +1,44 @@
+"""Tests for ACEConfig."""
+
+import pytest
+
+from repro.core.config import ACEConfig
+from repro.storage.profiles import OPTANE_SSD, PCIE_SSD, VIRTUAL_SSD
+
+
+class TestValidation:
+    def test_positive_batch_sizes_required(self):
+        with pytest.raises(ValueError):
+            ACEConfig(n_w=0, n_e=1)
+        with pytest.raises(ValueError):
+            ACEConfig(n_w=1, n_e=-1)
+
+    def test_placement_validated(self):
+        with pytest.raises(ValueError):
+            ACEConfig(n_w=1, n_e=1, prefetch_placement="middle")
+        assert ACEConfig(n_w=1, n_e=1, prefetch_placement="hot").prefetch_placement == "hot"
+
+    def test_frozen(self):
+        config = ACEConfig(n_w=2, n_e=2)
+        with pytest.raises(AttributeError):
+            config.n_w = 4
+
+
+class TestForDevice:
+    def test_follows_kw(self):
+        for profile in (PCIE_SSD, OPTANE_SSD, VIRTUAL_SSD):
+            config = ACEConfig.for_device(profile)
+            assert config.n_w == profile.k_w
+            assert config.n_e == profile.k_w
+            assert not config.prefetch_enabled
+
+    def test_ne_defaults_to_nw_override(self):
+        config = ACEConfig.for_device(PCIE_SSD, n_w=4)
+        assert config.n_e == 4
+
+    def test_explicit_ne(self):
+        config = ACEConfig.for_device(PCIE_SSD, n_w=8, n_e=2)
+        assert config.n_e == 2
+
+    def test_prefetch_flag(self):
+        assert ACEConfig.for_device(PCIE_SSD, prefetch_enabled=True).prefetch_enabled

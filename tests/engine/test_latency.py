@@ -1,0 +1,113 @@
+"""Tests for the latency recorder and its executor integration."""
+
+import pytest
+
+from repro.engine.latency import LatencyRecorder
+
+
+class TestRecorder:
+    def test_empty(self):
+        recorder = LatencyRecorder()
+        assert recorder.count == 0
+        assert recorder.mean_us == 0.0
+        assert recorder.p99_us == 0.0
+        assert recorder.max_us == 0.0
+        assert "empty" in repr(recorder)
+
+    def test_mean_and_max(self):
+        recorder = LatencyRecorder()
+        for value in (10.0, 20.0, 30.0):
+            recorder.record(value)
+        assert recorder.mean_us == pytest.approx(20.0)
+        assert recorder.max_us == 30.0
+        assert len(recorder) == 3
+
+    def test_percentiles_nearest_rank(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record(float(value))
+        assert recorder.percentile(50) == 50.0
+        assert recorder.p95_us == 95.0
+        assert recorder.p99_us == 99.0
+        assert recorder.percentile(100) == 100.0
+        assert recorder.percentile(1) == 1.0
+
+    def test_percentile_cache_invalidation(self):
+        recorder = LatencyRecorder()
+        recorder.record(10.0)
+        assert recorder.p50_us == 10.0
+        recorder.record(2.0)
+        assert recorder.p50_us == 2.0
+
+    def test_validation(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.record(-1.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(0.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(101.0)
+
+    def test_summary_keys(self):
+        recorder = LatencyRecorder()
+        recorder.record(5.0)
+        summary = recorder.summary()
+        assert set(summary) == {
+            "count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"
+        }
+
+
+class TestExecutorIntegration:
+    def test_run_trace_records_latencies(self):
+        from repro.bufferpool.manager import BufferPoolManager
+        from repro.engine.executor import ExecutionOptions, run_trace
+        from repro.policies.lru import LRUPolicy
+        from repro.storage.device import SimulatedSSD
+        from repro.storage.profiles import DeviceProfile
+        from repro.workloads.trace import Trace
+
+        profile = DeviceProfile(
+            name="t", alpha=2.0, k_r=4, k_w=4, read_latency_us=100.0,
+            submit_overhead_us=0.0, queue_overhead_us=0.0,
+        )
+        device = SimulatedSSD(profile, num_pages=16)
+        device.format_pages(range(16))
+        manager = BufferPoolManager(4, LRUPolicy(), device)
+        recorder = LatencyRecorder()
+        trace = Trace([0, 0, 1], [False, False, False])
+        run_trace(
+            manager, trace,
+            options=ExecutionOptions(cpu_us_per_op=5.0),
+            latencies=recorder,
+        )
+        assert recorder.count == 3
+        # Misses cost a read (100us) + CPU; the hit costs CPU only.
+        assert recorder.max_us == pytest.approx(105.0)
+        assert recorder.percentile(1) == pytest.approx(5.0)
+
+    def test_ace_improves_mean_latency(self):
+        """ACE cuts the mean; the batch-paying requests bound the tail."""
+        import random
+
+        from repro.bench.runner import StackConfig, build_stack
+        from repro.engine.executor import ExecutionOptions, run_trace
+        from repro.workloads.trace import Trace
+
+        from repro.storage.profiles import PCIE_SSD
+
+        rng = random.Random(2)
+        pages = [rng.randrange(2000) for _ in range(6000)]
+        writes = [rng.random() < 0.5 for _ in pages]
+        trace = Trace(pages, writes)
+        options = ExecutionOptions(cpu_us_per_op=5.0)
+        recorders = {}
+        for variant in ("baseline", "ace"):
+            config = StackConfig(
+                profile=PCIE_SSD, policy="lru", variant=variant,
+                num_pages=2000, options=options,
+            )
+            recorder = LatencyRecorder()
+            run_trace(build_stack(config), trace, options=options,
+                      latencies=recorder)
+            recorders[variant] = recorder
+        assert recorders["ace"].mean_us < recorders["baseline"].mean_us

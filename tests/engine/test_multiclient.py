@@ -1,0 +1,104 @@
+"""Tests for multi-client interleaving."""
+
+import pytest
+
+from repro.engine.multiclient import interleave_traces, interleave_transactions
+from repro.workloads.trace import PageRequest, Trace
+
+
+def client(pages, writes=None, name="c"):
+    if writes is None:
+        writes = [False] * len(pages)
+    return Trace(pages, writes, name=name)
+
+
+class TestInterleaveTraces:
+    def test_round_robin_order(self):
+        merged = interleave_traces(
+            [client([1, 2, 3]), client([10, 20, 30])], mode="round_robin"
+        )
+        assert merged.pages == [1, 10, 2, 20, 3, 30]
+
+    def test_uneven_lengths(self):
+        merged = interleave_traces(
+            [client([1, 2, 3, 4]), client([10])], mode="round_robin"
+        )
+        assert merged.pages == [1, 10, 2, 3, 4]
+
+    def test_preserves_every_request(self):
+        a = client([1, 2], [True, False])
+        b = client([3], [True])
+        merged = interleave_traces([a, b], mode="random", seed=5)
+        assert sorted(merged.pages) == [1, 2, 3]
+        assert sum(merged.writes) == 2
+
+    def test_per_client_order_preserved_random(self):
+        a = client(list(range(50)))
+        b = client(list(range(100, 150)))
+        merged = interleave_traces([a, b], mode="random", seed=9)
+        a_positions = [p for p in merged.pages if p < 100]
+        b_positions = [p for p in merged.pages if p >= 100]
+        assert a_positions == sorted(a_positions)
+        assert b_positions == sorted(b_positions)
+
+    def test_random_deterministic_by_seed(self):
+        traces = [client([1, 2, 3]), client([4, 5, 6])]
+        first = interleave_traces(traces, mode="random", seed=1)
+        second = interleave_traces(traces, mode="random", seed=1)
+        assert first.pages == second.pages
+
+    def test_single_client_passthrough(self):
+        merged = interleave_traces([client([7, 8])])
+        assert merged.pages == [7, 8]
+
+    def test_empty_client_list_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_traces([])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_traces([client([1])], mode="zigzag")
+
+    def test_name(self):
+        merged = interleave_traces([client([1]), client([2])])
+        assert merged.name == "interleaved[2]"
+
+    def test_interleaving_dilutes_locality(self):
+        """Many clients scanning disjoint ranges destroy sequentiality."""
+        clients = [
+            client(list(range(base, base + 40))) for base in range(0, 400, 40)
+        ]
+        merged = interleave_traces(clients, mode="round_robin")
+        sequential_steps = sum(
+            1 for a, b in zip(merged.pages, merged.pages[1:]) if b == a + 1
+        )
+        assert sequential_steps < len(merged) * 0.1
+
+
+class TestInterleaveTransactions:
+    def test_atomic_transactions(self):
+        streams = [
+            [("t1", [PageRequest(1, True), PageRequest(2, True)])],
+            [("t2", [PageRequest(3, False)])],
+        ]
+        merged = interleave_transactions(streams, seed=2)
+        assert len(merged) == 2
+        kinds = [kind for kind, _ in merged]
+        assert sorted(kinds) == ["t1", "t2"]
+        for _, requests in merged:
+            assert isinstance(requests, list)
+
+    def test_per_client_order_preserved(self):
+        streams = [
+            [("a1", []), ("a2", []), ("a3", [])],
+            [("b1", []), ("b2", [])],
+        ]
+        merged = interleave_transactions(streams, seed=3)
+        a_order = [kind for kind, _ in merged if kind.startswith("a")]
+        b_order = [kind for kind, _ in merged if kind.startswith("b")]
+        assert a_order == ["a1", "a2", "a3"]
+        assert b_order == ["b1", "b2"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_transactions([])

@@ -1,0 +1,238 @@
+"""Integration tests: full stacks (device + policy + manager + workload).
+
+These exercise the same paths as the paper's experiments at miniature scale,
+asserting the qualitative results the paper reports.
+"""
+
+import pytest
+
+from repro.bench.runner import StackConfig, build_stack, compare_policies, run_config
+from repro.engine.executor import ExecutionOptions, run_transactions
+from repro.engine.metrics import speedup
+from repro.policies.registry import PAPER_POLICIES
+from repro.storage.profiles import OPTANE_SSD, PCIE_SSD, emulated_profile
+from repro.workloads.synthetic import MS, RIS, WIS, generate_trace, rw_ratio_spec
+from repro.workloads.tpcc.driver import TPCCWorkload
+from repro.workloads.tpcc.transactions import TransactionType
+
+SMALL_PAGES = 4000
+SMALL_OPS = 8000
+FAST_OPTS = ExecutionOptions(cpu_us_per_op=5.0)
+
+
+def small_trace(spec, seed=11):
+    return generate_trace(spec, SMALL_PAGES, SMALL_OPS, seed=seed)
+
+
+class TestAcrossPolicies:
+    @pytest.mark.parametrize("policy", PAPER_POLICIES)
+    def test_ace_beats_baseline_on_mixed_workload(self, policy):
+        trace = small_trace(MS)
+        results = compare_policies(
+            PCIE_SSD, (policy,), trace, num_pages=SMALL_PAGES, options=FAST_OPTS
+        )
+        base = results[(policy, "baseline")]
+        ace = results[(policy, "ace")]
+        ace_pf = results[(policy, "ace+pf")]
+        assert speedup(base, ace) > 1.1
+        assert speedup(base, ace_pf) > 1.1
+        # Functional sanity: same number of client ops served.
+        assert ace.ops == base.ops == ace_pf.ops
+
+    @pytest.mark.parametrize("policy", ("fifo", "second_chance", "twoq", "arc"))
+    def test_ace_wraps_extra_policies_too(self, policy):
+        """The paper's claim: ACE composes with ANY replacement policy."""
+        trace = small_trace(MS)
+        results = compare_policies(
+            PCIE_SSD, (policy,), trace, num_pages=SMALL_PAGES,
+            variants=("baseline", "ace"), options=FAST_OPTS,
+        )
+        assert speedup(results[(policy, "baseline")], results[(policy, "ace")]) > 1.05
+
+    def test_miss_counts_identical_without_prefetch(self):
+        """ACE (no prefetch) evicts exactly the pages the baseline evicts.
+
+        This holds for policies whose victim choice ignores dirtiness (LRU,
+        Clock Sweep).  CFLRU and LRU-WSR pick victims *by* dirtiness, and
+        ACE's batched write-back legitimately changes which pages are dirty
+        — their miss counts may therefore differ slightly.
+        """
+        trace = small_trace(MS)
+        for policy in ("lru", "clock"):
+            results = compare_policies(
+                PCIE_SSD, (policy,), trace, num_pages=SMALL_PAGES,
+                variants=("baseline", "ace"), options=FAST_OPTS,
+            )
+            base = results[(policy, "baseline")]
+            ace = results[(policy, "ace")]
+            assert ace.buffer.misses == base.buffer.misses, policy
+        for policy in ("cflru", "lru_wsr"):
+            results = compare_policies(
+                PCIE_SSD, (policy,), trace, num_pages=SMALL_PAGES,
+                variants=("baseline", "ace"), options=FAST_OPTS,
+            )
+            base = results[(policy, "baseline")]
+            ace = results[(policy, "ace")]
+            delta = abs(ace.buffer.misses - base.buffer.misses)
+            assert delta <= base.buffer.misses * 0.02, policy
+
+
+class TestWorkloadShape:
+    def test_write_intensity_orders_gains(self):
+        gains = {}
+        for spec in (WIS, MS, RIS):
+            trace = small_trace(spec)
+            results = compare_policies(
+                PCIE_SSD, ("lru",), trace, num_pages=SMALL_PAGES,
+                variants=("baseline", "ace"), options=FAST_OPTS,
+            )
+            gains[spec.name] = speedup(
+                results[("lru", "baseline")], results[("lru", "ace")]
+            )
+        assert gains["WIS"] > gains["MS"] > gains["RIS"] > 1.0
+
+    def test_read_only_no_gain_no_writes(self):
+        trace = small_trace(rw_ratio_spec(1.0))
+        results = compare_policies(
+            PCIE_SSD, ("lru",), trace, num_pages=SMALL_PAGES,
+            variants=("baseline", "ace+pf"), options=FAST_OPTS,
+        )
+        base = results[("lru", "baseline")]
+        ace = results[("lru", "ace+pf")]
+        assert base.logical_writes == 0
+        assert ace.logical_writes == 0  # no wear increase on read-only
+        assert speedup(base, ace) == pytest.approx(1.0, abs=0.05)
+
+    def test_asymmetry_orders_device_gains(self):
+        trace = small_trace(rw_ratio_spec(0.2))
+        gains = []
+        for alpha in (1.0, 2.0, 4.0):
+            profile = emulated_profile(alpha=alpha, k_w=8)
+            results = compare_policies(
+                profile, ("lru",), trace, num_pages=SMALL_PAGES,
+                variants=("baseline", "ace"), options=FAST_OPTS,
+            )
+            gains.append(
+                speedup(results[("lru", "baseline")], results[("lru", "ace")])
+            )
+        assert gains == sorted(gains)
+
+    def test_low_asymmetry_device_still_gains(self):
+        trace = small_trace(WIS)
+        results = compare_policies(
+            OPTANE_SSD, ("lru",), trace, num_pages=SMALL_PAGES,
+            variants=("baseline", "ace"), options=FAST_OPTS,
+        )
+        assert speedup(
+            results[("lru", "baseline")], results[("lru", "ace")]
+        ) > 1.0
+
+
+class TestSequentialPrefetching:
+    def test_sequential_scan_with_writes_benefits_from_tap(self):
+        """A scan that dirties pages triggers the prefetch path.
+
+        Per Algorithm 1, prefetching happens on the dirty-victim path (and
+        into free slots); a scan updating every 4th page keeps the pool
+        supplied with dirty victims, so TaP-driven concurrent prefetching
+        converts most scan misses into hits.
+        """
+        import random
+
+        from repro.workloads.trace import Trace
+
+        rng = random.Random(3)
+        pages = list(range(2000)) * 2
+        writes = [rng.random() < 0.25 for _ in pages]
+        trace = Trace(pages, writes, name="scan")
+        no_pf = StackConfig(
+            profile=PCIE_SSD, policy="lru", variant="ace",
+            num_pages=SMALL_PAGES, options=FAST_OPTS,
+        )
+        with_pf = StackConfig(
+            profile=PCIE_SSD, policy="lru", variant="ace+pf",
+            num_pages=SMALL_PAGES, options=FAST_OPTS,
+        )
+        plain = run_config(no_pf, trace)
+        prefetched = run_config(with_pf, trace)
+        # Prefetching fires on dirty-victim misses only (Algorithm 1), and
+        # the Writer keeps dirty victims rare — so the reduction is real
+        # but bounded, matching the paper's modest prefetch-only gains.
+        assert prefetched.buffer.misses < plain.buffer.misses * 0.85
+        assert prefetched.elapsed_us < plain.elapsed_us
+        assert prefetched.buffer.prefetch_hits > 500
+        assert prefetched.buffer.prefetch_accuracy > 0.9
+
+    def test_read_only_scan_identical_to_classic(self):
+        """Read-only: no dirty victims, no prefetch path — no change."""
+        from repro.workloads.trace import Trace
+
+        pages = list(range(2000)) * 2
+        trace = Trace(pages, [False] * len(pages), name="ro-scan")
+        plain = run_config(
+            StackConfig(profile=PCIE_SSD, policy="lru", variant="baseline",
+                        num_pages=SMALL_PAGES, options=FAST_OPTS),
+            trace,
+        )
+        ace = run_config(
+            StackConfig(profile=PCIE_SSD, policy="lru", variant="ace+pf",
+                        num_pages=SMALL_PAGES, options=FAST_OPTS),
+            trace,
+        )
+        # The only divergence is the initial free-slot prefetch warm-up.
+        assert ace.buffer.misses <= plain.buffer.misses
+        assert ace.elapsed_us <= plain.elapsed_us * 1.01
+
+
+class TestTPCCIntegration:
+    def test_tpcc_mix_end_to_end(self):
+        workload = TPCCWorkload(warehouses=2, row_scale=0.02, seed=9)
+        stream = list(workload.transaction_stream(150))
+        metrics = {}
+        for variant in ("baseline", "ace+pf"):
+            config = StackConfig(
+                profile=PCIE_SSD, policy="lru_wsr", variant=variant,
+                num_pages=workload.total_pages, options=FAST_OPTS,
+                with_wal=True,
+            )
+            manager = build_stack(config)
+            metrics[variant] = run_transactions(
+                manager, stream, options=FAST_OPTS
+            )
+        assert metrics["baseline"].transactions == 150
+        assert metrics["ace+pf"].tpmc >= metrics["baseline"].tpmc
+        assert metrics["baseline"].wal_pages_written > 0
+
+    def test_read_only_transaction_no_gain(self):
+        workload = TPCCWorkload(warehouses=2, row_scale=0.02, seed=9)
+        stream = list(
+            workload.transaction_stream(80, only=TransactionType.ORDER_STATUS)
+        )
+        results = {}
+        for variant in ("baseline", "ace+pf"):
+            config = StackConfig(
+                profile=PCIE_SSD, policy="lru", variant=variant,
+                num_pages=workload.total_pages, options=FAST_OPTS,
+            )
+            manager = build_stack(config)
+            results[variant] = run_transactions(manager, stream, options=FAST_OPTS)
+        assert results["baseline"].logical_writes == 0
+        ratio = results["baseline"].elapsed_us / results["ace+pf"].elapsed_us
+        assert ratio == pytest.approx(1.0, abs=0.05)
+
+
+class TestFullSystemDurability:
+    def test_checkpoint_after_tpcc_run_persists_everything(self):
+        workload = TPCCWorkload(warehouses=1, row_scale=0.02, seed=3)
+        config = StackConfig(
+            profile=PCIE_SSD, policy="clock", variant="ace+pf",
+            num_pages=workload.total_pages, options=FAST_OPTS,
+            with_ftl=True,
+        )
+        manager = build_stack(config)
+        run_transactions(
+            manager, workload.transaction_stream(100), options=FAST_OPTS
+        )
+        manager.flush_all()
+        assert manager.dirty_pages() == []
+        manager.device.ftl.check_invariants()

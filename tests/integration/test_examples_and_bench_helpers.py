@@ -1,0 +1,119 @@
+"""Integration tests for the bench runner, reports, and experiment helpers."""
+
+import pytest
+
+from repro.bench.report import format_series, format_table, write_report
+from repro.bench.runner import StackConfig, VARIANTS, build_stack
+from repro.core.ace import ACEBufferPoolManager
+from repro.engine.executor import ExecutionOptions
+from repro.storage.profiles import PCIE_SSD
+
+
+class TestStackConfig:
+    def test_pool_capacity_fraction(self):
+        config = StackConfig(
+            profile=PCIE_SSD, policy="lru", variant="baseline", num_pages=1000
+        )
+        assert config.pool_capacity == 60  # 6% default
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            StackConfig(
+                profile=PCIE_SSD, policy="lru", variant="turbo", num_pages=1000
+            )
+
+    def test_invalid_pool_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            StackConfig(
+                profile=PCIE_SSD, policy="lru", variant="baseline",
+                num_pages=1000, pool_fraction=0.0,
+            )
+
+    def test_tiny_database_rejected(self):
+        with pytest.raises(ValueError):
+            StackConfig(
+                profile=PCIE_SSD, policy="lru", variant="baseline", num_pages=4
+            )
+
+    def test_label(self):
+        config = StackConfig(
+            profile=PCIE_SSD, policy="cflru", variant="ace", num_pages=1000
+        )
+        assert config.label == "cflru/ace"
+
+
+class TestBuildStack:
+    def test_baseline_build(self):
+        config = StackConfig(
+            profile=PCIE_SSD, policy="lru", variant="baseline", num_pages=500
+        )
+        manager = build_stack(config)
+        assert manager.variant == "baseline"
+        assert manager.device.num_pages == 500
+        assert manager.device.contains(499)  # formatted
+
+    def test_ace_build_uses_device_kw(self):
+        config = StackConfig(
+            profile=PCIE_SSD, policy="lru", variant="ace", num_pages=500
+        )
+        manager = build_stack(config)
+        assert isinstance(manager, ACEBufferPoolManager)
+        assert manager.config.n_w == PCIE_SSD.k_w
+        assert not manager.prefetching_enabled
+
+    def test_ace_pf_build(self):
+        config = StackConfig(
+            profile=PCIE_SSD, policy="lru", variant="ace+pf", num_pages=500
+        )
+        manager = build_stack(config)
+        assert manager.prefetching_enabled
+        assert manager.variant == "ace+pf"
+
+    def test_nw_override(self):
+        config = StackConfig(
+            profile=PCIE_SSD, policy="lru", variant="ace", num_pages=500, n_w=3
+        )
+        manager = build_stack(config)
+        assert manager.config.n_w == 3
+
+    def test_wal_and_ftl_attachments(self):
+        config = StackConfig(
+            profile=PCIE_SSD, policy="lru", variant="ace", num_pages=500,
+            with_wal=True, with_ftl=True,
+        )
+        manager = build_stack(config)
+        assert manager.wal is not None
+        assert manager.device.ftl is not None
+
+    def test_variants_constant(self):
+        assert VARIANTS == ("baseline", "ace", "ace+pf")
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.123456]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "0.1235" in text  # 4 significant digits
+
+    def test_format_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"y": [10, 20], "z": [3, 4]})
+        assert "x" in text and "y" in text and "z" in text
+        assert "20" in text
+
+    def test_write_report(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = write_report("unit", "hello table")
+        assert path.read_text() == "hello table\n"
+        assert "hello table" in capsys.readouterr().out
+
+
+class TestExecutionOptionsDefaults:
+    def test_defaults_sane(self):
+        options = ExecutionOptions()
+        assert options.cpu_us_per_op > 0
+        assert options.checkpoint_interval_us > options.bg_writer_interval_us

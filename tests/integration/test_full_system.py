@@ -1,0 +1,124 @@
+"""Capstone: every subsystem composed in one scenario.
+
+TPC-C transactions through an ACE+prefetch bufferpool with WAL, FTL,
+background writer, checkpointer, and latency recording — then a crash and
+redo recovery.  If the pieces compose, all of the following hold at once:
+metrics consistent, wear accounted, writes batched, durability preserved.
+"""
+
+import pytest
+
+from repro.bufferpool.background import BackgroundWriter, Checkpointer
+from repro.bufferpool.recovery import recover, simulate_crash
+from repro.bufferpool.wal import WriteAheadLog
+from repro.core.ace import ACEBufferPoolManager
+from repro.core.config import ACEConfig
+from repro.engine.executor import ExecutionOptions, run_trace
+from repro.engine.latency import LatencyRecorder
+from repro.policies.lru_wsr import LRUWSRPolicy
+from repro.storage.clock import VirtualClock
+from repro.storage.device import SimulatedSSD
+from repro.storage.profiles import PCIE_SSD
+from repro.storage.smart import SmartMonitor
+from repro.workloads.tpcc.driver import TPCCWorkload
+
+
+@pytest.fixture(scope="module")
+def full_system_run():
+    workload = TPCCWorkload(warehouses=2, row_scale=0.02, seed=13)
+    clock = VirtualClock()
+    device = SimulatedSSD(
+        PCIE_SSD, num_pages=workload.total_pages, clock=clock,
+        with_ftl=True, over_provision=0.1,
+    )
+    device.format_pages(range(workload.total_pages))
+    wal = WriteAheadLog(clock, records_per_page=16)
+    capacity = max(16, workload.total_pages // 16)
+    manager = ACEBufferPoolManager(
+        capacity, LRUWSRPolicy(), device, wal=wal,
+        config=ACEConfig.for_device(PCIE_SSD, prefetch_enabled=True),
+    )
+    bg_writer = BackgroundWriter(manager, pages_per_round=8, batch_size=8)
+    checkpointer = Checkpointer(manager, interval_us=0.05e6, batch_size=8)
+    monitor = SmartMonitor(device)
+    latencies = LatencyRecorder()
+    options = ExecutionOptions(cpu_us_per_op=5.0)
+
+    trace = workload.trace(250)
+    metrics = run_trace(
+        manager, trace, options=options, bg_writer=bg_writer,
+        checkpointer=checkpointer, latencies=latencies,
+    )
+    wal.flush()  # final commit barrier before the crash
+    committed = {
+        record.page: record.payload
+        for record in wal.durable_records()
+        if record.page is not None
+    }
+    image = simulate_crash(manager)
+    report = recover(image)
+    return {
+        "workload": workload,
+        "metrics": metrics,
+        "latencies": latencies,
+        "monitor": monitor,
+        "bg_writer": bg_writer,
+        "checkpointer": checkpointer,
+        "committed": committed,
+        "image": image,
+        "report": report,
+    }
+
+
+class TestFullSystem:
+    def test_progress_made(self, full_system_run):
+        metrics = full_system_run["metrics"]
+        assert metrics.ops > 1000
+        assert metrics.elapsed_us > 0
+        assert 0.0 < metrics.miss_ratio < 1.0
+
+    def test_writes_were_batched(self, full_system_run):
+        metrics = full_system_run["metrics"]
+        assert metrics.buffer.mean_writeback_batch > 2.0
+        assert metrics.device.largest_write_batch >= 8
+
+    def test_background_processes_ran(self, full_system_run):
+        assert full_system_run["bg_writer"].rounds > 0
+        assert full_system_run["checkpointer"].checkpoints_taken > 0
+
+    def test_latencies_recorded(self, full_system_run):
+        latencies = full_system_run["latencies"]
+        metrics = full_system_run["metrics"]
+        assert latencies.count == metrics.ops
+        assert latencies.p99_us >= latencies.p50_us
+
+    def test_wear_accounted(self, full_system_run):
+        snapshot = full_system_run["monitor"].snapshot()
+        assert snapshot.nand_writes >= snapshot.host_writes > 0
+        full_system_run["image"].device.ftl.check_invariants()
+
+    def test_io_accounting_consistent(self, full_system_run):
+        metrics = full_system_run["metrics"]
+        stats = metrics.buffer
+        assert metrics.device.reads == stats.misses + stats.prefetch_issued
+        assert metrics.device.writes == stats.writebacks
+
+    def test_recovery_restored_committed_state(self, full_system_run):
+        image = full_system_run["image"]
+        report = full_system_run["report"]
+        committed = full_system_run["committed"]
+        assert report.records_scanned > 0
+        for page, payload in committed.items():
+            device_payload = image.device._payloads[page]
+            assert isinstance(device_payload, int)
+            assert device_payload >= payload if isinstance(payload, int) else True
+
+    def test_wal_on_separate_device(self, full_system_run):
+        """WAL traffic never hit the data device's counters."""
+        metrics = full_system_run["metrics"]
+        image = full_system_run["image"]
+        assert image.wal.pages_written > 0
+        assert image.wal.device is not image.device
+        assert metrics.wal_pages_written == pytest.approx(
+            image.wal.pages_written, abs=2
+        )

@@ -1,0 +1,12 @@
+"""Shared fixtures for replacement-policy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.policies.fake_view import FakeView
+
+
+@pytest.fixture
+def view() -> FakeView:
+    return FakeView()

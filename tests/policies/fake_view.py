@@ -1,0 +1,17 @@
+"""A controllable PageStateView for standalone policy testing."""
+
+from __future__ import annotations
+
+
+class FakeView:
+    """Dirty/pinned state driven directly by the test."""
+
+    def __init__(self) -> None:
+        self.dirty: set[int] = set()
+        self.pinned: set[int] = set()
+
+    def is_dirty(self, page: int) -> bool:
+        return page in self.dirty
+
+    def is_pinned(self, page: int) -> bool:
+        return page in self.pinned

@@ -1,0 +1,135 @@
+"""Tests for Clock Sweep (PostgreSQL's default replacement algorithm)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.clock import ClockSweepPolicy
+
+
+def make_clock(view, pages=(), max_usage=5):
+    policy = ClockSweepPolicy(max_usage=max_usage)
+    policy.bind(view)
+    for page in pages:
+        policy.insert(page)
+    return policy
+
+
+class TestUsageCounts:
+    def test_fresh_insert_starts_at_usage_one(self, view):
+        policy = make_clock(view, [1])
+        assert policy.usage_count(1) == 1
+
+    def test_cold_insert_starts_at_zero(self, view):
+        policy = make_clock(view)
+        policy.insert(1, cold=True)
+        assert policy.usage_count(1) == 0
+
+    def test_access_increments_up_to_cap(self, view):
+        policy = make_clock(view, [1], max_usage=3)
+        for _ in range(10):
+            policy.on_access(1)
+        assert policy.usage_count(1) == 3
+
+    def test_invalid_max_usage_rejected(self):
+        with pytest.raises(ValueError):
+            ClockSweepPolicy(max_usage=0)
+
+
+class TestSweep:
+    def test_sweep_decrements_and_picks_zero(self, view):
+        policy = make_clock(view, [1, 2, 3])
+        # All pages start at usage 1; first sweep decrements everyone,
+        # wraps, and picks page 1.
+        assert policy.select_victim() == 1
+        assert policy.usage_count(2) == 0
+        assert policy.usage_count(3) == 0
+
+    def test_hand_position_persists(self, view):
+        policy = make_clock(view, [1, 2, 3])
+        first = policy.select_victim()
+        policy.remove(first)
+        # Hand is past page 1's slot; pages 2 and 3 now have usage 0.
+        assert policy.select_victim() == 2
+
+    def test_hot_page_survives(self, view):
+        policy = make_clock(view, [1, 2, 3])
+        policy.on_access(1)
+        policy.on_access(1)
+        assert policy.select_victim() in (2, 3)
+
+    def test_pinned_pages_skipped_without_decrement(self, view):
+        policy = make_clock(view, [1, 2])
+        view.pinned.add(1)
+        victim = policy.select_victim()
+        assert victim == 2
+        assert policy.usage_count(1) == 1  # pinned page untouched
+
+    def test_all_pinned_returns_none(self, view):
+        policy = make_clock(view, [1, 2])
+        view.pinned.update([1, 2])
+        assert policy.select_victim() is None
+
+    def test_empty_returns_none(self, view):
+        assert make_clock(view).select_victim() is None
+
+    def test_slot_reuse_after_removal(self, view):
+        policy = make_clock(view, [1, 2, 3])
+        policy.remove(2)
+        policy.insert(4)
+        assert 4 in policy
+        assert len(policy) == 3
+
+
+class TestEvictionOrder:
+    def test_order_is_side_effect_free(self, view):
+        policy = make_clock(view, [1, 2, 3])
+        usage_before = {p: policy.usage_count(p) for p in policy.pages()}
+        list(policy.eviction_order())
+        assert {p: policy.usage_count(p) for p in policy.pages()} == usage_before
+
+    def test_order_consistent_with_select_victim(self, view):
+        """The first page in the virtual order is the next actual victim."""
+        policy = make_clock(view, [1, 2, 3, 4])
+        policy.on_access(3)
+        order = list(policy.eviction_order())
+        assert policy.select_victim() == order[0]
+
+    def test_order_emits_every_unpinned_page(self, view):
+        policy = make_clock(view, [1, 2, 3, 4, 5])
+        view.pinned.add(3)
+        order = list(policy.eviction_order())
+        assert sorted(order) == [1, 2, 4, 5]
+
+    def test_hot_pages_come_later(self, view):
+        policy = make_clock(view, [1, 2, 3])
+        policy.on_access(2)
+        policy.on_access(2)
+        order = list(policy.eviction_order())
+        assert order.index(2) == 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "access", "victim"]),
+                st.integers(0, 12),
+            ),
+            max_size=120,
+        )
+    )
+    def test_virtual_order_head_always_matches_next_victim(self, operations):
+        from tests.policies.fake_view import FakeView
+
+        view = FakeView()
+        policy = make_clock(view)
+        for op, page in operations:
+            if op == "insert" and page not in policy:
+                policy.insert(page)
+            elif op == "access" and page in policy:
+                policy.on_access(page)
+            elif op == "victim" and len(policy) > 0:
+                order = list(policy.eviction_order())
+                victim = policy.select_victim()
+                assert victim == order[0]
+                policy.remove(victim)

@@ -1,0 +1,109 @@
+"""Tests for LRU-WSR (write sequence reordering)."""
+
+import pytest
+
+from repro.policies.lru_wsr import LRUWSRPolicy
+
+
+def make_wsr(view, pages=()):
+    policy = LRUWSRPolicy()
+    policy.bind(view)
+    for page in pages:
+        policy.insert(page)
+    return policy
+
+
+class TestColdFlag:
+    def test_fresh_page_is_not_cold(self, view):
+        policy = make_wsr(view, [1])
+        assert not policy.is_cold(1)
+
+    def test_cold_insert_sets_flag(self, view):
+        policy = make_wsr(view)
+        policy.insert(1, cold=True)
+        assert policy.is_cold(1)
+
+    def test_access_clears_cold_flag(self, view):
+        policy = make_wsr(view)
+        policy.insert(1, cold=True)
+        policy.on_access(1)
+        assert not policy.is_cold(1)
+
+
+class TestSecondChance:
+    def test_clean_page_evicted_regardless_of_flag(self, view):
+        policy = make_wsr(view, [1, 2])
+        assert policy.select_victim() == 1
+
+    def test_hot_dirty_page_gets_second_chance(self, view):
+        """Paper Fig. 4c: dirty non-cold candidate moves to MRU, flag set."""
+        policy = make_wsr(view, [1, 2, 3])
+        view.dirty.add(1)
+        assert policy.select_victim() == 2
+        # Page 1 was moved to MRU with its cold flag set.
+        assert policy.is_cold(1)
+        assert policy.lru_to_mru() == [2, 3, 1]
+
+    def test_cold_dirty_page_evicted(self, view):
+        policy = make_wsr(view, [1, 2])
+        view.dirty.add(1)
+        policy.select_victim()  # gives 1 its second chance -> order [2, 1]
+        view.dirty.add(2)
+        # 2 gets its second chance too -> order [1, 2]; 1 is dirty AND cold.
+        assert policy.select_victim() == 1
+
+    def test_all_dirty_hot_terminates(self, view):
+        policy = make_wsr(view, [1, 2, 3])
+        view.dirty.update([1, 2, 3])
+        victim = policy.select_victim()
+        # After one deferral pass every page is cold; a victim must emerge.
+        assert victim in (1, 2, 3)
+
+    def test_pinned_skipped(self, view):
+        policy = make_wsr(view, [1, 2])
+        view.pinned.add(1)
+        assert policy.select_victim() == 2
+
+    def test_all_pinned_returns_none(self, view):
+        policy = make_wsr(view, [1])
+        view.pinned.add(1)
+        assert policy.select_victim() is None
+
+    def test_remove_clears_flag_state(self, view):
+        policy = make_wsr(view, [1])
+        policy.remove(1)
+        with pytest.raises(KeyError):
+            policy.is_cold(1)
+
+
+class TestEvictionOrder:
+    def test_clean_pages_in_lru_order(self, view):
+        policy = make_wsr(view, [1, 2, 3])
+        assert list(policy.eviction_order()) == [1, 2, 3]
+
+    def test_dirty_hot_pages_deferred(self, view):
+        policy = make_wsr(view, [1, 2, 3])
+        view.dirty.add(1)
+        assert list(policy.eviction_order()) == [2, 3, 1]
+
+    def test_dirty_cold_pages_not_deferred(self, view):
+        policy = make_wsr(view, [1, 2, 3])
+        view.dirty.add(1)
+        policy.select_victim()  # sets cold flag on 1, moves it to MRU
+        # order now [2, 3, 1]; 1 is dirty+cold so keeps its position.
+        assert list(policy.eviction_order()) == [2, 3, 1]
+
+    def test_order_is_side_effect_free(self, view):
+        policy = make_wsr(view, [1, 2, 3])
+        view.dirty.update([1, 2])
+        before = policy.lru_to_mru()
+        flags_before = {p: policy.is_cold(p) for p in before}
+        list(policy.eviction_order())
+        assert policy.lru_to_mru() == before
+        assert {p: policy.is_cold(p) for p in before} == flags_before
+
+    def test_order_head_matches_victim(self, view):
+        policy = make_wsr(view, [1, 2, 3, 4])
+        view.dirty.update([1, 3])
+        order = list(policy.eviction_order())
+        assert policy.select_victim() == order[0]

@@ -1,0 +1,59 @@
+"""Tests for the composite (TaP + history) ACE Reader prefetcher."""
+
+from repro.prefetch.composite import CompositePrefetcher
+from repro.prefetch.history import HistoryPrefetcher
+from repro.prefetch.tap import TaPPrefetcher
+
+
+def make_composite(trigger_length=4, fetch_threshold=2):
+    return CompositePrefetcher(
+        sequential=TaPPrefetcher(trigger_length=trigger_length),
+        history=HistoryPrefetcher(fetch_threshold=fetch_threshold),
+    )
+
+
+class TestRouting:
+    def test_sequential_stream_uses_tap(self):
+        prefetcher = make_composite(trigger_length=3)
+        for page in (100, 101, 102):
+            prefetcher.on_miss(page)
+        assert prefetcher.suggest(102, 3) == [103, 104, 105]
+        assert prefetcher.sequential_suggestions == 3
+        assert prefetcher.history_suggestions == 0
+
+    def test_random_miss_falls_back_to_history(self):
+        prefetcher = make_composite()
+        # Train the history table on a repeating loop.
+        for _ in range(3):
+            for page in (7, 42, 99):
+                prefetcher.observe(page)
+        prefetcher.on_miss(7)
+        assert prefetcher.suggest(7, 2) == [42, 99]
+        assert prefetcher.history_suggestions == 2
+
+    def test_no_signal_suggests_nothing(self):
+        prefetcher = make_composite()
+        prefetcher.on_miss(50)
+        assert prefetcher.suggest(50, 4) == []
+
+    def test_observe_trains_history_only(self):
+        prefetcher = make_composite()
+        prefetcher.observe(1)
+        prefetcher.observe(2)
+        assert prefetcher.history.trained_pairs == 1
+        assert prefetcher.sequential.table_contents() == {}
+
+    def test_default_construction(self):
+        prefetcher = CompositePrefetcher(max_page=100)
+        assert prefetcher.sequential.max_page == 100
+
+    def test_stream_end_reverts_to_history(self):
+        prefetcher = make_composite(trigger_length=3)
+        for _ in range(3):
+            for page in (7, 42, 99):
+                prefetcher.observe(page)
+        for page in (100, 101, 102):
+            prefetcher.on_miss(page)
+        assert prefetcher.suggest(102, 1) == [103]  # in-stream
+        prefetcher.on_miss(7)  # stream broken
+        assert prefetcher.suggest(7, 1) == [42]     # history again

@@ -1,0 +1,117 @@
+"""Tests for the history-table prefetcher (paper Fig. 7)."""
+
+import pytest
+
+from repro.prefetch.history import HistoryPrefetcher
+
+
+def train(prefetcher, sequence):
+    for page in sequence:
+        prefetcher.observe(page)
+
+
+class TestTraining:
+    def test_pair_creates_row(self):
+        p = HistoryPrefetcher()
+        train(p, [1, 3])
+        assert p.row(1) == ([3], [1])
+        assert p.trained_pairs == 1
+
+    def test_repeated_pair_increments_weight(self):
+        p = HistoryPrefetcher()
+        train(p, [1, 3, 1, 3, 1, 3])
+        next_pages, weights = p.row(1)
+        assert next_pages == [3]
+        assert weights[0] == 3
+
+    def test_row_bounded_to_candidates(self):
+        p = HistoryPrefetcher(candidates_per_page=3)
+        train(p, [1, 2, 1, 3, 1, 4, 1, 5])
+        next_pages, _ = p.row(1)
+        assert len(next_pages) == 3
+
+    def test_full_row_decrements_weakest(self):
+        p = HistoryPrefetcher(candidates_per_page=2)
+        train(p, [1, 2, 1, 2, 1, 3])  # row full: [2(w2), 3(w1)]
+        train(p, [1, 4])              # 4 not in row, weakest (3) decremented
+        next_pages, weights = p.row(1)
+        assert 3 in next_pages
+        assert weights[next_pages.index(3)] == 0
+
+    def test_zero_weight_slot_replaced(self):
+        p = HistoryPrefetcher(candidates_per_page=2)
+        train(p, [1, 2, 1, 2, 1, 3])  # [2(w2), 3(w1)]
+        train(p, [1, 4])              # 3 decremented to 0
+        train(p, [1, 4])              # 3 replaced by 4 with weight 1
+        next_pages, _ = p.row(1)
+        assert 4 in next_pages
+        assert 3 not in next_pages
+
+    def test_weight_capped(self):
+        p = HistoryPrefetcher(max_weight=3)
+        train(p, [1, 2] * 10)
+        __, weights = p.row(1)
+        assert weights[0] == 3
+
+    def test_self_transition_ignored(self):
+        p = HistoryPrefetcher()
+        train(p, [1, 1, 1])
+        assert p.row(1) is None
+
+    def test_first_observation_trains_nothing(self):
+        p = HistoryPrefetcher()
+        p.observe(1)
+        assert p.trained_pairs == 0
+        assert p.table_size() == 0
+
+
+class TestSuggestion:
+    def test_below_threshold_not_suggested(self):
+        p = HistoryPrefetcher(fetch_threshold=2)
+        train(p, [1, 3])  # weight 1 < threshold 2
+        assert p.suggest(1, 3) == []
+
+    def test_best_successor_wins(self):
+        p = HistoryPrefetcher(fetch_threshold=2)
+        train(p, [1, 3, 1, 3, 1, 3, 1, 10, 1, 10, 1, 18, 1, 18])
+        # weights: 3 -> 3, 10 -> 2, 18 -> 2; best is 3.
+        assert p.suggest(1, 1) == [3]
+
+    def test_chaining_follows_successors(self):
+        p = HistoryPrefetcher(fetch_threshold=2)
+        train(p, [1, 2, 3, 4] * 3)
+        assert p.suggest(1, 3) == [2, 3, 4]
+
+    def test_chain_stops_at_unknown_page(self):
+        p = HistoryPrefetcher(fetch_threshold=2)
+        train(p, [1, 2] * 3)
+        assert p.suggest(1, 5) == [2]
+
+    def test_no_duplicates_in_chain(self):
+        p = HistoryPrefetcher(fetch_threshold=2)
+        train(p, [1, 2, 1, 2, 2, 1, 2, 1])
+        suggestions = p.suggest(1, 5)
+        assert len(suggestions) == len(set(suggestions))
+        assert 1 not in suggestions
+
+    def test_paper_example(self):
+        """Figure 7: after page 1, page 3 (weight 9) beats 10 (3) and 18 (1)."""
+        p = HistoryPrefetcher(fetch_threshold=2, max_weight=63)
+        for __ in range(3):
+            train(p, [1, 10])
+            p.observe(999)  # break the pair chain
+        for __ in range(9):
+            train(p, [1, 3])
+            p.observe(999)
+        train(p, [1, 18])
+        assert p.suggest(1, 1) == [3]
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HistoryPrefetcher(candidates_per_page=0)
+        with pytest.raises(ValueError):
+            HistoryPrefetcher(fetch_threshold=0)
+        with pytest.raises(ValueError):
+            HistoryPrefetcher(fetch_threshold=5, max_weight=4)

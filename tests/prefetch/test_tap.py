@@ -1,0 +1,82 @@
+"""Tests for the TaP sequential-stream detector."""
+
+import pytest
+
+from repro.prefetch.tap import TaPPrefetcher
+
+
+def feed_stream(tap, start, length):
+    for page in range(start, start + length):
+        tap.on_miss(page)
+
+
+class TestDetection:
+    def test_first_miss_inserts_expected_next(self):
+        tap = TaPPrefetcher()
+        tap.on_miss(100)
+        assert 101 in tap.table_contents()
+
+    def test_stream_length_accumulates(self):
+        tap = TaPPrefetcher()
+        feed_stream(tap, 100, 3)
+        assert tap.table_contents()[103] == 3
+
+    def test_no_trigger_below_threshold(self):
+        tap = TaPPrefetcher(trigger_length=4)
+        feed_stream(tap, 100, 3)
+        assert not tap.in_stream(102)
+        assert tap.suggest(102, 4) == []
+
+    def test_trigger_at_threshold(self):
+        tap = TaPPrefetcher(trigger_length=4)
+        feed_stream(tap, 100, 4)
+        assert tap.in_stream(103)
+        assert tap.suggest(103, 3) == [104, 105, 106]
+        assert tap.streams_detected == 1
+
+    def test_stream_stays_active_beyond_threshold(self):
+        tap = TaPPrefetcher(trigger_length=4)
+        feed_stream(tap, 100, 6)
+        assert tap.in_stream(105)
+        assert tap.streams_detected == 1  # counted once
+
+    def test_interleaved_streams_both_detected(self):
+        tap = TaPPrefetcher(trigger_length=4)
+        for offset in range(4):
+            tap.on_miss(100 + offset)
+            tap.on_miss(500 + offset)
+        assert tap.in_stream(503)
+        assert tap.streams_detected == 2
+
+    def test_random_misses_never_trigger(self):
+        tap = TaPPrefetcher(trigger_length=4)
+        for page in (10, 57, 3, 999, 42, 7):
+            tap.on_miss(page)
+            assert tap.suggest(page, 4) == []
+
+    def test_non_stream_miss_deactivates(self):
+        tap = TaPPrefetcher(trigger_length=4)
+        feed_stream(tap, 100, 4)
+        tap.on_miss(999)  # unrelated miss
+        assert not tap.in_stream(103)
+
+
+class TestTableMaintenance:
+    def test_fifo_eviction_when_full(self):
+        tap = TaPPrefetcher(table_size=3)
+        for page in (10, 20, 30, 40):
+            tap.on_miss(page)
+        table = tap.table_contents()
+        assert len(table) == 3
+        assert 11 not in table  # oldest entry evicted FIFO
+
+    def test_max_page_caps_suggestions(self):
+        tap = TaPPrefetcher(trigger_length=2, max_page=104)
+        feed_stream(tap, 100, 2)
+        assert tap.suggest(101, 10) == [102, 103]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaPPrefetcher(table_size=0)
+        with pytest.raises(ValueError):
+            TaPPrefetcher(trigger_length=1)

@@ -1,0 +1,71 @@
+"""Tests for the virtual clock."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_us == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start_us=100.0).now_us == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start_us=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        clock.advance(10.0)
+        clock.advance(2.5)
+        assert clock.now_us == 12.5
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(5.0) == 5.0
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_zero_advance_allowed(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        assert clock.now_us == 0.0
+
+    def test_now_s_converts_units(self):
+        clock = VirtualClock()
+        clock.advance(2_500_000.0)
+        assert clock.now_s == pytest.approx(2.5)
+
+    def test_elapsed_since(self):
+        clock = VirtualClock()
+        t0 = clock.now_us
+        clock.advance(42.0)
+        assert clock.elapsed_since(t0) == pytest.approx(42.0)
+
+    def test_repr_contains_time(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        assert "1.000" in repr(clock)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e9), max_size=50))
+    def test_monotonic_under_any_advance_sequence(self, deltas):
+        clock = VirtualClock()
+        previous = clock.now_us
+        for delta in deltas:
+            clock.advance(delta)
+            assert clock.now_us >= previous
+            previous = clock.now_us
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=50))
+    def test_time_is_sum_of_advances(self, deltas):
+        clock = VirtualClock()
+        for delta in deltas:
+            clock.advance(delta)
+        assert clock.now_us == pytest.approx(sum(deltas), abs=1e-6)

@@ -1,0 +1,220 @@
+"""Tests for the simulated SSD."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.clock import VirtualClock
+from repro.storage.device import SimulatedSSD
+from repro.storage.profiles import PCIE_SSD, DeviceProfile
+
+FLAT = DeviceProfile(
+    name="flat", alpha=2.0, k_r=4, k_w=4, read_latency_us=100.0,
+    submit_overhead_us=0.0, queue_overhead_us=0.0,
+)
+
+
+def make_device(num_pages=128, profile=FLAT, **kwargs):
+    return SimulatedSSD(profile, num_pages=num_pages, **kwargs)
+
+
+class TestBasics:
+    def test_read_advances_clock_by_read_latency(self):
+        device = make_device()
+        device.read_page(0)
+        assert device.clock.now_us == pytest.approx(100.0)
+
+    def test_write_advances_clock_by_alpha_reads(self):
+        device = make_device()
+        device.write_page(0, payload=1)
+        assert device.clock.now_us == pytest.approx(200.0)
+
+    def test_shared_clock(self):
+        clock = VirtualClock()
+        a = make_device(clock=clock)
+        b = make_device(clock=clock)
+        a.read_page(0)
+        b.read_page(0)
+        assert clock.now_us == pytest.approx(200.0)
+
+    def test_read_of_unwritten_page_returns_none(self):
+        assert make_device().read_page(3) is None
+
+    def test_read_after_write_returns_payload(self):
+        device = make_device()
+        device.write_page(7, payload="hello")
+        assert device.read_page(7) == "hello"
+
+    def test_out_of_range_read_rejected(self):
+        with pytest.raises(IndexError):
+            make_device(num_pages=10).read_page(10)
+
+    def test_out_of_range_write_rejected(self):
+        with pytest.raises(IndexError):
+            make_device(num_pages=10).write_page(-1)
+
+    def test_unbounded_device_accepts_any_page(self):
+        device = SimulatedSSD(FLAT)
+        device.write_page(10**9, payload=1)
+        assert device.read_page(10**9) == 1
+
+    def test_contains(self):
+        device = make_device()
+        assert not device.contains(5)
+        device.write_page(5)
+        assert device.contains(5)
+
+
+class TestBatches:
+    def test_full_write_wave_costs_single_write(self):
+        device = make_device()
+        device.write_batch({p: p for p in range(4)})
+        assert device.clock.now_us == pytest.approx(200.0)
+
+    def test_oversized_batch_takes_two_waves(self):
+        device = make_device()
+        device.write_batch({p: p for p in range(5)})
+        assert device.clock.now_us == pytest.approx(400.0)
+
+    def test_read_batch_returns_payloads_in_order(self):
+        device = make_device()
+        device.write_batch({3: "c", 1: "a", 2: "b"})
+        assert device.read_batch([1, 2, 3, 4]) == ["a", "b", "c", None]
+
+    def test_duplicate_pages_in_write_batch_rejected(self):
+        device = make_device()
+        with pytest.raises(ValueError):
+            device.write_batch([1, 1])
+
+    def test_write_batch_from_iterable_preserves_payloads(self):
+        device = make_device()
+        device.write_page(1, payload="keep")
+        device.write_batch([1, 2])
+        assert device.read_page(1) == "keep"
+
+    def test_empty_batches_free(self):
+        device = make_device()
+        device.read_batch([])
+        device.write_batch({})
+        assert device.clock.now_us == 0.0
+        assert device.stats.total_ios == 0
+
+
+class TestStats:
+    def test_counts_reads_and_writes(self):
+        device = make_device()
+        device.read_batch([0, 1, 2])
+        device.write_batch({3: 0, 4: 0})
+        assert device.stats.reads == 3
+        assert device.stats.writes == 2
+        assert device.stats.read_batches == 1
+        assert device.stats.write_batches == 1
+
+    def test_tracks_largest_batches(self):
+        device = make_device()
+        device.write_batch({p: 0 for p in range(6)})
+        device.write_page(9)
+        assert device.stats.largest_write_batch == 6
+
+    def test_write_batch_histogram(self):
+        device = make_device()
+        device.write_page(0)
+        device.write_page(1)
+        device.write_batch({2: 0, 3: 0})
+        assert device.stats.write_batch_size_histogram == {1: 2, 2: 1}
+
+    def test_mean_write_batch(self):
+        device = make_device()
+        device.write_page(0)
+        device.write_batch({1: 0, 2: 0, 3: 0})
+        assert device.stats.mean_write_batch == pytest.approx(2.0)
+
+    def test_time_split_by_kind(self):
+        device = make_device()
+        device.read_page(0)
+        device.write_page(1)
+        assert device.stats.read_time_us == pytest.approx(100.0)
+        assert device.stats.write_time_us == pytest.approx(200.0)
+        assert device.stats.total_time_us == pytest.approx(300.0)
+
+    def test_reset_stats(self):
+        device = make_device()
+        device.write_page(0)
+        device.reset_stats()
+        assert device.stats.total_ios == 0
+        # payloads survive a stats reset
+        assert device.contains(0)
+
+    def test_format_pages_resets_counters(self):
+        device = make_device()
+        device.format_pages(range(128))
+        assert device.stats.writes == 0
+        assert device.contains(127)
+        assert device.clock.now_us == 0.0
+
+
+class TestFtlIntegration:
+    def test_ftl_requires_num_pages(self):
+        with pytest.raises(ValueError):
+            SimulatedSSD(FLAT, with_ftl=True)
+
+    def test_ftl_counts_physical_writes(self):
+        device = make_device(num_pages=64, with_ftl=True)
+        for _ in range(3):
+            for page in range(64):
+                device.write_page(page)
+        assert device.ftl is not None
+        assert device.ftl.counters.logical_writes == 192
+        assert device.ftl.counters.physical_writes >= 192
+
+    def test_gc_produces_write_amplification(self):
+        device = make_device(num_pages=256, with_ftl=True)
+        device.format_pages(range(256))
+        import random
+        rng = random.Random(5)
+        for _ in range(4000):
+            device.write_page(rng.randrange(256))
+        assert device.ftl.counters.write_amplification > 1.0
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.integers(0, 1000)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_read_after_write_durability(self, writes):
+        """The last write to each page is always what a read returns."""
+        device = make_device(num_pages=64)
+        expected = {}
+        for page, value in writes:
+            device.write_page(page, payload=value)
+            expected[page] = value
+        for page, value in expected.items():
+            assert device.read_page(page) == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 20), min_size=1, max_size=30))
+    def test_clock_equals_sum_of_model_costs(self, batch_sizes):
+        device = make_device(num_pages=4096)
+        expected = 0.0
+        next_page = 0
+        for size in batch_sizes:
+            pages = list(range(next_page, next_page + size))
+            next_page += size
+            device.write_batch(dict.fromkeys(pages, 0))
+            expected += device.model.write_batch_us(size)
+        assert device.clock.now_us == pytest.approx(expected)
+
+    def test_pcie_profile_write_wave(self):
+        device = SimulatedSSD(PCIE_SSD, num_pages=64)
+        t0 = device.clock.now_us
+        device.write_batch({p: 0 for p in range(8)})
+        one_wave = device.clock.now_us - t0
+        t1 = device.clock.now_us
+        device.write_batch({p: 0 for p in range(9)})
+        two_waves = device.clock.now_us - t1
+        assert two_waves > one_wave

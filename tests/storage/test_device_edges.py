@@ -1,0 +1,71 @@
+"""Edge-case coverage for the device and probe beyond the core tests."""
+
+import pytest
+
+from repro.storage.device import SimulatedSSD
+from repro.storage.latency import LatencyModel
+from repro.storage.probe import measure_concurrency
+from repro.storage.profiles import DeviceProfile, emulated_profile
+
+
+class TestLatencyModelEdges:
+    def test_write_queue_defaults_to_read_queue(self):
+        model = LatencyModel(queue_overhead_us=0.5)
+        assert model.queue_overhead_write_us == 0.5
+
+    def test_separate_write_queue_coefficient(self):
+        model = LatencyModel(
+            read_latency_us=100.0, alpha=1.0, k_r=10, k_w=10,
+            submit_overhead_us=0.0, queue_overhead_us=0.0,
+            queue_overhead_write_us=1.0,
+        )
+        assert model.read_batch_us(5) == pytest.approx(100.0)
+        assert model.write_batch_us(5) == pytest.approx(100.0 + 25.0)
+
+    def test_negative_write_queue_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(queue_overhead_write_us=-0.1)
+
+
+class TestProbeEdges:
+    def test_overhead_free_profile_ties_resolve_to_smallest(self):
+        """With no queue pressure, n=k and n=2k tie in throughput; the
+        probe must report the smallest batch achieving the maximum."""
+        profile = emulated_profile(alpha=2.0, k_w=6, k_r=12)
+        assert measure_concurrency(profile, "write", max_batch=24) == 6
+        assert measure_concurrency(profile, "read", max_batch=36) == 12
+
+    def test_probe_respects_max_batch(self):
+        profile = DeviceProfile(
+            name="wide", alpha=1.0, k_r=64, k_w=64, read_latency_us=50.0,
+            submit_overhead_us=0.0, queue_overhead_us=0.0,
+        )
+        # Capped below the true concurrency: best observable is the cap.
+        assert measure_concurrency(profile, "read", max_batch=16) == 16
+
+
+class TestDeviceEdges:
+    def test_mapping_write_batch_with_none_payload(self):
+        device = SimulatedSSD(emulated_profile(2.0, 4), num_pages=16)
+        device.write_batch({3: None})
+        assert device.contains(3)
+        assert device.read_page(3) is None
+
+    def test_iterable_batch_of_fresh_pages(self):
+        device = SimulatedSSD(emulated_profile(2.0, 4), num_pages=16)
+        device.write_batch([1, 2, 3])
+        for page in (1, 2, 3):
+            assert device.contains(page)
+
+    def test_shared_clock_across_wal_and_data(self):
+        from repro.bufferpool.wal import WriteAheadLog
+        from repro.storage.clock import VirtualClock
+
+        clock = VirtualClock()
+        data = SimulatedSSD(emulated_profile(2.0, 4), num_pages=16, clock=clock)
+        wal = WriteAheadLog(clock, records_per_page=1)
+        data.read_page(0)
+        t_after_read = clock.now_us
+        wal.log_update(0)
+        assert clock.now_us > t_after_read
+        assert wal.device.clock is data.clock

@@ -1,0 +1,136 @@
+"""Tests for the analytical latency model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.latency import LatencyModel
+
+
+def plain(alpha=2.0, k_r=8, k_w=4, read=100.0):
+    """A model without submission/queue overheads (pure wave model)."""
+    return LatencyModel(
+        read_latency_us=read, alpha=alpha, k_r=k_r, k_w=k_w,
+        submit_overhead_us=0.0, queue_overhead_us=0.0,
+    )
+
+
+class TestValidation:
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ValueError):
+            LatencyModel(alpha=0.5)
+
+    def test_rejects_zero_read_latency(self):
+        with pytest.raises(ValueError):
+            LatencyModel(read_latency_us=0.0)
+
+    def test_rejects_zero_concurrency(self):
+        with pytest.raises(ValueError):
+            LatencyModel(k_r=0)
+        with pytest.raises(ValueError):
+            LatencyModel(k_w=0)
+
+    def test_rejects_negative_overheads(self):
+        with pytest.raises(ValueError):
+            LatencyModel(submit_overhead_us=-1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(queue_overhead_us=-1.0)
+
+    def test_rejects_negative_batch(self):
+        with pytest.raises(ValueError):
+            plain().read_batch_us(-1)
+
+
+class TestWaveModel:
+    def test_single_read_costs_read_latency(self):
+        assert plain().read_batch_us(1) == pytest.approx(100.0)
+
+    def test_single_write_costs_alpha_reads(self):
+        assert plain(alpha=3.0).write_batch_us(1) == pytest.approx(300.0)
+
+    def test_write_latency_property(self):
+        assert plain(alpha=2.8).write_latency_us == pytest.approx(280.0)
+
+    def test_empty_batch_is_free(self):
+        assert plain().read_batch_us(0) == 0.0
+        assert plain().write_batch_us(0) == 0.0
+
+    def test_full_wave_costs_one_latency(self):
+        model = plain(k_w=4)
+        assert model.write_batch_us(4) == model.write_batch_us(1)
+
+    def test_wave_boundary(self):
+        model = plain(k_w=4)
+        assert model.write_batch_us(5) == pytest.approx(2 * model.write_batch_us(1))
+
+    def test_read_and_write_concurrency_independent(self):
+        model = plain(k_r=8, k_w=2)
+        assert model.read_batch_us(8) == pytest.approx(100.0)
+        assert model.write_batch_us(8) == pytest.approx(4 * 200.0)
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_batch_matches_closed_form(self, n):
+        model = plain(alpha=2.5, k_w=7)
+        expected = math.ceil(n / 7) * 250.0
+        assert model.write_batch_us(n) == pytest.approx(expected)
+
+    @given(st.integers(min_value=1, max_value=100))
+    def test_batch_latency_monotone_in_n(self, n):
+        model = LatencyModel(alpha=2.0, k_r=8, k_w=8)
+        assert model.write_batch_us(n + 1) >= model.write_batch_us(n)
+
+
+class TestOverheads:
+    def test_submit_overhead_per_io(self):
+        model = LatencyModel(
+            read_latency_us=100.0, alpha=1.0, k_r=10, k_w=10,
+            submit_overhead_us=2.0, queue_overhead_us=0.0,
+        )
+        assert model.read_batch_us(5) == pytest.approx(100.0 + 5 * 2.0)
+
+    def test_queue_overhead_quadratic(self):
+        model = LatencyModel(
+            read_latency_us=100.0, alpha=1.0, k_r=100, k_w=100,
+            submit_overhead_us=0.0, queue_overhead_us=0.5,
+        )
+        assert model.read_batch_us(10) == pytest.approx(100.0 + 0.5 * 100)
+
+
+class TestAmortization:
+    def test_amortized_write_minimised_at_k_w(self):
+        """Figure 10g's shape: per-page cost is best at n = k_w."""
+        model = LatencyModel(
+            read_latency_us=90.0, alpha=2.8, k_r=80, k_w=8,
+            submit_overhead_us=1.0, queue_overhead_us=0.05,
+        )
+        costs = {n: model.amortized_write_us(n) for n in range(1, 33)}
+        best = min(costs, key=costs.__getitem__)
+        assert best == 8
+
+    def test_amortized_cost_declines_up_to_k_w(self):
+        model = LatencyModel(read_latency_us=100.0, alpha=2.0, k_r=8, k_w=8)
+        for n in range(1, 8):
+            assert model.amortized_write_us(n + 1) < model.amortized_write_us(n)
+
+    def test_amortized_cost_worse_beyond_k_w_with_queue_pressure(self):
+        model = LatencyModel(
+            read_latency_us=100.0, alpha=2.0, k_r=8, k_w=8,
+            queue_overhead_us=0.05,
+        )
+        assert model.amortized_write_us(16) > model.amortized_write_us(8)
+
+    def test_amortized_rejects_zero(self):
+        with pytest.raises(ValueError):
+            plain().amortized_write_us(0)
+
+    def test_effective_asymmetry_bridged(self):
+        """With n_w = k_w >= alpha, the effective asymmetry drops below 1."""
+        model = plain(alpha=2.8, k_w=8)
+        assert model.effective_asymmetry(8) == pytest.approx(2.8 / 8)
+        assert model.effective_asymmetry(8) < 1.0
+
+    def test_effective_asymmetry_unbatched_equals_alpha(self):
+        model = plain(alpha=2.8)
+        assert model.effective_asymmetry(1) == pytest.approx(2.8)

@@ -1,0 +1,132 @@
+"""Tests for device profiles, the alpha/k probe (Table I), and SMART."""
+
+import pytest
+
+from repro.storage.device import SimulatedSSD
+from repro.storage.probe import measure_asymmetry, measure_concurrency, probe_device
+from repro.storage.profiles import (
+    OPTANE_SSD,
+    PAPER_DEVICES,
+    PCIE_SSD,
+    SATA_SSD,
+    VIRTUAL_SSD,
+    DeviceProfile,
+    emulated_profile,
+)
+from repro.storage.smart import SmartMonitor
+
+
+class TestProfiles:
+    def test_paper_devices_match_table1(self):
+        """The headline Table I parameters are encoded exactly."""
+        table1 = {
+            "Optane SSD": (1.1, 6, 5),
+            "PCIe SSD": (2.8, 80, 8),
+            "SATA SSD": (1.5, 25, 9),
+            "Virtual SSD": (2.0, 11, 19),
+        }
+        for profile in PAPER_DEVICES:
+            alpha, k_r, k_w = table1[profile.name]
+            assert profile.alpha == alpha
+            assert profile.k_r == k_r
+            assert profile.k_w == k_w
+
+    def test_virtual_ssd_has_kw_above_kr(self):
+        """Table I footnote: the cloud volume's throttling inverts k_w/k_r."""
+        assert VIRTUAL_SSD.k_w > VIRTUAL_SSD.k_r
+
+    def test_latency_model_construction(self):
+        model = PCIE_SSD.latency_model()
+        assert model.alpha == 2.8
+        assert model.k_w == 8
+
+    def test_with_replaces_fields(self):
+        modified = PCIE_SSD.with_(alpha=5.0)
+        assert modified.alpha == 5.0
+        assert modified.k_w == PCIE_SSD.k_w
+        assert PCIE_SSD.alpha == 2.8  # original untouched
+
+    def test_emulated_profile_is_overhead_free(self):
+        profile = emulated_profile(alpha=4.0, k_w=8)
+        assert profile.submit_overhead_us == 0.0
+        assert profile.queue_overhead_us == 0.0
+        assert profile.alpha == 4.0
+        assert profile.k_w == 8
+
+    def test_emulated_profile_default_k_r(self):
+        assert emulated_profile(alpha=2.0, k_w=8).k_r == 32
+
+
+class TestProbe:
+    def test_measured_alpha_matches_configured(self):
+        for profile in PAPER_DEVICES:
+            alpha, read_us, write_us = measure_asymmetry(profile)
+            assert alpha == pytest.approx(profile.alpha, rel=0.05)
+            assert write_us > read_us or profile.alpha == 1.0
+
+    def test_measured_write_concurrency_matches(self):
+        for profile in PAPER_DEVICES:
+            k_w = measure_concurrency(profile, "write", max_batch=40)
+            assert k_w == profile.k_w
+
+    def test_measured_read_concurrency_matches(self):
+        for profile in (OPTANE_SSD, SATA_SSD, VIRTUAL_SSD):
+            k_r = measure_concurrency(profile, "read", max_batch=40)
+            assert k_r == profile.k_r
+
+    def test_probe_device_regenerates_table1_row(self):
+        measured = probe_device(SATA_SSD, max_batch=40)
+        assert measured.name == "SATA SSD"
+        assert measured.alpha == pytest.approx(1.5, rel=0.05)
+        assert measured.k_r == 25
+        assert measured.k_w == 9
+
+    def test_probe_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            measure_concurrency(PCIE_SSD, "erase")
+
+    def test_probe_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            measure_asymmetry(PCIE_SSD, samples=0)
+
+
+class TestSmart:
+    def test_snapshot_without_ftl_reports_host_writes(self):
+        device = SimulatedSSD(PCIE_SSD, num_pages=64)
+        monitor = SmartMonitor(device)
+        device.write_page(0)
+        snapshot = monitor.snapshot()
+        assert snapshot.host_writes == 1
+        assert snapshot.nand_writes == 1
+        assert snapshot.erase_cycles == 0
+
+    def test_delta_between_snapshots(self):
+        device = SimulatedSSD(PCIE_SSD, num_pages=64)
+        monitor = SmartMonitor(device)
+        device.write_page(0)
+        before = monitor.snapshot()
+        device.write_page(1)
+        device.read_page(1)
+        delta = monitor.snapshot().delta(before)
+        assert delta.host_writes == 1
+        assert delta.host_reads == 1
+        assert delta.power_on_us > 0
+
+    def test_ftl_backed_snapshot_counts_nand_writes(self):
+        import random
+        device = SimulatedSSD(PCIE_SSD, num_pages=128, with_ftl=True)
+        device.format_pages(range(128))
+        monitor = SmartMonitor(device)
+        rng = random.Random(9)
+        for _ in range(3000):
+            device.write_page(rng.randrange(128))
+        snapshot = monitor.snapshot()
+        assert snapshot.nand_writes > snapshot.host_writes
+        assert snapshot.write_amplification > 1.0
+        assert snapshot.erase_cycles > 0
+        assert monitor.wear_percentage() > 0.0
+
+    def test_endurance_validation(self):
+        device = SimulatedSSD(PCIE_SSD, num_pages=8)
+        with pytest.raises(ValueError):
+            SmartMonitor(device, endurance_cycles=0)

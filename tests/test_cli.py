@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        args_dict = vars(args)
+        assert args_dict["workload"] == "MS"
+        assert args_dict["policy"] == "lru"
+        assert args_dict["variant"] == "ace"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "nope"])
+
+
+class TestCommands:
+    def test_probe_single_device(self, capsys):
+        assert main(["probe", "--device", "optane"]) == 0
+        out = capsys.readouterr().out
+        assert "Optane SSD" in out
+        assert "alpha" in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--workload", "MS", "--policy", "lru", "--variant", "ace",
+            "--pages", "1000", "--ops", "2000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean write batch" in out
+
+    def test_run_emulated_device(self, capsys):
+        code = main([
+            "run", "--alpha", "4.0", "--k-w", "8",
+            "--pages", "1000", "--ops", "1500",
+        ])
+        assert code == 0
+
+    def test_run_custom_read_fraction(self, capsys):
+        code = main([
+            "run", "--read-fraction", "0.2",
+            "--pages", "1000", "--ops", "1500",
+        ])
+        assert code == 0
+
+    def test_run_unknown_workload_exits(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["run", "--workload", "XX", "--pages", "1000", "--ops", "100"])
+
+    def test_compare(self, capsys):
+        code = main([
+            "compare", "--workload", "WIS", "--policies", "lru,clock",
+            "--pages", "1500", "--ops", "3000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LRU" in out
+        assert "Clock Sweep" in out
+        assert "ACE" in out
+
+    def test_tpcc(self, capsys):
+        code = main([
+            "tpcc", "--warehouses", "1", "--transactions", "40",
+            "--row-scale", "0.02",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tpmC" in out
+        assert "speedup" in out
+
+    def test_experiment_unknown_exits(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiment", "fig99"])
+
+    def test_experiment_table2(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["experiment", "table2"]) == 0
+        assert (tmp_path / "table2_workloads.txt").exists()
+
+    def test_summary(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        output = tmp_path / "EXPERIMENTS.md"
+        assert main(["summary", "--output", str(output)]) == 0
+        assert output.exists()
+        assert "paper vs measured" in output.read_text()

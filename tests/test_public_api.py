@@ -1,0 +1,36 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ names missing symbol {name}"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_paper_constants(self):
+        assert len(repro.PAPER_DEVICES) == 4
+        assert len(repro.PAPER_WORKLOADS) == 4
+
+    def test_quickstart_snippet_from_docstring(self):
+        """The module docstring's quickstart must actually run."""
+        device = repro.SimulatedSSD(repro.PCIE_SSD, num_pages=10_000)
+        device.format_pages(range(10_000))
+        manager = repro.ACEBufferPoolManager(
+            capacity=600,
+            policy=repro.LRUPolicy(),
+            device=device,
+            config=repro.ACEConfig.for_device(
+                repro.PCIE_SSD, prefetch_enabled=True
+            ),
+        )
+        manager.write_page(42)
+        assert manager.read_page(42) == 1
+
+    def test_errors_hierarchy(self):
+        assert issubclass(repro.PoolExhaustedError, repro.BufferPoolError)
+        assert issubclass(repro.BufferPoolError, repro.ReproError)
+        assert issubclass(repro.PageNotBufferedError, repro.BufferPoolError)

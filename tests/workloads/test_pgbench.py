@@ -1,0 +1,71 @@
+"""Tests for the pgbench (TPC-B-like) workload."""
+
+import pytest
+
+from repro.workloads.pgbench import PgbenchWorkload
+
+
+class TestSchema:
+    def test_cardinalities_scale(self):
+        workload = PgbenchWorkload(scale=3)
+        assert workload.num_accounts == 300_000
+        assert workload.num_tellers == 30
+        assert workload.num_branches == 3
+
+    def test_relative_footprints(self):
+        workload = PgbenchWorkload(scale=5)
+        assert workload.accounts.num_pages > workload.tellers.num_pages
+        assert workload.tellers.num_pages >= workload.branches.num_pages
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            PgbenchWorkload(scale=0)
+
+
+class TestTransaction:
+    def test_shape(self):
+        workload = PgbenchWorkload(scale=1, seed=1)
+        requests = workload.transaction()
+        assert len(requests) == 5
+        writes = [r for r in requests if r.is_write]
+        assert len(writes) == 4  # account, teller, branch, history
+
+    def test_account_reread_hits_same_page(self):
+        workload = PgbenchWorkload(scale=1, seed=1)
+        requests = workload.transaction()
+        assert requests[0].page == requests[1].page
+        assert requests[0].is_write and not requests[1].is_write
+
+    def test_pages_within_database(self):
+        workload = PgbenchWorkload(scale=2, seed=3)
+        for requests in workload.transactions(200):
+            for request in requests:
+                assert 0 <= request.page < workload.total_pages
+
+    def test_history_appends_sequential(self):
+        workload = PgbenchWorkload(scale=1, seed=1)
+        history_pages = [workload.transaction()[-1].page for _ in range(500)]
+        # Appends fill a page before advancing: non-decreasing until wrap.
+        deltas = [b - a for a, b in zip(history_pages, history_pages[1:])]
+        assert all(d >= 0 for d in deltas if abs(d) < 100)
+
+    def test_branch_pages_are_hot(self):
+        """Tiny branch table concentrates writes — pgbench's natural skew."""
+        workload = PgbenchWorkload(scale=1, seed=2)
+        trace = workload.trace(500)
+        branch_range = range(
+            workload.branches.base_page, workload.branches.end_page
+        )
+        branch_hits = sum(1 for page in trace.pages if page in branch_range)
+        assert branch_hits == 500  # one branch update per transaction
+
+    def test_trace_flattening(self):
+        workload = PgbenchWorkload(scale=1, seed=1)
+        trace = workload.trace(10)
+        assert len(trace) == 50
+        assert trace.name == "pgbench-s1"
+
+    def test_transactions_count_validation(self):
+        workload = PgbenchWorkload(scale=1)
+        with pytest.raises(ValueError):
+            workload.transactions(-1)

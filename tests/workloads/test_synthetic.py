@@ -1,0 +1,100 @@
+"""Tests for the MS/WIS/RIS/MU synthetic workload generators (Table II)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.synthetic import (
+    MS,
+    MU,
+    PAPER_WORKLOADS,
+    RIS,
+    WIS,
+    WorkloadSpec,
+    generate_trace,
+    rw_ratio_spec,
+)
+
+
+class TestSpecs:
+    def test_paper_workload_definitions(self):
+        assert MS.read_fraction == 0.5 and MS.locality == (0.9, 0.1)
+        assert WIS.read_fraction == 0.1 and WIS.locality == (0.9, 0.1)
+        assert RIS.read_fraction == 0.9 and RIS.locality == (0.9, 0.1)
+        assert MU.read_fraction == 0.5 and MU.locality is None
+        assert PAPER_WORKLOADS == (MS, WIS, RIS, MU)
+
+    def test_invalid_read_fraction(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", 1.5, None)
+
+    def test_invalid_locality(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", 0.5, (1.0, 0.1))
+
+    def test_rw_ratio_spec(self):
+        spec = rw_ratio_spec(0.3)
+        assert spec.read_fraction == 0.3
+        assert spec.locality == (0.9, 0.1)
+        assert spec.name == "30/70"
+
+
+class TestGeneration:
+    def test_deterministic_by_seed(self):
+        a = generate_trace(MS, 1000, 5000, seed=7)
+        b = generate_trace(MS, 1000, 5000, seed=7)
+        assert a.pages == b.pages
+        assert a.writes == b.writes
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(MS, 1000, 5000, seed=7)
+        b = generate_trace(MS, 1000, 5000, seed=8)
+        assert a.pages != b.pages
+
+    def test_read_fraction_approximate(self):
+        for spec in PAPER_WORKLOADS:
+            trace = generate_trace(spec, 1000, 20_000, seed=1)
+            assert trace.read_fraction == pytest.approx(spec.read_fraction, abs=0.02)
+
+    def test_skewed_locality(self):
+        trace = generate_trace(MS, 2000, 30_000, seed=1)
+        measured = trace.locality(hot_fraction=0.1, total_pages=2000)
+        assert measured == pytest.approx(0.9, abs=0.03)
+
+    def test_uniform_locality(self):
+        trace = generate_trace(MU, 2000, 30_000, seed=1)
+        measured = trace.locality(hot_fraction=0.1, total_pages=2000)
+        assert measured < 0.2
+
+    def test_pages_within_range(self):
+        trace = generate_trace(WIS, 500, 5000, seed=3)
+        low, high = trace.footprint()
+        assert low >= 0
+        assert high < 500
+
+    def test_hot_set_is_random_subset_not_prefix(self):
+        """Hot pages should not be the contiguous low page numbers."""
+        trace = generate_trace(MS, 10_000, 20_000, seed=2)
+        counts: dict[int, int] = {}
+        for page in trace.pages:
+            counts[page] = counts.get(page, 0) + 1
+        hottest = sorted(counts, key=counts.__getitem__, reverse=True)[:100]
+        assert max(hottest) > 2000  # hot pages scattered over the space
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace(MS, 1, 100)
+        with pytest.raises(ValueError):
+            generate_trace(MS, 100, 0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        read_fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_any_ratio_generates_valid_trace(self, read_fraction, seed):
+        spec = rw_ratio_spec(read_fraction)
+        trace = generate_trace(spec, 300, 2000, seed=seed)
+        assert len(trace) == 2000
+        assert 0 <= min(trace.pages) and max(trace.pages) < 300
+        assert trace.read_fraction == pytest.approx(read_fraction, abs=0.05)

@@ -1,0 +1,94 @@
+"""Property-based tests over the TPC-C substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.tpcc.driver import TPCCWorkload
+from repro.workloads.tpcc.schema import DISTRICTS_PER_WAREHOUSE, TPCCDatabase
+from repro.workloads.tpcc.transactions import TransactionType
+
+
+class TestSchemaProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        warehouses=st.integers(1, 6),
+        row_scale=st.floats(min_value=0.01, max_value=0.3),
+    )
+    def test_every_mapping_is_in_its_relation(self, warehouses, row_scale):
+        db = TPCCDatabase(warehouses=warehouses, row_scale=row_scale, seed=1)
+        rng = random.Random(2)
+        for _ in range(50):
+            w = rng.randrange(warehouses)
+            d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+            checks = [
+                (db.warehouse, db.warehouse_page(w)),
+                (db.district, db.district_page(w, d)),
+                (db.customer, db.customer_page(
+                    w, d, rng.randrange(db.customers_per_district))),
+                (db.stock, db.stock_page(w, rng.randrange(db.num_items))),
+                (db.item, db.item_page(rng.randrange(db.num_items))),
+            ]
+            for relation, page in checks:
+                assert relation.base_page <= page < relation.end_page
+
+    @settings(max_examples=10, deadline=None)
+    @given(warehouses=st.integers(1, 4))
+    def test_order_rings_almost_disjoint_across_districts(self, warehouses):
+        """Districts own disjoint order rows; since rows are packed into
+        pages without district alignment, adjacent districts may share at
+        most the single boundary page (as a real heap would)."""
+        db = TPCCDatabase(warehouses=warehouses, row_scale=0.02, seed=3)
+        pages_per_district: dict[tuple[int, int], set[int]] = {}
+        for w in range(warehouses):
+            for d in range(DISTRICTS_PER_WAREHOUSE):
+                pages = set()
+                for seq in range(db.orders_per_district):
+                    pages.add(db.order_page(w, d, seq))
+                pages_per_district[(w, d)] = pages
+        keys = list(pages_per_district)
+        for i, a in enumerate(keys):
+            for b in keys[i + 1:]:
+                overlap = pages_per_district[a] & pages_per_district[b]
+                assert len(overlap) <= 1, (a, b, overlap)
+
+
+class TestTransactionProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_all_transaction_pages_in_database(self, seed):
+        workload = TPCCWorkload(warehouses=2, row_scale=0.03, seed=seed)
+        for _, requests in workload.transaction_stream(60):
+            for request in requests:
+                assert 0 <= request.page < workload.total_pages
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_read_only_transactions_never_write(self, seed):
+        workload = TPCCWorkload(warehouses=2, row_scale=0.03, seed=seed)
+        for kind in (TransactionType.ORDER_STATUS, TransactionType.STOCK_LEVEL):
+            for _, requests in workload.transaction_stream(15, only=kind):
+                assert all(not r.is_write for r in requests), kind
+
+    def test_stream_deterministic_by_seed(self):
+        def flatten(seed):
+            workload = TPCCWorkload(warehouses=2, row_scale=0.03, seed=seed)
+            return [
+                (kind, tuple((r.page, r.is_write) for r in requests))
+                for kind, requests in workload.transaction_stream(100)
+            ]
+
+        assert flatten(9) == flatten(9)
+        assert flatten(9) != flatten(10)
+
+    def test_delivery_exhausts_then_emits_nothing(self):
+        workload = TPCCWorkload(
+            warehouses=1, row_scale=0.02, seed=4,
+            initial_orders_per_district=1,
+        )
+        first = workload.generator.delivery()
+        assert first  # consumes the single pending order per district
+        second = workload.generator.delivery()
+        assert second == []  # queue empty

@@ -1,0 +1,65 @@
+"""Tests for trace persistence."""
+
+import pytest
+
+from repro.workloads.synthetic import MS, generate_trace
+from repro.workloads.trace import Trace
+from repro.workloads.traceio import load_trace, save_trace
+
+
+@pytest.fixture
+def trace():
+    return Trace([5, 2, 9, 2], [True, False, True, False], name="small")
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert loaded.pages == trace.pages
+        assert loaded.writes == trace.writes
+        assert loaded.name == "small"
+
+    def test_large_generated_trace(self, tmp_path):
+        trace = generate_trace(MS, 2000, 10_000, seed=4)
+        loaded = load_trace(save_trace(trace, tmp_path / "ms.npz"))
+        assert loaded.pages == trace.pages
+        assert loaded.writes == trace.writes
+
+    def test_name_override(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.npz")
+        assert load_trace(path, name="renamed").name == "renamed"
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.csv")
+        loaded = load_trace(path)
+        assert loaded.pages == trace.pages
+        assert loaded.writes == trace.writes
+        assert loaded.name == "t"  # csv stores no name; stem used
+
+    def test_header_written(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.csv")
+        assert path.read_text().splitlines()[0] == "page,is_write"
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,0\n")
+        with pytest.raises(ValueError, match="header"):
+            load_trace(path)
+
+
+class TestErrors:
+    def test_unknown_format_save(self, trace, tmp_path):
+        with pytest.raises(ValueError, match="unsupported"):
+            save_trace(trace, tmp_path / "t.parquet")
+
+    def test_unknown_format_load(self, tmp_path):
+        (tmp_path / "t.bin").write_bytes(b"x")
+        with pytest.raises(ValueError, match="unsupported"):
+            load_trace(tmp_path / "t.bin")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nope.npz")

@@ -1,0 +1,134 @@
+"""Tests for the YCSB core workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.ycsb import (
+    YCSB_WORKLOADS,
+    YCSBConfig,
+    generate_ycsb_trace,
+    zipfian_ranks,
+)
+
+
+class TestConfig:
+    def test_six_core_workloads(self):
+        assert sorted(YCSB_WORKLOADS) == ["A", "B", "C", "D", "E", "F"]
+
+    def test_mixes_sum_to_one(self):
+        for config in YCSB_WORKLOADS.values():
+            total = (
+                config.read_fraction + config.update_fraction
+                + config.insert_fraction + config.scan_fraction
+                + config.rmw_fraction
+            )
+            assert total == pytest.approx(1.0), config.name
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YCSBConfig("X", read_fraction=0.7, update_fraction=0.7)
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            YCSBConfig("X", read_fraction=1.0, update_fraction=0.0,
+                       distribution="gaussian")
+
+
+class TestZipf:
+    def test_ranks_in_range(self):
+        rng = np.random.default_rng(1)
+        ranks = zipfian_ranks(rng, 5000, 1000)
+        assert ranks.min() >= 0
+        assert ranks.max() < 1000
+
+    def test_skew_towards_low_ranks(self):
+        rng = np.random.default_rng(2)
+        ranks = zipfian_ranks(rng, 20_000, 1000, theta=0.99)
+        top_ten_share = np.mean(ranks < 10)
+        assert top_ten_share > 0.15  # zipf(0.99): top 1% of keys ~20% of traffic
+
+    def test_validation(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            zipfian_ranks(rng, 10, 0)
+        with pytest.raises(ValueError):
+            zipfian_ranks(rng, 10, 10, theta=1.5)
+
+
+class TestTraces:
+    def test_deterministic(self):
+        a = generate_ycsb_trace("A", 1000, 4000, seed=7)
+        b = generate_ycsb_trace("A", 1000, 4000, seed=7)
+        assert a.pages == b.pages and a.writes == b.writes
+
+    def test_workload_a_mix(self):
+        trace = generate_ycsb_trace("A", 1000, 10_000, seed=1)
+        assert trace.read_fraction == pytest.approx(0.5, abs=0.02)
+
+    def test_workload_c_read_only(self):
+        trace = generate_ycsb_trace("C", 1000, 5000, seed=1)
+        assert trace.num_writes == 0
+
+    def test_workload_d_reads_concentrate_on_recent(self):
+        trace = generate_ycsb_trace("D", 1000, 10_000, seed=1)
+        # Latest distribution: reads cluster near the insertion frontier,
+        # which starts at page 999 and wraps slowly.
+        reads = [p for p, w in zip(trace.pages, trace.writes) if not w]
+        near_frontier = sum(1 for p in reads if p > 700 or p < 300)
+        assert near_frontier / len(reads) > 0.6
+
+    def test_workload_e_scans_are_sequential(self):
+        trace = generate_ycsb_trace("E", 1000, 2000, seed=1)
+        sequential = sum(
+            1 for a, b in zip(trace.pages, trace.pages[1:]) if b == (a + 1) % 1000
+        )
+        assert sequential / len(trace) > 0.5
+        assert len(trace) > 2000  # scans expand the op count
+
+    def test_workload_f_rmw_pairs(self):
+        trace = generate_ycsb_trace("F", 1000, 4000, seed=1)
+        rmw_pairs = sum(
+            1
+            for (p1, w1), (p2, w2) in zip(
+                zip(trace.pages, trace.writes),
+                zip(trace.pages[1:], trace.writes[1:]),
+            )
+            if p1 == p2 and not w1 and w2
+        )
+        assert rmw_pairs > 1500  # ~50% of 4000 ops are RMW pairs
+
+    def test_inserts_advance_cursor(self):
+        trace = generate_ycsb_trace("D", 1000, 5000, seed=2)
+        inserts = [p for p, w in zip(trace.pages, trace.writes) if w]
+        assert len(set(inserts)) > len(inserts) * 0.8  # mostly fresh pages
+
+    def test_pages_in_range(self):
+        for name in YCSB_WORKLOADS:
+            trace = generate_ycsb_trace(name, 500, 2000, seed=3)
+            low, high = trace.footprint()
+            assert low >= 0 and high < 500, name
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown YCSB workload"):
+            generate_ycsb_trace("Z", 100, 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_ycsb_trace("A", 1, 100)
+
+    def test_ace_gains_on_update_heavy_ycsb(self):
+        """Integration: ACE accelerates YCSB-A (the update-heavy mix)."""
+        from repro.bench.runner import StackConfig, run_config
+        from repro.engine.metrics import speedup
+        from repro.storage.profiles import PCIE_SSD
+
+        trace = generate_ycsb_trace("A", 3000, 8000, seed=4)
+        base = run_config(
+            StackConfig(profile=PCIE_SSD, policy="lru", variant="baseline",
+                        num_pages=3000), trace,
+        )
+        ace = run_config(
+            StackConfig(profile=PCIE_SSD, policy="lru", variant="ace",
+                        num_pages=3000), trace,
+        )
+        assert speedup(base, ace) > 1.2

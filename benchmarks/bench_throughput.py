@@ -1,0 +1,37 @@
+"""Wall-clock simulator throughput (not a paper figure — a regression gate).
+
+Unlike every other bench in this directory, which measures *virtual* time
+on the simulated clock, this one measures how fast the simulator itself
+runs on real hardware via :mod:`repro.bench.perf`, and appends the entry
+to ``BENCH_throughput.json`` at the repo root so the perf trajectory is
+versioned alongside the code.
+"""
+
+from repro.bench import perf
+
+from benchmarks.conftest import run_once
+
+
+def test_throughput_harness(benchmark):
+    entry = run_once(
+        benchmark, lambda: perf.measure(label="bench_throughput", fast=True)
+    )
+
+    assert entry["headline_accesses_per_sec"] > 0
+    for stack in entry["single_stack"].values():
+        assert stack["accesses_per_sec"] > 0
+        assert stack["wall_s"] > 0
+    suite = entry["suite"]
+    assert suite["jobs"] > 0
+    assert suite["serial_s"] > 0
+    assert suite["parallel_s"] > 0
+
+    report = perf.write_entry(entry)
+    assert report["schema_version"] == perf.SCHEMA_VERSION
+    assert report["current"] == entry
+    assert report["history"]
+    assert report["baseline"]["headline_accesses_per_sec"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(perf.main(["--label", "bench_throughput"]))

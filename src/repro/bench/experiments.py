@@ -20,11 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.model import ideal_speedup, speedup_grid, speedup_vs_alpha
+from repro.analysis.model import speedup_grid, speedup_vs_alpha
+from repro.bench.parallel import GridJob, TraceSpec, run_grid
 from repro.bench.plot import heatmap, line_chart
 from repro.bench.report import format_series, format_table, write_report
 from repro.bench.runner import StackConfig, build_stack, run_config
-from repro.engine.executor import ExecutionOptions, run_trace, run_transactions
+from repro.engine.executor import ExecutionOptions, run_trace
 from repro.engine.metrics import RunMetrics, percent_delta, speedup
 from repro.policies.registry import PAPER_POLICIES, display_name
 from repro.storage.probe import probe_device
@@ -86,6 +87,34 @@ def _synthetic_trace(spec, scale: ExperimentScale = SCALE):
     return generate_trace(spec, scale.num_pages, scale.num_ops, seed=scale.seed)
 
 
+def _trace_spec(spec, scale: ExperimentScale = SCALE) -> TraceSpec:
+    """Picklable recipe for the same trace ``_synthetic_trace`` builds."""
+    return TraceSpec(spec, scale.num_pages, scale.num_ops, seed=scale.seed)
+
+
+def _config(
+    profile: DeviceProfile,
+    policy: str,
+    variant: str,
+    scale: ExperimentScale = SCALE,
+    pool_fraction: float | None = None,
+    n_w: int | None = None,
+    n_e: int | None = None,
+    with_ftl: bool = False,
+) -> StackConfig:
+    return StackConfig(
+        profile=profile,
+        policy=policy,
+        variant=variant,
+        num_pages=scale.num_pages,
+        pool_fraction=pool_fraction if pool_fraction is not None else scale.pool_fraction,
+        n_w=n_w,
+        n_e=n_e,
+        with_ftl=with_ftl,
+        options=PAPER_OPTIONS,
+    )
+
+
 def _run(
     profile: DeviceProfile,
     policy: str,
@@ -97,18 +126,27 @@ def _run(
     n_e: int | None = None,
     with_ftl: bool = False,
 ) -> RunMetrics:
-    config = StackConfig(
-        profile=profile,
-        policy=policy,
-        variant=variant,
-        num_pages=scale.num_pages,
-        pool_fraction=pool_fraction if pool_fraction is not None else scale.pool_fraction,
-        n_w=n_w,
-        n_e=n_e,
-        with_ftl=with_ftl,
-        options=PAPER_OPTIONS,
+    config = _config(
+        profile, policy, variant, scale,
+        pool_fraction=pool_fraction, n_w=n_w, n_e=n_e, with_ftl=with_ftl,
     )
     return run_config(config, trace)
+
+
+def _run_grid(
+    keyed_jobs: list[tuple[object, GridJob]],
+    workers: int | None = None,
+) -> dict[object, RunMetrics]:
+    """Fan a keyed job list over :func:`run_grid`, preserving key order.
+
+    The experiment functions batch every independent (config, trace) pair
+    of a figure into one call, so the whole figure parallelises across
+    ``workers`` processes (``REPRO_WORKERS`` / ``--workers``); results are
+    identical to the serial path.
+    """
+    keys = [key for key, _ in keyed_jobs]
+    metrics = run_grid([job for _, job in keyed_jobs], workers=workers)
+    return dict(zip(keys, metrics))
 
 
 # --------------------------------------------------------------- Table I
@@ -189,6 +227,7 @@ def table2_workload_definitions(
 
 def fig2_ideal_speedup(
     scale: ExperimentScale | None = None,
+    workers: int | None = None,
 ) -> dict[str, list[float]]:
     """Figure 2: ideal ACE-vs-LRU speedup as device asymmetry grows.
 
@@ -202,13 +241,18 @@ def fig2_ideal_speedup(
     model_curve = speedup_vs_alpha(
         alphas, k_w=8, dirty_fraction=0.55, miss_ratio=0.55, cpu_per_read=0.33
     )
-    measured_curve: list[float] = []
-    trace = _synthetic_trace(MS, scale)
+    spec = _trace_spec(MS, scale)
+    jobs: list[tuple[object, GridJob]] = []
     for alpha in alphas:
         profile = emulated_profile(alpha=alpha, k_w=8)
-        baseline = _run(profile, "lru", "baseline", trace, scale)
-        ace = _run(profile, "lru", "ace", trace, scale)
-        measured_curve.append(speedup(baseline, ace))
+        for variant in ("baseline", "ace"):
+            config = _config(profile, "lru", variant, scale)
+            jobs.append(((alpha, variant), GridJob(config, trace=spec)))
+    results = _run_grid(jobs, workers=workers)
+    measured_curve = [
+        speedup(results[(alpha, "baseline")], results[(alpha, "ace")])
+        for alpha in alphas
+    ]
     text = format_series(
         "alpha",
         alphas,
@@ -231,23 +275,32 @@ def fig2_ideal_speedup(
 def fig8_synthetic_runtime(
     scale: ExperimentScale = SCALE,
     policies: tuple[str, ...] = PAPER_POLICIES,
+    workers: int | None = None,
 ) -> dict[str, dict[tuple[str, str], RunMetrics]]:
     """Figures 8a-d: runtime of baseline/ACE/ACE+PF on MS, WIS, RIS, MU.
 
     PCIe SSD (alpha=2.8, k_w=8), bufferpool 6 % of the data.  The paper
     reports up to 32.1 % lower runtime, largest on the write-intensive
-    workload.
+    workload.  All 48 (workload, policy, variant) runs fan out over one
+    worker grid.
     """
-    results: dict[str, dict[tuple[str, str], RunMetrics]] = {}
+    jobs: list[tuple[object, GridJob]] = []
     for spec in PAPER_WORKLOADS:
-        trace = _synthetic_trace(spec, scale)
-        per_workload: dict[tuple[str, str], RunMetrics] = {}
+        trace_spec = _trace_spec(spec, scale)
         for policy in policies:
             for variant in ("baseline", "ace", "ace+pf"):
-                per_workload[(policy, variant)] = _run(
-                    PCIE_SSD, policy, variant, trace, scale
+                config = _config(PCIE_SSD, policy, variant, scale)
+                jobs.append(
+                    ((spec.name, policy, variant), GridJob(config, trace=trace_spec))
                 )
-        results[spec.name] = per_workload
+    flat = _run_grid(jobs, workers=workers)
+    results: dict[str, dict[tuple[str, str], RunMetrics]] = {}
+    for spec in PAPER_WORKLOADS:
+        results[spec.name] = {
+            (policy, variant): flat[(spec.name, policy, variant)]
+            for policy in policies
+            for variant in ("baseline", "ace", "ace+pf")
+        }
 
     sections = []
     for spec in PAPER_WORKLOADS:
@@ -291,6 +344,7 @@ def fig8_synthetic_runtime(
 def table3_overheads(
     scale: ExperimentScale = SCALE,
     policies: tuple[str, ...] = PAPER_POLICIES,
+    workers: int | None = None,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Table III: Δ buffer miss, Δ logical writes, Δ physical writes.
 
@@ -298,14 +352,23 @@ def table3_overheads(
     variant causing the most writes) against the baseline.  All deltas
     should be fractions of a percent.
     """
+    jobs: list[tuple[object, GridJob]] = []
+    for spec in PAPER_WORKLOADS:
+        trace_spec = _trace_spec(spec, scale)
+        for policy in policies:
+            for variant in ("baseline", "ace+pf"):
+                config = _config(PCIE_SSD, policy, variant, scale, with_ftl=True)
+                jobs.append(
+                    ((spec.name, policy, variant), GridJob(config, trace=trace_spec))
+                )
+    flat = _run_grid(jobs, workers=workers)
     results: dict[str, dict[str, dict[str, float]]] = {}
     rows = []
     for spec in PAPER_WORKLOADS:
-        trace = _synthetic_trace(spec, scale)
         results[spec.name] = {}
         for policy in policies:
-            base = _run(PCIE_SSD, policy, "baseline", trace, scale, with_ftl=True)
-            ace = _run(PCIE_SSD, policy, "ace+pf", trace, scale, with_ftl=True)
+            base = flat[(spec.name, policy, "baseline")]
+            ace = flat[(spec.name, policy, "ace+pf")]
             deltas = {
                 "miss": percent_delta(base.buffer.misses, ace.buffer.misses),
                 "l_writes": percent_delta(base.logical_writes, ace.logical_writes),
@@ -399,23 +462,35 @@ def fig9_writes_over_time(
 def fig10ab_low_asymmetry_devices(
     scale: ExperimentScale = SCALE,
     policies: tuple[str, ...] = PAPER_POLICIES,
+    workers: int | None = None,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Figures 10a-b: ACE speedup on the SATA and Virtual SSDs.
 
     Lower asymmetry than the PCIe device, so smaller — but still real —
     speedups (paper: 1.12-1.28x SATA, 1.14-1.34x Virtual).
     """
+    jobs: list[tuple[object, GridJob]] = []
+    for profile in (SATA_SSD, VIRTUAL_SSD):
+        for spec in PAPER_WORKLOADS:
+            trace_spec = _trace_spec(spec, scale)
+            for policy in policies:
+                for variant in ("baseline", "ace+pf"):
+                    config = _config(profile, policy, variant, scale)
+                    jobs.append((
+                        (profile.name, spec.name, policy, variant),
+                        GridJob(config, trace=trace_spec),
+                    ))
+    flat = _run_grid(jobs, workers=workers)
     data: dict[str, dict[str, dict[str, float]]] = {}
     sections = []
     for profile in (SATA_SSD, VIRTUAL_SSD):
         data[profile.name] = {}
         rows = []
         for spec in PAPER_WORKLOADS:
-            trace = _synthetic_trace(spec, scale)
             per_policy: dict[str, float] = {}
             for policy in policies:
-                base = _run(profile, policy, "baseline", trace, scale)
-                ace = _run(profile, policy, "ace+pf", trace, scale)
+                base = flat[(profile.name, spec.name, policy, "baseline")]
+                ace = flat[(profile.name, spec.name, policy, "ace+pf")]
                 per_policy[policy] = speedup(base, ace)
             data[profile.name][spec.name] = per_policy
             rows.append(
@@ -440,22 +515,33 @@ def fig10cd_rw_ratio_sweep(
     scale: ExperimentScale = SCALE,
     policies: tuple[str, ...] = PAPER_POLICIES,
     read_fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0),
+    workers: int | None = None,
 ) -> dict[str, dict[str, list[float]]]:
     """Figures 10c-d: speedup and runtime vs read/write ratio (PCIe).
 
     Locality fixed at 90/10.  Gains are largest write-only (paper: 1.57x for
     Clock Sweep), shrink towards read-only, and never go below 1.
     """
+    jobs: list[tuple[object, GridJob]] = []
+    for read_fraction in read_fractions:
+        trace_spec = _trace_spec(rw_ratio_spec(read_fraction), scale)
+        for policy in policies:
+            for variant in ("baseline", "ace+pf"):
+                config = _config(PCIE_SSD, policy, variant, scale)
+                jobs.append((
+                    (read_fraction, policy, variant),
+                    GridJob(config, trace=trace_spec),
+                ))
+    flat = _run_grid(jobs, workers=workers)
     speedups: dict[str, list[float]] = {policy: [] for policy in policies}
     runtimes: dict[str, list[float]] = {}
     for policy in policies:
         runtimes[f"{policy} base"] = []
         runtimes[f"{policy} ace"] = []
     for read_fraction in read_fractions:
-        trace = _synthetic_trace(rw_ratio_spec(read_fraction), scale)
         for policy in policies:
-            base = _run(PCIE_SSD, policy, "baseline", trace, scale)
-            ace = _run(PCIE_SSD, policy, "ace+pf", trace, scale)
+            base = flat[(read_fraction, policy, "baseline")]
+            ace = flat[(read_fraction, policy, "ace+pf")]
             speedups[policy].append(speedup(base, ace))
             runtimes[f"{policy} base"].append(base.runtime_s)
             runtimes[f"{policy} ace"].append(ace.runtime_s)
@@ -483,6 +569,7 @@ def fig10ef_memory_pressure(
     scale: ExperimentScale = SCALE,
     policies: tuple[str, ...] = PAPER_POLICIES,
     pool_fractions: tuple[float, ...] = (0.02, 0.04, 0.06, 0.08, 0.10, 0.12),
+    workers: int | None = None,
 ) -> dict[str, dict[str, list[float]]]:
     """Figures 10e-f: runtime and speedup vs bufferpool size (MS, PCIe).
 
@@ -490,7 +577,19 @@ def fig10ef_memory_pressure(
     fits and both runtime and speedup collapse; the speedup peaks under
     memory pressure.
     """
-    trace = _synthetic_trace(MS, scale)
+    trace_spec = _trace_spec(MS, scale)
+    jobs: list[tuple[object, GridJob]] = []
+    for fraction in pool_fractions:
+        for policy in policies:
+            for variant in ("baseline", "ace+pf"):
+                config = _config(
+                    PCIE_SSD, policy, variant, scale, pool_fraction=fraction
+                )
+                jobs.append((
+                    (fraction, policy, variant),
+                    GridJob(config, trace=trace_spec),
+                ))
+    flat = _run_grid(jobs, workers=workers)
     runtimes: dict[str, list[float]] = {}
     speedups: dict[str, list[float]] = {policy: [] for policy in policies}
     for policy in policies:
@@ -498,12 +597,8 @@ def fig10ef_memory_pressure(
         runtimes[f"{policy} ace"] = []
     for fraction in pool_fractions:
         for policy in policies:
-            base = _run(
-                PCIE_SSD, policy, "baseline", trace, scale, pool_fraction=fraction
-            )
-            ace = _run(
-                PCIE_SSD, policy, "ace+pf", trace, scale, pool_fraction=fraction
-            )
+            base = flat[(fraction, policy, "baseline")]
+            ace = flat[(fraction, policy, "ace+pf")]
             runtimes[f"{policy} base"].append(base.runtime_s)
             runtimes[f"{policy} ace"].append(ace.runtime_s)
             speedups[policy].append(speedup(base, ace))
@@ -535,21 +630,30 @@ def fig10g_nw_sweep(
     scale: ExperimentScale = SCALE,
     policies: tuple[str, ...] = PAPER_POLICIES,
     n_ws: tuple[int, ...] = (1, 2, 4, 6, 8, 10, 12, 16),
+    workers: int | None = None,
 ) -> dict[str, list[float]]:
     """Figure 10g: speedup vs write-back batch size n_w (MS, PCIe SSD).
 
     Speedup climbs with n_w, peaks at the device's k_w = 8, then declines
     (queue pressure past the device concurrency).
     """
-    trace = _synthetic_trace(MS, scale)
+    trace_spec = _trace_spec(MS, scale)
+    jobs: list[tuple[object, GridJob]] = []
+    for policy in policies:
+        jobs.append((
+            (policy, "baseline", None),
+            GridJob(_config(PCIE_SSD, policy, "baseline", scale), trace=trace_spec),
+        ))
+        for n_w in n_ws:
+            config = _config(PCIE_SSD, policy, "ace", scale, n_w=n_w, n_e=n_w)
+            jobs.append(((policy, "ace", n_w), GridJob(config, trace=trace_spec)))
+    flat = _run_grid(jobs, workers=workers)
     speedups: dict[str, list[float]] = {}
     for policy in policies:
-        base = _run(PCIE_SSD, policy, "baseline", trace, scale)
-        series = []
-        for n_w in n_ws:
-            ace = _run(PCIE_SSD, policy, "ace", trace, scale, n_w=n_w, n_e=n_w)
-            series.append(speedup(base, ace))
-        speedups[policy] = series
+        base = flat[(policy, "baseline", None)]
+        speedups[policy] = [
+            speedup(base, flat[(policy, "ace", n_w)]) for n_w in n_ws
+        ]
     text = format_series(
         "n_w",
         list(n_ws),
@@ -574,6 +678,7 @@ def fig10h_asymmetry_continuum(
     scale: ExperimentScale | None = None,
     alphas: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
     n_ws: tuple[int, ...] = (1, 2, 4, 8),
+    workers: int | None = None,
 ) -> dict[str, object]:
     """Figure 10h: ideal speedup over the (alpha, n_w) continuum, k_w = 8.
 
@@ -583,16 +688,24 @@ def fig10h_asymmetry_continuum(
     """
     if scale is None:
         scale = ExperimentScale(num_pages=8_000, num_ops=12_000)
-    trace = _synthetic_trace(MS, scale)
-    measured: list[list[float]] = []
+    trace_spec = _trace_spec(MS, scale)
+    jobs: list[tuple[object, GridJob]] = []
     for alpha in alphas:
         profile = emulated_profile(alpha=alpha, k_w=8)
-        baseline = _run(profile, "lru", "baseline", trace, scale)
-        row = []
+        jobs.append((
+            (alpha, "baseline", None),
+            GridJob(_config(profile, "lru", "baseline", scale), trace=trace_spec),
+        ))
         for n_w in n_ws:
-            ace = _run(profile, "lru", "ace", trace, scale, n_w=n_w, n_e=n_w)
-            row.append(speedup(baseline, ace))
-        measured.append(row)
+            config = _config(profile, "lru", "ace", scale, n_w=n_w, n_e=n_w)
+            jobs.append(((alpha, "ace", n_w), GridJob(config, trace=trace_spec)))
+    flat = _run_grid(jobs, workers=workers)
+    measured: list[list[float]] = []
+    for alpha in alphas:
+        baseline = flat[(alpha, "baseline", None)]
+        measured.append(
+            [speedup(baseline, flat[(alpha, "ace", n_w)]) for n_w in n_ws]
+        )
     model = speedup_grid(list(alphas), list(n_ws), k_w=8, dirty_fraction=0.55)
     rows = []
     for alpha, measured_row, model_row in zip(alphas, measured, model):
@@ -629,21 +742,33 @@ def fig10h_asymmetry_continuum(
 def fig10i_device_comparison(
     scale: ExperimentScale = SCALE,
     read_fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    workers: int | None = None,
 ) -> dict[str, list[float]]:
     """Figure 10i: ACE-LRU-WSR speedup vs r/w ratio across all four devices.
 
     Higher-asymmetry devices gain more at every write intensity (paper:
     1.63x PCIe > 1.48x Virtual > 1.41x SATA > 1.33x Optane at write-only).
     """
+    jobs: list[tuple[object, GridJob]] = []
+    for profile in PAPER_DEVICES:
+        for read_fraction in read_fractions:
+            trace_spec = _trace_spec(rw_ratio_spec(read_fraction), scale)
+            for variant in ("baseline", "ace+pf"):
+                config = _config(profile, "lru_wsr", variant, scale)
+                jobs.append((
+                    (profile.name, read_fraction, variant),
+                    GridJob(config, trace=trace_spec),
+                ))
+    flat = _run_grid(jobs, workers=workers)
     speedups: dict[str, list[float]] = {}
     for profile in PAPER_DEVICES:
-        series = []
-        for read_fraction in read_fractions:
-            trace = _synthetic_trace(rw_ratio_spec(read_fraction), scale)
-            base = _run(profile, "lru_wsr", "baseline", trace, scale)
-            ace = _run(profile, "lru_wsr", "ace+pf", trace, scale)
-            series.append(speedup(base, ace))
-        speedups[profile.name] = series
+        speedups[profile.name] = [
+            speedup(
+                flat[(profile.name, read_fraction, "baseline")],
+                flat[(profile.name, read_fraction, "ace+pf")],
+            )
+            for read_fraction in read_fractions
+        ]
     labels = [f"{int(f * 100)}/{int(100 - f * 100)}" for f in read_fractions]
     text = format_series(
         "r/w ratio",
@@ -670,6 +795,7 @@ def fig11_tpcc_transactions(
     single_transactions: int = 500,
     policies: tuple[str, ...] = PAPER_POLICIES,
     pool_fraction: float = 0.06,
+    workers: int | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 11: TPC-C speedups for the mix and each transaction type.
 
@@ -685,18 +811,15 @@ def fig11_tpcc_transactions(
         ("StockLevel", TransactionType.STOCK_LEVEL, max(150, single_transactions // 3)),
         ("Delivery", TransactionType.DELIVERY, max(150, single_transactions // 3)),
     ]
-    data: dict[str, dict[str, float]] = {}
-    rows = []
+    jobs: list[tuple[object, GridJob]] = []
     for case_name, only, count in workload_cases:
         # One transaction stream per case, shared by every configuration.
         reference = TPCCWorkload(
             warehouses=warehouses, row_scale=row_scale, seed=seeds["db"]
         )
-        stream = _tpcc_stream(reference, count, only=only)
+        stream = tuple(_tpcc_stream(reference, count, only=only))
         num_pages = reference.total_pages
-        per_policy: dict[str, float] = {}
         for policy in policies:
-            metrics = {}
             for variant in ("baseline", "ace+pf"):
                 config = StackConfig(
                     profile=PCIE_SSD,
@@ -706,12 +829,25 @@ def fig11_tpcc_transactions(
                     pool_fraction=pool_fraction,
                     options=PAPER_OPTIONS,
                 )
-                manager = build_stack(config)
-                metrics[variant] = run_transactions(
-                    manager, stream, options=PAPER_OPTIONS,
-                    label=f"tpcc/{case_name}/{policy}/{variant}",
-                )
-            per_policy[policy] = speedup(metrics["baseline"], metrics["ace+pf"])
+                jobs.append((
+                    (case_name, policy, variant),
+                    GridJob(
+                        config,
+                        transactions=stream,
+                        label=f"tpcc/{case_name}/{policy}/{variant}",
+                    ),
+                ))
+    flat = _run_grid(jobs, workers=workers)
+    data: dict[str, dict[str, float]] = {}
+    rows = []
+    for case_name, _only, _count in workload_cases:
+        per_policy = {
+            policy: speedup(
+                flat[(case_name, policy, "baseline")],
+                flat[(case_name, policy, "ace+pf")],
+            )
+            for policy in policies
+        }
         data[case_name] = per_policy
         rows.append(
             [case_name] + [f"{per_policy[p]:.2f}x" for p in policies]
@@ -733,6 +869,7 @@ def fig12_tpcc_scaling(
     row_scale: float = 0.05,
     transactions: int = 700,
     pool_fraction: float = 0.06,
+    workers: int | None = None,
 ) -> dict[str, list[float]]:
     """Figure 12: tpmC of LRU vs ACE-LRU as the database grows.
 
@@ -740,14 +877,12 @@ def fig12_tpcc_scaling(
     paper reports the gain persisting (1.33x at the smallest scale, 1.24x
     at the largest).
     """
-    tpmc: dict[str, list[float]] = {"LRU": [], "ACE-LRU": []}
-    gains: list[float] = []
+    jobs: list[tuple[object, GridJob]] = []
     for warehouses in warehouse_counts:
         reference = TPCCWorkload(
             warehouses=warehouses, row_scale=row_scale, seed=42
         )
-        stream = _tpcc_stream(reference, transactions)
-        results = {}
+        stream = tuple(_tpcc_stream(reference, transactions))
         for variant, label in (("baseline", "LRU"), ("ace+pf", "ACE-LRU")):
             config = StackConfig(
                 profile=PCIE_SSD,
@@ -757,14 +892,23 @@ def fig12_tpcc_scaling(
                 pool_fraction=pool_fraction,
                 options=PAPER_OPTIONS,
             )
-            manager = build_stack(config)
-            metrics = run_transactions(
-                manager, stream, options=PAPER_OPTIONS,
-                label=f"tpcc-scale/{warehouses}/{label}",
-            )
-            results[label] = metrics
-            tpmc[label].append(metrics.tpmc)
-        gains.append(results["ACE-LRU"].tpmc / results["LRU"].tpmc)
+            jobs.append((
+                (warehouses, label),
+                GridJob(
+                    config,
+                    transactions=stream,
+                    label=f"tpcc-scale/{warehouses}/{label}",
+                ),
+            ))
+    flat = _run_grid(jobs, workers=workers)
+    tpmc: dict[str, list[float]] = {"LRU": [], "ACE-LRU": []}
+    gains: list[float] = []
+    for warehouses in warehouse_counts:
+        base = flat[(warehouses, "LRU")]
+        ace = flat[(warehouses, "ACE-LRU")]
+        tpmc["LRU"].append(base.tpmc)
+        tpmc["ACE-LRU"].append(ace.tpmc)
+        gains.append(ace.tpmc / base.tpmc)
     text = format_series(
         "warehouses",
         list(warehouse_counts),

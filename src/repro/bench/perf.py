@@ -1,0 +1,321 @@
+"""Wall-clock throughput harness: the repo's performance regression gate.
+
+Everything else in ``repro.bench`` measures *virtual* time — the modelled
+cost of I/O and CPU on the simulated clock.  This module measures the one
+thing virtual time cannot: how fast the simulator itself executes on real
+hardware.  It produces ``BENCH_throughput.json`` at the repo root with
+
+* **single_stack** — wall-clock accesses/second of ``run_trace`` for each
+  (policy, variant) pair on the paper's MS workload (the hot-path number:
+  if a PR slows the per-request path, this drops);
+* **suite** — wall-clock runtime of a figure-style experiment grid run
+  serially vs through :func:`repro.bench.parallel.run_grid` (the fan-out
+  number: if the parallel layer regresses, the speedup drops);
+* a **history** of both across PRs, so future changes regress against a
+  recorded trajectory instead of folklore.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.perf --label "my change"
+    PYTHONPATH=src python -m repro.bench.perf --check --min-ratio 0.7
+
+The ``--check`` form re-measures quickly and exits non-zero if single-stack
+accesses/second fell below ``min-ratio`` times the committed ``current``
+entry — the CI smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.bench.parallel import GridJob, TraceSpec, resolve_workers, run_grid
+from repro.bench.runner import VARIANTS, StackConfig, build_stack
+from repro.engine.executor import ExecutionOptions, run_trace
+from repro.policies.registry import PAPER_POLICIES
+from repro.storage.profiles import PCIE_SSD, DeviceProfile
+from repro.workloads.synthetic import MS, generate_trace
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_OUTPUT",
+    "measure_single_stack",
+    "measure_suite",
+    "measure",
+    "write_entry",
+    "load_report",
+    "check_against",
+    "main",
+]
+
+SCHEMA_VERSION = 1
+
+#: Committed at the repo root so the perf trajectory is versioned with the
+#: code it measures.  Override with ``REPRO_BENCH_FILE`` or ``--output``.
+DEFAULT_OUTPUT = "BENCH_throughput.json"
+
+#: The policy/variant whose accesses/second is the headline regression
+#: metric (LRU baseline exercises the bare hot path with no ACE machinery).
+HEADLINE_STACK = "lru/baseline"
+
+#: Execution model matching the paper-replication benches.
+_OPTIONS = ExecutionOptions(cpu_us_per_op=30.0)
+
+
+def _output_path(output: str | Path | None) -> Path:
+    if output is not None:
+        return Path(output)
+    return Path(os.environ.get("REPRO_BENCH_FILE", DEFAULT_OUTPUT))
+
+
+def measure_single_stack(
+    policy: str,
+    variant: str,
+    num_pages: int = 20_000,
+    num_ops: int = 30_000,
+    repeats: int = 3,
+    profile: DeviceProfile = PCIE_SSD,
+    seed: int = 42,
+) -> dict[str, object]:
+    """Best-of-``repeats`` wall-clock throughput of one stack on MS.
+
+    A fresh stack is built per repeat (the measurement includes no build
+    cost — timing starts after ``build_stack``), and the best run is kept:
+    minimum wall time is the standard estimator for a deterministic
+    workload under OS noise.
+    """
+    trace = generate_trace(MS, num_pages, num_ops, seed=seed)
+    config = StackConfig(
+        profile=profile,
+        policy=policy,
+        variant=variant,
+        num_pages=num_pages,
+        options=_OPTIONS,
+    )
+    best_s = float("inf")
+    for _ in range(max(1, repeats)):
+        manager = build_stack(config)
+        start = time.perf_counter()
+        run_trace(manager, trace, options=_OPTIONS)
+        best_s = min(best_s, time.perf_counter() - start)
+    return {
+        "policy": policy,
+        "variant": variant,
+        "ops": num_ops,
+        "wall_s": best_s,
+        "accesses_per_sec": num_ops / best_s,
+    }
+
+
+def measure_suite(
+    workers: int | None = None,
+    num_pages: int = 10_000,
+    num_ops: int = 15_000,
+    policies: Sequence[str] = PAPER_POLICIES,
+    variants: Sequence[str] = VARIANTS,
+    seed: int = 42,
+) -> dict[str, object]:
+    """Wall-clock runtime of a fig8-style grid, serial vs parallel."""
+    spec = TraceSpec(MS, num_pages, num_ops, seed=seed)
+    jobs = [
+        GridJob(
+            StackConfig(
+                profile=PCIE_SSD,
+                policy=policy,
+                variant=variant,
+                num_pages=num_pages,
+                options=_OPTIONS,
+            ),
+            trace=spec,
+        )
+        for policy in policies
+        for variant in variants
+    ]
+    # Warm the in-process trace cache (and code paths) so the serial
+    # timing is not charged for one-off trace materialisation.
+    run_grid(jobs[:1], workers=1)
+    start = time.perf_counter()
+    run_grid(jobs, workers=1)
+    serial_s = time.perf_counter() - start
+
+    workers = resolve_workers(workers)
+    start = time.perf_counter()
+    run_grid(jobs, workers=workers)
+    parallel_s = time.perf_counter() - start
+    return {
+        "jobs": len(jobs),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "workers": workers,
+        "parallel_speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+    }
+
+
+def measure(
+    label: str = "",
+    fast: bool = False,
+    workers: int | None = None,
+    policies: Sequence[str] = PAPER_POLICIES,
+    variants: Sequence[str] = VARIANTS,
+) -> dict[str, object]:
+    """Produce one complete benchmark entry (single-stack grid + suite).
+
+    ``fast=True`` shrinks the workload for smoke tests and the CI gate;
+    the absolute numbers differ from a full run but track the same code
+    paths.
+    """
+    if fast:
+        stack_kwargs = {"num_pages": 4_000, "num_ops": 6_000, "repeats": 2}
+        suite_kwargs = {"num_pages": 2_000, "num_ops": 3_000}
+    else:
+        stack_kwargs = {}
+        suite_kwargs = {}
+    single_stack = {
+        f"{policy}/{variant}": measure_single_stack(
+            policy, variant, **stack_kwargs
+        )
+        for policy in policies
+        for variant in variants
+    }
+    headline = single_stack.get(HEADLINE_STACK) or next(iter(single_stack.values()))
+    return {
+        "label": label,
+        "fast": fast,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "single_stack": single_stack,
+        "headline_accesses_per_sec": headline["accesses_per_sec"],
+        "suite": measure_suite(workers=workers, **suite_kwargs),
+    }
+
+
+def load_report(output: str | Path | None = None) -> dict[str, object] | None:
+    """Parse the committed benchmark file, or ``None`` if absent."""
+    path = _output_path(output)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def write_entry(
+    entry: dict[str, object], output: str | Path | None = None
+) -> dict[str, object]:
+    """Append ``entry`` to the benchmark file and return the full report.
+
+    The file keeps the first entry ever recorded as ``baseline``, the
+    latest as ``current``, every entry in ``history``, and the
+    current/baseline headline ratio as ``improvement_vs_baseline`` — the
+    number PR acceptance criteria quote.
+    """
+    path = _output_path(output)
+    report = load_report(path) or {
+        "schema_version": SCHEMA_VERSION,
+        "history": [],
+    }
+    history = report.setdefault("history", [])
+    history.append(entry)
+    report["current"] = entry
+    report.setdefault("baseline", history[0])
+    baseline_rate = report["baseline"]["headline_accesses_per_sec"]
+    if baseline_rate:
+        report["improvement_vs_baseline"] = (
+            entry["headline_accesses_per_sec"] / baseline_rate
+        )
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return report
+
+
+def check_against(
+    report: dict[str, object],
+    min_ratio: float = 0.7,
+    fast: bool = True,
+) -> tuple[bool, float, float]:
+    """Re-measure the headline stack and compare against ``report``.
+
+    Returns ``(ok, measured, committed)`` where ``committed`` is the
+    committed entry's headline accesses/second scaled to the measurement
+    mode: a ``fast`` check against a full-size committed entry compares
+    like with like by re-deriving the committed rate from the same-mode
+    history entry when one exists, else the raw headline.
+    """
+    current = report.get("current")
+    if not current:
+        raise ValueError("benchmark report has no `current` entry")
+    committed = float(current["headline_accesses_per_sec"])
+    if fast != bool(current.get("fast")):
+        # Prefer a same-mode historical entry for an apples-to-apples bar.
+        for entry in reversed(report.get("history", [])):
+            if bool(entry.get("fast")) == fast:
+                committed = float(entry["headline_accesses_per_sec"])
+                break
+    policy, variant = HEADLINE_STACK.split("/")
+    if fast:
+        measured_stack = measure_single_stack(
+            policy, variant, num_pages=4_000, num_ops=6_000, repeats=2
+        )
+    else:
+        measured_stack = measure_single_stack(policy, variant)
+    measured = float(measured_stack["accesses_per_sec"])
+    return measured >= min_ratio * committed, measured, committed
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.perf",
+        description="Measure wall-clock simulator throughput.",
+    )
+    parser.add_argument("--output", default=None,
+                        help=f"benchmark file (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--label", default="",
+                        help="note recorded with the entry (e.g. the PR)")
+    parser.add_argument("--fast", action="store_true",
+                        help="small workload (smoke tests / CI)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel-suite worker count")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate: compare against the "
+                             "committed file instead of appending")
+    parser.add_argument("--min-ratio", type=float, default=0.7,
+                        help="minimum measured/committed ratio for --check")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        report = load_report(args.output)
+        if report is None:
+            print(f"no benchmark file at {_output_path(args.output)}; "
+                  "run without --check first")
+            return 2
+        ok, measured, committed = check_against(
+            report, min_ratio=args.min_ratio, fast=True
+        )
+        verdict = "OK" if ok else "REGRESSION"
+        print(
+            f"{verdict}: measured {measured:,.0f} accesses/s vs committed "
+            f"{committed:,.0f} (floor {args.min_ratio:.0%})"
+        )
+        return 0 if ok else 1
+
+    entry = measure(label=args.label, fast=args.fast, workers=args.workers)
+    report = write_entry(entry, args.output)
+    suite = entry["suite"]
+    print(f"wrote {_output_path(args.output)}")
+    print(f"  headline ({HEADLINE_STACK}): "
+          f"{entry['headline_accesses_per_sec']:,.0f} accesses/s")
+    print(f"  suite: serial {suite['serial_s']:.2f}s, parallel "
+          f"{suite['parallel_s']:.2f}s with {suite['workers']} workers "
+          f"({suite['parallel_speedup']:.2f}x)")
+    if "improvement_vs_baseline" in report:
+        print(f"  vs baseline entry: {report['improvement_vs_baseline']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -166,15 +166,23 @@ def compare_policies(
     n_e: int | None = None,
     with_ftl: bool = False,
     options: ExecutionOptions | None = None,
+    workers: int | None = None,
 ) -> dict[tuple[str, str], RunMetrics]:
     """Run every (policy, variant) pair on the same trace.
 
     Returns metrics keyed by ``(policy, variant)`` — the raw material of
-    Figures 8, 10 and 11.
+    Figures 8, 10 and 11.  Each pair is an independent stack on a private
+    clock, so the grid fans out over ``workers`` processes (resolved by
+    :func:`repro.bench.parallel.resolve_workers`; ``workers=1`` forces the
+    serial path).  Results are identical either way.
     """
+    # Imported here: repro.bench.parallel imports this module.
+    from repro.bench.parallel import GridJob, run_grid
+
     if options is None:
         options = ExecutionOptions()
-    results: dict[tuple[str, str], RunMetrics] = {}
+    keys: list[tuple[str, str]] = []
+    jobs: list[GridJob] = []
     for policy in policies:
         for variant in variants:
             config = StackConfig(
@@ -188,5 +196,9 @@ def compare_policies(
                 with_ftl=with_ftl,
                 options=options,
             )
-            results[(policy, variant)] = run_config(config, trace)
-    return results
+            keys.append((policy, variant))
+            jobs.append(
+                GridJob(config, trace=trace, label=f"{config.label}/{trace.name}")
+            )
+    metrics = run_grid(jobs, workers=workers)
+    return dict(zip(keys, metrics))

@@ -11,6 +11,13 @@ asymmetry and concurrency.
 overrides only the miss-handling path, mirroring how the paper implements
 ACE as a wrapper inside PostgreSQL's ``bufmgr.c`` without touching the
 replacement policies themselves.
+
+The per-request path is the hottest code in the simulator, so ``read_page``
+and ``write_page`` are written against direct aliases of the buffer table's
+dict, the descriptor array, and the payload array (bound once in
+``__init__``; the underlying containers are never replaced).  Each request
+performs exactly one table lookup: the miss path returns the frame id it
+installed rather than forcing a second lookup.
 """
 
 from __future__ import annotations
@@ -70,6 +77,15 @@ class BufferPoolManager:
         # authoritative record.
         self._dirty_set: set[int] = set()
         self._pinned_set: set[int] = set()
+        # Hot-path aliases.  The table's dict, the descriptor list, and
+        # the payload list live for the manager's lifetime, so binding
+        # them here removes two attribute hops per request.
+        self._frame_of = self.table._frame_of
+        self._descriptors = self.pool.descriptors
+        self._payloads = self.pool._payloads
+        #: Prefetcher-training callback invoked once per access; installed
+        #: by the ACE manager when a reader/prefetcher is attached.
+        self._observer = None
         policy.bind(self)
 
     # ------------------------------------------------------ PageStateView
@@ -84,8 +100,27 @@ class BufferPoolManager:
 
     def read_page(self, page: int) -> object | None:
         """Fetch ``page`` for reading; returns its payload."""
-        self.stats.read_requests += 1
-        return self._get_page(page, for_write=False)
+        stats = self.stats
+        stats.read_requests += 1
+        frame_id = self._frame_of.get(page)
+        if frame_id is not None:
+            stats.hits += 1
+            descriptor = self._descriptors[frame_id]
+            if descriptor.prefetched:
+                descriptor.prefetched = False
+                stats.prefetch_hits += 1
+            self.policy.on_access(page, is_write=False)
+        else:
+            stats.misses += 1
+            frame_id = self._handle_miss(page)
+            if frame_id is None:
+                raise PageNotBufferedError(
+                    f"miss handling failed to load page {page}"
+                )
+        observer = self._observer
+        if observer is not None:
+            observer(page)
+        return self._payloads[frame_id]
 
     def write_page(self, page: int, payload: object | None = None) -> object:
         """Fetch ``page`` for writing and apply an update.
@@ -95,14 +130,35 @@ class BufferPoolManager:
         Returns the new payload.  The update's redo image is WAL-logged
         before any data-page write can reach the device (WAL-before-data).
         """
-        self.stats.write_requests += 1
-        current = self._get_page(page, for_write=True)
-        frame_id = self.table.lookup(page)
-        assert frame_id is not None
+        stats = self.stats
+        stats.write_requests += 1
+        frame_id = self._frame_of.get(page)
+        if frame_id is not None:
+            stats.hits += 1
+            descriptor = self._descriptors[frame_id]
+            if descriptor.prefetched:
+                descriptor.prefetched = False
+                stats.prefetch_hits += 1
+            self.policy.on_access(page, is_write=True)
+        else:
+            stats.misses += 1
+            frame_id = self._handle_miss(page)
+            if frame_id is None:
+                raise PageNotBufferedError(
+                    f"miss handling failed to load page {page}"
+                )
+            descriptor = self._descriptors[frame_id]
+        observer = self._observer
+        if observer is not None:
+            observer(page)
+        if not descriptor.dirty:
+            descriptor.dirty = True
+            self._dirty_set.add(page)
         if payload is None:
+            current = self._payloads[frame_id]
             base = current if isinstance(current, int) else 0
             payload = base + 1
-        self.pool.set_payload(frame_id, payload)
+        self._payloads[frame_id] = payload
         if self.wal is not None:
             self.wal.log_update(page, payload)
         return payload
@@ -115,18 +171,19 @@ class BufferPoolManager:
 
     def contains(self, page: int) -> bool:
         """Whether ``page`` is currently resident."""
-        return page in self.table
+        return page in self._frame_of
 
     def resident_pages(self) -> list[int]:
         return self.table.pages()
 
     def dirty_pages(self) -> list[int]:
-        """Resident pages with unflushed modifications."""
-        return [
-            d.page
-            for d in self.pool.descriptors
-            if d.in_use and d.dirty and d.page is not None
-        ]
+        """Resident pages with unflushed modifications.
+
+        Reads the maintained dirty-set mirror (O(dirty)) instead of
+        scanning every descriptor (O(capacity)); the background writer
+        calls this every round.
+        """
+        return list(self._dirty_set)
 
     def pin(self, page: int) -> None:
         """Pin a resident page so it cannot be evicted."""
@@ -163,64 +220,36 @@ class BufferPoolManager:
 
     # -------------------------------------------------------- miss handling
 
-    def _get_page(self, page: int, for_write: bool) -> object | None:
-        frame_id = self.table.lookup(page)
-        if frame_id is not None:
-            self.stats.hits += 1
-            descriptor = self.pool.descriptors[frame_id]
-            if descriptor.prefetched:
-                descriptor.prefetched = False
-                self.stats.prefetch_hits += 1
-            self.policy.on_access(page, is_write=for_write)
-            self._observe_access(page)
-            if for_write:
-                self._mark_dirty(page, frame_id)
-            return self.pool.payload(frame_id)
-
-        self.stats.misses += 1
-        self._handle_miss(page)
-        frame_id = self.table.lookup(page)
-        if frame_id is None:
-            raise PageNotBufferedError(
-                f"miss handling failed to load page {page}"
-            )
-        self._observe_access(page)
-        if for_write:
-            self._mark_dirty(page, frame_id)
-        return self.pool.payload(frame_id)
-
-    def _handle_miss(self, page: int) -> None:
+    def _handle_miss(self, page: int) -> int:
         """Classic miss path: make one frame available, read the page.
 
-        Subclasses (ACE) override this method; everything else in the
-        manager is shared.
+        Returns the frame id the page was installed into, so the request
+        path never needs a second table lookup.  Subclasses (ACE) override
+        this method; everything else in the manager is shared.
         """
         if not self.pool.has_free():
             victim = self.policy.select_victim()
             if victim is None:
                 raise PoolExhaustedError("all pages are pinned")
-            if self.is_dirty(victim):
+            if victim in self._dirty_set:
                 # The classic exchange: one write-back for one read.
                 self.stats.dirty_evictions += 1
                 self._write_back([victim])
             else:
                 self.stats.clean_evictions += 1
             self._evict(victim)
-        self._load(page)
-
-    def _observe_access(self, page: int) -> None:
-        """Hook for prefetcher training; the baseline manager has none."""
+        return self._load(page)
 
     # ----------------------------------------------------------- internals
 
     def _descriptor_of(self, page: int):
-        frame_id = self.table.lookup(page)
+        frame_id = self._frame_of.get(page)
         if frame_id is None:
             raise PageNotBufferedError(f"page {page} is not resident")
-        return self.pool.descriptors[frame_id]
+        return self._descriptors[frame_id]
 
     def _mark_dirty(self, page: int, frame_id: int) -> None:
-        self.pool.descriptors[frame_id].dirty = True
+        self._descriptors[frame_id].dirty = True
         self._dirty_set.add(page)
 
     def _write_back(self, pages: Iterable[int], background: bool = False) -> int:
@@ -231,13 +260,20 @@ class BufferPoolManager:
         concurrently.  Pages are marked clean afterwards.  Returns the
         number of pages written.
         """
+        frame_of = self._frame_of
+        descriptors = self._descriptors
+        payloads = self._payloads
         batch: dict[int, object | None] = {}
+        resolved: list[object] = []
         for page in pages:
-            descriptor = self._descriptor_of(page)
+            frame_id = frame_of.get(page)
+            if frame_id is None:
+                raise PageNotBufferedError(f"page {page} is not resident")
+            descriptor = descriptors[frame_id]
             if not descriptor.dirty:
                 raise ValueError(f"page {page} is not dirty")
-            frame_id = descriptor.frame_id
-            batch[page] = self.pool.payload(frame_id)
+            batch[page] = payloads[frame_id]
+            resolved.append(descriptor)
         if not batch:
             return 0
         if self.wal is not None:
@@ -245,9 +281,9 @@ class BufferPoolManager:
             # durable before the pages themselves are written.
             self.wal.flush()
         self.device.write_batch(batch)
-        for page in batch:
-            self._descriptor_of(page).dirty = False
-            self._dirty_set.discard(page)
+        for descriptor in resolved:
+            descriptor.dirty = False
+        self._dirty_set.difference_update(batch)
         self.stats.writebacks += len(batch)
         self.stats.writeback_batches += 1
         if background:
@@ -256,37 +292,45 @@ class BufferPoolManager:
 
     def _evict(self, page: int) -> None:
         """Drop a clean resident page from the pool."""
-        descriptor = self._descriptor_of(page)
+        frame_id = self._frame_of.get(page)
+        if frame_id is None:
+            raise PageNotBufferedError(f"page {page} is not resident")
+        descriptor = self._descriptors[frame_id]
         if descriptor.dirty:
             raise ValueError(
                 f"cannot evict dirty page {page}; write it back first"
             )
-        if descriptor.pinned:
+        if descriptor.pin_count > 0:
             raise ValueError(f"cannot evict pinned page {page}")
         if descriptor.prefetched:
             self.stats.prefetch_unused += 1
         self.stats.evictions += 1
-        frame_id = self.table.delete(page)
+        del self._frame_of[page]
         self.policy.remove(page)
         self.pool.free(frame_id)
 
-    def _load(self, page: int, cold: bool = False) -> None:
+    def _load(self, page: int, cold: bool = False) -> int:
         """Read ``page`` from the device and install it into a free frame."""
         payload = self.device.read_page(page)
-        self._install_fetched(page, payload, cold=cold, prefetched=False)
+        return self._install_fetched(page, payload, cold=cold, prefetched=False)
 
     def _install_fetched(self, page: int, payload: object | None,
-                         cold: bool, prefetched: bool) -> None:
-        """Install a page whose payload was already read in a batch."""
+                         cold: bool, prefetched: bool) -> int:
+        """Install a page whose payload was already read in a batch.
+
+        Returns the frame id the page now occupies.
+        """
         descriptor = self.pool.allocate()
+        frame_id = descriptor.frame_id
         descriptor.page = page
         descriptor.dirty = False
         descriptor.prefetched = prefetched
         if prefetched:
             self.stats.prefetch_issued += 1
-        self.pool.set_payload(descriptor.frame_id, payload)
-        self.table.insert(page, descriptor.frame_id)
+        self._payloads[frame_id] = payload
+        self.table.insert(page, frame_id)
         self.policy.insert(page, cold=cold)
+        return frame_id
 
     def __repr__(self) -> str:
         return (

@@ -15,9 +15,11 @@ lifting lives in :mod:`repro.bench`.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
+from repro.bench.parallel import WORKERS_ENV_VAR
 from repro.bench.report import format_table
 from repro.bench.runner import StackConfig, build_stack, run_config
 from repro.engine.executor import ExecutionOptions, run_transactions
@@ -93,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--n-w", type=int, default=None)
         p.add_argument("--cpu-us", type=float, default=10.0)
         p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for experiment grids "
+                            "(default: REPRO_WORKERS env or all CPUs)")
 
     run = sub.add_parser("run", help="run one workload/policy/variant")
     add_run_options(run)
@@ -127,6 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="table1|table2|table3|fig2|fig8|fig9|fig10ab|fig10cd|fig10ef|"
              "fig10g|fig10h|fig10i|fig11|fig12",
     )
+    experiment.add_argument("--workers", type=int, default=None,
+                            help="worker processes for the experiment grid "
+                                 "(default: REPRO_WORKERS env or all CPUs)")
 
     summary = sub.add_parser(
         "summary", help="assemble EXPERIMENTS.md from results/"
@@ -177,14 +185,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.bench.runner import compare_policies
+
     spec = _resolve_workload(args.workload, args.read_fraction)
     trace = generate_trace(spec, args.pages, args.ops, seed=args.seed)
     policies = [name.strip() for name in args.policies.split(",") if name.strip()]
+    results = compare_policies(
+        _resolve_device(args),
+        tuple(policies),
+        trace,
+        num_pages=args.pages,
+        pool_fraction=args.pool,
+        n_w=args.n_w,
+        options=ExecutionOptions(cpu_us_per_op=args.cpu_us),
+        workers=args.workers,
+    )
     rows = []
     for policy in policies:
-        base = run_config(_stack_config(args, policy, "baseline"), trace)
-        ace = run_config(_stack_config(args, policy, "ace"), trace)
-        ace_pf = run_config(_stack_config(args, policy, "ace+pf"), trace)
+        base = results[(policy, "baseline")]
+        ace = results[(policy, "ace")]
+        ace_pf = results[(policy, "ace+pf")]
         rows.append(
             [
                 display_name(policy),
@@ -259,6 +279,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if name not in table:
         known = ", ".join(sorted(table))
         raise SystemExit(f"unknown experiment {args.name!r}; known: {known}")
+    if args.workers is not None:
+        # Experiments resolve workers via REPRO_WORKERS (some take no
+        # workers parameter, e.g. the stateful fig9), so the flag is
+        # threaded through the environment for the duration of the run.
+        os.environ[WORKERS_ENV_VAR] = str(args.workers)
     table[name]()
     return 0
 

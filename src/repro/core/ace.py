@@ -78,6 +78,10 @@ class ACEBufferPoolManager(BufferPoolManager):
             if prefetcher is not None
             else None
         )
+        if self.reader is not None:
+            # Per-access prefetcher training hook, consumed by the base
+            # manager's request fast path.
+            self._observer = self.reader.prefetcher.observe
 
     @property
     def variant(self) -> str:  # type: ignore[override]
@@ -89,7 +93,7 @@ class ACEBufferPoolManager(BufferPoolManager):
 
     # ------------------------------------------------------- Algorithm 1
 
-    def _handle_miss(self, page: int) -> None:
+    def _handle_miss(self, page: int) -> int:
         if self.reader is not None:
             self.reader.prefetcher.on_miss(page)
 
@@ -98,21 +102,18 @@ class ACEBufferPoolManager(BufferPoolManager):
             # them — "up to n_e - 1 pages, depending on available slots".
             if self.prefetching_enabled:
                 limit = min(self.config.n_e - 1, self.pool.free_count - 1)
-                self._fetch_with_prefetch(page, limit)
-            else:
-                self._load(page)
-            return
+                return self._fetch_with_prefetch(page, limit)
+            return self._load(page)
 
         victim = self.policy.select_victim()
         if victim is None:
             raise PoolExhaustedError("all pages are pinned")
 
-        if not self.is_dirty(victim):
+        if victim not in self._dirty_set:
             # Lines 19-22: clean top page — identical to the classic path.
             self.stats.clean_evictions += 1
             self._evict(victim)
-            self._load(page)
-            return
+            return self._load(page)
 
         # Lines 25-27: dirty top page — concurrently write n_w dirty pages.
         self.stats.dirty_evictions += 1
@@ -122,8 +123,7 @@ class ACEBufferPoolManager(BufferPoolManager):
             # Lines 38-39: write the batch, evict only the victim.
             self.writer.flush(writeback_set)
             self.evictor.evict([victim])
-            self._load(page)
-            return
+            return self._load(page)
 
         # Lines 31-36: evict n_e pages and prefetch n_e - 1.
         eviction_set = self.evictor.select_eviction_set(victim)
@@ -132,23 +132,19 @@ class ACEBufferPoolManager(BufferPoolManager):
         # can be different", Algorithm 1 comment).
         batch = dict.fromkeys(writeback_set)
         for candidate in eviction_set:
-            if self.is_dirty(candidate):
+            if candidate in self._dirty_set:
                 batch.setdefault(candidate)
         self.writer.flush(list(batch))
         self.evictor.evict(eviction_set)
         # The co-evicted pages (everything but the victim) were clean or
         # just cleaned; count them as clean evictions.
         self.stats.clean_evictions += len(eviction_set) - 1
-        self._fetch_with_prefetch(page, len(eviction_set) - 1)
+        return self._fetch_with_prefetch(page, len(eviction_set) - 1)
 
-    def _fetch_with_prefetch(self, page: int, limit: int) -> None:
+    def _fetch_with_prefetch(self, page: int, limit: int) -> int:
         assert self.reader is not None
         prefetch_set = self.reader.select_prefetch_set(page, limit)
-        self.reader.fetch(page, prefetch_set)
-
-    def _observe_access(self, page: int) -> None:
-        if self.reader is not None:
-            self.reader.prefetcher.observe(page)
+        return self.reader.fetch(page, prefetch_set)
 
     # ----------------------------------------------------------- flushing
 

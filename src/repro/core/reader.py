@@ -60,16 +60,19 @@ class Reader:
                 break
         return selected
 
-    def fetch(self, page: int, prefetch_pages: list[int]) -> None:
+    def fetch(self, page: int, prefetch_pages: list[int]) -> int:
         """Concurrently read ``page`` + ``prefetch_pages`` and install them.
 
         The missed page enters hot (MRU); prefetched pages enter cold (LRU
-        end) and are flagged so prefetch accuracy can be measured.
+        end) and are flagged so prefetch accuracy can be measured.  Returns
+        the frame id the missed page was installed into.
         """
         manager = self.manager
         batch = [page] + prefetch_pages
         payloads = manager.device.read_batch(batch)
-        manager._install_fetched(page, payloads[0], cold=False, prefetched=False)
+        frame_id = manager._install_fetched(
+            page, payloads[0], cold=False, prefetched=False
+        )
         for candidate, payload in zip(prefetch_pages, payloads[1:]):
             manager._install_fetched(
                 candidate, payload, cold=self.cold_placement, prefetched=True
@@ -77,3 +80,4 @@ class Reader:
         if prefetch_pages:
             self.batched_fetches += 1
             self.pages_prefetched += len(prefetch_pages)
+        return frame_id

@@ -83,6 +83,9 @@ def run_trace(
         ):
             manager.access(page, is_write)
         manager.stats = type(manager.stats)()
+        # Measurement boundary: device (and FTL) counters must cover only
+        # the measured window, matching the buffer-stats reset above.
+        manager.device.reset_stats()
         trace = trace.slice(warmup_ops, len(trace))
     clock = manager.device.clock
     start_us = clock.now_us
@@ -90,19 +93,33 @@ def run_trace(
     start_writes = manager.device.stats.write_time_us
     cpu_per_op = options.cpu_us_per_op
 
-    next_bg_writer_us = start_us + options.bg_writer_interval_us
-    for page, is_write in zip(trace.pages, trace.writes):
-        request_start_us = clock.now_us
+    if latencies is None and bg_writer is None and checkpointer is None:
+        # Fast path: nothing observes the clock between requests, so the
+        # per-op CPU charge can be applied in one advance at the end
+        # (identical modulo float-summation rounding).  Hoisting
+        # ``manager.access`` and zipping the parallel arrays directly is
+        # worth ~15% on hit-heavy traces.
+        access = manager.access
+        for page, is_write in zip(trace.pages, trace.writes):
+            access(page, is_write)
         if cpu_per_op:
-            clock.advance(cpu_per_op)
-        manager.access(page, is_write)
-        if latencies is not None:
-            latencies.record(clock.now_us - request_start_us)
-        if bg_writer is not None and clock.now_us >= next_bg_writer_us:
-            bg_writer.run_round()
-            next_bg_writer_us = clock.now_us + options.bg_writer_interval_us
-        if checkpointer is not None:
-            checkpointer.maybe_checkpoint()
+            clock.advance(cpu_per_op * len(trace))
+    else:
+        access = manager.access
+        advance = clock.advance
+        next_bg_writer_us = start_us + options.bg_writer_interval_us
+        for page, is_write in zip(trace.pages, trace.writes):
+            request_start_us = clock.now_us
+            if cpu_per_op:
+                advance(cpu_per_op)
+            access(page, is_write)
+            if latencies is not None:
+                latencies.record(clock.now_us - request_start_us)
+            if bg_writer is not None and clock.now_us >= next_bg_writer_us:
+                bg_writer.run_round()
+                next_bg_writer_us = clock.now_us + options.bg_writer_interval_us
+            if checkpointer is not None:
+                checkpointer.maybe_checkpoint()
 
     elapsed = clock.now_us - start_us
     io_time = (
@@ -149,25 +166,47 @@ def run_transactions(
     ops = 0
     transaction_count = 0
     new_order_count = 0
-    next_bg_writer_us = start_us + options.bg_writer_interval_us
-    for kind, requests in transactions:
-        if options.cpu_us_per_transaction:
-            clock.advance(options.cpu_us_per_transaction)
-        for request in requests:
-            if cpu_per_op:
-                clock.advance(cpu_per_op)
-            manager.access(request.page, request.is_write)
-            ops += 1
-        if manager.wal is not None:
-            manager.wal.flush()  # commit: WAL must be durable
-        transaction_count += 1
-        if kind is TransactionType.NEW_ORDER:
-            new_order_count += 1
-        if bg_writer is not None and clock.now_us >= next_bg_writer_us:
-            bg_writer.run_round()
-            next_bg_writer_us = clock.now_us + options.bg_writer_interval_us
-        if checkpointer is not None:
-            checkpointer.maybe_checkpoint()
+    if bg_writer is None and checkpointer is None:
+        # Fast path (see run_trace): no mid-run clock observers, so the
+        # per-op and per-transaction CPU charges collapse into one advance.
+        access = manager.access
+        wal = manager.wal
+        wal_flush = wal.flush if wal is not None else None
+        for kind, requests in transactions:
+            for request in requests:
+                access(request.page, request.is_write)
+            ops += len(requests)
+            if wal_flush is not None:
+                wal_flush()  # commit: WAL must be durable
+            transaction_count += 1
+            if kind is TransactionType.NEW_ORDER:
+                new_order_count += 1
+        cpu_total = (
+            options.cpu_us_per_transaction * transaction_count
+            + cpu_per_op * ops
+        )
+        if cpu_total:
+            clock.advance(cpu_total)
+    else:
+        next_bg_writer_us = start_us + options.bg_writer_interval_us
+        for kind, requests in transactions:
+            if options.cpu_us_per_transaction:
+                clock.advance(options.cpu_us_per_transaction)
+            for request in requests:
+                if cpu_per_op:
+                    clock.advance(cpu_per_op)
+                manager.access(request.page, request.is_write)
+                ops += 1
+            if manager.wal is not None:
+                manager.wal.flush()  # commit: WAL must be durable
+            transaction_count += 1
+            if kind is TransactionType.NEW_ORDER:
+                new_order_count += 1
+            if bg_writer is not None and clock.now_us >= next_bg_writer_us:
+                bg_writer.run_round()
+                next_bg_writer_us = clock.now_us + options.bg_writer_interval_us
+            if checkpointer is not None:
+                checkpointer.maybe_checkpoint()
 
     elapsed = clock.now_us - start_us
     io_time = (

@@ -143,8 +143,11 @@ class ReplacementPolicy(ABC):
         if n < 0:
             raise ValueError(f"n must be non-negative: {n}")
         selected: list[int] = []
+        if n == 0:
+            return selected
+        is_dirty = self._view.is_dirty
         for page in self.eviction_order():
-            if self._view.is_dirty(page):
+            if is_dirty(page):
                 selected.append(page)
                 if len(selected) == n:
                     break

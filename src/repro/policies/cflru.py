@@ -39,16 +39,6 @@ class CFLRUPolicy(LRUPolicy):
         #: construction-time constants).
         self.window_size = max(1, int(capacity * window_fraction))
 
-    def _window(self) -> list[int]:
-        """Unpinned pages of the clean-first region, LRU first."""
-        window: list[int] = []
-        for page in self._order:  # front = LRU end
-            if len(window) == self.window_size:
-                break
-            if not self._view.is_pinned(page):
-                window.append(page)
-        return window
-
     def select_victim(self) -> int | None:
         # Lazy scan: stop at the first clean page inside the window (the
         # common case), falling back to the window's LRU page when every
@@ -76,15 +66,27 @@ class CFLRUPolicy(LRUPolicy):
         This is a static approximation of CFLRU's behaviour (the window
         boundary shifts as evictions happen), which is exactly what ACE
         needs: the *near-term* eviction candidates in priority order.
+        Single pass over the LRU list: the window is collected once and the
+        same iterator continues into the tail, so ``next_dirty(n)``-style
+        consumers pay O(window + consumed), not O(pool) per call.
         """
-        window = self._window()
-        window_set = set(window)
-        for page in window:
-            if not self._view.is_dirty(page):
+        is_pinned = self._view.is_pinned
+        is_dirty = self._view.is_dirty
+        window_size = self.window_size
+        dirty_window: list[int] = []
+        seen = 0
+        iterator = iter(self._order)  # front = LRU end
+        for page in iterator:
+            if is_pinned(page):
+                continue
+            if is_dirty(page):
+                dirty_window.append(page)
+            else:
                 yield page
-        for page in window:
-            if self._view.is_dirty(page):
-                yield page
-        for page in self._order:
-            if page not in window_set and not self._view.is_pinned(page):
+            seen += 1
+            if seen == window_size:
+                break
+        yield from dirty_window
+        for page in iterator:
+            if not is_pinned(page):
                 yield page

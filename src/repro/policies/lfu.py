@@ -4,11 +4,19 @@ Not part of the paper's evaluation quartet, but a classic frequency-based
 policy that exercises a different corner of the virtual-order API: victim
 order is (access count, recency), so ACE's Writer sees an eviction order
 that can change wholesale after a single hit.
+
+Recency is tracked with a monotonic tick counter rather than list
+positions: every insert/access stamps the page with the next tick, and cold
+(prefetched) inserts take decreasing negative ticks so they rank before all
+current residents — the same total order an ordered list would give, with
+O(1) updates and no per-call position scan.  ``select_victim`` is a single
+min-scan; ``eviction_order`` lazily pops a heap, so ACE's ``next_dirty(n)``
+costs O(pool + consumed·log pool) instead of a full sort per call.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import heapq
 from collections.abc import Iterator
 
 from repro.policies.base import ReplacementPolicy
@@ -23,42 +31,50 @@ class LFUPolicy(ReplacementPolicy):
 
     def __init__(self) -> None:
         super().__init__()
-        # Insertion/access order doubles as the recency tie-breaker:
-        # earlier = less recently used.
-        self._order: OrderedDict[int, None] = OrderedDict()
+        # page -> recency stamp: larger = more recently used.  Stamps are
+        # unique, so (frequency, stamp) is a total order.
+        self._recency: dict[int, int] = {}
         self._frequency: dict[int, int] = {}
+        self._tick = 0
+        self._cold_tick = 0
 
     # -- membership -------------------------------------------------------
 
     def insert(self, page: int, cold: bool = False) -> None:
-        if page in self._order:
+        if page in self._recency:
             raise ValueError(f"page {page} already tracked")
-        self._order[page] = None
         if cold:
-            self._order.move_to_end(page, last=False)
+            # Eviction end: less recent than every current resident, and
+            # each successive cold insert colder than the last.
+            self._cold_tick -= 1
+            self._recency[page] = self._cold_tick
+        else:
+            self._tick += 1
+            self._recency[page] = self._tick
         # Cold (prefetched) pages start at frequency 0: first to go.
         self._frequency[page] = 0 if cold else 1
 
     def remove(self, page: int) -> None:
-        if page not in self._order:
+        if page not in self._recency:
             raise KeyError(f"page {page} not tracked")
-        del self._order[page]
+        del self._recency[page]
         del self._frequency[page]
 
     def on_access(self, page: int, is_write: bool = False) -> None:
-        if page not in self._order:
+        if page not in self._recency:
             raise KeyError(f"page {page} not tracked")
         self._frequency[page] += 1
-        self._order.move_to_end(page)
+        self._tick += 1
+        self._recency[page] = self._tick
 
     def __contains__(self, page: int) -> bool:
-        return page in self._order
+        return page in self._recency
 
     def __len__(self) -> int:
-        return len(self._order)
+        return len(self._recency)
 
     def pages(self) -> list[int]:
-        return list(self._order)
+        return list(self._recency)
 
     def frequency(self, page: int) -> int:
         """Access count of a tracked page (diagnostics/tests)."""
@@ -66,21 +82,31 @@ class LFUPolicy(ReplacementPolicy):
 
     # -- decisions ---------------------------------------------------------
 
-    def _ranked(self) -> list[int]:
-        """Pages by (frequency, recency): the LFU virtual order."""
-        recency = {page: index for index, page in enumerate(self._order)}
-        return sorted(
-            self._order,
-            key=lambda page: (self._frequency[page], recency[page]),
-        )
-
     def select_victim(self) -> int | None:
-        for page in self._ranked():
-            if not self._view.is_pinned(page):
-                return page
+        if not self._recency:
+            return None
+        frequency = self._frequency
+        recency = self._recency
+        victim = min(
+            recency, key=lambda page: (frequency[page], recency[page])
+        )
+        if not self._view.is_pinned(victim):
+            return victim
+        # Rare path: the overall minimum is pinned — walk the full order.
+        for page in self.eviction_order():
+            return page
         return None
 
     def eviction_order(self) -> Iterator[int]:
-        for page in self._ranked():
-            if not self._view.is_pinned(page):
+        frequency = self._frequency
+        recency = self._recency
+        heap = [
+            (frequency[page], recency[page], page) for page in recency
+        ]
+        heapq.heapify(heap)
+        is_pinned = self._view.is_pinned
+        pop = heapq.heappop
+        while heap:
+            _, _, page = pop(heap)
+            if not is_pinned(page):
                 yield page

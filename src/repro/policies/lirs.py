@@ -52,6 +52,10 @@ class LIRSPolicy(ReplacementPolicy):
         # All resident pages and their status (_LIR or _HIR).
         self._status: dict[int, str] = {}
         self._lir_count = 0
+        # Ghost entries in the stack, maintained incrementally so bounding
+        # them is O(1) when under budget instead of a full stack scan on
+        # every insert.
+        self._ghost_count = 0
 
     # ------------------------------------------------------------ helpers
 
@@ -59,15 +63,26 @@ class LIRSPolicy(ReplacementPolicy):
         """Remove HIR/ghost entries from the stack bottom (canonical)."""
         while self._stack:
             page = next(iter(self._stack))
-            if self._stack[page] == _LIR:
+            status = self._stack[page]
+            if status == _LIR:
                 break
+            if status == _GHOST:
+                self._ghost_count -= 1
             del self._stack[page]
 
     def _bound_ghosts(self) -> None:
-        ghosts = [p for p, s in self._stack.items() if s == _GHOST]
-        excess = len(ghosts) - self.capacity
-        for page in ghosts[:max(0, excess)]:
+        excess = self._ghost_count - self.capacity
+        if excess <= 0:
+            return
+        doomed: list[int] = []
+        for page, status in self._stack.items():
+            if status == _GHOST:
+                doomed.append(page)
+                if len(doomed) == excess:
+                    break
+        for page in doomed:
             del self._stack[page]
+        self._ghost_count -= len(doomed)
 
     def _demote_coldest_lir(self) -> None:
         """Move the stack-bottom LIR page to the HIR queue."""
@@ -91,7 +106,8 @@ class LIRSPolicy(ReplacementPolicy):
             self._status[page] = _HIR
             self._queue[page] = None
             self._queue.move_to_end(page, last=False)
-            self._stack.pop(page, None)
+            if self._stack.pop(page, None) == _GHOST:
+                self._ghost_count -= 1
             return
         if self._lir_count < self.lir_target:
             # Warm-up: fill the LIR set first.
@@ -101,6 +117,7 @@ class LIRSPolicy(ReplacementPolicy):
             return
         if was_ghost:
             # Reappearing within stack memory: low IRR, promote to LIR.
+            self._ghost_count -= 1
             self._stack[page] = _LIR
             self._stack.move_to_end(page)
             self._status[page] = _LIR
@@ -127,6 +144,7 @@ class LIRSPolicy(ReplacementPolicy):
             # Evicted HIR page leaves a ghost: its next appearance within
             # stack memory proves a low IRR.
             self._stack[page] = _GHOST
+            self._ghost_count += 1
 
     def on_access(self, page: int, is_write: bool = False) -> None:
         status = self._status.get(page)

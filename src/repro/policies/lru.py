@@ -46,9 +46,10 @@ class LRUPolicy(ReplacementPolicy):
         del self._order[page]
 
     def on_access(self, page: int, is_write: bool = False) -> None:
-        if page not in self._order:
-            raise KeyError(f"page {page} not tracked")
-        self._order.move_to_end(page)
+        try:
+            self._order.move_to_end(page)
+        except KeyError:
+            raise KeyError(f"page {page} not tracked") from None
 
     def __contains__(self, page: int) -> bool:
         return page in self._order

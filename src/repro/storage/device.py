@@ -101,6 +101,11 @@ class SimulatedSSD:
         self.model: LatencyModel = profile.latency_model()
         self.clock = clock if clock is not None else VirtualClock()
         self.num_pages = num_pages
+        # The latency model is a pure function of the batch size, so the
+        # single-page costs — paid on every cache miss and every classic
+        # write-back — are computed once.
+        self._single_read_us = self.model.read_batch_us(1)
+        self._single_write_us = self.model.write_batch_us(1)
         self.stats = DeviceStats()
         self._payloads: dict[int, object] = {}
         self.ftl: FlashTranslationLayer | None = None
@@ -117,7 +122,21 @@ class SimulatedSSD:
 
     def read_page(self, page: int) -> object | None:
         """Read a single page; advances the clock by one read latency."""
-        return self.read_batch([page])[0]
+        if self.num_pages is not None and not 0 <= page < self.num_pages:
+            raise IndexError(
+                f"page {page} out of device range [0, {self.num_pages})"
+            )
+        elapsed = self._single_read_us
+        self.clock.advance(elapsed)
+        stats = self.stats
+        stats.reads += 1
+        stats.read_batches += 1
+        stats.read_time_us += elapsed
+        if stats.largest_read_batch < 1:
+            stats.largest_read_batch = 1
+        if self.ftl is not None:
+            self.ftl.read(page)
+        return self._payloads.get(page)
 
     def read_batch(self, pages: list[int] | tuple[int, ...]) -> list[object | None]:
         """Read ``pages`` concurrently; the batch costs ``ceil(n/k_r)`` waves.
@@ -131,15 +150,17 @@ class SimulatedSSD:
         self._check_pages(pages)
         elapsed = self.model.read_batch_us(n)
         self.clock.advance(elapsed)
-        self.stats.reads += n
-        self.stats.read_batches += 1
-        self.stats.read_time_us += elapsed
-        if n > self.stats.largest_read_batch:
-            self.stats.largest_read_batch = n
+        stats = self.stats
+        stats.reads += n
+        stats.read_batches += 1
+        stats.read_time_us += elapsed
+        if n > stats.largest_read_batch:
+            stats.largest_read_batch = n
         if self.ftl is not None:
             for page in pages:
                 self.ftl.read(page)
-        return [self._payloads.get(page) for page in pages]
+        payloads = self._payloads
+        return [payloads.get(page) for page in pages]
 
     # ---------------------------------------------------------------- writes
 
@@ -158,10 +179,11 @@ class SimulatedSSD:
         page is marked present with ``None``).  The batch costs
         ``ceil(n/k_w)`` write waves — this is the concurrency ACE exploits.
         """
+        payloads = self._payloads
         if isinstance(pages, Mapping):
             items = list(pages.items())
         else:
-            items = [(page, self._payloads.get(page)) for page in pages]
+            items = [(page, payloads.get(page)) for page in pages]
         n = len(items)
         if n == 0:
             return
@@ -169,19 +191,26 @@ class SimulatedSSD:
         if len(set(page_ids)) != n:
             raise ValueError(f"duplicate pages in write batch: {page_ids}")
         self._check_pages(page_ids)
-        elapsed = self.model.write_batch_us(n)
+        elapsed = (
+            self._single_write_us if n == 1 else self.model.write_batch_us(n)
+        )
         self.clock.advance(elapsed)
-        self.stats.writes += n
-        self.stats.write_batches += 1
-        self.stats.write_time_us += elapsed
-        histogram = self.stats.write_batch_size_histogram
+        stats = self.stats
+        stats.writes += n
+        stats.write_batches += 1
+        stats.write_time_us += elapsed
+        histogram = stats.write_batch_size_histogram
         histogram[n] = histogram.get(n, 0) + 1
-        if n > self.stats.largest_write_batch:
-            self.stats.largest_write_batch = n
-        for page, payload in items:
-            self._payloads[page] = payload
-            if self.ftl is not None:
-                self.ftl.write(page)
+        if n > stats.largest_write_batch:
+            stats.largest_write_batch = n
+        ftl = self.ftl
+        if ftl is None:
+            for page, payload in items:
+                payloads[page] = payload
+        else:
+            for page, payload in items:
+                payloads[page] = payload
+                ftl.write(page)
 
     # ------------------------------------------------------------- utilities
 

@@ -1,0 +1,141 @@
+"""Serial vs parallel grid execution must be byte-identical.
+
+The whole premise of :mod:`repro.bench.parallel` is that every stack owns a
+private :class:`VirtualClock`, so fanning a grid out over processes cannot
+change any result.  These tests pin that property: the full
+:class:`RunMetrics` dataclass (clock readings, hit counters, device stats,
+histogram buckets — everything ``==`` compares) must match between
+``workers=1`` and ``workers>1``, and between ``run_grid`` and a hand-rolled
+serial loop.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.parallel import (
+    GridJob,
+    TraceSpec,
+    resolve_workers,
+    run_grid,
+)
+from repro.bench.runner import (
+    VARIANTS,
+    StackConfig,
+    compare_policies,
+    run_config,
+)
+from repro.engine.executor import ExecutionOptions
+from repro.policies.registry import PAPER_POLICIES
+from repro.storage.profiles import PCIE_SSD
+from repro.workloads.synthetic import MS, WIS, generate_trace
+
+NUM_PAGES = 1200
+NUM_OPS = 2500
+OPTIONS = ExecutionOptions(cpu_us_per_op=10.0)
+
+
+def _jobs():
+    spec = TraceSpec(MS, NUM_PAGES, NUM_OPS, seed=7)
+    return [
+        GridJob(
+            StackConfig(
+                profile=PCIE_SSD,
+                policy=policy,
+                variant=variant,
+                num_pages=NUM_PAGES,
+                options=OPTIONS,
+            ),
+            trace=spec,
+            label=f"{policy}/{variant}",
+        )
+        for policy in PAPER_POLICIES
+        for variant in VARIANTS
+    ]
+
+
+class TestDeterminism:
+    def test_serial_matches_handrolled_loop(self):
+        jobs = _jobs()
+        trace = generate_trace(MS, NUM_PAGES, NUM_OPS, seed=7)
+        expected = [
+            run_config(job.config, trace, label=job.label) for job in jobs
+        ]
+        got = run_grid(jobs, workers=1)
+        assert got == expected
+
+    def test_parallel_matches_serial(self):
+        jobs = _jobs()
+        serial = run_grid(jobs, workers=1)
+        parallel = run_grid(jobs, workers=4)
+        for s, p in zip(serial, parallel, strict=True):
+            assert dataclasses.asdict(s) == dataclasses.asdict(p)
+        assert serial == parallel
+
+    def test_compare_policies_workers_equivalent(self):
+        trace = generate_trace(WIS, NUM_PAGES, NUM_OPS, seed=11)
+        serial = compare_policies(
+            PCIE_SSD,
+            ("lru", "clock"),
+            trace,
+            num_pages=NUM_PAGES,
+            options=OPTIONS,
+            workers=1,
+        )
+        parallel = compare_policies(
+            PCIE_SSD,
+            ("lru", "clock"),
+            trace,
+            num_pages=NUM_PAGES,
+            options=OPTIONS,
+            workers=3,
+        )
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            assert serial[key] == parallel[key], key
+
+    def test_order_preserved(self):
+        jobs = _jobs()
+        results = run_grid(jobs, workers=2)
+        for job, metrics in zip(jobs, results, strict=True):
+            assert metrics.label == job.label
+
+
+class TestWorkerResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "9")
+        assert resolve_workers(3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        import os
+
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestTraceSpec:
+    def test_materialise_deterministic(self):
+        spec = TraceSpec(MS, 500, 800, seed=3)
+        a = spec.materialise()
+        b = spec.materialise()
+        assert list(a) == list(b)
+
+    def test_gridjob_requires_exactly_one_payload(self):
+        config = StackConfig(
+            profile=PCIE_SSD, policy="lru", variant="ace", num_pages=100
+        )
+        with pytest.raises(ValueError):
+            GridJob(config, trace=None, transactions=None)

@@ -1,0 +1,111 @@
+"""Smoke tests for the wall-clock throughput harness (tiny workloads).
+
+These do not assert absolute performance — CI machines vary wildly — only
+that the harness measures something positive, writes the documented JSON
+schema, and that the ``--check`` regression gate passes against a
+just-written entry and fails against an impossible committed rate.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import perf
+
+TINY = {"num_pages": 300, "num_ops": 500, "repeats": 1}
+
+
+@pytest.fixture()
+def bench_file(tmp_path, monkeypatch):
+    path = tmp_path / "BENCH_throughput.json"
+    monkeypatch.setenv("REPRO_BENCH_FILE", str(path))
+    return path
+
+
+def _tiny_entry(label="test"):
+    stack = perf.measure_single_stack("lru", "baseline", **TINY)
+    return {
+        "label": label,
+        "fast": True,
+        "machine": {},
+        "single_stack": {"lru/baseline": stack},
+        "headline_accesses_per_sec": stack["accesses_per_sec"],
+        "suite": {},
+    }
+
+
+class TestMeasurement:
+    def test_single_stack_positive_throughput(self):
+        result = perf.measure_single_stack("lru", "baseline", **TINY)
+        assert result["policy"] == "lru"
+        assert result["variant"] == "baseline"
+        assert result["ops"] == TINY["num_ops"]
+        assert result["wall_s"] > 0
+        assert result["accesses_per_sec"] > 0
+
+    def test_suite_times_both_paths(self):
+        suite = perf.measure_suite(
+            workers=2, num_pages=300, num_ops=500, policies=("lru",),
+            variants=("baseline", "ace"),
+        )
+        assert suite["jobs"] == 2
+        assert suite["serial_s"] > 0
+        assert suite["parallel_s"] > 0
+        assert suite["workers"] == 2
+        assert suite["parallel_speedup"] > 0
+
+
+class TestReportFile:
+    def test_write_entry_schema(self, bench_file):
+        report = perf.write_entry(_tiny_entry("first"))
+        assert bench_file.exists()
+        on_disk = json.loads(bench_file.read_text())
+        assert on_disk == report
+        assert on_disk["schema_version"] == perf.SCHEMA_VERSION
+        assert on_disk["current"]["label"] == "first"
+        assert on_disk["baseline"]["label"] == "first"
+        assert len(on_disk["history"]) == 1
+        assert on_disk["current"]["headline_accesses_per_sec"] > 0
+
+    def test_baseline_pinned_to_first_entry(self, bench_file):
+        perf.write_entry(_tiny_entry("first"))
+        report = perf.write_entry(_tiny_entry("second"))
+        assert report["baseline"]["label"] == "first"
+        assert report["current"]["label"] == "second"
+        assert len(report["history"]) == 2
+        assert report["improvement_vs_baseline"] > 0
+
+    def test_load_report_absent(self, bench_file):
+        assert perf.load_report() is None
+
+
+class TestCheckGate:
+    def test_check_passes_against_fresh_entry(self, bench_file):
+        perf.write_entry(_tiny_entry())
+        # A freshly measured rate cannot be 1000x below itself.
+        assert perf.main(["--check", "--min-ratio", "0.001"]) == 0
+
+    def test_check_fails_against_impossible_rate(self, bench_file):
+        entry = _tiny_entry()
+        entry["headline_accesses_per_sec"] = 1e15
+        entry["single_stack"]["lru/baseline"]["accesses_per_sec"] = 1e15
+        perf.write_entry(entry)
+        assert perf.main(["--check", "--min-ratio", "0.9"]) == 1
+
+    def test_check_without_file_is_distinct_error(self, bench_file):
+        assert perf.main(["--check"]) == 2
+
+    def test_check_against_prefers_same_mode_history(self, bench_file):
+        fast_entry = _tiny_entry("fast")
+        slow_entry = _tiny_entry("slow")
+        slow_entry["fast"] = False
+        slow_entry["headline_accesses_per_sec"] = 1e15
+        perf.write_entry(fast_entry)
+        report = perf.write_entry(slow_entry)
+        ok, _measured, committed = perf.check_against(
+            report, min_ratio=0.001, fast=True
+        )
+        # The fast-mode bar comes from the fast history entry, not the
+        # (impossible) full-size current entry.
+        assert committed == fast_entry["headline_accesses_per_sec"]
+        assert ok

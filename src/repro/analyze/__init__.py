@@ -1,0 +1,38 @@
+"""Static and dynamic correctness tooling for the reproduction.
+
+PR 1 made the simulator's hot paths fast by introducing exactly the kind of
+state the type system cannot check: lazily materialised virtual orders,
+mirror sets shadowing descriptor bits, picklable job specs for the parallel
+fan-out.  This package holds the tooling that keeps those invariants true
+as the codebase grows:
+
+:mod:`repro.analyze.lint`
+    A custom AST lint framework with repo-specific rules (R001-R004),
+    run as ``python -m repro lint``.  The rules encode the contracts prose
+    comments used to carry: determinism of the simulation packages,
+    descriptor encapsulation, virtual-order purity, and picklability of
+    grid jobs.
+
+:mod:`repro.analyze.sanitizer`
+    A runtime invariant sanitizer for the bufferpool, enabled with
+    ``REPRO_SANITIZE=1`` or ``BufferPoolManager(sanitize=True)``.  After
+    every public bufferpool operation it cross-checks the buffer table,
+    descriptors, mirror sets, free list, and replacement-policy state, and
+    raises a structured :class:`~repro.errors.SanitizerError` on the first
+    violation.
+"""
+
+from repro.analyze.lint import LintRule, SourceModule, Violation, run_lint
+from repro.analyze.rules import DEFAULT_RULES
+from repro.analyze.sanitizer import InvariantSanitizer, attach, env_enabled
+
+__all__ = [
+    "DEFAULT_RULES",
+    "InvariantSanitizer",
+    "LintRule",
+    "SourceModule",
+    "Violation",
+    "attach",
+    "env_enabled",
+    "run_lint",
+]

@@ -1,0 +1,211 @@
+"""Custom AST lint framework: repo-specific rules over parsed source files.
+
+General-purpose linters (ruff in CI) catch general-purpose mistakes; this
+framework exists for the contracts that are specific to this codebase and
+invisible to a generic tool — "simulation packages must be deterministic",
+"only the bufferpool assigns descriptor state bits", "``eviction_order``
+is side-effect-free", "grid jobs must pickle".  The concrete rules live in
+:mod:`repro.analyze.rules`; this module provides the machinery:
+
+* :class:`SourceModule` — a parsed file plus the context rules need (the
+  dotted module name derived from its path, and per-line suppression tags);
+* :class:`LintRule` — the rule interface (``code``, ``check(module)``);
+* :func:`run_lint` — collect files, parse, run every rule, sort findings;
+* :func:`run_cli` — the ``python -m repro lint`` entry point.
+
+Suppressions are per-line comments of the form ``# lint: allow-mutation``
+(several tags may be comma-separated).  Each rule documents its tag; the
+rule code itself (``# lint: allow-R003``) always works.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "LintRule",
+    "SourceModule",
+    "Violation",
+    "collect_files",
+    "module_name",
+    "run_cli",
+    "run_lint",
+]
+
+#: Matches the suppression comment; the tail is a comma-separated tag list.
+_SUPPRESSION_RE = re.compile(r"#\s*lint:\s*([A-Za-z0-9_,\-\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule fired at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class SourceModule:
+    """A parsed source file plus the context lint rules operate on."""
+
+    def __init__(self, path: Path, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        #: Dotted module name when the file sits under a ``repro`` package
+        #: directory (``src/repro/policies/lru.py`` -> ``repro.policies.lru``),
+        #: else the bare stem.  Rules scoped to packages key off this.
+        self.module = module_name(path)
+        self._suppressed: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESSION_RE.search(line)
+            if match:
+                tags = frozenset(
+                    tag.strip() for tag in match.group(1).split(",") if tag.strip()
+                )
+                self._suppressed[lineno] = tags
+
+    def suppressed(self, line: int, *tags: str) -> bool:
+        """Whether the given line carries any of the suppression tags."""
+        present = self._suppressed.get(line)
+        return bool(present) and any(tag in present for tag in tags)
+
+    def in_package(self, *packages: str) -> bool:
+        """Whether the module lives in (or under) one of the dotted packages."""
+        for package in packages:
+            if self.module == package or self.module.startswith(package + "."):
+                return True
+        return False
+
+
+def module_name(path: Path) -> str:
+    """Derive a dotted module name from a file path.
+
+    The name is rooted at the innermost ``repro`` directory so the same
+    rule scoping works for the shipped tree (``src/repro/...``) and for
+    test fixtures laid out as ``tests/.../fixtures/repro/...``.
+    """
+    parts = list(path.parts)
+    stem = path.stem
+    try:
+        root = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return stem
+    dotted = list(parts[root:-1])
+    if stem != "__init__":
+        dotted.append(stem)
+    return ".".join(dotted)
+
+
+class LintRule:
+    """Base class for repo-specific lint rules.
+
+    Subclasses set ``code`` (``R00x``), ``name``, ``description``, and
+    ``suppression`` (the human-friendly ``# lint: <tag>`` escape hatch),
+    and implement :meth:`check`.
+    """
+
+    code = "R000"
+    name = "base"
+    description = ""
+    suppression: str | None = None
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+        )
+
+    def allowed(self, module: SourceModule, node: ast.AST) -> bool:
+        """Whether the node's line carries this rule's escape hatch."""
+        tags = [f"allow-{self.code}"]
+        if self.suppression:
+            tags.append(self.suppression)
+        return module.suppressed(getattr(node, "lineno", 0), *tags)
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for found in path.rglob("*.py"):
+                if "__pycache__" not in found.parts:
+                    files.add(found)
+        elif path.suffix == ".py":
+            files.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def run_lint(
+    paths: Iterable[str | Path],
+    rules: Sequence[LintRule] | None = None,
+) -> tuple[list[Violation], int]:
+    """Run the rules over every ``.py`` file under ``paths``.
+
+    Returns the sorted violation list and the number of files checked.
+    Unparseable files yield an ``R000`` violation instead of crashing the
+    run, so one syntax error cannot hide findings elsewhere.
+    """
+    if rules is None:
+        from repro.analyze.rules import DEFAULT_RULES
+
+        rules = DEFAULT_RULES
+    files = collect_files(paths)
+    violations: list[Violation] = []
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        try:
+            module = SourceModule(path, source)
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule="R000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            violations.extend(rule.check(module))
+    return sorted(violations), len(files)
+
+
+def run_cli(paths: Sequence[str], list_rules: bool = False) -> int:
+    """``python -m repro lint`` behaviour: print findings, return exit code."""
+    from repro.analyze.rules import DEFAULT_RULES
+
+    if list_rules:
+        for rule in DEFAULT_RULES:
+            print(f"{rule.code} {rule.name}: {rule.description}")
+        return 0
+    violations, files = run_lint(paths or ["src"])
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"{len(violations)} violation(s) in {files} file(s) checked")
+        return 1
+    print(f"OK: {files} file(s) clean")
+    return 0

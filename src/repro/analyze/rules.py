@@ -1,0 +1,455 @@
+"""The repo-specific lint rules (R001-R004).
+
+Each rule encodes a contract the simulator depends on but no generic tool
+checks:
+
+R001 *determinism*
+    The simulation packages (``repro.core``, ``repro.policies``,
+    ``repro.bufferpool``, ``repro.storage``, ``repro.workloads``,
+    ``repro.engine``) must be pure functions of their inputs: identical
+    configs and seeds must replay identically, serially or across the
+    parallel fan-out.  Module-level ``random.*`` calls, unseeded RNG
+    constructions, wall-clock reads, and environment lookups all break
+    that, silently.
+
+R002 *encapsulation*
+    Only ``repro.bufferpool`` assigns the descriptor state bits (``dirty``,
+    ``pin_count``, ``usage``, ``cold``, ``prefetched``).  Policies observe
+    page state through :class:`~repro.policies.base.PageStateView`; a policy
+    that writes descriptor fields directly desynchronises the manager's
+    O(1) mirror sets.
+
+R003 *virtual-order purity*
+    ``eviction_order()`` is the policy's side-effect-free virtual order
+    (paper Section III); ACE's Writer and Evictor peek at it on every dirty
+    miss.  Any mutation of ``self`` state inside it corrupts the policy as
+    a side effect of *reading* it.  Escape hatch for deliberate exceptions:
+    ``# lint: allow-mutation`` on the offending line.
+
+R004 *picklability*
+    :class:`~repro.bench.parallel.TraceSpec` and ``GridJob`` cross process
+    boundaries; lambdas, closures, and function-local classes flowing into
+    their construction die inside ``ProcessPoolExecutor`` with an opaque
+    pickling error at fan-out time.  This rule moves that failure to lint
+    time.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analyze.lint import LintRule, SourceModule, Violation
+
+__all__ = [
+    "DEFAULT_RULES",
+    "DeterminismRule",
+    "EncapsulationRule",
+    "PicklabilityRule",
+    "VirtualOrderPurityRule",
+]
+
+
+def _attr_root(node: ast.AST) -> ast.Name | None:
+    """The ``Name`` at the root of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+def _rooted_at_self(node: ast.AST) -> bool:
+    root = _attr_root(node)
+    return root is not None and root.id == "self"
+
+
+class _ImportTable:
+    """Resolve dotted call targets through ``import``/``from`` aliases."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: local alias -> canonical dotted module ("np" -> "numpy").
+        self.modules: dict[str, str] = {}
+        #: local name -> canonical dotted object ("shuffle" -> "random.shuffle").
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of an attribute chain / bare name, or None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        if base in self.modules:
+            prefix = self.modules[base]
+        elif base in self.names:
+            prefix = self.names[base]
+        else:
+            return None
+        return ".".join([prefix, *reversed(parts)]) if parts else prefix
+
+
+class DeterminismRule(LintRule):
+    """R001: no unseeded randomness, wall clock, or env reads in sim packages."""
+
+    code = "R001"
+    name = "determinism"
+    description = (
+        "simulation packages must not call module-level random functions, "
+        "construct unseeded RNGs, read the wall clock, or read the "
+        "environment; thread RNGs/seeds through config parameters"
+    )
+    suppression = "allow-nondeterminism"
+
+    #: Packages whose behaviour must be a pure function of config + seed.
+    packages = (
+        "repro.core",
+        "repro.policies",
+        "repro.bufferpool",
+        "repro.storage",
+        "repro.workloads",
+        "repro.engine",
+    )
+
+    _random_funcs = frozenset({
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+    })
+    _numpy_random_funcs = frozenset({
+        "choice", "normal", "permutation", "rand", "randint", "randn",
+        "random", "random_sample", "seed", "shuffle", "standard_normal",
+        "uniform",
+    })
+    _wall_clock = frozenset({
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.date.today", "uuid.uuid1", "uuid.uuid4",
+    })
+    #: RNG constructors that are fine *with* a seed argument, flagged bare.
+    _seedable = frozenset({"random.Random", "numpy.random.default_rng"})
+    _env_reads = frozenset({"os.getenv", "os.environb"})
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not module.in_package(*self.packages):
+            return
+        imports = _ImportTable(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                target = imports.resolve(node.func)
+                if target is None:
+                    continue
+                message = self._call_message(target, node)
+                if message and not self.allowed(module, node):
+                    yield self.violation(module, node, message)
+            elif isinstance(node, ast.Attribute):
+                target = imports.resolve(node)
+                if (
+                    target == "os.environ"
+                    and not self.allowed(module, node)
+                ):
+                    yield self.violation(
+                        module, node,
+                        "environment read (os.environ) makes simulation "
+                        "behaviour host-dependent; take the value as a "
+                        "config parameter",
+                    )
+
+    def _call_message(self, target: str, node: ast.Call) -> str | None:
+        if target.startswith("random.") and target[7:] in self._random_funcs:
+            return (
+                f"module-level {target}() uses the shared unseeded RNG; "
+                "thread a seeded random.Random through a seed/rng parameter"
+            )
+        if (
+            target.startswith("numpy.random.")
+            and target[13:] in self._numpy_random_funcs
+        ):
+            return (
+                f"{target}() uses numpy's global RNG; use "
+                "numpy.random.default_rng(seed) threaded via parameters"
+            )
+        if target in self._seedable and not node.args and not node.keywords:
+            return f"{target}() without a seed is nondeterministic"
+        if target == "random.SystemRandom":
+            return "random.SystemRandom is nondeterministic by design"
+        if target in self._wall_clock:
+            return (
+                f"{target}() reads the wall clock; simulation time comes "
+                "from repro.storage.clock.VirtualClock"
+            )
+        if target in self._env_reads:
+            return (
+                f"{target}() makes simulation behaviour host-dependent; "
+                "take the value as a config parameter"
+            )
+        return None
+
+
+class EncapsulationRule(LintRule):
+    """R002: descriptor state bits are assigned only inside repro.bufferpool."""
+
+    code = "R002"
+    name = "encapsulation"
+    description = (
+        "no module outside repro.bufferpool assigns BufferDescriptor state "
+        "fields (dirty, pin_count, usage, cold, prefetched); policies go "
+        "through PageStateView"
+    )
+    suppression = "allow-descriptor-write"
+
+    _fields = frozenset({"dirty", "pin_count", "usage", "cold", "prefetched"})
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if module.in_package("repro.bufferpool"):
+            return
+        for node in ast.walk(module.tree):
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            else:
+                continue
+            for target in self._flatten(targets):
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in self._fields
+                    and not self.allowed(module, node)
+                ):
+                    yield self.violation(
+                        module, node,
+                        f"assignment to .{target.attr} outside "
+                        "repro.bufferpool; descriptor state bits are owned "
+                        "by the buffer manager (read them via PageStateView)",
+                    )
+
+    @staticmethod
+    def _flatten(targets: list[ast.expr]) -> Iterator[ast.expr]:
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                yield from EncapsulationRule._flatten(list(target.elts))
+            else:
+                yield target
+
+
+class VirtualOrderPurityRule(LintRule):
+    """R003: ``eviction_order`` bodies must not mutate policy state."""
+
+    code = "R003"
+    name = "virtual-order-purity"
+    description = (
+        "eviction_order() is the side-effect-free virtual order: no "
+        "assignments to self state and no calls to mutating methods; "
+        "escape hatch: `# lint: allow-mutation`"
+    )
+    suppression = "allow-mutation"
+
+    #: Policy lifecycle methods that mutate state by contract.
+    _mutating_self_methods = frozenset({
+        "bind", "insert", "on_access", "remove", "select_victim",
+    })
+    #: Container mutators that, applied to a self-rooted chain, change state.
+    _mutating_container_methods = frozenset({
+        "add", "append", "appendleft", "clear", "difference_update",
+        "discard", "extend", "insert", "intersection_update", "move_to_end",
+        "pop", "popitem", "popleft", "remove", "reverse", "rotate",
+        "setdefault", "sort", "symmetric_difference_update", "update",
+    })
+    #: heapq functions that mutate their first argument in place.
+    _heap_mutators = frozenset({
+        "heapq.heapify", "heapq.heappop", "heapq.heappush",
+        "heapq.heappushpop", "heapq.heapreplace",
+    })
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        imports = _ImportTable(module.tree)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "eviction_order"
+            ):
+                yield from self._check_body(module, node, imports)
+
+    def _check_body(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        imports: _ImportTable,
+    ) -> Iterator[Violation]:
+        for node in ast.walk(func):
+            if node is func:
+                continue
+            message = self._mutation_message(node, imports)
+            if message and not self.allowed(module, node):
+                yield self.violation(
+                    module, node, f"eviction_order() {message}"
+                )
+
+    def _mutation_message(
+        self, node: ast.AST, imports: _ImportTable
+    ) -> str | None:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                list(node.targets)
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if _rooted_at_self(target):
+                    return "assigns to policy state (must be side-effect-free)"
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if _rooted_at_self(target):
+                    return "deletes policy state (must be side-effect-free)"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and func.attr in self._mutating_self_methods
+                ):
+                    return f"calls mutating method self.{func.attr}()"
+                if (
+                    func.attr in self._mutating_container_methods
+                    and _rooted_at_self(func.value)
+                ):
+                    return (
+                        f"calls .{func.attr}() on policy state "
+                        "(copy to a local first)"
+                    )
+            target = imports.resolve(func)
+            if (
+                target in self._heap_mutators
+                and node.args
+                and _rooted_at_self(node.args[0])
+            ):
+                return (
+                    f"passes policy state to {target}() which mutates it "
+                    "in place (heapify a copy)"
+                )
+        return None
+
+
+class PicklabilityRule(LintRule):
+    """R004: no lambdas/closures/local classes into TraceSpec/GridJob."""
+
+    code = "R004"
+    name = "picklability"
+    description = (
+        "TraceSpec/GridJob cross process boundaries: lambdas, nested "
+        "functions, and function-local classes passed into their "
+        "construction fail to pickle at fan-out time"
+    )
+    suppression = "allow-unpicklable"
+
+    _constructors = frozenset({"TraceSpec", "GridJob"})
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        yield from self._walk_scope(
+            module, module.tree, local_defs=frozenset(), in_function=False
+        )
+
+    def _walk_scope(
+        self,
+        module: SourceModule,
+        scope: ast.AST,
+        local_defs: frozenset[str],
+        in_function: bool,
+    ) -> Iterator[Violation]:
+        """Visit ``scope``, tracking names bound to unpicklable callables.
+
+        ``local_defs`` carries the lambdas, function-local defs, and local
+        classes visible at this point.  Module-level ``def``/``class``
+        statements pickle by reference and never enter the set; a name
+        assigned a lambda is tracked at any level (lambdas never pickle).
+        """
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if in_function:
+                    local_defs = local_defs | {node.name}
+                yield from self._walk_scope(
+                    module, node, local_defs, in_function=True
+                )
+                continue
+            if isinstance(node, ast.ClassDef):
+                if in_function:
+                    local_defs = local_defs | {node.name}
+                yield from self._walk_scope(
+                    module, node, local_defs, in_function
+                )
+                continue
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Lambda
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        local_defs = local_defs | {target.id}
+            yield from self._check_calls(module, node, local_defs)
+            yield from self._walk_scope(module, node, local_defs, in_function)
+
+    def _check_calls(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        local_defs: frozenset[str],
+    ) -> Iterator[Violation]:
+        if not isinstance(node, ast.Call):
+            return
+        name = self._constructor_name(node.func)
+        if name is None:
+            return
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        for value in values:
+            for inner in ast.walk(value):
+                if isinstance(inner, ast.Lambda):
+                    if not self.allowed(module, inner):
+                        yield self.violation(
+                            module, inner,
+                            f"lambda flows into {name}(); workers cannot "
+                            "pickle it — use a module-level function",
+                        )
+                elif (
+                    isinstance(inner, ast.Name)
+                    and isinstance(inner.ctx, ast.Load)
+                    and inner.id in local_defs
+                ):
+                    if not self.allowed(module, inner):
+                        yield self.violation(
+                            module, inner,
+                            f"function-local callable {inner.id!r} flows "
+                            f"into {name}(); workers cannot pickle it — "
+                            "move it to module level",
+                        )
+
+    def _constructor_name(self, func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name) and func.id in self._constructors:
+            return func.id
+        if isinstance(func, ast.Attribute) and func.attr in self._constructors:
+            return func.attr
+        return None
+
+
+#: The rule set ``python -m repro lint`` runs.
+DEFAULT_RULES: tuple[LintRule, ...] = (
+    DeterminismRule(),
+    EncapsulationRule(),
+    VirtualOrderPurityRule(),
+    PicklabilityRule(),
+)

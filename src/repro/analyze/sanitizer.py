@@ -1,0 +1,305 @@
+"""Runtime invariant sanitizer for the bufferpool.
+
+PR 1's hot-path rewrites traded obviousness for speed: the manager keeps
+O(1) mirror sets (``_dirty_set``/``_pinned_set``) shadowing the descriptor
+bits, policies expose lazily materialised virtual orders, and the request
+path caches direct aliases of the table/descriptor containers.  Each of
+those is an invariant that a one-line bug can silently break — a stale
+mirror entry changes *which pages CFLRU evicts* without failing a single
+assertion.
+
+This module is the dynamic counterpart to the :mod:`repro.analyze.rules`
+lint pass: an :class:`InvariantSanitizer` attached to a
+:class:`~repro.bufferpool.manager.BufferPoolManager` re-validates the full
+invariant set after **every public operation** (``read_page``,
+``write_page``, ``pin``, ``unpin``, ``flush_page``, ``flush_all``):
+
+* pin counts are non-negative and pinned pages are never evicted;
+* the dirty mirror set equals the descriptors' dirty flags exactly
+  (and likewise the pinned mirror);
+* the free list is disjoint from the buffer table and length-consistent;
+* ``resident_pages()`` is consistent with frame occupancy, and the
+  replacement policy tracks exactly the resident pages;
+* ``eviction_order()`` leaves policy state bit-identical (snapshot /
+  consume / compare) and yields resident, unpinned, duplicate-free pages.
+
+The first violation raises a structured
+:class:`~repro.errors.SanitizerError` naming the invariant, the operation,
+and the page/frame involved.
+
+Enable it with ``REPRO_SANITIZE=1`` in the environment (picked up by every
+manager built afterwards, including inside worker processes) or explicitly
+with ``BufferPoolManager(..., sanitize=True)`` /
+``StackConfig(..., sanitize=True)``.  It is a debugging tool: expect an
+order-of-magnitude slowdown (quantified in ``docs/tuning.md``), which is
+why it is opt-in and CI runs the test suite once with it on.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import TYPE_CHECKING
+
+from repro.errors import SanitizerError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.bufferpool.manager import BufferPoolManager
+
+__all__ = [
+    "ENV_VAR",
+    "InvariantSanitizer",
+    "SanitizerError",
+    "attach",
+    "env_enabled",
+]
+
+#: Environment switch: any value other than empty/0/false/no/off enables
+#: the sanitizer for every manager constructed afterwards.
+ENV_VAR = "REPRO_SANITIZE"
+
+_FALSY = frozenset({"", "0", "false", "no", "off"})
+
+
+def env_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for sanitised managers."""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def _snapshot(value: object) -> object:
+    """A deep, order-sensitive, hashable image of policy state.
+
+    Cheaper than ``copy.deepcopy`` and directly comparable: dict order is
+    captured (a pure ``eviction_order`` may not even reorder an
+    ``OrderedDict``), sets compare unordered, unknown objects fall back to
+    ``repr``.
+    """
+    if isinstance(value, (int, float, str, bytes, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return ("dict", tuple((k, _snapshot(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_snapshot(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", frozenset(_snapshot(v) for v in value))
+    return ("repr", repr(value))
+
+
+class InvariantSanitizer:
+    """Validates a manager's cross-structure invariants after each op."""
+
+    #: Public manager operations wrapped by :func:`attach`.
+    WRAPPED_OPS = (
+        "read_page",
+        "write_page",
+        "pin",
+        "unpin",
+        "flush_page",
+        "flush_all",
+    )
+
+    def __init__(self, manager: "BufferPoolManager") -> None:
+        self.manager = manager
+        #: Number of post-operation validations performed.
+        self.checks_run = 0
+
+    # ------------------------------------------------------------ validate
+
+    def validate(self, operation: str, page: int | None = None) -> None:
+        """Run every invariant check; raise ``SanitizerError`` on the first
+        violation, naming ``operation`` as the triggering call."""
+        self.checks_run += 1
+        self._check_pins(operation)
+        self._check_dirty_mirror(operation)
+        self._check_free_list(operation)
+        self._check_residency(operation)
+        self._check_virtual_order(operation)
+
+    def assert_clean(self) -> None:
+        """Validate outside any operation (e.g. at end of a test)."""
+        self.validate("assert_clean")
+
+    # ------------------------------------------------------------- checks
+
+    def _check_pins(self, operation: str) -> None:
+        manager = self.manager
+        frame_of = manager.table._frame_of
+        pinned_pages: set[int] = set()
+        for descriptor in manager.pool.descriptors:
+            if descriptor.pin_count < 0:
+                raise SanitizerError(
+                    "pin-count-negative", operation,
+                    f"pin count {descriptor.pin_count}",
+                    page=descriptor.page, frame=descriptor.frame_id,
+                )
+            if descriptor.in_use and descriptor.pin_count > 0:
+                pinned_pages.add(descriptor.page)
+        for page in manager._pinned_set:
+            if page not in frame_of:
+                raise SanitizerError(
+                    "pinned-evicted", operation,
+                    "page is in the pinned mirror set but no longer "
+                    "resident — a pinned page was evicted",
+                    page=page,
+                )
+        if pinned_pages != manager._pinned_set:
+            diff = pinned_pages.symmetric_difference(manager._pinned_set)
+            sample = next(iter(diff))
+            raise SanitizerError(
+                "pinned-mirror", operation,
+                f"pinned mirror set disagrees with descriptors on "
+                f"{sorted(diff)}",
+                page=sample,
+            )
+
+    def _check_dirty_mirror(self, operation: str) -> None:
+        manager = self.manager
+        dirty_pages = {
+            descriptor.page
+            for descriptor in manager.pool.descriptors
+            if descriptor.in_use and descriptor.dirty
+        }
+        if dirty_pages != manager._dirty_set:
+            diff = dirty_pages.symmetric_difference(manager._dirty_set)
+            sample = next(iter(diff))
+            raise SanitizerError(
+                "dirty-mirror", operation,
+                f"dirty mirror set disagrees with descriptor dirty flags "
+                f"on {sorted(diff)}",
+                page=sample,
+            )
+
+    def _check_free_list(self, operation: str) -> None:
+        manager = self.manager
+        pool = manager.pool
+        frame_of = manager.table._frame_of
+        free = pool._free
+        if len(free) + len(frame_of) != pool.capacity:
+            raise SanitizerError(
+                "free-list-count", operation,
+                f"{len(free)} free + {len(frame_of)} mapped != capacity "
+                f"{pool.capacity}",
+            )
+        occupied = set(frame_of.values())
+        for frame_id in free:
+            if frame_id in occupied:
+                raise SanitizerError(
+                    "free-list-overlap", operation,
+                    "frame is both on the free list and in the buffer table",
+                    frame=frame_id,
+                )
+            if pool.descriptors[frame_id].in_use:
+                raise SanitizerError(
+                    "free-frame-in-use", operation,
+                    "free-listed frame has an in-use descriptor",
+                    page=pool.descriptors[frame_id].page, frame=frame_id,
+                )
+
+    def _check_residency(self, operation: str) -> None:
+        manager = self.manager
+        frame_of = manager.table._frame_of
+        descriptors = manager.pool.descriptors
+        for page, frame_id in frame_of.items():
+            if descriptors[frame_id].page != page:
+                raise SanitizerError(
+                    "table-descriptor-mismatch", operation,
+                    f"buffer table maps the page to frame {frame_id}, whose "
+                    f"descriptor holds page {descriptors[frame_id].page}",
+                    page=page, frame=frame_id,
+                )
+        occupied = {d.page for d in descriptors if d.in_use}
+        if occupied != set(frame_of):
+            diff = occupied.symmetric_difference(frame_of)
+            raise SanitizerError(
+                "resident-set", operation,
+                f"frame occupancy disagrees with the buffer table on "
+                f"{sorted(diff)}",
+                page=next(iter(diff)),
+            )
+        tracked = set(manager.policy.pages())
+        if tracked != set(frame_of):
+            diff = tracked.symmetric_difference(frame_of)
+            raise SanitizerError(
+                "policy-membership", operation,
+                f"replacement policy tracks a different page set than the "
+                f"buffer table; disagreement on {sorted(diff)}",
+                page=next(iter(diff)),
+            )
+
+    def _check_virtual_order(self, operation: str) -> None:
+        manager = self.manager
+        policy = manager.policy
+        state = vars(policy)
+        before = {
+            name: _snapshot(value)
+            for name, value in state.items()
+            if name != "_view"
+        }
+        order = list(policy.eviction_order())
+        after = {
+            name: _snapshot(value)
+            for name, value in state.items()
+            if name != "_view"
+        }
+        if before != after:
+            changed = sorted(
+                name for name in before if before[name] != after.get(name)
+            )
+            raise SanitizerError(
+                "virtual-order-purity", operation,
+                f"eviction_order() mutated policy state: {changed} "
+                f"({type(policy).__name__})",
+            )
+        resident = manager.table._frame_of
+        seen: set[int] = set()
+        for page in order:
+            if page in seen:
+                raise SanitizerError(
+                    "virtual-order-duplicates", operation,
+                    "eviction_order() yielded the page twice",
+                    page=page,
+                )
+            seen.add(page)
+            if page not in resident:
+                raise SanitizerError(
+                    "virtual-order-membership", operation,
+                    "eviction_order() yielded a non-resident page",
+                    page=page,
+                )
+            if page in manager._pinned_set:
+                raise SanitizerError(
+                    "virtual-order-pinned", operation,
+                    "eviction_order() yielded a pinned page",
+                    page=page,
+                )
+
+
+def _wrap_operation(sanitizer: InvariantSanitizer, name: str, original):
+    """A bound-method wrapper: run the op, then validate the full state."""
+
+    @functools.wraps(original)
+    def checked(*args: object, **kwargs: object) -> object:
+        result = original(*args, **kwargs)
+        page = args[0] if args and isinstance(args[0], int) else None
+        sanitizer.validate(name, page=page)
+        return result
+
+    return checked
+
+
+def attach(manager: "BufferPoolManager") -> InvariantSanitizer:
+    """Attach a sanitizer to ``manager``, wrapping its public operations.
+
+    Idempotent: re-attaching returns the existing sanitizer.  The wrappers
+    are instance attributes, so the class (and every unsanitised manager)
+    keeps its zero-overhead fast path.
+    """
+    existing = getattr(manager, "sanitizer", None)
+    if existing is not None:
+        return existing
+    sanitizer = InvariantSanitizer(manager)
+    for name in InvariantSanitizer.WRAPPED_OPS:
+        original = getattr(manager, name)
+        setattr(manager, name, _wrap_operation(sanitizer, name, original))
+    manager.sanitizer = sanitizer
+    return sanitizer

@@ -56,6 +56,10 @@ class StackConfig:
         Attach an FTL for physical-write accounting.
     with_wal:
         Attach a write-ahead log on a separate simulated device.
+    sanitize:
+        Attach the runtime invariant sanitizer to the manager (``None``
+        defers to the ``REPRO_SANITIZE`` environment switch).  Debugging
+        aid; see :mod:`repro.analyze.sanitizer`.
     options:
         Execution-model knobs (CPU costs, background intervals).
     """
@@ -70,6 +74,7 @@ class StackConfig:
     with_ftl: bool = False
     with_wal: bool = False
     over_provision: float = 0.10
+    sanitize: bool | None = None
     options: ExecutionOptions = field(default_factory=ExecutionOptions)
 
     def __post_init__(self) -> None:
@@ -111,7 +116,9 @@ def build_stack(
     wal = WriteAheadLog(clock) if config.with_wal else None
 
     if config.variant == "baseline":
-        return BufferPoolManager(capacity, policy, device, wal=wal)
+        return BufferPoolManager(
+            capacity, policy, device, wal=wal, sanitize=config.sanitize
+        )
 
     ace_config = ACEConfig.for_device(
         config.profile,
@@ -121,7 +128,7 @@ def build_stack(
     )
     return ACEBufferPoolManager(
         capacity, policy, device, wal=wal, config=ace_config,
-        prefetcher=prefetcher,
+        prefetcher=prefetcher, sanitize=config.sanitize,
     )
 
 

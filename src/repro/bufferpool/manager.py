@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.analyze.sanitizer import attach as _attach_sanitizer
+from repro.analyze.sanitizer import env_enabled as _sanitize_env_enabled
 from repro.bufferpool.pool import FramePool
 from repro.bufferpool.stats import BufferStats
 from repro.bufferpool.table import BufferTable
@@ -50,6 +52,12 @@ class BufferPoolManager:
     wal:
         Optional write-ahead log; when present, every page write request is
         logged before the page is dirtied (crash-consistency ordering).
+    sanitize:
+        Attach the :mod:`repro.analyze.sanitizer` invariant checker, which
+        validates the full bufferpool state after every public operation.
+        ``None`` (the default) consults the ``REPRO_SANITIZE`` environment
+        switch; ``True``/``False`` override it.  Debugging aid — expect an
+        order-of-magnitude slowdown when enabled.
     """
 
     #: Variant label used in reports ("baseline" vs "ace"/"ace+pf").
@@ -61,6 +69,7 @@ class BufferPoolManager:
         policy: ReplacementPolicy,
         device: SimulatedSSD,
         wal: WriteAheadLog | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
@@ -87,6 +96,15 @@ class BufferPoolManager:
         #: by the ACE manager when a reader/prefetcher is attached.
         self._observer = None
         policy.bind(self)
+        #: The attached invariant checker, or ``None`` when sanitising is
+        #: off (the common case: the request path then carries zero
+        #: sanitizer overhead — the wrappers are instance attributes
+        #: installed only on opted-in managers).
+        self.sanitizer = None
+        if sanitize is None:
+            sanitize = _sanitize_env_enabled()
+        if sanitize:
+            _attach_sanitizer(self)
 
     # ------------------------------------------------------ PageStateView
 

@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro compare --workload WIS --policies lru,cflru
     python -m repro tpcc --warehouses 4 --transactions 300
     python -m repro experiment fig8                # regenerate a paper figure
+    python -m repro lint src                       # repo-specific AST lint
+    python -m repro check                          # invariant-sanitized smoke run
 
 Every command prints a small report and exits 0 on success; the heavy
 lifting lives in :mod:`repro.bench`.
@@ -140,6 +142,26 @@ def build_parser() -> argparse.ArgumentParser:
         "summary", help="assemble EXPERIMENTS.md from results/"
     )
     summary.add_argument("--output", default="EXPERIMENTS.md")
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-specific AST lint rules (R001-R004)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+
+    check = sub.add_parser(
+        "check",
+        help="replay a smoke workload through every policy/variant with "
+             "the runtime invariant sanitizer attached",
+    )
+    check.add_argument("--policies", default=",".join(POLICY_NAMES),
+                       help="comma-separated policy names (default: all)")
+    check.add_argument("--device", choices=sorted(_DEVICES), default="pcie")
+    check.add_argument("--pages", type=int, default=600)
+    check.add_argument("--ops", type=int, default=1500)
+    check.add_argument("--seed", type=int, default=42)
 
     return parser
 
@@ -288,6 +310,67 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analyze.lint import run_cli
+
+    return run_cli(args.paths, list_rules=args.list_rules)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Sanitizer smoke run: every policy x variant on a short MS trace.
+
+    Builds each stack with ``sanitize=True`` so the invariant checker
+    validates the full bufferpool state after every operation; also
+    exercises the pin/flush paths the trace replay does not reach.  Exits
+    non-zero on the first stack whose run violates an invariant.
+    """
+    from repro.bench.runner import VARIANTS
+    from repro.engine.executor import run_trace
+    from repro.errors import SanitizerError
+
+    policies = [name.strip() for name in args.policies.split(",") if name.strip()]
+    unknown = [name for name in policies if name not in POLICY_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown policies: {', '.join(unknown)}")
+    trace = generate_trace(MS, args.pages, args.ops, seed=args.seed)
+    options = ExecutionOptions(cpu_us_per_op=10.0)
+    failures = 0
+    for policy in policies:
+        for variant in VARIANTS:
+            config = StackConfig(
+                profile=_DEVICES[args.device],
+                policy=policy,
+                variant=variant,
+                num_pages=args.pages,
+                sanitize=True,
+                options=options,
+            )
+            manager = build_stack(config)
+            label = f"{policy}/{variant}"
+            try:
+                run_trace(manager, trace, options=options, label=label)
+                # The trace replay never pins or checkpoint-flushes; cover
+                # those operations too so their invariants are exercised.
+                resident = manager.resident_pages()
+                if resident:
+                    page = resident[0]
+                    manager.pin(page)
+                    manager.read_page(page)
+                    manager.unpin(page)
+                manager.flush_all()
+            except SanitizerError as exc:
+                failures += 1
+                print(f"FAIL {label}: {exc}")
+            else:
+                checks = manager.sanitizer.checks_run
+                print(f"ok   {label}: {checks} operations validated")
+    if failures:
+        print(f"{failures} stack(s) violated bufferpool invariants")
+        return 1
+    print(f"all {len(policies) * len(VARIANTS)} stacks clean")
+    return 0
+
+
 def _cmd_summary(args: argparse.Namespace) -> int:
     from repro.bench.summary import assemble_experiments_md
 
@@ -303,6 +386,8 @@ _COMMANDS = {
     "tpcc": _cmd_tpcc,
     "experiment": _cmd_experiment,
     "summary": _cmd_summary,
+    "lint": _cmd_lint,
+    "check": _cmd_check,
 }
 
 

@@ -41,7 +41,7 @@ class ACEBufferPoolManager(BufferPoolManager):
 
     Parameters
     ----------
-    capacity, policy, device, wal:
+    capacity, policy, device, wal, sanitize:
         As in :class:`~repro.bufferpool.manager.BufferPoolManager`.
     config:
         ACE tuning; defaults to the paper's ``n_w = n_e = k_w`` for the
@@ -60,8 +60,9 @@ class ACEBufferPoolManager(BufferPoolManager):
         wal: WriteAheadLog | None = None,
         config: ACEConfig | None = None,
         prefetcher: Prefetcher | None = None,
+        sanitize: bool | None = None,
     ) -> None:
-        super().__init__(capacity, policy, device, wal=wal)
+        super().__init__(capacity, policy, device, wal=wal, sanitize=sanitize)
         if config is None:
             config = ACEConfig.for_device(device.profile)
         self.config = config

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "BufferPoolError", "PoolExhaustedError", "PageNotBufferedError"]
+__all__ = [
+    "ReproError",
+    "BufferPoolError",
+    "PoolExhaustedError",
+    "PageNotBufferedError",
+    "SanitizerError",
+]
 
 
 class ReproError(Exception):
@@ -19,3 +25,34 @@ class PoolExhaustedError(BufferPoolError):
 
 class PageNotBufferedError(BufferPoolError):
     """Raised when an operation requires a page to be resident and it is not."""
+
+
+class SanitizerError(BufferPoolError):
+    """A bufferpool invariant was violated (see ``repro.analyze.sanitizer``).
+
+    Structured so tooling can key off the failure: ``invariant`` names the
+    broken invariant, ``operation`` the public manager call after which it
+    was detected, and ``page``/``frame`` the entity involved when known.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        operation: str,
+        message: str,
+        page: int | None = None,
+        frame: int | None = None,
+    ) -> None:
+        self.invariant = invariant
+        self.operation = operation
+        self.page = page
+        self.frame = frame
+        location = ""
+        if page is not None:
+            location += f" (page {page}"
+            location += f", frame {frame})" if frame is not None else ")"
+        elif frame is not None:
+            location += f" (frame {frame})"
+        super().__init__(
+            f"[{invariant}] after {operation}{location}: {message}"
+        )

@@ -1,0 +1,15 @@
+"""Lint fixture: R004 negative — module-level callables and plain data
+flowing into ``TraceSpec``/``GridJob`` pickle fine."""
+
+from repro.bench.parallel import GridJob, TraceSpec
+from repro.workloads.synthetic import MS
+
+
+def module_level_filter(job):
+    return job is not None
+
+
+def build_jobs(configs):
+    spec = TraceSpec(MS, 1000, 2000, seed=7)
+    jobs = [GridJob(config, trace=spec) for config in configs]
+    return [job for job in jobs if module_level_filter(job)]

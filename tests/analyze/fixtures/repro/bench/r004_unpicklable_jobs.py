@@ -1,0 +1,22 @@
+"""Lint fixture: R004 violations — unpicklable values flowing into the
+parallel fan-out's ``TraceSpec``/``GridJob`` construction sites."""
+
+from repro.bench.parallel import GridJob, TraceSpec
+
+
+def build_jobs(configs):
+    def local_trace():
+        return None
+
+    class LocalSpec:
+        pass
+
+    jobs = [GridJob(config, trace=lambda: None) for config in configs]
+    jobs.append(GridJob(configs[0], trace=local_trace))
+    jobs.append(GridJob(configs[0], trace=LocalSpec()))
+    return jobs
+
+
+def build_spec():
+    make_spec = lambda: None  # noqa: E731
+    return TraceSpec(make_spec, 100, 200, seed=7)

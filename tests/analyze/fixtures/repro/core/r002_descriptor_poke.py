@@ -1,0 +1,15 @@
+"""Lint fixture: R002 violations — descriptor state assigned outside
+``repro.bufferpool`` (this file's fixture path puts it in ``repro.core``)."""
+
+
+def evict_by_hand(manager, page):
+    descriptor = manager._descriptor_of(page)
+    descriptor.dirty = False
+    descriptor.pin_count -= 1
+    return descriptor
+
+
+def warm_up(descriptor):
+    descriptor.usage = 5
+    descriptor.cold = False
+    descriptor.prefetched = True

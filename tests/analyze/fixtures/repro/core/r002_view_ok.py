@@ -1,0 +1,15 @@
+"""Lint fixture: R002 negative — reads descriptor state, assigns nothing.
+
+Reading ``descriptor.dirty`` (or asking the ``PageStateView``) is fine;
+only assignments are the manager's privilege.
+"""
+
+
+def count_dirty(view, pages):
+    return sum(1 for page in pages if view.is_dirty(page))
+
+
+def classify(descriptor):
+    if descriptor.dirty and descriptor.pin_count == 0:
+        return "writeback-candidate"
+    return "keep"

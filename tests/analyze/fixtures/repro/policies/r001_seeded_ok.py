@@ -1,0 +1,14 @@
+"""Lint fixture: R001 negative — correctly threaded, seeded randomness."""
+
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    # Seeded construction is the sanctioned pattern.
+    return random.Random(seed)
+
+
+def sampled(rng: random.Random, pages: list[int], k: int) -> list[int]:
+    # Instance methods of a threaded RNG are fine; only the module-level
+    # functions (shared global state) are banned.
+    return rng.sample(pages, k)

@@ -1,0 +1,35 @@
+"""Lint fixture: R001 violations — unseeded randomness, wall clock, env.
+
+Never imported; parsed by the lint tests only.  The path places it under a
+``repro/policies`` directory so the determinism rule's package scoping
+applies, exactly as it would to a real policy module.
+"""
+
+import os
+import random
+import time
+from random import shuffle
+
+
+def jittered_usage():
+    # Module-level random functions share one unseeded global RNG.
+    return random.random() + random.randint(0, 5)
+
+
+def wall_clock_stamp():
+    return time.time()
+
+
+def unseeded_rng():
+    return random.Random()
+
+
+def env_tuned_window():
+    return int(os.environ.get("REPRO_FAKE_WINDOW", "8")) + len(
+        os.getenv("REPRO_FAKE_MODE", "")
+    )
+
+
+def shuffled(pages):
+    shuffle(pages)
+    return pages

@@ -1,0 +1,42 @@
+"""Lint fixture: R003 violations — ``eviction_order`` mutating policy state,
+plus one deliberate mutation behind the ``# lint: allow-mutation`` hatch."""
+
+import heapq
+
+
+class SweepingPolicy:
+    """A Clock-style policy whose virtual order cheats: it decrements the
+    live usage counts instead of simulating the sweep on a copy."""
+
+    def __init__(self):
+        self._usage = {}
+        self._order = {}
+        self._heap = []
+        self._hand = 0
+
+    def eviction_order(self):
+        while self._usage:
+            page, usage = min(self._usage.items(), key=lambda kv: kv[1])
+            if usage == 0:
+                self._usage.pop(page)
+                yield page
+            else:
+                self._usage[page] = usage - 1
+            self._hand += 1
+            heapq.heappush(self._heap, page)
+            self.on_access(page)
+
+    def on_access(self, page):
+        self._usage[page] = self._usage.get(page, 0) + 1
+
+
+class CountingPolicy:
+    """Covers the escape hatch: a sanctioned diagnostic counter."""
+
+    def __init__(self):
+        self._pages = []
+        self.peeks = 0
+
+    def eviction_order(self):
+        self.peeks += 1  # lint: allow-mutation
+        yield from self._pages

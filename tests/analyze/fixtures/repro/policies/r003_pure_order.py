@@ -1,0 +1,24 @@
+"""Lint fixture: R003 negative — a pure ``eviction_order`` that simulates
+its sweep on local copies, as the shipped policies do."""
+
+import heapq
+
+
+class CopyingPolicy:
+    def __init__(self):
+        self._usage = {}
+        self._recency = {}
+
+    def eviction_order(self):
+        # Copies of policy state and mutation of *locals* are fine; only
+        # the live self-rooted structures are protected.
+        usage = dict(self._usage)
+        heap = [(count, self._recency[page], page)
+                for page, count in usage.items()]
+        heapq.heapify(heap)
+        while heap:
+            _, _, page = heapq.heappop(heap)
+            yield page
+
+    def on_access(self, page):
+        self._usage[page] = self._usage.get(page, 0) + 1

@@ -1,0 +1,196 @@
+"""Tests for the repo-specific AST lint rules (R001-R004).
+
+Each rule gets at least one positive test (a fixture file written to
+violate it, laid out under ``fixtures/repro/...`` so package scoping
+applies) and one negative test (the sanctioned pattern passes clean).
+The fixtures are never imported — only parsed.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.lint import (
+    SourceModule,
+    Violation,
+    collect_files,
+    module_name,
+    run_lint,
+)
+from repro.analyze.rules import DEFAULT_RULES
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint_file(path: Path) -> list[Violation]:
+    violations, files = run_lint([path])
+    assert files == 1
+    return violations
+
+
+def codes(violations: list[Violation]) -> set[str]:
+    return {violation.rule for violation in violations}
+
+
+class TestFramework:
+    def test_module_name_roots_at_repro(self):
+        assert module_name(Path("src/repro/policies/lru.py")) == \
+            "repro.policies.lru"
+        fixture = FIXTURES / "policies" / "r001_unseeded.py"
+        assert module_name(fixture) == "repro.policies.r001_unseeded"
+
+    def test_module_name_init_is_package(self):
+        assert module_name(Path("src/repro/bufferpool/__init__.py")) == \
+            "repro.bufferpool"
+
+    def test_module_name_outside_repro_is_stem(self):
+        assert module_name(Path("scripts/helper.py")) == "helper"
+
+    def test_in_package_scoping(self):
+        module = SourceModule(Path("src/repro/policies/lru.py"), "x = 1\n")
+        assert module.in_package("repro.policies")
+        assert module.in_package("repro.core", "repro.policies")
+        assert not module.in_package("repro.bufferpool")
+        assert not module.in_package("repro.pol")  # no prefix false-match
+
+    def test_collect_files_skips_pycache(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-312.py").write_text("x = 1\n")
+        assert collect_files([tmp_path]) == [tmp_path / "a.py"]
+
+    def test_collect_files_missing_path_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_files([tmp_path / "nope"])
+
+    def test_syntax_error_becomes_r000(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        violations = lint_file(bad)
+        assert codes(violations) == {"R000"}
+        assert "syntax error" in violations[0].message
+
+    def test_violation_format(self):
+        violation = Violation("a/b.py", 3, 4, "R001", "boom")
+        assert violation.format() == "a/b.py:3:4: R001 boom"
+
+    def test_rule_catalogue_complete(self):
+        assert [rule.code for rule in DEFAULT_RULES] == \
+            ["R001", "R002", "R003", "R004"]
+        for rule in DEFAULT_RULES:
+            assert rule.name and rule.description
+
+
+class TestDeterminismRule:
+    def test_flags_unseeded_sources(self):
+        violations = lint_file(FIXTURES / "policies" / "r001_unseeded.py")
+        assert codes(violations) == {"R001"}
+        messages = " | ".join(violation.message for violation in violations)
+        assert "random.random" in messages
+        assert "random.randint" in messages
+        assert "time.time" in messages
+        assert "os.environ" in messages
+        assert "os.getenv" in messages
+        assert "random.shuffle" in messages  # from-import resolved
+        assert "random.Random()" in messages  # unseeded construction
+        assert len(violations) == 7
+
+    def test_seeded_rng_is_clean(self):
+        assert lint_file(FIXTURES / "policies" / "r001_seeded_ok.py") == []
+
+    def test_scoped_to_simulation_packages(self, tmp_path):
+        # The same source outside the repro.* packages is not the lint's
+        # business (scripts, tests, tools may use the wall clock freely).
+        source = (FIXTURES / "policies" / "r001_unseeded.py").read_text()
+        free = tmp_path / "r001_unseeded.py"
+        free.write_text(source)
+        assert lint_file(free) == []
+
+
+class TestEncapsulationRule:
+    def test_flags_descriptor_assignment_outside_bufferpool(self):
+        violations = lint_file(FIXTURES / "core" / "r002_descriptor_poke.py")
+        assert codes(violations) == {"R002"}
+        fields = " | ".join(violation.message for violation in violations)
+        for field in ("dirty", "pin_count", "usage", "cold", "prefetched"):
+            assert field in fields
+        assert len(violations) == 5
+
+    def test_reads_are_clean(self):
+        assert lint_file(FIXTURES / "core" / "r002_view_ok.py") == []
+
+    def test_bufferpool_itself_may_assign(self, tmp_path):
+        # The manager is the one sanctioned writer of descriptor bits.
+        pool_dir = tmp_path / "repro" / "bufferpool"
+        pool_dir.mkdir(parents=True)
+        inside = pool_dir / "poke.py"
+        inside.write_text("def f(d):\n    d.dirty = True\n")
+        assert lint_file(inside) == []
+
+
+class TestVirtualOrderPurityRule:
+    def test_flags_mutation_inside_eviction_order(self):
+        violations = lint_file(FIXTURES / "policies" / "r003_impure_order.py")
+        assert codes(violations) == {"R003"}
+        messages = " | ".join(violation.message for violation in violations)
+        assert "pop" in messages          # mutating container method
+        assert "heapq.heappush" in messages  # heap mutator on self state
+        assert "on_access" in messages    # known-mutating policy method
+        assert len(violations) == 5
+
+    def test_allow_mutation_hatch_suppresses(self):
+        violations = lint_file(FIXTURES / "policies" / "r003_impure_order.py")
+        source = (FIXTURES / "policies" / "r003_impure_order.py").read_text()
+        hatch_line = next(
+            lineno
+            for lineno, line in enumerate(source.splitlines(), start=1)
+            if "allow-mutation" in line
+        )
+        assert all(violation.line != hatch_line for violation in violations)
+
+    def test_pure_simulation_on_copies_is_clean(self):
+        assert lint_file(FIXTURES / "policies" / "r003_pure_order.py") == []
+
+
+class TestPicklabilityRule:
+    def test_flags_local_callables_into_jobs(self):
+        violations = lint_file(FIXTURES / "bench" / "r004_unpicklable_jobs.py")
+        assert codes(violations) == {"R004"}
+        messages = " | ".join(violation.message for violation in violations)
+        assert "lambda" in messages
+        assert "local_trace" in messages
+        assert "LocalSpec" in messages
+        assert "make_spec" in messages
+        assert len(violations) == 4
+
+    def test_module_level_callables_are_clean(self):
+        assert lint_file(FIXTURES / "bench" / "r004_module_level_ok.py") == []
+
+
+class TestShippedTree:
+    def test_src_is_clean(self):
+        violations, files = run_lint([REPO_ROOT / "src"])
+        assert violations == []
+        assert files > 50  # the whole tree was actually collected
+
+
+class TestLintCli:
+    def test_fixtures_exit_nonzero(self, capsys):
+        assert main(["lint", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        for code in ("R001", "R002", "R003", "R004"):
+            assert code in out
+        assert "violation(s)" in out
+
+    def test_src_exits_zero(self, capsys):
+        assert main(["lint", str(REPO_ROOT / "src")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R001", "R002", "R003", "R004"):
+            assert code in out

@@ -21,6 +21,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--policy", "nope"])
 
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == ["src"]
+        assert args.list_rules is False
+
+    def test_check_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.pages == 600
+        assert args.ops == 1500
+        assert "lru" in args.policies
+
 
 class TestCommands:
     def test_probe_single_device(self, capsys):
@@ -85,6 +96,21 @@ class TestCommands:
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
         assert main(["experiment", "table2"]) == 0
         assert (tmp_path / "table2_workloads.txt").exists()
+
+    def test_check_runs_sanitized_stacks(self, capsys):
+        code = main([
+            "check", "--policies", "lru,clock", "--pages", "200",
+            "--ops", "400",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok   lru/baseline" in out
+        assert "ok   clock/ace+pf" in out
+        assert "all 6 stacks clean" in out
+
+    def test_check_unknown_policy_exits(self):
+        with pytest.raises(SystemExit, match="unknown policies"):
+            main(["check", "--policies", "nope"])
 
     def test_summary(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))

@@ -49,9 +49,19 @@ from repro.engine import (
 )
 from repro.errors import (
     BufferPoolError,
+    IOFaultError,
     PageNotBufferedError,
     PoolExhaustedError,
     ReproError,
+    RetriesExhaustedError,
+    TornWriteError,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultyDevice,
+    RetryPolicy,
 )
 from repro.engine.latency import LatencyRecorder
 from repro.engine.multiclient import interleave_traces, interleave_transactions
@@ -194,10 +204,19 @@ __all__ = [
     "PgbenchWorkload",
     "TPCCWorkload",
     "TransactionType",
+    # faults
+    "FaultPlan",
+    "FaultKind",
+    "FaultInjector",
+    "FaultyDevice",
+    "RetryPolicy",
     # errors
     "ReproError",
     "BufferPoolError",
     "PoolExhaustedError",
     "PageNotBufferedError",
+    "IOFaultError",
+    "TornWriteError",
+    "RetriesExhaustedError",
     "__version__",
 ]

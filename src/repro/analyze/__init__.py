@@ -7,11 +7,11 @@ fan-out.  This package holds the tooling that keeps those invariants true
 as the codebase grows:
 
 :mod:`repro.analyze.lint`
-    A custom AST lint framework with repo-specific rules (R001-R004),
+    A custom AST lint framework with repo-specific rules (R001-R005),
     run as ``python -m repro lint``.  The rules encode the contracts prose
     comments used to carry: determinism of the simulation packages,
-    descriptor encapsulation, virtual-order purity, and picklability of
-    grid jobs.
+    descriptor encapsulation, virtual-order purity, picklability of grid
+    jobs, and no-silent-swallowing of injected I/O faults.
 
 :mod:`repro.analyze.sanitizer`
     A runtime invariant sanitizer for the bufferpool, enabled with

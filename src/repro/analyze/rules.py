@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (R001-R004).
+"""The repo-specific lint rules (R001-R005).
 
 Each rule encodes a contract the simulator depends on but no generic tool
 checks:
@@ -6,7 +6,8 @@ checks:
 R001 *determinism*
     The simulation packages (``repro.core``, ``repro.policies``,
     ``repro.bufferpool``, ``repro.storage``, ``repro.workloads``,
-    ``repro.engine``) must be pure functions of their inputs: identical
+    ``repro.engine``, ``repro.faults``) must be pure functions of their
+    inputs: identical
     configs and seeds must replay identically, serially or across the
     parallel fan-out.  Module-level ``random.*`` calls, unseeded RNG
     constructions, wall-clock reads, and environment lookups all break
@@ -32,6 +33,15 @@ R004 *picklability*
     their construction die inside ``ProcessPoolExecutor`` with an opaque
     pickling error at fan-out time.  This rule moves that failure to lint
     time.
+
+R005 *io-fault-handling*
+    With :mod:`repro.faults` in the stack, device I/O can raise
+    :class:`~repro.errors.IOFaultError`.  An ``except`` around a device
+    read/write that swallows such faults silently converts an injected
+    failure into lost work — the exact bug class the fault layer exists to
+    surface.  Handlers catching fault(-compatible) exceptions around device
+    I/O must re-raise or visibly route through the retry/degradation
+    machinery.  Escape hatch: ``# lint: allow-io-swallow``.
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ __all__ = [
     "DEFAULT_RULES",
     "DeterminismRule",
     "EncapsulationRule",
+    "IORetryRule",
     "PicklabilityRule",
     "VirtualOrderPurityRule",
 ]
@@ -120,6 +131,7 @@ class DeterminismRule(LintRule):
         "repro.storage",
         "repro.workloads",
         "repro.engine",
+        "repro.faults",
     )
 
     _random_funcs = frozenset({
@@ -446,10 +458,123 @@ class PicklabilityRule(LintRule):
         return None
 
 
+class IORetryRule(LintRule):
+    """R005: fault-catching handlers around device I/O must not swallow."""
+
+    code = "R005"
+    name = "io-fault-handling"
+    description = (
+        "an except clause that catches I/O-fault exceptions around device "
+        "read/write calls must re-raise or route through the "
+        "retry/degradation machinery; silently swallowing an injected "
+        "fault loses work"
+    )
+    suppression = "allow-io-swallow"
+
+    #: Device I/O entry points (SimulatedSSD / FaultyDevice surface).
+    _io_methods = frozenset({
+        "read_page", "read_batch", "write_page", "write_batch",
+    })
+    #: Exception names that catch (or subsume) IOFaultError.
+    _fault_catchers = frozenset({
+        "IOFaultError", "TornWriteError", "RetriesExhaustedError",
+        "ReproError", "Exception", "BaseException", "OSError",
+    })
+    #: Identifier substrings that mark a handler as routing the fault into
+    #: the retry/degradation machinery rather than dropping it.
+    _handled_markers = ("retry", "retries", "degrad")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not module.in_package("repro"):
+            return
+        # A try/except *inside* the retry machinery is the machinery: the
+        # loop around it is what retries, so its handlers legitimately
+        # capture the fault and continue.  Exempt functions whose names
+        # carry a handled-marker (e.g. _retry_write_back).
+        exempt: set[ast.Try] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                lowered = node.name.lower()
+                if any(marker in lowered for marker in self._handled_markers):
+                    for inner in ast.walk(node):
+                        if isinstance(inner, ast.Try):
+                            exempt.add(inner)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try) or node in exempt:
+                continue
+            if not self._body_does_device_io(node.body):
+                continue
+            for handler in node.handlers:
+                if not self._catches_faults(handler):
+                    continue
+                if self._handler_handles(handler):
+                    continue
+                if self.allowed(module, handler):
+                    continue
+                caught = self._caught_names(handler) or ["(bare except)"]
+                yield self.violation(
+                    module, handler,
+                    f"except {', '.join(caught)} around device I/O neither "
+                    "re-raises nor routes through retry/degradation; an "
+                    "injected fault would be silently swallowed",
+                )
+
+    def _body_does_device_io(self, body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._io_methods
+                ):
+                    return True
+        return False
+
+    def _caught_names(self, handler: ast.ExceptHandler) -> list[str]:
+        kind = handler.type
+        if kind is None:
+            return []
+        exprs = list(kind.elts) if isinstance(kind, ast.Tuple) else [kind]
+        names = []
+        for expr in exprs:
+            if isinstance(expr, ast.Name):
+                names.append(expr.id)
+            elif isinstance(expr, ast.Attribute):
+                names.append(expr.attr)
+        return names
+
+    def _catches_faults(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True  # a bare except catches IOFaultError too
+        return any(
+            name in self._fault_catchers
+            for name in self._caught_names(handler)
+        )
+
+    def _handler_handles(self, handler: ast.ExceptHandler) -> bool:
+        """Re-raises, or mentions a retry/degradation identifier."""
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            identifier: str | None = None
+            if isinstance(node, ast.Name):
+                identifier = node.id
+            elif isinstance(node, ast.Attribute):
+                identifier = node.attr
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                identifier = node.name
+            if identifier is not None:
+                lowered = identifier.lower()
+                if any(marker in lowered for marker in self._handled_markers):
+                    return True
+        return False
+
+
 #: The rule set ``python -m repro lint`` runs.
 DEFAULT_RULES: tuple[LintRule, ...] = (
     DeterminismRule(),
     EncapsulationRule(),
     VirtualOrderPurityRule(),
     PicklabilityRule(),
+    IORetryRule(),
 )

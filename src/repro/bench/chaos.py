@@ -1,0 +1,247 @@
+"""Chaos harness: crash-and-recover sweeps under deterministic fault injection.
+
+The paper's safety story is that delaying and batching data-page writes
+(background writer, checkpointer, ACE's ``n_w``-page write-back) never
+loses *committed* work, because WAL-before-data plus redo recovery covers
+every delayed page.  This harness attacks that story on purpose: it sweeps
+fault rates x replacement policies x {baseline, ACE}, runs a write-heavy
+trace with periodic commit points against a fault-injecting device, crashes
+the stack mid-run, recovers from the WAL, and counts committed updates
+that did not survive.  The acceptance bar is exactly zero lost updates in
+every cell — including the cells where write batches tear, transient errors
+exhaust retries, and checkpoints are withheld.
+
+Everything is virtual-time deterministic: the same seed produces the same
+trace, the same fault schedule, and therefore the same cell results, so a
+red cell is reproducible with ``python -m repro chaos --seed <s>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import StackConfig, build_stack
+from repro.bufferpool.background import BackgroundWriter, Checkpointer
+from repro.bufferpool.recovery import recover, simulate_crash
+from repro.core.ace import ACEBufferPoolManager
+from repro.engine.executor import ExecutionOptions, run_trace
+from repro.errors import ReproError
+from repro.faults import FaultPlan, RetryPolicy
+from repro.storage.profiles import PCIE_SSD, DeviceProfile
+from repro.workloads.synthetic import MU, generate_trace
+
+__all__ = [
+    "ChaosCellResult",
+    "ChaosReport",
+    "DEFAULT_POLICIES",
+    "DEFAULT_RATES",
+    "DEFAULT_VARIANTS",
+    "run_cell",
+    "run_chaos",
+    "smoke_grid",
+]
+
+#: The acceptance grid: fault rates x policies x variants.
+DEFAULT_RATES = (0.0, 0.001, 0.01)
+DEFAULT_POLICIES = ("lru", "clock", "cflru")
+DEFAULT_VARIANTS = ("baseline", "ace")
+
+
+@dataclass(frozen=True)
+class ChaosCellResult:
+    """One (policy, variant, rate) crash-and-recover experiment."""
+
+    policy: str
+    variant: str
+    rate: float
+    ops_run: int
+    committed_updates: int
+    #: Committed updates missing from the device after recovery — the
+    #: harness's single pass/fail criterion.  Must be zero.
+    lost_updates: int
+    faults_injected: int
+    io_retries: int
+    degraded_writebacks: int
+    failed_writebacks: int
+    checkpoints_skipped: int
+    redo_applied: int
+    redo_retries: int
+    #: Set when the run itself died (for example retries exhausted on a
+    #: client-visible read); the cell then failed for a non-durability
+    #: reason and is reported as such.
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.lost_updates == 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.policy}/{self.variant}@{self.rate:g}"
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """All cells of one chaos sweep."""
+
+    cells: tuple[ChaosCellResult, ...]
+    seed: int
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def failures(self) -> tuple[ChaosCellResult, ...]:
+        return tuple(cell for cell in self.cells if not cell.ok)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(cell.faults_injected for cell in self.cells)
+
+    @property
+    def total_lost(self) -> int:
+        return sum(cell.lost_updates for cell in self.cells)
+
+
+def run_cell(
+    policy: str,
+    variant: str,
+    rate: float,
+    profile: DeviceProfile = PCIE_SSD,
+    num_pages: int = 2_000,
+    ops: int = 6_000,
+    seed: int = 7,
+    commit_every: int = 64,
+    crash_fraction: float = 2 / 3,
+    retry: RetryPolicy | None = None,
+) -> ChaosCellResult:
+    """Run one crash-and-recover cell and audit committed durability.
+
+    The stack replays a write-heavy uniform trace (commit point — a WAL
+    flush — every ``commit_every`` requests) with the background writer and
+    checkpointer attached, then "loses power" ``crash_fraction`` of the way
+    through, recovers from the WAL, and compares every page's recovered
+    payload against the version it had at the last commit point.  Page
+    payloads are monotone version counters, so an update is *lost* exactly
+    when a page's durable version is below its committed version.
+    """
+    if retry is None:
+        retry = RetryPolicy()
+    plan = FaultPlan.uniform(rate, seed=seed)
+    options = ExecutionOptions(
+        cpu_us_per_op=2.0,
+        bg_writer_interval_us=20_000.0,
+        checkpoint_interval_us=100_000.0,
+        commit_every_ops=commit_every,
+    )
+    config = StackConfig(
+        profile=profile,
+        policy=policy,
+        variant=variant,
+        num_pages=num_pages,
+        with_wal=True,
+        fault_plan=plan,
+        retry=retry,
+        options=options,
+    )
+    manager = build_stack(config)
+    trace = generate_trace(MU, num_pages, ops, seed=seed)
+    crash_at = max(commit_every, int(len(trace) * crash_fraction))
+    prefix = trace.slice(0, crash_at)
+
+    # The durability ledger: page -> version at the last commit point.
+    # Every write increments its page's version counter by one, so the
+    # committed version is simply each page's write count over the ops
+    # preceding the last commit boundary before the crash.
+    boundary = (crash_at // commit_every) * commit_every
+    committed: dict[int, int] = {}
+    for page, is_write in zip(prefix.pages[:boundary], prefix.writes[:boundary]):
+        if is_write:
+            committed[page] = committed.get(page, 0) + 1
+
+    if isinstance(manager, ACEBufferPoolManager):
+        batch_size = manager.config.n_w
+    else:
+        batch_size = 1
+    bg_writer = BackgroundWriter(manager, pages_per_round=16,
+                                 batch_size=batch_size)
+    checkpointer = Checkpointer(manager, interval_us=options.checkpoint_interval_us,
+                                batch_size=batch_size)
+
+    metrics = None
+    error: str | None = None
+    try:
+        metrics = run_trace(
+            manager, prefix, options=options,
+            bg_writer=bg_writer, checkpointer=checkpointer,
+            label=f"chaos/{policy}/{variant}@{rate:g}",
+        )
+    except ReproError as exc:
+        # The workload itself died (e.g. a client-visible read exhausted
+        # its retries).  That is a legitimate harness outcome to report —
+        # the durability audit below still runs on whatever committed.
+        error = f"{type(exc).__name__}: {exc}"
+
+    buffer_stats = manager.stats
+    device_stats = manager.device.stats
+    image = simulate_crash(manager)
+    report = recover(image, retry=retry)
+
+    lost = 0
+    for page, version in committed.items():
+        recovered = image.device.peek(page)
+        durable = recovered if isinstance(recovered, int) else 0
+        if durable < version:
+            lost += 1
+
+    return ChaosCellResult(
+        policy=policy,
+        variant=variant,
+        rate=rate,
+        ops_run=metrics.ops if metrics is not None else crash_at,
+        committed_updates=sum(committed.values()),
+        lost_updates=lost,
+        faults_injected=device_stats.faults_injected,
+        io_retries=buffer_stats.io_retries,
+        degraded_writebacks=buffer_stats.degraded_writebacks,
+        failed_writebacks=buffer_stats.failed_writebacks,
+        checkpoints_skipped=checkpointer.checkpoints_skipped,
+        redo_applied=report.redo_applied,
+        redo_retries=report.redo_retries,
+        error=error,
+    )
+
+
+def run_chaos(
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+    variants: tuple[str, ...] = DEFAULT_VARIANTS,
+    profile: DeviceProfile = PCIE_SSD,
+    num_pages: int = 2_000,
+    ops: int = 6_000,
+    seed: int = 7,
+    commit_every: int = 64,
+) -> ChaosReport:
+    """Sweep the full grid; every cell runs independently and to completion."""
+    cells = []
+    for rate in rates:
+        for policy in policies:
+            for variant in variants:
+                cells.append(run_cell(
+                    policy, variant, rate,
+                    profile=profile, num_pages=num_pages, ops=ops,
+                    seed=seed, commit_every=commit_every,
+                ))
+    return ChaosReport(cells=tuple(cells), seed=seed)
+
+
+def smoke_grid(seed: int = 7) -> ChaosReport:
+    """The CI smoke sweep: two rates, two policies, both variants, short runs."""
+    return run_chaos(
+        rates=(0.0, 0.01),
+        policies=("lru", "clock"),
+        num_pages=800,
+        ops=2_400,
+        seed=seed,
+    )

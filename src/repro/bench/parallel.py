@@ -37,10 +37,16 @@ from repro.workloads.synthetic import WorkloadSpec, generate_trace
 from repro.workloads.trace import PageRequest, Trace
 from repro.workloads.tpcc.transactions import TransactionType
 
-__all__ = ["TraceSpec", "GridJob", "resolve_workers", "run_grid"]
+__all__ = ["TraceSpec", "GridJob", "GridFailure", "resolve_workers", "run_grid"]
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Total tries per job: the initial run plus two retries.  A crashed worker
+#: (``BrokenProcessPool``) fails every job that was queued on the pool, so
+#: innocent jobs get their retries on a fresh pool; a deterministic job
+#: error burns its tries quickly and is reported instead of raised.
+MAX_JOB_ATTEMPTS = 3
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,26 @@ class GridJob:
             )
 
 
+@dataclass(frozen=True)
+class GridFailure:
+    """A grid job that still failed after :data:`MAX_JOB_ATTEMPTS` tries.
+
+    Takes the failed job's slot in :func:`run_grid`'s result list, so one
+    bad configuration (or one crashed worker process) no longer discards
+    an entire grid's worth of finished work.
+    """
+
+    label: str | None
+    config: StackConfig
+    error: str
+    attempts: int
+
+    def __bool__(self) -> bool:
+        # Lets callers split results with a truthiness check mirroring
+        # "did this job produce metrics".
+        return False
+
+
 #: Per-worker-process cache of materialised traces, keyed by spec.
 _TRACE_CACHE: dict[TraceSpec, Trace] = {}
 
@@ -128,22 +154,78 @@ def resolve_workers(workers: int | None = None) -> int:
     return workers
 
 
+def _failure(job: GridJob, exc: BaseException, attempts: int) -> GridFailure:
+    return GridFailure(
+        label=job.label if job.label is not None else job.config.label,
+        config=job.config,
+        error=f"{type(exc).__name__}: {exc}",
+        attempts=attempts,
+    )
+
+
 def run_grid(
     jobs: list[GridJob] | tuple[GridJob, ...],
     workers: int | None = None,
-) -> list[RunMetrics]:
+) -> list[RunMetrics | GridFailure]:
     """Run every job and return metrics in job order.
 
     The result list is positionally aligned with ``jobs`` regardless of
     completion order, and is byte-identical to running the jobs serially:
     each stack is rebuilt from its config inside the worker, on a private
     clock, so no cross-job state exists to diverge on.
+
+    A job that raises — or whose worker process dies, which surfaces as
+    ``BrokenProcessPool`` for every job queued on that pool — is retried
+    on a **fresh** pool until its :data:`MAX_JOB_ATTEMPTS` tries are spent,
+    then reported as a :class:`GridFailure` in its slot rather than
+    aborting the grid.  The serial path applies the same retry-and-report
+    semantics, so the two paths stay interchangeable.
     """
     jobs = list(jobs)
     if not jobs:
         return []
     workers = min(resolve_workers(workers), len(jobs))
+    results: list[RunMetrics | GridFailure | None] = [None] * len(jobs)
+    attempts = [0] * len(jobs)
+    pending = list(range(len(jobs)))
+
     if workers <= 1:
-        return [_execute_job(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_execute_job, jobs))
+        for index in pending:
+            job = jobs[index]
+            while True:
+                attempts[index] += 1
+                try:
+                    results[index] = _execute_job(job)
+                    break
+                except Exception as exc:
+                    if attempts[index] >= MAX_JOB_ATTEMPTS:
+                        results[index] = _failure(job, exc, attempts[index])
+                        break
+        return results  # type: ignore[return-value]
+
+    while pending:
+        still_failing: list[int] = []
+        # A fresh pool per round: a BrokenProcessPool poisons the executor
+        # it happened on, so retries must never reuse it.
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            submitted = []
+            for index in pending:
+                attempts[index] += 1
+                try:
+                    submitted.append((index, pool.submit(_execute_job, jobs[index])))
+                except Exception as exc:
+                    # submit() itself fails once the pool is already broken.
+                    if attempts[index] >= MAX_JOB_ATTEMPTS:
+                        results[index] = _failure(jobs[index], exc, attempts[index])
+                    else:
+                        still_failing.append(index)
+            for index, future in submitted:
+                try:
+                    results[index] = future.result()
+                except Exception as exc:
+                    if attempts[index] >= MAX_JOB_ATTEMPTS:
+                        results[index] = _failure(jobs[index], exc, attempts[index])
+                    else:
+                        still_failing.append(index)
+        pending = still_failing
+    return results  # type: ignore[return-value]

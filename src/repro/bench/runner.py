@@ -10,6 +10,7 @@ pgbench/TPC-C settings.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.bufferpool.manager import BufferPoolManager
@@ -18,6 +19,7 @@ from repro.core.ace import ACEBufferPoolManager
 from repro.core.config import ACEConfig
 from repro.engine.executor import ExecutionOptions, run_trace, run_transactions
 from repro.engine.metrics import RunMetrics
+from repro.faults import FaultPlan, FaultyDevice, RetryPolicy
 from repro.policies.registry import make_policy
 from repro.prefetch.base import Prefetcher
 from repro.storage.clock import VirtualClock
@@ -26,7 +28,21 @@ from repro.storage.profiles import DeviceProfile
 from repro.workloads.tpcc.transactions import TransactionType
 from repro.workloads.trace import PageRequest, Trace
 
-__all__ = ["StackConfig", "build_stack", "run_config", "compare_policies", "VARIANTS"]
+__all__ = [
+    "StackConfig",
+    "build_stack",
+    "run_config",
+    "compare_policies",
+    "FAULTS_ENV_VAR",
+    "VARIANTS",
+]
+
+#: Environment switch: a :meth:`repro.faults.FaultPlan.parse` spec (for
+#: example ``0.01`` or ``read=0.01,torn=0.005,seed=7``) makes every stack
+#: built here run behind a :class:`~repro.faults.FaultyDevice`.  Setting it
+#: to ``0`` attaches a *disarmed* wrapper — the pass-through CI job uses
+#: that to pin down that a rate-0 wrapper changes nothing.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
 
 #: The three bufferpool variants every figure compares.
 VARIANTS = ("baseline", "ace", "ace+pf")
@@ -60,6 +76,13 @@ class StackConfig:
         Attach the runtime invariant sanitizer to the manager (``None``
         defers to the ``REPRO_SANITIZE`` environment switch).  Debugging
         aid; see :mod:`repro.analyze.sanitizer`.
+    fault_plan:
+        Wrap the device in a :class:`~repro.faults.FaultyDevice` driven by
+        this plan (``None`` defers to the ``REPRO_FAULTS`` environment
+        switch; see :data:`FAULTS_ENV_VAR`).
+    retry:
+        Retry policy handed to the manager for faulted I/O (``None`` means
+        the stack-wide default).
     options:
         Execution-model knobs (CPU costs, background intervals).
     """
@@ -75,6 +98,8 @@ class StackConfig:
     with_wal: bool = False
     over_provision: float = 0.10
     sanitize: bool | None = None
+    fault_plan: FaultPlan | None = None
+    retry: RetryPolicy | None = None
     options: ExecutionOptions = field(default_factory=ExecutionOptions)
 
     def __post_init__(self) -> None:
@@ -98,6 +123,14 @@ class StackConfig:
         return f"{self.policy}/{self.variant}"
 
 
+def _env_fault_plan() -> FaultPlan | None:
+    """The ``REPRO_FAULTS`` plan, or ``None`` when the switch is unset."""
+    spec = os.environ.get(FAULTS_ENV_VAR)
+    if spec is None or not spec.strip():
+        return None
+    return FaultPlan.parse(spec)
+
+
 def build_stack(
     config: StackConfig, prefetcher: Prefetcher | None = None
 ) -> BufferPoolManager:
@@ -111,13 +144,16 @@ def build_stack(
         over_provision=config.over_provision,
     )
     device.format_pages(range(config.num_pages))
+    plan = config.fault_plan if config.fault_plan is not None else _env_fault_plan()
+    stack_device = device if plan is None else FaultyDevice(device, plan)
     capacity = config.pool_capacity
     policy = make_policy(config.policy, capacity)
     wal = WriteAheadLog(clock) if config.with_wal else None
 
     if config.variant == "baseline":
         return BufferPoolManager(
-            capacity, policy, device, wal=wal, sanitize=config.sanitize
+            capacity, policy, stack_device, wal=wal,
+            sanitize=config.sanitize, retry=config.retry,
         )
 
     ace_config = ACEConfig.for_device(
@@ -127,8 +163,8 @@ def build_stack(
         n_e=config.n_e,
     )
     return ACEBufferPoolManager(
-        capacity, policy, device, wal=wal, config=ace_config,
-        prefetcher=prefetcher, sanitize=config.sanitize,
+        capacity, policy, stack_device, wal=wal, config=ace_config,
+        prefetcher=prefetcher, sanitize=config.sanitize, retry=config.retry,
     )
 
 

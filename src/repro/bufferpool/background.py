@@ -74,6 +74,9 @@ class Checkpointer:
         self._last_checkpoint_us = manager.device.clock.now_us
         self.checkpoints_taken = 0
         self.pages_flushed = 0
+        #: Checkpoints whose record was withheld because degraded
+        #: write-backs left dirty pages behind (see :meth:`checkpoint`).
+        self.checkpoints_skipped = 0
 
     def maybe_checkpoint(self) -> bool:
         """Run a checkpoint if the interval elapsed; returns whether it did."""
@@ -84,7 +87,14 @@ class Checkpointer:
         return True
 
     def checkpoint(self) -> int:
-        """Flush every dirty page and log a checkpoint record."""
+        """Flush every dirty page and log a checkpoint record.
+
+        The record truncates the recovery window, so it is a *promise* that
+        every earlier update has reached the data pages.  If fault-injected
+        write-backs degraded and left pages dirty, the record is withheld —
+        recovery then replays from the previous checkpoint, which is slower
+        but never loses updates.
+        """
         manager = self.manager
         dirty = manager.dirty_pages()
         flushed = 0
@@ -92,7 +102,10 @@ class Checkpointer:
             chunk = dirty[start : start + self.batch_size]
             flushed += manager._write_back(chunk, background=True)
         if manager.wal is not None:
-            manager.wal.checkpoint_record()
+            if manager._dirty_set:
+                self.checkpoints_skipped += 1
+            else:
+                manager.wal.checkpoint_record()
         self.checkpoints_taken += 1
         self.pages_flushed += flushed
         self._last_checkpoint_us = manager.device.clock.now_us

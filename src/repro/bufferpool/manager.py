@@ -30,7 +30,14 @@ from repro.bufferpool.pool import FramePool
 from repro.bufferpool.stats import BufferStats
 from repro.bufferpool.table import BufferTable
 from repro.bufferpool.wal import WriteAheadLog
-from repro.errors import PageNotBufferedError, PoolExhaustedError
+from repro.errors import (
+    IOFaultError,
+    PageNotBufferedError,
+    PoolExhaustedError,
+    RetriesExhaustedError,
+    TornWriteError,
+)
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.policies.base import ReplacementPolicy
 from repro.storage.device import SimulatedSSD
 
@@ -58,6 +65,13 @@ class BufferPoolManager:
         ``None`` (the default) consults the ``REPRO_SANITIZE`` environment
         switch; ``True``/``False`` override it.  Debugging aid — expect an
         order-of-magnitude slowdown when enabled.
+    retry:
+        Policy applied when a device I/O raises
+        :class:`~repro.errors.IOFaultError` (only possible when the device
+        is a :class:`~repro.faults.FaultyDevice`).  Defaults to
+        :data:`~repro.faults.DEFAULT_RETRY_POLICY`.  The fault path is
+        reached exclusively through ``except`` handlers, so a fault-free
+        device pays nothing for it.
     """
 
     #: Variant label used in reports ("baseline" vs "ace"/"ace+pf").
@@ -70,6 +84,7 @@ class BufferPoolManager:
         device: SimulatedSSD,
         wal: WriteAheadLog | None = None,
         sanitize: bool | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
@@ -77,6 +92,7 @@ class BufferPoolManager:
         self.policy = policy
         self.device = device
         self.wal = wal
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
         self.pool = FramePool(capacity)
         self.table = BufferTable()
         self.stats = BufferStats()
@@ -232,7 +248,10 @@ class BufferPoolManager:
         dirty = self.dirty_pages()
         for page in dirty:
             self._write_back([page])
-        if self.wal is not None:
+        if self.wal is not None and not self._dirty_set:
+            # A checkpoint record promises every earlier update has reached
+            # the data pages; degraded write-backs leave pages dirty, so
+            # the record is withheld until a later flush fully succeeds.
             self.wal.checkpoint_record()
         return len(dirty)
 
@@ -248,11 +267,18 @@ class BufferPoolManager:
         if not self.pool.has_free():
             victim = self.policy.select_victim()
             if victim is None:
-                raise PoolExhaustedError("all pages are pinned")
+                raise PoolExhaustedError(
+                    "all pages are pinned",
+                    page=page,
+                    capacity=self.capacity,
+                    pinned=len(self._pinned_set),
+                )
             if victim in self._dirty_set:
                 # The classic exchange: one write-back for one read.
                 self.stats.dirty_evictions += 1
                 self._write_back([victim])
+                if victim in self._dirty_set:
+                    victim = self._degraded_victim(victim)
             else:
                 self.stats.clean_evictions += 1
             self._evict(victim)
@@ -298,7 +324,10 @@ class BufferPoolManager:
             # WAL-before-data: log records covering these pages must be
             # durable before the pages themselves are written.
             self.wal.flush()
-        self.device.write_batch(batch)
+        try:
+            self.device.write_batch(batch)
+        except IOFaultError as fault:
+            return self._retry_write_back(batch, fault, background)
         for descriptor in resolved:
             descriptor.dirty = False
         self._dirty_set.difference_update(batch)
@@ -307,6 +336,95 @@ class BufferPoolManager:
         if background:
             self.stats.background_writebacks += len(batch)
         return len(batch)
+
+    def _retry_write_back(
+        self,
+        batch: dict[int, object | None],
+        fault: IOFaultError,
+        background: bool,
+    ) -> int:
+        """Drive a faulted write-back to completion or graceful degradation.
+
+        Pages the device acknowledged (a torn prefix, the healthy part of a
+        batch with a dead page) are marked clean; a landed prefix proves the
+        device is alive, so it also resets the attempt budget.  Whatever is
+        still unwritten after a permanent fault or ``max_attempts``
+        consecutive fruitless tries simply *stays dirty* — the pages remain
+        resident and re-queued for the next write-back that covers them,
+        and the caller falls back to a clean victim if it needed this one.
+        Termination: every torn retry strictly shrinks the remainder, and
+        fruitless attempts are bounded by the policy.
+        """
+        retry = self.retry
+        clock = self.device.clock
+        stats = self.stats
+        landed: list[int] = []
+        remaining = dict(batch)
+        attempt = 1
+        while True:
+            stats.io_faults += 1
+            if fault.acknowledged:
+                for page in fault.acknowledged:
+                    if page in remaining:
+                        landed.append(page)
+                        del remaining[page]
+                if isinstance(fault, TornWriteError):
+                    stats.degraded_writebacks += 1
+                attempt = 1
+                if not remaining:
+                    break
+            if fault.permanent or attempt >= retry.max_attempts:
+                stats.failed_writebacks += len(remaining)
+                break
+            delay = retry.backoff_for(attempt)
+            clock.advance(delay)
+            stats.io_retries += 1
+            stats.retry_backoff_us += delay
+            attempt += 1
+            try:
+                self.device.write_batch(remaining)
+            except IOFaultError as next_fault:
+                fault = next_fault
+                continue
+            landed.extend(remaining)
+            remaining.clear()
+            break
+        if not landed:
+            return 0
+        frame_of = self._frame_of
+        descriptors = self._descriptors
+        for page in landed:
+            frame_id = frame_of.get(page)
+            if frame_id is not None:
+                descriptors[frame_id].dirty = False
+        self._dirty_set.difference_update(landed)
+        stats.writebacks += len(landed)
+        stats.writeback_batches += 1
+        if background:
+            stats.background_writebacks += len(landed)
+        return len(landed)
+
+    def _degraded_victim(self, failed: int) -> int:
+        """Pick a clean victim after page ``failed`` refused to flush."""
+        fallback = self._clean_victim_fallback()
+        if fallback is None:
+            raise RetriesExhaustedError(
+                "write",
+                (failed,),
+                self.retry.max_attempts,
+                f"write-back of victim page {failed} failed and the pool "
+                "holds no clean page to evict instead",
+            )
+        self.stats.degraded_evictions += 1
+        return fallback
+
+    def _clean_victim_fallback(self) -> int | None:
+        """First unpinned *clean* page in the policy's virtual order."""
+        dirty = self._dirty_set
+        for page in self.policy.eviction_order():
+            if page not in dirty:
+                return page
+        return None
 
     def _evict(self, page: int) -> None:
         """Drop a clean resident page from the pool."""
@@ -329,8 +447,47 @@ class BufferPoolManager:
 
     def _load(self, page: int, cold: bool = False) -> int:
         """Read ``page`` from the device and install it into a free frame."""
-        payload = self.device.read_page(page)
+        try:
+            payload = self.device.read_page(page)
+        except IOFaultError as fault:
+            payload = self._read_page_with_retry(page, fault)
         return self._install_fetched(page, payload, cold=cold, prefetched=False)
+
+    def _read_page_with_retry(
+        self, page: int, fault: IOFaultError
+    ) -> object | None:
+        """Retry a faulted single-page read under the manager's policy.
+
+        Reads cannot degrade — the requested payload either arrives or the
+        request fails — so permanent faults re-raise immediately and
+        transient faults escalate to :class:`RetriesExhaustedError` once
+        the attempt budget is spent.
+        """
+        retry = self.retry
+        clock = self.device.clock
+        stats = self.stats
+        attempt = 1
+        while True:
+            stats.io_faults += 1
+            if fault.permanent:
+                raise fault
+            if attempt >= retry.max_attempts:
+                raise RetriesExhaustedError(
+                    "read",
+                    (page,),
+                    attempt,
+                    f"could not read page {page}",
+                    last_fault=fault,
+                ) from fault
+            delay = retry.backoff_for(attempt)
+            clock.advance(delay)
+            stats.io_retries += 1
+            stats.retry_backoff_us += delay
+            attempt += 1
+            try:
+                return self.device.read_page(page)
+            except IOFaultError as next_fault:
+                fault = next_fault
 
     def _install_fetched(self, page: int, payload: object | None,
                          cold: bool, prefetched: bool) -> int:

@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 from repro.bufferpool.manager import BufferPoolManager
 from repro.bufferpool.wal import WalRecordKind, WriteAheadLog
+from repro.errors import IOFaultError, RetriesExhaustedError
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.storage.device import SimulatedSSD
 
 __all__ = ["CrashImage", "RecoveryReport", "simulate_crash", "recover"]
@@ -49,6 +51,8 @@ class RecoveryReport:
     records_scanned: int
     redo_applied: int
     redo_skipped: int
+    #: Device retries spent while reapplying redo images (fault injection).
+    redo_retries: int = 0
 
     @property
     def recovered_pages(self) -> int:
@@ -81,14 +85,25 @@ def simulate_crash(manager: BufferPoolManager) -> CrashImage:
     )
 
 
-def recover(image: CrashImage) -> RecoveryReport:
+def recover(
+    image: CrashImage, retry: RetryPolicy | None = None
+) -> RecoveryReport:
     """Redo committed work onto the crashed device.
 
     Starts from the last durable checkpoint (all earlier updates are
     already on the device by the checkpoint contract) and reapplies every
     durable update record's redo image.  Records that carry no payload
     (pure dirtying without a logged image) are skipped and counted.
+
+    Redo writes run under ``retry`` (default
+    :data:`~repro.faults.DEFAULT_RETRY_POLICY`) when the crashed device
+    still injects faults: recovery is precisely when giving up on a
+    transient error would turn a committed update into lost data, so a
+    redo write that stays unwritable after retries raises rather than
+    finishing an incomplete recovery silently.
     """
+    if retry is None:
+        retry = DEFAULT_RETRY_POLICY
     wal = image.wal
     start_lsn = min(wal.last_checkpoint_lsn, wal.durable_lsn)
     records = wal.records_since(start_lsn)
@@ -104,11 +119,33 @@ def recover(image: CrashImage) -> RecoveryReport:
         # Later records overwrite earlier ones: one device write per page.
         redo_batch[record.page] = record.payload
         applied += 1
+    device = image.device
+    clock = device.clock
+    redo_retries = 0
     for page, payload in redo_batch.items():
-        image.device.write_page(page, payload=payload)
+        attempt = 1
+        while True:
+            try:
+                device.write_page(page, payload=payload)
+                break
+            except IOFaultError as fault:
+                if not retry.should_retry(fault, attempt):
+                    if fault.permanent:
+                        raise
+                    raise RetriesExhaustedError(
+                        "write",
+                        (page,),
+                        attempt,
+                        f"recovery could not redo page {page}",
+                        last_fault=fault,
+                    ) from fault
+                clock.advance(retry.backoff_for(attempt))
+                redo_retries += 1
+                attempt += 1
     return RecoveryReport(
         start_lsn=start_lsn,
         records_scanned=len(records),
         redo_applied=applied,
         redo_skipped=skipped,
+        redo_retries=redo_retries,
     )

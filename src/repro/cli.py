@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro experiment fig8                # regenerate a paper figure
     python -m repro lint src                       # repo-specific AST lint
     python -m repro check                          # invariant-sanitized smoke run
+    python -m repro chaos                          # fault-injection durability sweep
 
 Every command prints a small report and exits 0 on success; the heavy
 lifting lives in :mod:`repro.bench`.
@@ -144,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument("--output", default="EXPERIMENTS.md")
 
     lint = sub.add_parser(
-        "lint", help="run the repo-specific AST lint rules (R001-R004)"
+        "lint", help="run the repo-specific AST lint rules (R001-R005)"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
@@ -162,6 +163,25 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--pages", type=int, default=600)
     check.add_argument("--ops", type=int, default=1500)
     check.add_argument("--seed", type=int, default=42)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: crash mid-run, recover from the WAL, "
+             "and fail if any committed update was lost",
+    )
+    chaos.add_argument("--rates", default="0,0.001,0.01",
+                       help="comma-separated per-operation fault rates")
+    chaos.add_argument("--policies", default="lru,clock,cflru",
+                       help="comma-separated policy names")
+    chaos.add_argument("--variants", default="baseline,ace",
+                       help="comma-separated variants (baseline|ace|ace+pf)")
+    chaos.add_argument("--device", choices=sorted(_DEVICES), default="pcie")
+    chaos.add_argument("--pages", type=int, default=2000)
+    chaos.add_argument("--ops", type=int, default=6000)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--smoke", action="store_true",
+                       help="small fixed grid for CI (overrides the sweep "
+                            "options above)")
 
     return parser
 
@@ -371,6 +391,62 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Durability sweep under fault injection; exit 1 on any lost update."""
+    from repro.bench.chaos import run_chaos, smoke_grid
+
+    if args.smoke:
+        report = smoke_grid(seed=args.seed)
+    else:
+        rates = tuple(
+            float(part) for part in args.rates.split(",") if part.strip()
+        )
+        policies = tuple(
+            name.strip() for name in args.policies.split(",") if name.strip()
+        )
+        variants = tuple(
+            name.strip() for name in args.variants.split(",") if name.strip()
+        )
+        report = run_chaos(
+            rates=rates,
+            policies=policies,
+            variants=variants,
+            profile=_DEVICES[args.device],
+            num_pages=args.pages,
+            ops=args.ops,
+            seed=args.seed,
+        )
+    rows = []
+    for cell in report.cells:
+        rows.append([
+            "ok" if cell.ok else "FAIL",
+            cell.label,
+            str(cell.faults_injected),
+            str(cell.io_retries),
+            str(cell.degraded_writebacks),
+            str(cell.failed_writebacks),
+            str(cell.checkpoints_skipped),
+            str(cell.committed_updates),
+            str(cell.lost_updates),
+        ])
+    print(format_table(
+        ["", "cell", "faults", "retries", "degr-wb", "failed-wb",
+         "ckpt-skip", "committed", "lost"],
+        rows,
+        title=f"Chaos sweep (seed={report.seed})",
+    ))
+    for cell in report.failures:
+        reason = cell.error if cell.error else f"{cell.lost_updates} lost"
+        print(f"FAIL {cell.label}: {reason}")
+    if not report.ok:
+        return 1
+    print(
+        f"all {len(report.cells)} cells durable "
+        f"({report.total_faults} faults injected, 0 committed updates lost)"
+    )
+    return 0
+
+
 def _cmd_summary(args: argparse.Namespace) -> int:
     from repro.bench.summary import assemble_experiments_md
 
@@ -388,6 +464,7 @@ _COMMANDS = {
     "summary": _cmd_summary,
     "lint": _cmd_lint,
     "check": _cmd_check,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -27,7 +27,8 @@ from repro.core.config import ACEConfig
 from repro.core.evictor import Evictor
 from repro.core.reader import Reader
 from repro.core.writer import Writer
-from repro.errors import PoolExhaustedError
+from repro.errors import PoolExhaustedError, RetriesExhaustedError
+from repro.faults.retry import RetryPolicy
 from repro.policies.base import ReplacementPolicy
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.composite import CompositePrefetcher
@@ -61,8 +62,11 @@ class ACEBufferPoolManager(BufferPoolManager):
         config: ACEConfig | None = None,
         prefetcher: Prefetcher | None = None,
         sanitize: bool | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
-        super().__init__(capacity, policy, device, wal=wal, sanitize=sanitize)
+        super().__init__(
+            capacity, policy, device, wal=wal, sanitize=sanitize, retry=retry
+        )
         if config is None:
             config = ACEConfig.for_device(device.profile)
         self.config = config
@@ -108,7 +112,12 @@ class ACEBufferPoolManager(BufferPoolManager):
 
         victim = self.policy.select_victim()
         if victim is None:
-            raise PoolExhaustedError("all pages are pinned")
+            raise PoolExhaustedError(
+                "all pages are pinned",
+                page=page,
+                capacity=self.capacity,
+                pinned=len(self._pinned_set),
+            )
 
         if victim not in self._dirty_set:
             # Lines 19-22: clean top page — identical to the classic path.
@@ -123,6 +132,10 @@ class ACEBufferPoolManager(BufferPoolManager):
         if not self.prefetching_enabled:
             # Lines 38-39: write the batch, evict only the victim.
             self.writer.flush(writeback_set)
+            if victim in self._dirty_set:
+                # The batch tore or failed before reaching the victim: fall
+                # back to the next clean page in the virtual order.
+                victim = self._degraded_victim(victim)
             self.evictor.evict([victim])
             return self._load(page)
 
@@ -136,11 +149,31 @@ class ACEBufferPoolManager(BufferPoolManager):
             if candidate in self._dirty_set:
                 batch.setdefault(candidate)
         self.writer.flush(list(batch))
-        self.evictor.evict(eviction_set)
+        # Degradation: a torn/failed batch leaves some candidates dirty.
+        # Evict only the pages that actually came back clean; the rest stay
+        # resident and re-queued, and the prefetch budget shrinks to match.
+        clean_set = [p for p in eviction_set if p not in self._dirty_set]
+        skipped = len(eviction_set) - len(clean_set)
+        if skipped:
+            self.stats.degraded_evictions += skipped
+            if not clean_set:
+                fallback = self._clean_victim_fallback()
+                if fallback is None:
+                    raise RetriesExhaustedError(
+                        "write",
+                        tuple(eviction_set),
+                        self.retry.max_attempts,
+                        "batched write-back failed and the pool holds no "
+                        "clean page to evict instead",
+                    )
+                clean_set = [fallback]
+        self.evictor.evict(clean_set)
         # The co-evicted pages (everything but the victim) were clean or
         # just cleaned; count them as clean evictions.
-        self.stats.clean_evictions += len(eviction_set) - 1
-        return self._fetch_with_prefetch(page, len(eviction_set) - 1)
+        self.stats.clean_evictions += (
+            len(clean_set) - 1 if victim in clean_set else len(clean_set)
+        )
+        return self._fetch_with_prefetch(page, len(clean_set) - 1)
 
     def _fetch_with_prefetch(self, page: int, limit: int) -> int:
         assert self.reader is not None
@@ -159,6 +192,8 @@ class ACEBufferPoolManager(BufferPoolManager):
         dirty = self.dirty_pages()
         for start in range(0, len(dirty), self.config.n_w):
             self._write_back(dirty[start : start + self.config.n_w])
-        if self.wal is not None:
+        if self.wal is not None and not self._dirty_set:
+            # Same rule as the base manager: no checkpoint record while
+            # degraded write-backs have left pages dirty.
             self.wal.checkpoint_record()
         return len(dirty)

@@ -28,6 +28,8 @@ class Evictor:
         self.n_e = n_e
         self.multi_evictions = 0
         self.pages_evicted = 0
+        #: Candidates skipped because a degraded write-back left them dirty.
+        self.skipped_dirty = 0
 
     def select_eviction_set(self, victim: int) -> list[int]:
         """Up to ``n_e`` pages to evict, led by the current victim."""
@@ -40,10 +42,22 @@ class Evictor:
         return candidates
 
     def evict(self, pages: list[int]) -> int:
-        """Drop the given (clean) pages from the bufferpool."""
+        """Drop the given pages from the bufferpool.
+
+        Pages that are (still) dirty — a degraded write-back can leave a
+        candidate unclean — are skipped rather than dropped: losing an
+        unflushed update is never an acceptable fallback.
+        """
+        manager = self.manager
+        dirty = manager._dirty_set
+        dropped = 0
         for page in pages:
-            self.manager._evict(page)
-        if len(pages) > 1:
+            if page in dirty:
+                self.skipped_dirty += 1
+                continue
+            manager._evict(page)
+            dropped += 1
+        if dropped > 1:
             self.multi_evictions += 1
-        self.pages_evicted += len(pages)
-        return len(pages)
+        self.pages_evicted += dropped
+        return dropped

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.errors import IOFaultError
 from repro.prefetch.base import Prefetcher
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -35,6 +36,8 @@ class Reader:
         self.cold_placement = cold_placement
         self.batched_fetches = 0
         self.pages_prefetched = 0
+        #: Prefetch batches abandoned after a device fault.
+        self.aborted_batches = 0
 
     def select_prefetch_set(self, page: int, limit: int) -> list[int]:
         """Up to ``limit`` prefetchable pages for a miss on ``page``.
@@ -69,7 +72,10 @@ class Reader:
         """
         manager = self.manager
         batch = [page] + prefetch_pages
-        payloads = manager.device.read_batch(batch)
+        try:
+            payloads = manager.device.read_batch(batch)
+        except IOFaultError as fault:
+            return self._fetch_degraded(page, fault)
         frame_id = manager._install_fetched(
             page, payloads[0], cold=False, prefetched=False
         )
@@ -81,3 +87,25 @@ class Reader:
             self.batched_fetches += 1
             self.pages_prefetched += len(prefetch_pages)
         return frame_id
+
+    def _fetch_degraded(self, page: int, fault: IOFaultError) -> int:
+        """A faulted prefetch batch degrades to the missed page alone.
+
+        Prefetching is speculative, so spending retry backoff on predicted
+        pages is wasted virtual time: the batch is abandoned and only the
+        page the client actually asked for is (re)read, under the
+        manager's retry policy.  A permanent fault on the missed page
+        itself still propagates.
+        """
+        manager = self.manager
+        self.aborted_batches += 1
+        manager.stats.io_faults += 1
+        if fault.permanent and page in fault.pages:
+            raise fault
+        try:
+            payload = manager.device.read_page(page)
+        except IOFaultError as single_fault:
+            payload = manager._read_page_with_retry(page, single_fault)
+        return manager._install_fetched(
+            page, payload, cold=False, prefetched=False
+        )

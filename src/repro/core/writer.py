@@ -29,6 +29,8 @@ class Writer:
         self.n_w = n_w
         self.batches_issued = 0
         self.pages_written = 0
+        #: Flushes that landed fewer pages than requested (fault path).
+        self.short_flushes = 0
 
     def select_writeback_set(self, victim: int) -> list[int]:
         """The paper's ``populate_pages_to_writeback()``.
@@ -45,10 +47,17 @@ class Writer:
         return candidates
 
     def flush(self, pages: list[int]) -> int:
-        """Issue one concurrent write batch and mark the pages clean."""
+        """Issue one concurrent write batch and mark the pages clean.
+
+        Under fault injection the manager's write-back may land only part
+        of the batch (``written < len(pages)``); the remainder stays dirty
+        and the Evictor degrades accordingly.
+        """
         if not pages:
             return 0
         written = self.manager._write_back(pages)
         self.batches_issued += 1
         self.pages_written += written
+        if written < len(pages):
+            self.short_flushes += 1
         return written

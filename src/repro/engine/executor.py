@@ -37,18 +37,27 @@ class ExecutionOptions:
         Extra CPU time charged per transaction (parse/plan/commit path).
     bg_writer_interval_us, checkpoint_interval_us:
         Virtual-time periods for the background processes (when attached).
+    commit_every_ops:
+        When positive, flush the WAL every that-many trace requests —
+        page-trace workloads then have commit points (durability
+        boundaries) the way transaction streams do, which the chaos
+        harness uses to define "committed updates".  ``0`` (the default)
+        keeps the historical behaviour: no mid-trace WAL flushes.
     """
 
     cpu_us_per_op: float = 2.0
     cpu_us_per_transaction: float = 20.0
     bg_writer_interval_us: float = 50_000.0
     checkpoint_interval_us: float = 10e6
+    commit_every_ops: int = 0
 
     def __post_init__(self) -> None:
         if self.cpu_us_per_op < 0 or self.cpu_us_per_transaction < 0:
             raise ValueError("CPU costs cannot be negative")
         if self.bg_writer_interval_us <= 0 or self.checkpoint_interval_us <= 0:
             raise ValueError("background intervals must be positive")
+        if self.commit_every_ops < 0:
+            raise ValueError("commit_every_ops cannot be negative")
 
 
 def run_trace(
@@ -93,7 +102,12 @@ def run_trace(
     start_writes = manager.device.stats.write_time_us
     cpu_per_op = options.cpu_us_per_op
 
-    if latencies is None and bg_writer is None and checkpointer is None:
+    if (
+        latencies is None
+        and bg_writer is None
+        and checkpointer is None
+        and not options.commit_every_ops
+    ):
         # Fast path: nothing observes the clock between requests, so the
         # per-op CPU charge can be applied in one advance at the end
         # (identical modulo float-summation rounding).  Hoisting
@@ -108,11 +122,19 @@ def run_trace(
         access = manager.access
         advance = clock.advance
         next_bg_writer_us = start_us + options.bg_writer_interval_us
+        commit_every = options.commit_every_ops
+        wal = manager.wal
+        since_commit = 0
         for page, is_write in zip(trace.pages, trace.writes):
             request_start_us = clock.now_us
             if cpu_per_op:
                 advance(cpu_per_op)
             access(page, is_write)
+            if commit_every and wal is not None:
+                since_commit += 1
+                if since_commit >= commit_every:
+                    wal.flush()  # commit point: updates so far are durable
+                    since_commit = 0
             if latencies is not None:
                 latencies.record(clock.now_us - request_start_us)
             if bg_writer is not None and clock.now_us >= next_bg_writer_us:

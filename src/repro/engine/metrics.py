@@ -88,13 +88,34 @@ class RunMetrics:
             return 1.0
         return self.physical_writes / self.logical_writes
 
+    @property
+    def faults_injected(self) -> int:
+        """Device faults injected during the run (zero without a plan)."""
+        return self.device.faults_injected
+
+    @property
+    def io_retries(self) -> int:
+        """Retries the buffer manager issued against faulted I/O."""
+        return self.buffer.io_retries
+
+    @property
+    def degraded_writebacks(self) -> int:
+        """Write-back batches that landed only a prefix (torn/mixed)."""
+        return self.buffer.degraded_writebacks
+
     def summary(self) -> str:
         """One-line human-readable digest."""
-        return (
+        text = (
             f"{self.label}: {self.runtime_s:.3f}s, {self.ops} ops, "
             f"miss={self.miss_ratio:.3%}, lw={self.logical_writes}, "
             f"pw={self.physical_writes}"
         )
+        if self.faults_injected or self.io_retries:
+            text += (
+                f", faults={self.faults_injected}, retries={self.io_retries}"
+                f", degraded_wb={self.degraded_writebacks}"
+            )
+        return text
 
 
 def speedup(baseline: RunMetrics, candidate: RunMetrics) -> float:

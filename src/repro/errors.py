@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 __all__ = [
     "ReproError",
     "BufferPoolError",
     "PoolExhaustedError",
     "PageNotBufferedError",
     "SanitizerError",
+    "IOFaultError",
+    "TornWriteError",
+    "RetriesExhaustedError",
 ]
 
 
@@ -20,7 +25,33 @@ class BufferPoolError(ReproError):
 
 
 class PoolExhaustedError(BufferPoolError):
-    """Raised when no frame can be freed (every page is pinned)."""
+    """Raised when no frame can be freed (every candidate is pinned).
+
+    Structured like :class:`SanitizerError` so tooling and logs can key off
+    the failure: ``page`` is the request that could not be served,
+    ``capacity`` the pool size, and ``pinned`` how many resident pages were
+    pinned at the time (when the raiser knows them).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        page: int | None = None,
+        capacity: int | None = None,
+        pinned: int | None = None,
+    ) -> None:
+        self.page = page
+        self.capacity = capacity
+        self.pinned = pinned
+        context = []
+        if page is not None:
+            context.append(f"requested page {page}")
+        if capacity is not None:
+            context.append(f"pool capacity {capacity}")
+        if pinned is not None:
+            context.append(f"{pinned} pinned")
+        suffix = f" ({', '.join(context)})" if context else ""
+        super().__init__(f"{message}{suffix}")
 
 
 class PageNotBufferedError(BufferPoolError):
@@ -56,3 +87,78 @@ class SanitizerError(BufferPoolError):
         super().__init__(
             f"[{invariant}] after {operation}{location}: {message}"
         )
+
+
+class IOFaultError(ReproError):
+    """A device I/O operation failed (injected by :mod:`repro.faults`).
+
+    Structured so the retry layer can act on it without string matching:
+
+    ``op``
+        ``"read"`` or ``"write"``.
+    ``pages``
+        The pages the failure applies to (sorted tuple).
+    ``acknowledged``
+        Pages of the same operation that *did* reach the device before the
+        failure — non-empty for torn batches and for batches containing a
+        mix of healthy and permanently bad pages.  Acknowledged writes are
+        durable; the caller must mark them clean.
+    ``permanent``
+        ``True`` for media errors that no retry can fix.
+    """
+
+    def __init__(
+        self,
+        op: str,
+        pages: Iterable[int],
+        message: str,
+        acknowledged: Iterable[int] = (),
+        permanent: bool = False,
+    ) -> None:
+        self.op = op
+        self.pages = tuple(pages)
+        self.acknowledged = tuple(acknowledged)
+        self.permanent = permanent
+        pages_text = ",".join(map(str, self.pages[:8]))
+        if len(self.pages) > 8:
+            pages_text += ",..."
+        super().__init__(f"{op} fault on page(s) [{pages_text}]: {message}")
+
+
+class TornWriteError(IOFaultError):
+    """A multi-page write batch landed only partially.
+
+    ``acknowledged`` is the prefix of the batch (in submission order) that
+    is durable on the device; ``pages`` are the writes that were lost.
+    """
+
+    def __init__(
+        self,
+        pages: Iterable[int],
+        acknowledged: Iterable[int],
+        message: str = "batch torn; only a prefix was written",
+    ) -> None:
+        super().__init__(
+            "write", pages, message, acknowledged=acknowledged, permanent=False
+        )
+
+
+class RetriesExhaustedError(IOFaultError):
+    """The retry policy gave up on an I/O operation.
+
+    ``attempts`` is the number of attempts made; ``last_fault`` the final
+    :class:`IOFaultError` observed (``None`` when the raiser aggregates
+    several failures, e.g. "no clean eviction candidate").
+    """
+
+    def __init__(
+        self,
+        op: str,
+        pages: Iterable[int],
+        attempts: int,
+        message: str,
+        last_fault: IOFaultError | None = None,
+    ) -> None:
+        super().__init__(op, pages, f"{message} (after {attempts} attempts)")
+        self.attempts = attempts
+        self.last_fault = last_fault

@@ -1,0 +1,41 @@
+"""Deterministic fault injection for the simulated I/O path.
+
+The paper's argument — batched, deferred, concurrent write-backs are safe
+and fast — only holds in production if the stack survives the failures
+real SSDs throw: transient I/O errors, latency spikes, torn multi-page
+batches, and dead blocks.  This package supplies the failure side of that
+argument:
+
+:class:`~repro.faults.plan.FaultPlan` / :class:`~repro.faults.plan.FaultInjector`
+    A frozen, seeded fault schedule: per-operation rates for transient
+    read/write errors, torn batches, and latency spikes, plus an explicit
+    permanent-media page set.  Same plan + same operation sequence ⇒
+    byte-identical fault schedule.
+
+:class:`~repro.faults.device.FaultyDevice`
+    Composes over :class:`~repro.storage.device.SimulatedSSD` without
+    touching it; applies fault semantics and raises structured
+    :class:`~repro.errors.IOFaultError` subclasses.
+
+:class:`~repro.faults.retry.RetryPolicy`
+    Bounded exponential backoff charged to the virtual clock, consulted by
+    the buffer manager, background writer, checkpointer, and recovery.
+
+The chaos harness that sweeps fault rates across policies and asserts the
+end-to-end durability invariant lives in :mod:`repro.bench.chaos`
+(``python -m repro chaos``).
+"""
+
+from repro.faults.device import FaultyDevice
+from repro.faults.plan import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyDevice",
+    "RetryPolicy",
+]

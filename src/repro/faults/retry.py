@@ -1,0 +1,110 @@
+"""Retry with exponential backoff, charged against the virtual clock.
+
+The policy is a frozen value object: the buffer manager, background
+processes, and recovery all consult the same instance, and every backoff
+wait is charged to the shared :class:`~repro.storage.clock.VirtualClock`
+so fault-heavy runs are *slower in virtual time* — exactly how production
+retries cost real systems throughput.
+
+Semantics the callers rely on:
+
+* **transient faults** are retried up to ``max_attempts`` total attempts,
+  sleeping ``backoff_us * multiplier**(attempt-1)`` (capped at
+  ``max_backoff_us``) before each retry;
+* **permanent faults** are never retried — retrying a dead page only
+  burns virtual time;
+* **progress resets patience**: a torn batch that lands a prefix proves
+  the device is alive, so callers reset the attempt counter whenever an
+  attempt acknowledges pages (see ``BufferPoolManager._retry_write_back``).
+  Termination is still guaranteed because the remainder strictly shrinks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import IOFaultError, RetriesExhaustedError
+from repro.storage.clock import VirtualClock
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+class RetryPolicy:
+    """Bounded exponential backoff for device I/O faults."""
+
+    __slots__ = ("max_attempts", "backoff_us", "multiplier", "max_backoff_us")
+
+    def __init__(
+        self,
+        max_attempts: int = 5,
+        backoff_us: float = 50.0,
+        multiplier: float = 2.0,
+        max_backoff_us: float = 5_000.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be at least 1: {max_attempts}")
+        if backoff_us < 0 or max_backoff_us < 0:
+            raise ValueError("backoff durations cannot be negative")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1: {multiplier}")
+        self.max_attempts = max_attempts
+        self.backoff_us = backoff_us
+        self.multiplier = multiplier
+        self.max_backoff_us = max_backoff_us
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff to charge after failed attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based: {attempt}")
+        return min(
+            self.backoff_us * self.multiplier ** (attempt - 1),
+            self.max_backoff_us,
+        )
+
+    def should_retry(self, fault: IOFaultError, attempt: int) -> bool:
+        """Whether to retry after ``fault`` on attempt number ``attempt``."""
+        return not fault.permanent and attempt < self.max_attempts
+
+    def call(
+        self,
+        operation: Callable[[], object],
+        clock: VirtualClock,
+        op: str,
+        pages: tuple[int, ...],
+        on_retry: Callable[[float], None] | None = None,
+    ) -> object:
+        """Run ``operation`` under this policy; returns its result.
+
+        Charges each backoff to ``clock`` and invokes ``on_retry(delay_us)``
+        before every retry (accounting hook).  Raises the original fault
+        for permanent errors and :class:`RetriesExhaustedError` once
+        ``max_attempts`` is reached.
+        """
+        attempt = 1
+        while True:
+            try:
+                return operation()
+            except IOFaultError as fault:
+                if not self.should_retry(fault, attempt):
+                    if fault.permanent:
+                        raise
+                    raise RetriesExhaustedError(
+                        op, pages, attempt, "retries exhausted",
+                        last_fault=fault,
+                    ) from fault
+                delay = self.backoff_for(attempt)
+                clock.advance(delay)
+                if on_retry is not None:
+                    on_retry(delay)
+                attempt += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"backoff_us={self.backoff_us}, multiplier={self.multiplier}, "
+            f"max_backoff_us={self.max_backoff_us})"
+        )
+
+
+#: The stack-wide default: 5 attempts, 50us..5ms exponential backoff.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -40,10 +40,23 @@ class DeviceStats:
     largest_write_batch: int = 0
     largest_read_batch: int = 0
     write_batch_size_histogram: dict[int, int] = field(default_factory=dict)
+    # Fault accounting, incremented by repro.faults.FaultyDevice (always
+    # zero on a bare device — the fields exist so metrics plumbing is
+    # uniform whether or not injection is attached).
+    read_faults: int = 0
+    write_faults: int = 0
+    torn_batches: int = 0
+    latency_spikes: int = 0
+    fault_delay_us: float = 0.0
 
     @property
     def total_ios(self) -> int:
         return self.reads + self.writes
+
+    @property
+    def faults_injected(self) -> int:
+        """Injected failures (latency spikes excluded: those succeed)."""
+        return self.read_faults + self.write_faults + self.torn_batches
 
     @property
     def total_time_us(self) -> float:
@@ -65,6 +78,11 @@ class DeviceStats:
             write_time_us=self.write_time_us,
             largest_write_batch=self.largest_write_batch,
             largest_read_batch=self.largest_read_batch,
+            read_faults=self.read_faults,
+            write_faults=self.write_faults,
+            torn_batches=self.torn_batches,
+            latency_spikes=self.latency_spikes,
+            fault_delay_us=self.fault_delay_us,
         )
         fresh.write_batch_size_histogram = dict(self.write_batch_size_histogram)
         return fresh
@@ -217,6 +235,14 @@ class SimulatedSSD:
     def contains(self, page: int) -> bool:
         """Whether ``page`` has ever been written to this device."""
         return page in self._payloads
+
+    def peek(self, page: int) -> object | None:
+        """Read a page's stored payload without I/O cost or fault exposure.
+
+        Diagnostics only (durability assertions, the chaos harness): a real
+        system cannot do this, so nothing in the request path may.
+        """
+        return self._payloads.get(page)
 
     def format_pages(self, pages: Iterable[int]) -> None:
         """Pre-populate pages (database load) without advancing the clock.

@@ -1,0 +1,49 @@
+"""Lint fixture: the sanctioned fault-handling patterns R005 accepts —
+re-raising, routing into the retry machinery, recording degradation, and
+handlers that never catch fault exceptions in the first place."""
+
+
+def reraises(device, page):
+    try:
+        return device.read_page(page)
+    except IOFaultError:
+        raise
+
+
+def wraps_and_raises(device, page):
+    try:
+        return device.read_page(page)
+    except IOFaultError as fault:
+        raise RetriesExhaustedError("read", (page,), 1) from fault
+
+
+def routes_to_retry(manager, page):
+    try:
+        return manager.device.read_page(page)
+    except IOFaultError as fault:
+        return manager._read_page_with_retry(page, fault)
+
+
+def records_degradation(device, batch, stats):
+    try:
+        device.write_batch(batch)
+    except TornWriteError:
+        stats.degraded_writebacks += 1
+
+
+def _retry_read(device, page):
+    # Inside the retry machinery itself (marker in the function name) the
+    # handler legitimately captures the fault and loops.
+    for _ in range(3):
+        try:
+            return device.read_page(page)
+        except IOFaultError as fault:
+            last = fault
+    raise last
+
+
+def unrelated_catch(device, table, page):
+    try:
+        return device.read_page(page) + table[page]
+    except KeyError:
+        return None

@@ -1,0 +1,32 @@
+"""Lint fixture: R005 violations — fault-catching handlers around device
+I/O that neither re-raise nor route into the retry/degradation machinery,
+plus one sanctioned swallow behind ``# lint: allow-io-swallow``."""
+
+
+def swallow_on_read(device, page):
+    try:
+        return device.read_page(page)
+    except IOFaultError:  # flagged: drops an injected fault
+        return None
+
+
+def swallow_bare(device, batch):
+    try:
+        device.write_batch(batch)
+    except:  # noqa: E722 — flagged: a bare except catches faults too
+        pass
+
+
+def swallow_broad(device, page):
+    try:
+        device.write_page(page)
+    except Exception as exc:
+        last_error = exc  # flagged: captured but never surfaced
+        return last_error
+
+
+def sanctioned_swallow(device, page):
+    try:
+        return device.read_page(page)
+    except IOFaultError:  # lint: allow-io-swallow
+        return None

@@ -1,4 +1,4 @@
-"""Tests for the repo-specific AST lint rules (R001-R004).
+"""Tests for the repo-specific AST lint rules (R001-R005).
 
 Each rule gets at least one positive test (a fixture file written to
 violate it, laid out under ``fixtures/repro/...`` so package scoping
@@ -79,7 +79,7 @@ class TestFramework:
 
     def test_rule_catalogue_complete(self):
         assert [rule.code for rule in DEFAULT_RULES] == \
-            ["R001", "R002", "R003", "R004"]
+            ["R001", "R002", "R003", "R004", "R005"]
         for rule in DEFAULT_RULES:
             assert rule.name and rule.description
 
@@ -170,6 +170,36 @@ class TestPicklabilityRule:
         assert lint_file(FIXTURES / "bench" / "r004_module_level_ok.py") == []
 
 
+class TestIORetryRule:
+    def test_flags_swallowed_faults(self):
+        violations = lint_file(FIXTURES / "io" / "r005_swallowed_fault.py")
+        assert codes(violations) == {"R005"}
+        messages = " | ".join(violation.message for violation in violations)
+        assert "IOFaultError" in messages
+        assert "(bare except)" in messages
+        assert "Exception" in messages
+        assert len(violations) == 3
+
+    def test_allow_io_swallow_hatch_suppresses(self):
+        source = (FIXTURES / "io" / "r005_swallowed_fault.py").read_text()
+        hatch_line = next(
+            lineno
+            for lineno, line in enumerate(source.splitlines(), start=1)
+            if "allow-io-swallow" in line
+        )
+        violations = lint_file(FIXTURES / "io" / "r005_swallowed_fault.py")
+        assert all(violation.line != hatch_line for violation in violations)
+
+    def test_sanctioned_handlers_are_clean(self):
+        assert lint_file(FIXTURES / "io" / "r005_handled_ok.py") == []
+
+    def test_scoped_to_repro_package(self, tmp_path):
+        source = (FIXTURES / "io" / "r005_swallowed_fault.py").read_text()
+        free = tmp_path / "r005_swallowed_fault.py"
+        free.write_text(source)
+        assert lint_file(free) == []
+
+
 class TestShippedTree:
     def test_src_is_clean(self):
         violations, files = run_lint([REPO_ROOT / "src"])
@@ -181,7 +211,7 @@ class TestLintCli:
     def test_fixtures_exit_nonzero(self, capsys):
         assert main(["lint", str(FIXTURES)]) == 1
         out = capsys.readouterr().out
-        for code in ("R001", "R002", "R003", "R004"):
+        for code in ("R001", "R002", "R003", "R004", "R005"):
             assert code in out
         assert "violation(s)" in out
 
@@ -192,5 +222,5 @@ class TestLintCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("R001", "R002", "R003", "R004"):
+        for code in ("R001", "R002", "R003", "R004", "R005"):
             assert code in out

@@ -86,6 +86,22 @@ class TestEviction:
         with pytest.raises(PoolExhaustedError):
             manager.read_page(2)
 
+    def test_pool_exhausted_error_is_structured(self):
+        manager = make_manager(capacity=2)
+        manager.read_page(0)
+        manager.read_page(1)
+        manager.pin(0)
+        manager.pin(1)
+        with pytest.raises(PoolExhaustedError) as excinfo:
+            manager.read_page(7)
+        error = excinfo.value
+        assert error.page == 7
+        assert error.capacity == 2
+        assert error.pinned == 2
+        assert "requested page 7" in str(error)
+        assert "pool capacity 2" in str(error)
+        assert "2 pinned" in str(error)
+
     def test_pinned_page_survives_pressure(self):
         manager = make_manager(capacity=2)
         manager.read_page(0)

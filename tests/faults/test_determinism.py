@@ -1,0 +1,118 @@
+"""Acceptance: same seed + same FaultPlan ⇒ byte-identical fault schedule
+and identical end-to-end RunMetrics."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.runner import FAULTS_ENV_VAR, StackConfig, build_stack, run_config
+from repro.errors import IOFaultError
+from repro.faults.device import FaultyDevice
+from repro.faults.plan import FaultPlan
+from repro.workloads.synthetic import MU, generate_trace
+
+from tests.bufferpool.conftest import TEST_PROFILE
+from tests.faults.conftest import make_base_device
+
+PLAN = FaultPlan.uniform(0.05, seed=11)
+
+
+def drive_device(device: FaultyDevice) -> None:
+    """A fixed op sequence mixing reads, writes, and batches."""
+    for index in range(300):
+        try:
+            device.read_page(index % 23)
+        except IOFaultError:
+            pass
+        try:
+            device.write_batch({index % 17: index, (index % 17) + 40: index})
+        except IOFaultError:
+            pass
+
+
+def fault_config(rate: float = 0.02, seed: int = 5) -> StackConfig:
+    return StackConfig(
+        profile=TEST_PROFILE,
+        policy="lru",
+        variant="ace",
+        num_pages=400,
+        fault_plan=FaultPlan.uniform(rate, seed=seed),
+    )
+
+
+class TestScheduleDeterminism:
+    def test_same_plan_gives_byte_identical_events(self):
+        first = FaultyDevice(make_base_device(), PLAN)
+        second = FaultyDevice(make_base_device(), PLAN)
+        drive_device(first)
+        drive_device(second)
+        assert first.injector.events == second.injector.events
+        assert first.injector.faults_injected > 0
+        assert first.clock.now_us == second.clock.now_us
+        assert vars(first.stats) == vars(second.stats)
+
+    def test_events_shift_with_the_seed(self):
+        first = FaultyDevice(make_base_device(), PLAN)
+        second = FaultyDevice(
+            make_base_device(), dataclasses.replace(PLAN, seed=12)
+        )
+        drive_device(first)
+        drive_device(second)
+        assert first.injector.events != second.injector.events
+
+
+class TestEndToEndDeterminism:
+    def test_identical_run_metrics(self):
+        trace = generate_trace(MU, 400, 2_000, seed=5)
+        first = run_config(fault_config(), trace)
+        second = run_config(fault_config(), trace)
+        assert first == second
+        assert first.buffer.io_faults > 0  # the plan actually fired
+
+    def test_metrics_differ_across_fault_seeds(self):
+        trace = generate_trace(MU, 400, 2_000, seed=5)
+        first = run_config(fault_config(seed=5), trace)
+        second = run_config(fault_config(seed=6), trace)
+        assert first.buffer.io_faults != second.buffer.io_faults or \
+            first.elapsed_us != second.elapsed_us
+
+
+class TestEnvironmentSwitch:
+    def test_env_spec_wraps_the_device(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "read=0.01,seed=3")
+        config = StackConfig(
+            profile=TEST_PROFILE, policy="lru", variant="baseline",
+            num_pages=64,
+        )
+        manager = build_stack(config)
+        assert isinstance(manager.device, FaultyDevice)
+        assert manager.device.plan.read_error_rate == 0.01
+        assert manager.device._armed
+
+    def test_env_zero_is_a_disarmed_passthrough(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "0")
+        config = StackConfig(
+            profile=TEST_PROFILE, policy="lru", variant="baseline",
+            num_pages=64,
+        )
+        manager = build_stack(config)
+        assert isinstance(manager.device, FaultyDevice)
+        assert not manager.device._armed
+
+    def test_env_unset_leaves_the_bare_device(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        config = StackConfig(
+            profile=TEST_PROFILE, policy="lru", variant="baseline",
+            num_pages=64,
+        )
+        manager = build_stack(config)
+        assert not isinstance(manager.device, FaultyDevice)
+
+    def test_explicit_plan_beats_the_environment(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "0.5")
+        config = StackConfig(
+            profile=TEST_PROFILE, policy="lru", variant="baseline",
+            num_pages=64, fault_plan=FaultPlan.uniform(0.001, seed=9),
+        )
+        manager = build_stack(config)
+        assert manager.device.plan.read_error_rate == pytest.approx(0.001)

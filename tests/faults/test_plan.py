@@ -1,0 +1,137 @@
+"""Tests for FaultPlan / FaultInjector: validation, parsing, determinism."""
+
+import pickle
+
+import pytest
+
+from repro.faults.plan import FaultInjector, FaultKind, FaultPlan
+
+
+class TestFaultPlan:
+    def test_defaults_are_null(self):
+        plan = FaultPlan()
+        assert plan.is_null
+        assert plan.describe() == "no faults"
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(read_error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(torn_batch_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(latency_spike_us=-1.0)
+
+    def test_uniform_sets_every_rate(self):
+        plan = FaultPlan.uniform(0.05, seed=3)
+        assert plan.seed == 3
+        assert plan.read_error_rate == 0.05
+        assert plan.write_error_rate == 0.05
+        assert plan.torn_batch_rate == 0.05
+        assert plan.latency_spike_rate == 0.05
+        assert not plan.is_null
+
+    def test_media_pages_alone_arm_the_plan(self):
+        assert not FaultPlan(media_error_pages=frozenset({4})).is_null
+
+    def test_media_pages_coerced_to_frozenset(self):
+        plan = FaultPlan(media_error_pages=[3, 4, 3])  # type: ignore[arg-type]
+        assert plan.media_error_pages == frozenset({3, 4})
+
+    def test_plan_is_picklable_and_hashable(self):
+        plan = FaultPlan.uniform(0.01, seed=9)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        assert hash(plan) == hash(FaultPlan.uniform(0.01, seed=9))
+
+
+class TestParse:
+    def test_blank_is_null(self):
+        assert FaultPlan.parse("").is_null
+        assert FaultPlan.parse("  ").is_null
+
+    def test_zero_is_null_passthrough(self):
+        assert FaultPlan.parse("0").is_null
+
+    def test_bare_float_is_uniform(self):
+        assert FaultPlan.parse("0.01") == FaultPlan.uniform(0.01)
+
+    def test_key_value_spec(self):
+        plan = FaultPlan.parse("read=0.01, torn=0.005, seed=7, spike_us=500")
+        assert plan.read_error_rate == 0.01
+        assert plan.write_error_rate == 0.0
+        assert plan.torn_batch_rate == 0.005
+        assert plan.latency_spike_us == 500.0
+        assert plan.seed == 7
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown fault key"):
+            FaultPlan.parse("reed=0.01")
+
+    def test_describe_roundtrips_the_interesting_fields(self):
+        plan = FaultPlan.parse("read=0.01,torn=0.005,seed=7")
+        text = plan.describe()
+        assert "read=0.01" in text
+        assert "torn=0.005" in text
+        assert "seed=7" in text
+
+
+class TestInjectorDeterminism:
+    def drive(self, injector: FaultInjector) -> None:
+        for index in range(200):
+            injector.on_read((index % 11,))
+            injector.on_write(tuple(range(index % 5 + 1)))
+            injector.on_read((index % 7, index % 13, index % 17))
+
+    def test_same_plan_same_ops_gives_identical_schedule(self):
+        plan = FaultPlan.uniform(0.2, seed=42)
+        first, second = FaultInjector(plan), FaultInjector(plan)
+        self.drive(first)
+        self.drive(second)
+        assert first.events == second.events
+        assert first.operations == second.operations
+        assert first.faults_injected > 0
+
+    def test_different_seed_gives_different_schedule(self):
+        first = FaultInjector(FaultPlan.uniform(0.2, seed=1))
+        second = FaultInjector(FaultPlan.uniform(0.2, seed=2))
+        self.drive(first)
+        self.drive(second)
+        assert first.events != second.events
+
+
+class TestInjectorSemantics:
+    def test_torn_batches_need_more_than_one_page(self):
+        injector = FaultInjector(FaultPlan(torn_batch_rate=1.0))
+        assert injector.on_write((5,)) is None
+        event = injector.on_write((1, 2, 3, 4))
+        assert event is not None
+        assert event.kind is FaultKind.TORN_BATCH
+
+    def test_torn_split_is_a_proper_prefix(self):
+        injector = FaultInjector(FaultPlan(torn_batch_rate=1.0, seed=3))
+        for _ in range(50):
+            event = injector.on_write((10, 11, 12, 13))
+            assert event.acknowledged and event.pages
+            assert event.acknowledged + event.pages == (10, 11, 12, 13)
+
+    def test_permanent_media_decided_without_rng(self):
+        plan = FaultPlan(read_error_rate=0.5, media_error_pages=frozenset({9}))
+        injector = FaultInjector(plan)
+        state = injector.rng.getstate()
+        event = injector.on_read((9, 10))
+        assert event.kind is FaultKind.PERMANENT_MEDIA
+        assert event.pages == (9,)
+        assert injector.rng.getstate() == state
+
+    def test_permanent_write_acknowledges_healthy_pages_in_order(self):
+        injector = FaultInjector(FaultPlan(media_error_pages=frozenset({2})))
+        event = injector.on_write((1, 2, 3))
+        assert event.kind is FaultKind.PERMANENT_MEDIA
+        assert event.pages == (2,)
+        assert event.acknowledged == (1, 3)
+
+    def test_null_plan_never_faults(self):
+        injector = FaultInjector(FaultPlan())
+        for index in range(100):
+            assert injector.on_read((index,)) is None
+            assert injector.on_write((index, index + 1)) is None
+        assert injector.events == []

@@ -32,6 +32,13 @@ class TestParser:
         assert args.ops == 1500
         assert "lru" in args.policies
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.rates == "0,0.001,0.01"
+        assert args.policies == "lru,clock,cflru"
+        assert args.variants == "baseline,ace"
+        assert args.smoke is False
+
 
 class TestCommands:
     def test_probe_single_device(self, capsys):
@@ -111,6 +118,22 @@ class TestCommands:
     def test_check_unknown_policy_exits(self):
         with pytest.raises(SystemExit, match="unknown policies"):
             main(["check", "--policies", "nope"])
+
+    def test_chaos_small_sweep(self, capsys):
+        code = main([
+            "chaos", "--rates", "0,0.01", "--policies", "lru",
+            "--variants", "baseline,ace", "--pages", "400", "--ops", "1200",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Chaos sweep" in out
+        assert "lru/ace@0.01" in out
+        assert "0 committed updates lost" in out
+
+    def test_chaos_smoke(self, capsys):
+        assert main(["chaos", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "clock/ace@0.01" in out
 
     def test_summary(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))

@@ -21,7 +21,12 @@ invariant set after **every public operation** (``read_page``,
 * ``resident_pages()`` is consistent with frame occupancy, and the
   replacement policy tracks exactly the resident pages;
 * ``eviction_order()`` leaves policy state bit-identical (snapshot /
-  consume / compare) and yields resident, unpinned, duplicate-free pages.
+  consume / compare) and yields resident, unpinned, duplicate-free pages;
+* the policy's maintained fast paths (``peek`` / ``next_dirty`` /
+  ``next_clean``) return exactly the reference prefixes derived from
+  ``eviction_order()``, and its notification-fed pin mirror agrees with
+  the manager's — the runtime teeth behind the incremental virtual-order
+  engine.
 
 The first violation raises a structured
 :class:`~repro.errors.SanitizerError` naming the invariant, the operation,
@@ -88,6 +93,10 @@ def _snapshot(value: object) -> object:
 class InvariantSanitizer:
     """Validates a manager's cross-structure invariants after each op."""
 
+    #: Prefix length compared between the maintained fast paths and the
+    #: reference ``eviction_order()`` after every operation.
+    FAST_PATH_PREFIX = 8
+
     #: Public manager operations wrapped by :func:`attach`.
     WRAPPED_OPS = (
         "read_page",
@@ -114,6 +123,7 @@ class InvariantSanitizer:
         self._check_free_list(operation)
         self._check_residency(operation)
         self._check_virtual_order(operation)
+        self._check_fast_paths(operation)
 
     def assert_clean(self) -> None:
         """Validate outside any operation (e.g. at end of a test)."""
@@ -271,6 +281,47 @@ class InvariantSanitizer:
                     "virtual-order-pinned", operation,
                     "eviction_order() yielded a pinned page",
                     page=page,
+                )
+
+    def _check_fast_paths(self, operation: str) -> None:
+        """The maintained bulk reads must match the reference prefixes.
+
+        ``peek``/``next_dirty``/``next_clean`` are each compared against
+        the base class's ``_reference_*`` helpers, which derive the same
+        prefix directly from ``eviction_order()`` — the definitional
+        contract of the incremental virtual-order engine.  When the policy
+        is notification-fed, its pin mirror must also agree with the
+        manager's (``_check_virtual_order`` already ran, so the reference
+        prefixes themselves are trustworthy here).
+        """
+        manager = self.manager
+        policy = manager.policy
+        if policy._notified and policy._pinned_pages != manager._pinned_set:
+            diff = policy._pinned_pages.symmetric_difference(
+                manager._pinned_set
+            )
+            raise SanitizerError(
+                "policy-pin-mirror", operation,
+                f"policy pin mirror disagrees with the manager on "
+                f"{sorted(diff)} ({type(policy).__name__})",
+                page=next(iter(diff)),
+            )
+        k = self.FAST_PATH_PREFIX
+        for label, fast, reference in (
+            ("peek", policy.peek, policy._reference_peek),
+            ("next_dirty", policy.next_dirty, policy._reference_next_dirty),
+            ("next_clean", policy.next_clean, policy._reference_next_clean),
+        ):
+            got = fast(k)
+            expected = reference(k)
+            if got != expected:
+                raise SanitizerError(
+                    f"fast-path-{label}", operation,
+                    f"{type(policy).__name__}.{label}({k}) returned {got}, "
+                    f"reference order gives {expected}",
+                    page=next(
+                        iter(set(got).symmetric_difference(expected)), None
+                    ),
                 )
 
 

@@ -18,10 +18,13 @@ Usage::
 
     PYTHONPATH=src python -m repro.bench.perf --label "my change"
     PYTHONPATH=src python -m repro.bench.perf --check --min-ratio 0.7
+    PYTHONPATH=src python -m repro.bench.perf --fast --profile perf.pstats
 
 The ``--check`` form re-measures quickly and exits non-zero if single-stack
 accesses/second fell below ``min-ratio`` times the committed ``current``
-entry — the CI smoke gate.
+entry, or if any stack in :data:`POLICY_FLOORS` fell below its per-policy
+floor — the CI smoke gate.  ``--profile`` wraps the measurement in
+cProfile (see :mod:`repro.bench.profiling`).
 """
 
 from __future__ import annotations
@@ -44,12 +47,14 @@ from repro.workloads.synthetic import MS, generate_trace
 __all__ = [
     "SCHEMA_VERSION",
     "DEFAULT_OUTPUT",
+    "POLICY_FLOORS",
     "measure_single_stack",
     "measure_suite",
     "measure",
     "write_entry",
     "load_report",
     "check_against",
+    "check_policy_floors",
     "main",
 ]
 
@@ -65,6 +70,22 @@ HEADLINE_STACK = "lru/baseline"
 
 #: Execution model matching the paper-replication benches.
 _OPTIONS = ExecutionOptions(cpu_us_per_op=30.0)
+
+#: Per-policy regression floors for ``--check``: each stack's re-measured
+#: accesses/second must stay above ``floor`` times its committed same-mode
+#: rate.  The headline gate catches bare hot-path regressions; these catch
+#: a policy-specific one (say, CFLRU's window scan quietly going quadratic
+#: again) that the LRU headline would never see.  Floors are deliberately
+#: loose — CI machines are noisy — but tight enough that an
+#: order-of-complexity regression trips them.
+POLICY_FLOORS: dict[str, float] = {
+    "lru/baseline": 0.6,
+    "lru/ace": 0.5,
+    "clock/baseline": 0.5,
+    "cflru/baseline": 0.5,
+    "cflru/ace": 0.5,
+    "lru_wsr/baseline": 0.5,
+}
 
 
 def _output_path(output: str | Path | None) -> Path:
@@ -233,6 +254,43 @@ def write_entry(
     return report
 
 
+def _committed_stack_rate(
+    report: dict[str, object], stack: str, fast: bool
+) -> float | None:
+    """The committed accesses/second for ``stack``, mode-matched.
+
+    Prefers the latest entry measured in the same mode (``fast`` flag) so a
+    fast check is never compared against full-size numbers; falls back to
+    the ``current`` entry, and returns ``None`` when no committed entry
+    records the stack at all.
+    """
+    current = report.get("current")
+    if not current:
+        raise ValueError("benchmark report has no `current` entry")
+    candidates = [current]
+    if fast != bool(current.get("fast")):
+        for entry in reversed(report.get("history", [])):
+            if bool(entry.get("fast")) == fast:
+                candidates.insert(0, entry)
+                break
+    for entry in candidates:
+        recorded = entry.get("single_stack", {}).get(stack)
+        if recorded:
+            return float(recorded["accesses_per_sec"])
+    return None
+
+
+def _measure_stack_for_check(stack: str, fast: bool) -> float:
+    policy, variant = stack.split("/")
+    if fast:
+        measured = measure_single_stack(
+            policy, variant, num_pages=4_000, num_ops=6_000, repeats=2
+        )
+    else:
+        measured = measure_single_stack(policy, variant)
+    return float(measured["accesses_per_sec"])
+
+
 def check_against(
     report: dict[str, object],
     min_ratio: float = 0.7,
@@ -256,15 +314,36 @@ def check_against(
             if bool(entry.get("fast")) == fast:
                 committed = float(entry["headline_accesses_per_sec"])
                 break
-    policy, variant = HEADLINE_STACK.split("/")
-    if fast:
-        measured_stack = measure_single_stack(
-            policy, variant, num_pages=4_000, num_ops=6_000, repeats=2
-        )
-    else:
-        measured_stack = measure_single_stack(policy, variant)
-    measured = float(measured_stack["accesses_per_sec"])
+    measured = _measure_stack_for_check(HEADLINE_STACK, fast)
     return measured >= min_ratio * committed, measured, committed
+
+
+def check_policy_floors(
+    report: dict[str, object],
+    floors: dict[str, float] | None = None,
+    fast: bool = True,
+) -> list[dict[str, object]]:
+    """Re-measure each floored stack and compare against its committed rate.
+
+    Returns one result dict per stack in ``floors`` (default
+    :data:`POLICY_FLOORS`) with keys ``stack``, ``floor``, ``measured``,
+    ``committed``, ``ok``.  Stacks the committed report never recorded are
+    skipped — a freshly seeded benchmark file gates only what it measured.
+    """
+    results: list[dict[str, object]] = []
+    for stack, floor in (floors or POLICY_FLOORS).items():
+        committed = _committed_stack_rate(report, stack, fast)
+        if committed is None:
+            continue
+        measured = _measure_stack_for_check(stack, fast)
+        results.append({
+            "stack": stack,
+            "floor": floor,
+            "measured": measured,
+            "committed": committed,
+            "ok": measured >= floor * committed,
+        })
+    return results
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -285,6 +364,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "committed file instead of appending")
     parser.add_argument("--min-ratio", type=float, default=0.7,
                         help="minimum measured/committed ratio for --check")
+    parser.add_argument("--no-policy-floors", action="store_true",
+                        help="--check: gate only the headline stack, "
+                             "skipping the per-policy floors")
+    parser.add_argument("--profile", metavar="PSTATS", default=None,
+                        help="run the measurement under cProfile: write a "
+                             "pstats dump to this path and print the "
+                             "top-20 cumulative table")
     args = parser.parse_args(argv)
 
     if args.check:
@@ -301,9 +387,29 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{verdict}: measured {measured:,.0f} accesses/s vs committed "
             f"{committed:,.0f} (floor {args.min_ratio:.0%})"
         )
+        if not args.no_policy_floors:
+            for result in check_policy_floors(report, fast=True):
+                stack_verdict = "OK" if result["ok"] else "REGRESSION"
+                print(
+                    f"{stack_verdict}: {result['stack']} measured "
+                    f"{result['measured']:,.0f} accesses/s vs committed "
+                    f"{result['committed']:,.0f} "
+                    f"(floor {result['floor']:.0%})"
+                )
+                ok = ok and result["ok"]
         return 0 if ok else 1
 
-    entry = measure(label=args.label, fast=args.fast, workers=args.workers)
+    if args.profile:
+        from repro.bench.profiling import run_profiled
+
+        entry = run_profiled(
+            lambda: measure(
+                label=args.label, fast=args.fast, workers=args.workers
+            ),
+            args.profile,
+        )
+    else:
+        entry = measure(label=args.label, fast=args.fast, workers=args.workers)
     report = write_entry(entry, args.output)
     suite = entry["suite"]
     print(f"wrote {_output_path(args.output)}")

@@ -1,0 +1,50 @@
+"""Shared cProfile wrapper for ``repro run --profile`` and the perf bench.
+
+Profiling a simulator run answers "where did the wall-clock go" — the
+question behind every hot-path PR — without any external tooling: the
+stdlib ``cProfile``/``pstats`` pair collects per-function timings, the
+dump is written for later drill-down (``python -m pstats dump.pstats``,
+snakeviz, gprof2dot, ...), and the top of the cumulative table is printed
+immediately so the answer is one flag away.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from collections.abc import Callable
+from typing import TypeVar
+
+__all__ = ["run_profiled"]
+
+T = TypeVar("T")
+
+
+def run_profiled(
+    func: Callable[[], T],
+    output: str,
+    top: int = 20,
+    sort: str = "cumulative",
+) -> T:
+    """Run ``func`` under cProfile; dump stats to ``output`` and print.
+
+    The pstats dump is written and the top ``top`` entries of the
+    ``sort``-ordered table are printed even if ``func`` raises, so a
+    crashing or interrupted run still yields its profile.  Returns
+    ``func()``'s result.
+    """
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        try:
+            return func()
+        finally:
+            profiler.disable()
+    finally:
+        profiler.dump_stats(output)
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats(sort).print_stats(top)
+        print(f"profile written to {output} (top {top} by {sort}):")
+        print(stream.getvalue().rstrip())

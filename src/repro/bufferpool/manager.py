@@ -77,6 +77,11 @@ class BufferPoolManager:
     #: Variant label used in reports ("baseline" vs "ace"/"ace+pf").
     variant = "baseline"
 
+    #: PageStateView handshake: this view pushes every dirty/pin transition
+    #: into the policy's ``note_*`` hooks, which lets the bound policy keep
+    #: its virtual order incrementally instead of re-deriving it per miss.
+    notifies_state_changes = True
+
     def __init__(
         self,
         capacity: int,
@@ -112,6 +117,10 @@ class BufferPoolManager:
         #: by the ACE manager when a reader/prefetcher is attached.
         self._observer = None
         policy.bind(self)
+        # Bound notification hooks (hot path: one attribute hop saved per
+        # dirty/clean transition).
+        self._note_dirty = policy.note_dirty
+        self._note_clean = policy.note_clean
         #: The attached invariant checker, or ``None`` when sanitising is
         #: off (the common case: the request path then carries zero
         #: sanitizer overhead — the wrappers are instance attributes
@@ -188,6 +197,7 @@ class BufferPoolManager:
         if not descriptor.dirty:
             descriptor.dirty = True
             self._dirty_set.add(page)
+            self._note_dirty(page)
         if payload is None:
             current = self._payloads[frame_id]
             base = current if isinstance(current, int) else 0
@@ -223,7 +233,9 @@ class BufferPoolManager:
         """Pin a resident page so it cannot be evicted."""
         descriptor = self._descriptor_of(page)
         descriptor.pin_count += 1
-        self._pinned_set.add(page)
+        if descriptor.pin_count == 1:
+            self._pinned_set.add(page)
+            self.policy.note_pinned(page)
 
     def unpin(self, page: int) -> None:
         descriptor = self._descriptor_of(page)
@@ -232,6 +244,7 @@ class BufferPoolManager:
         descriptor.pin_count -= 1
         if descriptor.pin_count == 0:
             self._pinned_set.discard(page)
+            self.policy.note_unpinned(page)
 
     def flush_page(self, page: int) -> None:
         """Write a resident dirty page back to the device (stays resident)."""
@@ -295,6 +308,7 @@ class BufferPoolManager:
     def _mark_dirty(self, page: int, frame_id: int) -> None:
         self._descriptors[frame_id].dirty = True
         self._dirty_set.add(page)
+        self._note_dirty(page)
 
     def _write_back(self, pages: Iterable[int], background: bool = False) -> int:
         """Write the given resident dirty pages to the device in one batch.
@@ -331,6 +345,9 @@ class BufferPoolManager:
         for descriptor in resolved:
             descriptor.dirty = False
         self._dirty_set.difference_update(batch)
+        note_clean = self._note_clean
+        for page in batch:
+            note_clean(page)
         self.stats.writebacks += len(batch)
         self.stats.writeback_batches += 1
         if background:
@@ -393,10 +410,12 @@ class BufferPoolManager:
             return 0
         frame_of = self._frame_of
         descriptors = self._descriptors
+        note_clean = self._note_clean
         for page in landed:
             frame_id = frame_of.get(page)
             if frame_id is not None:
                 descriptors[frame_id].dirty = False
+                note_clean(page)
         self._dirty_set.difference_update(landed)
         stats.writebacks += len(landed)
         stats.writeback_batches += 1
@@ -420,11 +439,8 @@ class BufferPoolManager:
 
     def _clean_victim_fallback(self) -> int | None:
         """First unpinned *clean* page in the policy's virtual order."""
-        dirty = self._dirty_set
-        for page in self.policy.eviction_order():
-            if page not in dirty:
-                return page
-        return None
+        selected = self.policy.next_clean(1)
+        return selected[0] if selected else None
 
     def _evict(self, page: int) -> None:
         """Drop a clean resident page from the pool."""

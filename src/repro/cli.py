@@ -108,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--variant", choices=("baseline", "ace", "ace+pf"), default="ace"
     )
+    run.add_argument(
+        "--profile", metavar="PSTATS", default=None,
+        help="run under cProfile: write a pstats dump to this path and "
+             "print the top-20 cumulative table",
+    )
 
     compare = sub.add_parser(
         "compare", help="baseline vs ACE vs ACE+PF across policies"
@@ -218,7 +223,15 @@ def _stack_config(args: argparse.Namespace, policy: str, variant: str) -> StackC
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _resolve_workload(args.workload, args.read_fraction)
     trace = generate_trace(spec, args.pages, args.ops, seed=args.seed)
-    metrics = run_config(_stack_config(args, args.policy, args.variant), trace)
+    config = _stack_config(args, args.policy, args.variant)
+    if args.profile:
+        from repro.bench.profiling import run_profiled
+
+        metrics = run_profiled(
+            lambda: run_config(config, trace), args.profile
+        )
+    else:
+        metrics = run_config(config, trace)
     print(metrics.summary())
     print(f"  hit ratio        {metrics.buffer.hit_ratio:8.2%}")
     print(f"  mean write batch {metrics.buffer.mean_writeback_batch:8.1f}")

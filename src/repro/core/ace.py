@@ -119,7 +119,8 @@ class ACEBufferPoolManager(BufferPoolManager):
                 pinned=len(self._pinned_set),
             )
 
-        if victim not in self._dirty_set:
+        dirty_set = self._dirty_set
+        if victim not in dirty_set:
             # Lines 19-22: clean top page — identical to the classic path.
             self.stats.clean_evictions += 1
             self._evict(victim)
@@ -132,7 +133,7 @@ class ACEBufferPoolManager(BufferPoolManager):
         if not self.prefetching_enabled:
             # Lines 38-39: write the batch, evict only the victim.
             self.writer.flush(writeback_set)
-            if victim in self._dirty_set:
+            if victim in dirty_set:
                 # The batch tore or failed before reaching the victim: fall
                 # back to the next clean page in the virtual order.
                 victim = self._degraded_victim(victim)
@@ -146,13 +147,13 @@ class ACEBufferPoolManager(BufferPoolManager):
         # can be different", Algorithm 1 comment).
         batch = dict.fromkeys(writeback_set)
         for candidate in eviction_set:
-            if candidate in self._dirty_set:
+            if candidate in dirty_set:
                 batch.setdefault(candidate)
         self.writer.flush(list(batch))
         # Degradation: a torn/failed batch leaves some candidates dirty.
         # Evict only the pages that actually came back clean; the rest stay
         # resident and re-queued, and the prefetch budget shrinks to match.
-        clean_set = [p for p in eviction_set if p not in self._dirty_set]
+        clean_set = [p for p in eviction_set if p not in dirty_set]
         skipped = len(eviction_set) - len(clean_set)
         if skipped:
             self.stats.degraded_evictions += skipped

@@ -32,9 +32,14 @@ class Evictor:
         self.skipped_dirty = 0
 
     def select_eviction_set(self, victim: int) -> list[int]:
-        """Up to ``n_e`` pages to evict, led by the current victim."""
+        """Up to ``n_e`` pages to evict, led by the current victim.
+
+        ``peek`` is the policy's bulk virtual-order fast path; the victim
+        is normally its head, so asking for ``n_e`` candidates covers the
+        ``n_e - 1`` non-victim pages needed either way.
+        """
         candidates = [victim]
-        for page in self.manager.policy.next_evictable(self.n_e):
+        for page in self.manager.policy.peek(self.n_e):
             if len(candidates) >= self.n_e:
                 break
             if page != victim:

@@ -50,10 +50,11 @@ class Reader:
             return []
         manager = self.manager
         num_pages = manager.device.num_pages
+        frame_of = manager._frame_of  # residency via the buffer-table dict
         selected: list[int] = []
         seen = {page}
         for candidate in self.prefetcher.suggest(page, limit):
-            if candidate in seen or manager.contains(candidate):
+            if candidate in seen or candidate in frame_of:
                 continue
             if num_pages is not None and not 0 <= candidate < num_pages:
                 continue

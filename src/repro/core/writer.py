@@ -36,7 +36,9 @@ class Writer:
         """The paper's ``populate_pages_to_writeback()``.
 
         Returns up to ``n_w`` dirty pages led by the current (dirty) victim,
-        followed by the next dirty pages in the policy's virtual order.
+        followed by the next dirty pages in the policy's virtual order —
+        ``next_dirty`` is the policy's maintained fast path, so this is one
+        bulk read of the dirty sub-order rather than a filtered rescan.
         """
         candidates = [victim]
         for page in self.manager.policy.next_dirty(self.n_w):

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Iterator
+from itertools import islice
 
 from repro.policies.base import ReplacementPolicy
 
@@ -121,6 +122,15 @@ class ARCPolicy(ReplacementPolicy):
         return len(self._t1) > self.p
 
     def select_victim(self) -> int | None:
+        if self._notified and not self._pinned_pages:
+            first, second = (
+                (self._t1, self._t2)
+                if self._replace_from_t1()
+                else (self._t2, self._t1)
+            )
+            if first:
+                return next(iter(first))
+            return next(iter(second), None)
         queues = (
             (self._t1, self._t2) if self._replace_from_t1() else (self._t2, self._t1)
         )
@@ -131,6 +141,21 @@ class ARCPolicy(ReplacementPolicy):
         return None
 
     def eviction_order(self) -> Iterator[int]:
+        if self._notified and not self._pinned_pages:
+            # Nothing pinned: the unpinned lists are the queues themselves,
+            # so the order streams lazily off the live OrderedDicts —
+            # O(consumed) for ACE's short peeks instead of materialising
+            # both queues per call.
+            if self._replace_from_t1():
+                overflow = max(1, len(self._t1) - int(self.p))
+                t1_iter = iter(self._t1)
+                yield from islice(t1_iter, overflow)
+                yield from self._t2
+                yield from t1_iter
+            else:
+                yield from self._t2
+                yield from self._t1
+            return
         t1 = [p for p in self._t1 if not self._view.is_pinned(p)]
         t2 = [p for p in self._t2 if not self._view.is_pinned(p)]
         if self._replace_from_t1():

@@ -23,22 +23,44 @@ Accordingly, every policy here exposes two views of the same decision:
     any replacement algorithm unchanged.
 
 Policies learn page dirty/pinned state through a :class:`PageStateView`
-supplied by the buffer manager via :meth:`ReplacementPolicy.bind`; they never
-track dirtiness themselves, mirroring how PostgreSQL's freelist code reads
-buffer descriptor flags.
+supplied by the buffer manager via :meth:`ReplacementPolicy.bind`; the
+manager's descriptors stay the authoritative record, mirroring how
+PostgreSQL's freelist code reads buffer descriptor flags.  A view that
+declares ``notifies_state_changes`` additionally pushes per-page
+dirty/pin transitions into the policy's ``note_*`` hooks, which lets a
+policy maintain its virtual order *incrementally* (a dirty sub-order, a
+clean-first window counter) and answer the bulk fast paths —
+:meth:`ReplacementPolicy.peek`, :meth:`ReplacementPolicy.next_dirty`,
+:meth:`ReplacementPolicy.next_clean` — in O(answer) instead of
+re-deriving the order per call.  ``eviction_order()`` remains the pure
+reference implementation that the sanitizer and the differential tests
+hold every fast path to.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Iterator
+from itertools import islice
 from typing import Protocol
 
 __all__ = ["PageStateView", "ReplacementPolicy", "NullPageStateView"]
 
 
 class PageStateView(Protocol):
-    """What a policy may ask the buffer manager about a buffered page."""
+    """What a policy may ask the buffer manager about a buffered page.
+
+    A view may additionally expose a truthy ``notifies_state_changes``
+    attribute, promising to call the policy's ``note_dirty`` /
+    ``note_clean`` / ``note_pinned`` / ``note_unpinned`` hooks on every
+    state transition.  Policies bound to such a view may maintain
+    incremental virtual-order structures (dirty sub-orders, window
+    counters) and serve :meth:`ReplacementPolicy.peek` /
+    :meth:`ReplacementPolicy.next_dirty` / :meth:`ReplacementPolicy.next_clean`
+    from them instead of filtering a fresh ``eviction_order()`` scan.
+    Views without the attribute (tests, standalone use) get the reference
+    behaviour unchanged.
+    """
 
     def is_dirty(self, page: int) -> bool:
         """Whether the buffered page has unflushed modifications."""
@@ -80,10 +102,40 @@ class ReplacementPolicy(ABC):
 
     def __init__(self) -> None:
         self._view: PageStateView = NullPageStateView()
+        #: Whether the bound view promises ``note_*`` state-change
+        #: callbacks; incremental fast paths engage only when it does.
+        self._notified = False
+        #: Pages currently pinned, mirrored from ``note_pinned`` /
+        #: ``note_unpinned``.  Fast paths that assume "nothing pinned"
+        #: gate on this set being empty and otherwise fall back to the
+        #: reference scans, which consult the view per page.
+        self._pinned_pages: set[int] = set()
 
     def bind(self, view: PageStateView) -> None:
         """Attach the buffer manager's page-state view."""
         self._view = view
+        self._notified = bool(getattr(view, "notifies_state_changes", False))
+        self._pinned_pages.clear()
+
+    # -- state-change notifications ----------------------------------------
+    #
+    # Called by a view that declares ``notifies_state_changes`` on every
+    # transition of the named page.  The base class tracks pins; policies
+    # that maintain dirty sub-orders override the dirty pair (and call up).
+
+    def note_dirty(self, page: int) -> None:
+        """``page`` transitioned clean -> dirty."""
+
+    def note_clean(self, page: int) -> None:
+        """``page`` transitioned dirty -> clean (write-back landed)."""
+
+    def note_pinned(self, page: int) -> None:
+        """``page`` transitioned unpinned -> pinned."""
+        self._pinned_pages.add(page)
+
+    def note_unpinned(self, page: int) -> None:
+        """``page`` transitioned pinned -> unpinned."""
+        self._pinned_pages.discard(page)
 
     # -- membership -------------------------------------------------------
 
@@ -133,13 +185,22 @@ class ReplacementPolicy(ABC):
         """
 
     # -- derived helpers used by ACE ---------------------------------------
+    #
+    # ``peek`` / ``next_dirty`` / ``next_clean`` are the bulk fast paths the
+    # ACE Writer, Evictor, and the manager's degraded-eviction fallback
+    # consume.  The ``_reference_*`` forms below are the definitional
+    # implementations over ``eviction_order()``; policies with maintained
+    # structures override the public methods and *must* return exactly the
+    # reference result (the sanitizer and the differential suite check
+    # this), using the reference as the fallback whenever the bound view
+    # does not notify or pinned pages invalidate the maintained shortcut.
 
-    def next_dirty(self, n: int) -> list[int]:
-        """The next ``n`` dirty pages in the virtual order (may be fewer).
+    def _reference_peek(self, n: int) -> list[int]:
+        if n < 0:
+            raise ValueError(f"n must be non-negative: {n}")
+        return list(islice(self.eviction_order(), n))
 
-        This is exactly the paper's ``populate_pages_to_writeback()``: the
-        candidate set for ACE's concurrent write-back.
-        """
+    def _reference_next_dirty(self, n: int) -> list[int]:
         if n < 0:
             raise ValueError(f"n must be non-negative: {n}")
         selected: list[int] = []
@@ -153,16 +214,43 @@ class ReplacementPolicy(ABC):
                     break
         return selected
 
-    def next_evictable(self, n: int) -> list[int]:
-        """The next ``n`` pages in the virtual order (may be fewer)."""
+    def _reference_next_clean(self, n: int) -> list[int]:
         if n < 0:
             raise ValueError(f"n must be non-negative: {n}")
         selected: list[int] = []
+        if n == 0:
+            return selected
+        is_dirty = self._view.is_dirty
         for page in self.eviction_order():
-            selected.append(page)
-            if len(selected) == n:
-                break
+            if not is_dirty(page):
+                selected.append(page)
+                if len(selected) == n:
+                    break
         return selected
+
+    def peek(self, n: int) -> list[int]:
+        """The next ``n`` pages in the virtual order (may be fewer)."""
+        return self._reference_peek(n)
+
+    def next_dirty(self, n: int) -> list[int]:
+        """The next ``n`` dirty pages in the virtual order (may be fewer).
+
+        This is exactly the paper's ``populate_pages_to_writeback()``: the
+        candidate set for ACE's concurrent write-back.
+        """
+        return self._reference_next_dirty(n)
+
+    def next_clean(self, n: int) -> list[int]:
+        """The next ``n`` clean pages in the virtual order (may be fewer).
+
+        The degraded-eviction fallback: when a write-back fails, the
+        manager evicts the first clean page in the virtual order instead.
+        """
+        return self._reference_next_clean(n)
+
+    def next_evictable(self, n: int) -> list[int]:
+        """The next ``n`` pages in the virtual order (alias of :meth:`peek`)."""
+        return self.peek(n)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(pages={len(self)})"

@@ -110,14 +110,19 @@ class ClockSweepPolicy(ReplacementPolicy):
         return None
 
     def eviction_order(self) -> Iterator[int]:
-        """Simulate the sweep on copied usage counts (no side effects).
+        """Simulate the sweep on an overlay of the usage counts (pure).
 
         Yields pages in the order successive victims would be chosen,
         assuming no intervening accesses — the policy's virtual order.
+        The simulated decrements go into a local overlay consulted before
+        the live counts, so consumers that take only the first few pages
+        pay for the slots the hand actually visited, not an O(pool) copy
+        of the usage table per call.
         """
         if not self._slot_of:
             return
-        usage = dict(self._usage)
+        usage = self._usage
+        overlay: dict[int, int] = {}
         total_slots = len(self._slots)
         tracked = len(self._slot_of)
         hand = self._hand
@@ -139,8 +144,11 @@ class ClockSweepPolicy(ReplacementPolicy):
             if is_pinned(page):
                 pinned.add(page)
                 continue
-            if usage[page] == 0:
+            count = overlay.get(page)
+            if count is None:
+                count = usage[page]
+            if count == 0:
                 yield page
                 done.add(page)
             else:
-                usage[page] -= 1
+                overlay[page] = count - 1

@@ -51,13 +51,17 @@ class FIFOPolicy(ReplacementPolicy):
         return list(self._order)
 
     def select_victim(self) -> int | None:
+        if self._notified and not self._pinned_pages:
+            return next(iter(self._order), None)
         for page in self._order:
             if not self._view.is_pinned(page):
                 return page
         return None
 
     def eviction_order(self) -> Iterator[int]:
-        for page in list(self._order):
+        # Live iteration (consumers materialise before mutating): the
+        # virtual order costs O(consumed), not an O(pool) copy per call.
+        for page in self._order:
             if not self._view.is_pinned(page):
                 yield page
 
@@ -84,6 +88,18 @@ class SecondChancePolicy(FIFOPolicy):
         self._referenced[page] = True
 
     def select_victim(self) -> int | None:
+        if self._notified and not self._pinned_pages:
+            order = self._order
+            referenced = self._referenced
+            for _ in range(2 * len(order) + 1):
+                candidate = next(iter(order), None)
+                if candidate is None:
+                    return None
+                if not referenced[candidate]:
+                    return candidate
+                referenced[candidate] = False
+                order.move_to_end(candidate)
+            return None
         for _ in range(2 * len(self._order) + 1):
             candidate = None
             for page in self._order:
@@ -100,7 +116,7 @@ class SecondChancePolicy(FIFOPolicy):
 
     def eviction_order(self) -> Iterator[int]:
         deferred: list[int] = []
-        for page in list(self._order):
+        for page in self._order:
             if self._view.is_pinned(page):
                 continue
             if self._referenced[page]:

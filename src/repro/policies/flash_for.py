@@ -45,6 +45,12 @@ class FORPolicy(ReplacementPolicy):
         self._order: OrderedDict[int, None] = OrderedDict()  # recency tie-break
         self._read_freq: dict[int, float] = {}
         self._write_freq: dict[int, float] = {}
+        # Monotonic recency stamps (smaller = less recently used) replace
+        # the per-call position enumeration the ranking used to build: the
+        # stamps induce exactly the ``_order`` iteration order.
+        self._stamp: dict[int, int] = {}
+        self._tick = 0
+        self._cold_tick = 0
 
     # -- membership -------------------------------------------------------
 
@@ -54,6 +60,11 @@ class FORPolicy(ReplacementPolicy):
         self._order[page] = None
         if cold:
             self._order.move_to_end(page, last=False)
+            self._cold_tick -= 1
+            self._stamp[page] = self._cold_tick
+        else:
+            self._tick += 1
+            self._stamp[page] = self._tick
         self._read_freq[page] = 0.0 if cold else 1.0
         self._write_freq[page] = 0.0
 
@@ -63,11 +74,14 @@ class FORPolicy(ReplacementPolicy):
         del self._order[page]
         del self._read_freq[page]
         del self._write_freq[page]
+        del self._stamp[page]
 
     def on_access(self, page: int, is_write: bool = False) -> None:
         if page not in self._order:
             raise KeyError(f"page {page} not tracked")
         self._order.move_to_end(page)
+        self._tick += 1
+        self._stamp[page] = self._tick
         self._read_freq[page] *= self.decay
         self._write_freq[page] *= self.decay
         if is_write:
@@ -99,18 +113,26 @@ class FORPolicy(ReplacementPolicy):
         return retention
 
     def _ranked(self) -> list[int]:
-        recency = {page: index for index, page in enumerate(self._order)}
+        stamp = self._stamp
         return sorted(
             self._order,
-            key=lambda page: (self.weight(page), recency[page]),
+            key=lambda page: (self.weight(page), stamp[page]),
         )
 
     # -- decisions ---------------------------------------------------------
 
     def select_victim(self) -> int | None:
-        for page in self._ranked():
-            if not self._view.is_pinned(page):
-                return page
+        if not self._order:
+            return None
+        stamp = self._stamp
+        victim = min(
+            self._order, key=lambda page: (self.weight(page), stamp[page])
+        )
+        if not self._view.is_pinned(victim):
+            return victim
+        # Rare path: the overall minimum is pinned — walk the full order.
+        for page in self.eviction_order():
+            return page
         return None
 
     def eviction_order(self) -> Iterator[int]:

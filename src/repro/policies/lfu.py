@@ -9,9 +9,18 @@ Recency is tracked with a monotonic tick counter rather than list
 positions: every insert/access stamps the page with the next tick, and cold
 (prefetched) inserts take decreasing negative ticks so they rank before all
 current residents — the same total order an ordered list would give, with
-O(1) updates and no per-call position scan.  ``select_victim`` is a single
-min-scan; ``eviction_order`` lazily pops a heap, so ACE's ``next_dirty(n)``
-costs O(pool + consumed·log pool) instead of a full sort per call.
+O(1) updates and no per-call position scan.
+
+The order itself is kept in a *lazy min-heap*: each insert/access pushes
+the page's fresh ``(frequency, recency, page)`` stamp and leaves the old
+entry behind as garbage.  Recency ticks are unique and never reused, so an
+entry is live iff its recency matches the page's current stamp — stale
+entries are skipped on the way down, and the heap is compacted whenever
+the garbage outweighs the live entries.  ``select_victim`` prunes stale
+entries in place (it is the stateful call); the
+``peek``/``next_dirty``/``next_clean`` bulk reads pop a shallow copy of
+the maintained heap, so they stay pure while avoiding the reference
+path's per-call stamp-tuple rebuild.
 """
 
 from __future__ import annotations
@@ -37,6 +46,10 @@ class LFUPolicy(ReplacementPolicy):
         self._frequency: dict[int, int] = {}
         self._tick = 0
         self._cold_tick = 0
+        # Lazy min-heap of (frequency, recency, page) stamps.  Contains the
+        # current stamp of every tracked page plus stale garbage; an entry
+        # is live iff its recency equals the page's current stamp.
+        self._heap: list[tuple[int, int, int]] = []
 
     # -- membership -------------------------------------------------------
 
@@ -52,20 +65,25 @@ class LFUPolicy(ReplacementPolicy):
             self._tick += 1
             self._recency[page] = self._tick
         # Cold (prefetched) pages start at frequency 0: first to go.
-        self._frequency[page] = 0 if cold else 1
+        frequency = 0 if cold else 1
+        self._frequency[page] = frequency
+        self._push(frequency, self._recency[page], page)
 
     def remove(self, page: int) -> None:
         if page not in self._recency:
             raise KeyError(f"page {page} not tracked")
         del self._recency[page]
         del self._frequency[page]
+        # The heap entry goes stale and is skipped/compacted later.
 
     def on_access(self, page: int, is_write: bool = False) -> None:
         if page not in self._recency:
             raise KeyError(f"page {page} not tracked")
-        self._frequency[page] += 1
+        frequency = self._frequency[page] + 1
+        self._frequency[page] = frequency
         self._tick += 1
         self._recency[page] = self._tick
+        self._push(frequency, self._tick, page)
 
     def __contains__(self, page: int) -> bool:
         return page in self._recency
@@ -80,21 +98,63 @@ class LFUPolicy(ReplacementPolicy):
         """Access count of a tracked page (diagnostics/tests)."""
         return self._frequency[page]
 
+    # -- heap maintenance --------------------------------------------------
+
+    def _push(self, frequency: int, recency: int, page: int) -> None:
+        heap = self._heap
+        heapq.heappush(heap, (frequency, recency, page))
+        if len(heap) > 2 * len(self._recency) + 64:
+            self._compact()
+
+    def _compact(self) -> None:
+        frequency = self._frequency
+        recency = self._recency
+        self._heap = [
+            (frequency[page], stamp, page) for page, stamp in recency.items()
+        ]
+        heapq.heapify(self._heap)
+
+    def _pop_live(self, n: int, want) -> list[int]:
+        """Up to ``n`` live unpinned pages satisfying ``want``, heap order.
+
+        Pops a shallow *copy* of the maintained heap (a copy of a heap is
+        still a heap), skipping stale entries on the way down.  The
+        maintained heap itself is untouched, so the bulk reads inherit
+        ``eviction_order()``'s purity; the copy is a pointer memcpy,
+        cheaper than rebuilding the stamp tuples per call as the reference
+        does.
+        """
+        selected: list[int] = []
+        if n == 0:
+            return selected
+        heap = self._heap.copy()
+        recency = self._recency
+        is_pinned = self._view.is_pinned
+        pop = heapq.heappop
+        while heap and len(selected) < n:
+            _, stamp, page = pop(heap)
+            if recency.get(page) != stamp:
+                continue
+            if not is_pinned(page) and (want is None or want(page)):
+                selected.append(page)
+        return selected
+
     # -- decisions ---------------------------------------------------------
 
     def select_victim(self) -> int | None:
-        if not self._recency:
-            return None
-        frequency = self._frequency
+        heap = self._heap
         recency = self._recency
-        victim = min(
-            recency, key=lambda page: (frequency[page], recency[page])
-        )
-        if not self._view.is_pinned(victim):
-            return victim
-        # Rare path: the overall minimum is pinned — walk the full order.
-        for page in self.eviction_order():
-            return page
+        while heap:
+            entry = heap[0]
+            if recency.get(entry[2]) != entry[1]:
+                heapq.heappop(heap)
+                continue
+            if not self._view.is_pinned(entry[2]):
+                return entry[2]
+            # Rare path: the overall minimum is pinned — walk the order.
+            for page in self.eviction_order():
+                return page
+            return None
         return None
 
     def eviction_order(self) -> Iterator[int]:
@@ -110,3 +170,26 @@ class LFUPolicy(ReplacementPolicy):
             _, _, page = pop(heap)
             if not is_pinned(page):
                 yield page
+
+    # -- maintained fast paths ---------------------------------------------
+    #
+    # The heap is maintained regardless of view notifications (membership
+    # and stamps are policy-internal), so these paths are always on; pin
+    # and dirty state are read through the view per live entry, exactly as
+    # the reference does.
+
+    def peek(self, n: int) -> list[int]:
+        if n < 0:
+            raise ValueError(f"n must be non-negative: {n}")
+        return self._pop_live(n, None)
+
+    def next_dirty(self, n: int) -> list[int]:
+        if n < 0:
+            raise ValueError(f"n must be non-negative: {n}")
+        return self._pop_live(n, self._view.is_dirty)
+
+    def next_clean(self, n: int) -> list[int]:
+        if n < 0:
+            raise ValueError(f"n must be non-negative: {n}")
+        is_dirty = self._view.is_dirty
+        return self._pop_live(n, lambda page: not is_dirty(page))

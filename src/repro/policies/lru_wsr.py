@@ -9,6 +9,13 @@ eviction time:
 * a dirty candidate with the cold flag **clear** gets a second chance: the
   flag is set and the page moves to the most-recently-used position, and
   the search continues down the LRU order.
+
+Under a notifying view the inherited ``_dirty_order`` sub-order makes both
+decisions cheap: ``select_victim`` probes candidates with dict lookups
+instead of per-page view calls, and ``next_dirty(n)`` is two passes over
+the dirty sub-order (cold dirty pages first — they are evicted where they
+stand — then the not-cold ones in the order they would be deferred to the
+MRU end).
 """
 
 from __future__ import annotations
@@ -24,6 +31,10 @@ class LRUWSRPolicy(LRUPolicy):
     """LRU-WSR: second chance for hot dirty pages via a cold flag."""
 
     name = "lru_wsr"
+
+    # select_victim probes dirty state via the sub-order, so tracking must
+    # be live from the first eviction, not lazily from the first bulk read.
+    _EAGER_DIRTY_TRACKING = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -52,9 +63,28 @@ class LRUWSRPolicy(LRUPolicy):
 
     # -- decisions ---------------------------------------------------------
 
+    def _defer(self, candidate: int) -> None:
+        """Second chance: set the cold flag, rotate to the MRU position."""
+        self._cold[candidate] = True
+        self._order.move_to_end(candidate)
+        if candidate in self._dirty_order:
+            self._dirty_order.move_to_end(candidate)
+
     def select_victim(self) -> int | None:
         # At most one full pass can defer pages; after that every dirty page
         # has its cold flag set and the next candidate wins.
+        if self._notified and not self._pinned_pages:
+            order = self._order
+            dirty = self._dirty_order
+            cold = self._cold
+            for _ in range(2 * len(order) + 1):
+                candidate = next(iter(order), None)
+                if candidate is None:
+                    return None
+                if candidate not in dirty or cold[candidate]:
+                    return candidate
+                self._defer(candidate)
+            return None
         for _ in range(2 * len(self._order) + 1):
             candidate = None
             for page in self._order:
@@ -68,8 +98,7 @@ class LRUWSRPolicy(LRUPolicy):
             if self._cold[candidate]:
                 return candidate
             # Dirty and not cold: second chance.
-            self._cold[candidate] = True
-            self._order.move_to_end(candidate)
+            self._defer(candidate)
         return None
 
     def eviction_order(self) -> Iterator[int]:
@@ -89,3 +118,56 @@ class LRUWSRPolicy(LRUPolicy):
             else:
                 deferred.append(page)
         yield from deferred
+
+    # -- maintained fast paths ---------------------------------------------
+    #
+    # next_clean is inherited from LRUPolicy: the deferred pages are all
+    # dirty, so the clean subsequence of the virtual order is exactly the
+    # clean pages in LRU order.
+
+    def peek(self, n: int) -> list[int]:
+        if not (self._notified and not self._pinned_pages):
+            return self._reference_peek(n)
+        if n < 0:
+            raise ValueError(f"n must be non-negative: {n}")
+        selected: list[int] = []
+        if n == 0:
+            return selected
+        dirty = self._dirty_order
+        cold = self._cold
+        deferred: list[int] = []
+        for page in self._order:
+            if page in dirty and not cold[page]:
+                if len(deferred) < n:
+                    deferred.append(page)
+            else:
+                selected.append(page)
+                if len(selected) == n:
+                    return selected
+        for page in deferred:
+            selected.append(page)
+            if len(selected) == n:
+                break
+        return selected
+
+    def next_dirty(self, n: int) -> list[int]:
+        if not (self._notified and not self._pinned_pages):
+            return self._reference_next_dirty(n)
+        if n < 0:
+            raise ValueError(f"n must be non-negative: {n}")
+        selected: list[int] = []
+        if n == 0:
+            return selected
+        cold = self._cold
+        dirty = self._dirty_order
+        for page in dirty:
+            if cold[page]:
+                selected.append(page)
+                if len(selected) == n:
+                    return selected
+        for page in dirty:
+            if not cold[page]:
+                selected.append(page)
+                if len(selected) == n:
+                    break
+        return selected

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Iterator
+from itertools import islice
 
 from repro.policies.base import ReplacementPolicy
 
@@ -110,6 +111,13 @@ class TwoQPolicy(ReplacementPolicy):
         return len(self._a1in) > self.kin
 
     def select_victim(self) -> int | None:
+        if self._notified and not self._pinned_pages:
+            if self._a1in_over_target():
+                return next(iter(self._a1in))
+            if self._am:
+                return next(iter(self._am))
+            # Fall back to A1in even under target if Am is empty.
+            return next(iter(self._a1in), None)
         if self._a1in_over_target():
             for page in self._a1in:
                 if not self._view.is_pinned(page):
@@ -124,9 +132,14 @@ class TwoQPolicy(ReplacementPolicy):
         return None
 
     def eviction_order(self) -> Iterator[int]:
-        a1in = [p for p in self._a1in if not self._view.is_pinned(p)]
-        am = [p for p in self._am if not self._view.is_pinned(p)]
-        overflow = max(0, len(self._a1in) - self.kin)
-        yield from a1in[:overflow]
-        yield from am
-        yield from a1in[overflow:]
+        # Lazy: the A1in overflow (counted on the raw queue length, as in
+        # select_victim) is sliced off a shared unpinned iterator that the
+        # tail then resumes, so consumers pay O(consumed), not a full
+        # materialisation of both queues per call.
+        is_pinned = self._view.is_pinned
+        overflow = len(self._a1in) - self.kin
+        a1in_iter = (p for p in self._a1in if not is_pinned(p))
+        if overflow > 0:
+            yield from islice(a1in_iter, overflow)
+        yield from (p for p in self._am if not is_pinned(p))
+        yield from a1in_iter

@@ -95,6 +95,36 @@ class TestCheckGate:
     def test_check_without_file_is_distinct_error(self, bench_file):
         assert perf.main(["--check"]) == 2
 
+    def test_policy_floors_skip_unrecorded_stacks(self, bench_file):
+        # The tiny entry records only lru/baseline: every other floored
+        # stack must be skipped rather than measured against nothing.
+        report = perf.write_entry(_tiny_entry())
+        results = perf.check_policy_floors(report, fast=True)
+        assert [r["stack"] for r in results] == ["lru/baseline"]
+        assert results[0]["committed"] > 0
+        assert results[0]["measured"] > 0
+
+    def test_policy_floors_flag_regressions(self, bench_file):
+        entry = _tiny_entry()
+        entry["single_stack"]["lru/baseline"]["accesses_per_sec"] = 1e15
+        report = perf.write_entry(entry)
+        results = perf.check_policy_floors(
+            report, floors={"lru/baseline": 0.9}, fast=True
+        )
+        assert len(results) == 1
+        assert not results[0]["ok"]
+
+    def test_check_gates_on_policy_floors(self, bench_file):
+        # Headline passes (committed headline is honest) but the recorded
+        # per-stack rate is impossible, so the per-policy gate must fail.
+        entry = _tiny_entry()
+        entry["single_stack"]["lru/baseline"]["accesses_per_sec"] = 1e15
+        perf.write_entry(entry)
+        assert perf.main(["--check", "--min-ratio", "0.001"]) == 1
+        assert perf.main(
+            ["--check", "--min-ratio", "0.001", "--no-policy-floors"]
+        ) == 0
+
     def test_check_against_prefers_same_mode_history(self, bench_file):
         fast_entry = _tiny_entry("fast")
         slow_entry = _tiny_entry("slow")
@@ -109,3 +139,41 @@ class TestCheckGate:
         # (impossible) full-size current entry.
         assert committed == fast_entry["headline_accesses_per_sec"]
         assert ok
+
+
+class TestProfiling:
+    def test_run_profiled_dumps_and_returns(self, tmp_path, capsys):
+        from repro.bench.profiling import run_profiled
+
+        out = tmp_path / "run.pstats"
+        result = run_profiled(lambda: sum(range(1000)), str(out), top=5)
+        assert result == sum(range(1000))
+        assert out.exists() and out.stat().st_size > 0
+        printed = capsys.readouterr().out
+        assert "profile written to" in printed
+        assert "cumulative" in printed
+
+    def test_run_profiled_dumps_on_failure(self, tmp_path, capsys):
+        from repro.bench.profiling import run_profiled
+
+        out = tmp_path / "boom.pstats"
+        with pytest.raises(RuntimeError):
+            run_profiled(
+                lambda: (_ for _ in ()).throw(RuntimeError("boom")),
+                str(out),
+            )
+        assert out.exists() and out.stat().st_size > 0
+
+    def test_cli_run_profile_flag(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        out = tmp_path / "cli.pstats"
+        code = cli_main([
+            "run", "--pages", "300", "--ops", "400",
+            "--policy", "lru", "--variant", "baseline",
+            "--profile", str(out),
+        ])
+        assert code == 0
+        assert out.exists() and out.stat().st_size > 0
+        printed = capsys.readouterr().out
+        assert "profile written to" in printed

@@ -40,9 +40,13 @@ from repro.bufferpool import (
 )
 from repro.core import ACEBufferPoolManager, ACEConfig, AdaptiveACEBufferPoolManager
 from repro.engine import (
+    BreakerConfig,
     Database,
     ExecutionOptions,
     RunMetrics,
+    ServingConfig,
+    ServingLayer,
+    ServingMetrics,
     run_trace,
     run_transactions,
     speedup,
@@ -183,6 +187,11 @@ __all__ = [
     "interleave_traces",
     "interleave_transactions",
     "LatencyRecorder",
+    # serving
+    "ServingConfig",
+    "ServingLayer",
+    "ServingMetrics",
+    "BreakerConfig",
     # analysis
     "ideal_speedup",
     "lru_hit_ratio",

@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (R001-R005).
+"""The repo-specific lint rules (R001-R006).
 
 Each rule encodes a contract the simulator depends on but no generic tool
 checks:
@@ -42,6 +42,14 @@ R005 *io-fault-handling*
     surface.  Handlers catching fault(-compatible) exceptions around device
     I/O must re-raise or visibly route through the retry/degradation
     machinery.  Escape hatch: ``# lint: allow-io-swallow``.
+
+R006 *serving-virtual-time*
+    ``repro.engine.serving`` admission deadlines, requeue backoffs, and
+    breaker cooldowns are virtual-clock quantities; a wall-clock deadline
+    would make shed/expire decisions host-dependent and break replay.
+    Stricter than R001's call denylist: the package must not import or
+    touch the ``time``/``datetime`` modules at all (``time.sleep``
+    included).  Escape hatch: ``# lint: allow-wall-clock``.
 """
 
 from __future__ import annotations
@@ -57,6 +65,7 @@ __all__ = [
     "EncapsulationRule",
     "IORetryRule",
     "PicklabilityRule",
+    "ServingVirtualTimeRule",
     "VirtualOrderPurityRule",
 ]
 
@@ -570,6 +579,65 @@ class IORetryRule(LintRule):
         return False
 
 
+class ServingVirtualTimeRule(LintRule):
+    """R006: ``repro.engine.serving`` must be entirely wall-clock-free."""
+
+    code = "R006"
+    name = "serving-virtual-time"
+    description = (
+        "repro.engine.serving deadlines, backoffs, and breaker cooldowns "
+        "are virtual-clock microseconds; the package must not import or "
+        "use the time/datetime modules at all (time.sleep included) — "
+        "escape hatch: `# lint: allow-wall-clock`"
+    )
+    suppression = "allow-wall-clock"
+
+    packages = ("repro.engine.serving",)
+    _modules = frozenset({"time", "datetime"})
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not module.in_package(*self.packages):
+            return
+        imports = _ImportTable(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._modules and not self.allowed(module, node):
+                        yield self.violation(
+                            module, node,
+                            f"import {alias.name} in repro.engine.serving; "
+                            "deadlines and cooldowns are virtual-clock "
+                            "microseconds, never wall-clock values",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (
+                    node.module
+                    and not node.level
+                    and node.module.split(".")[0] in self._modules
+                    and not self.allowed(module, node)
+                ):
+                    yield self.violation(
+                        module, node,
+                        f"from {node.module} import in repro.engine.serving; "
+                        "deadlines and cooldowns are virtual-clock "
+                        "microseconds, never wall-clock values",
+                    )
+            elif isinstance(node, ast.Call):
+                target = imports.resolve(node.func)
+                if (
+                    target is not None
+                    and target.split(".")[0] in self._modules
+                    and not self.allowed(module, node)
+                ):
+                    yield self.violation(
+                        module, node,
+                        f"{target}() call in repro.engine.serving; charge "
+                        "waits to the virtual clock instead of sleeping or "
+                        "reading host time",
+                    )
+
+
 #: The rule set ``python -m repro lint`` runs.
 DEFAULT_RULES: tuple[LintRule, ...] = (
     DeterminismRule(),
@@ -577,4 +645,5 @@ DEFAULT_RULES: tuple[LintRule, ...] = (
     VirtualOrderPurityRule(),
     PicklabilityRule(),
     IORetryRule(),
+    ServingVirtualTimeRule(),
 )

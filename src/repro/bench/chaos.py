@@ -25,6 +25,7 @@ from repro.bufferpool.background import BackgroundWriter, Checkpointer
 from repro.bufferpool.recovery import recover, simulate_crash
 from repro.core.ace import ACEBufferPoolManager
 from repro.engine.executor import ExecutionOptions, run_trace
+from repro.engine.serving import ServingConfig, ServingLayer
 from repro.errors import ReproError
 from repro.faults import FaultPlan, RetryPolicy
 from repro.storage.profiles import PCIE_SSD, DeviceProfile
@@ -70,6 +71,11 @@ class ChaosCellResult:
     #: client-visible read); the cell then failed for a non-durability
     #: reason and is reported as such.
     error: str | None = None
+    #: Serving-layer counters (zero when the cell ran without a serving
+    #: layer in front of the executor).
+    shed: int = 0
+    expired: int = 0
+    requeued: int = 0
 
     @property
     def ok(self) -> bool:
@@ -115,6 +121,7 @@ def run_cell(
     commit_every: int = 64,
     crash_fraction: float = 2 / 3,
     retry: RetryPolicy | None = None,
+    serving: ServingConfig | None = None,
 ) -> ChaosCellResult:
     """Run one crash-and-recover cell and audit committed durability.
 
@@ -125,6 +132,15 @@ def run_cell(
     payload against the version it had at the last commit point.  Page
     payloads are monotone version counters, so an update is *lost* exactly
     when a page's durable version is below its committed version.
+
+    With ``serving`` set, the prefix runs through the admission layer
+    instead: under open-loop overload some writes are shed or expired and
+    never execute, so the trace prefix no longer describes the committed
+    work.  The ledger then comes from the serving layer's own
+    ``committed_versions`` snapshot — per-page completed-write versions
+    captured at the last WAL flush — and the audit answers the question
+    the satellite asks: shedding must only ever drop *unadmitted* work,
+    never work a commit point already covered.
     """
     if retry is None:
         retry = RetryPolicy()
@@ -151,14 +167,21 @@ def run_cell(
     prefix = trace.slice(0, crash_at)
 
     # The durability ledger: page -> version at the last commit point.
-    # Every write increments its page's version counter by one, so the
-    # committed version is simply each page's write count over the ops
-    # preceding the last commit boundary before the crash.
-    boundary = (crash_at // commit_every) * commit_every
+    # Every executed write increments its page's version counter by one.
+    # Without a serving layer every trace write executes, so the committed
+    # version is each page's write count over the ops preceding the last
+    # commit boundary before the crash.  With a serving layer the ledger
+    # is instead snapshotted by the layer itself at each WAL flush (the
+    # trace prefix no longer describes the executed work once requests
+    # shed or expire); it is read back after the run below.
     committed: dict[int, int] = {}
-    for page, is_write in zip(prefix.pages[:boundary], prefix.writes[:boundary]):
-        if is_write:
-            committed[page] = committed.get(page, 0) + 1
+    if serving is None:
+        boundary = (crash_at // commit_every) * commit_every
+        for page, is_write in zip(
+            prefix.pages[:boundary], prefix.writes[:boundary]
+        ):
+            if is_write:
+                committed[page] = committed.get(page, 0) + 1
 
     if isinstance(manager, ACEBufferPoolManager):
         batch_size = manager.config.n_w
@@ -169,6 +192,10 @@ def run_cell(
     checkpointer = Checkpointer(manager, interval_us=options.checkpoint_interval_us,
                                 batch_size=batch_size)
 
+    # A prebuilt layer (rather than passing the config through run_trace)
+    # keeps its metrics — and with them the committed-version ledger —
+    # reachable even when the run dies mid-way.
+    layer = ServingLayer(manager, serving) if serving is not None else None
     metrics = None
     error: str | None = None
     try:
@@ -176,12 +203,17 @@ def run_cell(
             manager, prefix, options=options,
             bg_writer=bg_writer, checkpointer=checkpointer,
             label=f"chaos/{policy}/{variant}@{rate:g}",
+            serving=layer,
         )
     except ReproError as exc:
         # The workload itself died (e.g. a client-visible read exhausted
         # its retries).  That is a legitimate harness outcome to report —
         # the durability audit below still runs on whatever committed.
         error = f"{type(exc).__name__}: {exc}"
+
+    serving_metrics = layer.metrics if layer is not None else None
+    if serving_metrics is not None:
+        committed = dict(serving_metrics.committed_versions)
 
     buffer_stats = manager.stats
     device_stats = manager.device.stats
@@ -210,6 +242,9 @@ def run_cell(
         redo_applied=report.redo_applied,
         redo_retries=report.redo_retries,
         error=error,
+        shed=serving_metrics.shed if serving_metrics is not None else 0,
+        expired=serving_metrics.expired if serving_metrics is not None else 0,
+        requeued=serving_metrics.requeued if serving_metrics is not None else 0,
     )
 
 
@@ -222,6 +257,7 @@ def run_chaos(
     ops: int = 6_000,
     seed: int = 7,
     commit_every: int = 64,
+    serving: ServingConfig | None = None,
 ) -> ChaosReport:
     """Sweep the full grid; every cell runs independently and to completion."""
     cells = []
@@ -231,7 +267,7 @@ def run_chaos(
                 cells.append(run_cell(
                     policy, variant, rate,
                     profile=profile, num_pages=num_pages, ops=ops,
-                    seed=seed, commit_every=commit_every,
+                    seed=seed, commit_every=commit_every, serving=serving,
                 ))
     return ChaosReport(cells=tuple(cells), seed=seed)
 

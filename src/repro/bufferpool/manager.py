@@ -217,6 +217,19 @@ class BufferPoolManager:
         """Whether ``page`` is currently resident."""
         return page in self._frame_of
 
+    @property
+    def pool_pressure(self) -> float:
+        """Fraction of the pool that cannot be freed cheaply right now.
+
+        Pinned pages cannot be evicted at all and dirty pages need a device
+        write-back first, so ``|pinned ∪ dirty| / capacity`` approaches 1.0
+        just before misses start stalling on write-backs or the pool
+        exhausts outright.  The serving layer's admission gate sheds new
+        requests on this signal (see ``ServingConfig.pressure_threshold``).
+        """
+        pressured = len(self._pinned_set) + len(self._dirty_set - self._pinned_set)
+        return pressured / self.capacity
+
     def resident_pages(self) -> list[int]:
         return self.table.pages()
 
@@ -280,12 +293,7 @@ class BufferPoolManager:
         if not self.pool.has_free():
             victim = self.policy.select_victim()
             if victim is None:
-                raise PoolExhaustedError(
-                    "all pages are pinned",
-                    page=page,
-                    capacity=self.capacity,
-                    pinned=len(self._pinned_set),
-                )
+                raise self._pool_exhausted(page)
             if victim in self._dirty_set:
                 # The classic exchange: one write-back for one read.
                 self.stats.dirty_evictions += 1
@@ -298,6 +306,27 @@ class BufferPoolManager:
         return self._load(page)
 
     # ----------------------------------------------------------- internals
+
+    def _pool_exhausted(
+        self, page: int, candidates_examined: int | None = None
+    ) -> PoolExhaustedError:
+        """Build the uniform :class:`PoolExhaustedError` payload.
+
+        Both raise sites (the baseline miss path here and ACE's Evictor
+        miss path) funnel through this helper so shed/requeue logic in the
+        serving layer sees one shape.  ``candidates_examined`` defaults to
+        the resident-page count: a ``None`` victim means the policy walked
+        every resident candidate and found all of them pinned.
+        """
+        if candidates_examined is None:
+            candidates_examined = len(self._frame_of)
+        return PoolExhaustedError(
+            "all pages are pinned",
+            page=page,
+            capacity=self.capacity,
+            pinned=len(self._pinned_set),
+            candidates_examined=candidates_examined,
+        )
 
     def _descriptor_of(self, page: int):
         frame_id = self._frame_of.get(page)

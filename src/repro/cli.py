@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro lint src                       # repo-specific AST lint
     python -m repro check                          # invariant-sanitized smoke run
     python -m repro chaos                          # fault-injection durability sweep
+    python -m repro overload                       # saturation sweep + breaker A/B
 
 Every command prints a small report and exits 0 on success; the heavy
 lifting lives in :mod:`repro.bench`.
@@ -150,7 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument("--output", default="EXPERIMENTS.md")
 
     lint = sub.add_parser(
-        "lint", help="run the repo-specific AST lint rules (R001-R005)"
+        "lint", help="run the repo-specific AST lint rules (R001-R006)"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
@@ -187,6 +188,21 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--smoke", action="store_true",
                        help="small fixed grid for CI (overrides the sweep "
                             "options above)")
+
+    overload = sub.add_parser(
+        "overload",
+        help="saturation sweep: goodput vs offered load per shed policy, "
+             "plus the circuit-breaker latency A/B; fails on a goodput "
+             "cliff or a breaker regression",
+    )
+    overload.add_argument("--policies", default="lru",
+                          help="comma-separated replacement policies")
+    overload.add_argument("--ops", type=int, default=6000,
+                          help="requests in the sweep trace")
+    overload.add_argument("--seed", type=int, default=7)
+    overload.add_argument("--smoke", action="store_true",
+                          help="small fixed grid for CI (one policy, "
+                               "3 multipliers)")
 
     return parser
 
@@ -460,6 +476,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    """Overload sweep + breaker A/B; exit 1 on a cliff or breaker loss."""
+    from repro.bench.overload import format_report, run_overload, smoke_grid
+
+    if args.smoke:
+        report = smoke_grid(seed=args.seed)
+    else:
+        policies = tuple(
+            name.strip() for name in args.policies.split(",") if name.strip()
+        )
+        report = run_overload(policies=policies, ops=args.ops, seed=args.seed)
+    print(format_report(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_summary(args: argparse.Namespace) -> int:
     from repro.bench.summary import assemble_experiments_md
 
@@ -478,6 +509,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "check": _cmd_check,
     "chaos": _cmd_chaos,
+    "overload": _cmd_overload,
 }
 
 

@@ -27,7 +27,7 @@ from repro.core.config import ACEConfig
 from repro.core.evictor import Evictor
 from repro.core.reader import Reader
 from repro.core.writer import Writer
-from repro.errors import PoolExhaustedError, RetriesExhaustedError
+from repro.errors import RetriesExhaustedError
 from repro.faults.retry import RetryPolicy
 from repro.policies.base import ReplacementPolicy
 from repro.prefetch.base import Prefetcher
@@ -87,6 +87,43 @@ class ACEBufferPoolManager(BufferPoolManager):
             # Per-access prefetcher training hook, consumed by the base
             # manager's request fast path.
             self._observer = self.reader.prefetcher.observe
+        #: (n_w, n_e) to restore when degraded batching ends; ``None`` while
+        #: running at full batch sizes.
+        self._degraded_batching: tuple[int, int] | None = None
+
+    # ------------------------------------------------- degraded batching
+
+    @property
+    def batching_degraded(self) -> bool:
+        """Whether a circuit breaker currently holds the batches shrunk."""
+        return self._degraded_batching is not None
+
+    def enter_degraded_batching(self, n_w: int = 1, n_e: int | None = None) -> None:
+        """Temporarily shrink the write-back/eviction batch sizes.
+
+        Called by the serving layer's circuit breaker when device latency
+        spikes push tail latency past its threshold: a full ``n_w``-page
+        batch stalls the triggering request (and everything queued behind
+        it) for the whole batch, so under pressure smaller batches trade
+        amortisation for tail latency.  Idempotent; the original sizes are
+        captured on first entry and restored by
+        :meth:`exit_degraded_batching`.
+        """
+        if n_w < 1:
+            raise ValueError(f"degraded n_w must be positive: {n_w}")
+        if self._degraded_batching is None:
+            self._degraded_batching = (self.writer.n_w, self.evictor.n_e)
+        full_n_w, full_n_e = self._degraded_batching
+        self.writer.n_w = min(n_w, full_n_w)
+        self.evictor.n_e = min(n_e if n_e is not None else n_w, full_n_e)
+        self.evictor.n_e = max(1, self.evictor.n_e)
+
+    def exit_degraded_batching(self) -> None:
+        """Restore the full batch sizes captured at degradation entry."""
+        if self._degraded_batching is None:
+            return
+        self.writer.n_w, self.evictor.n_e = self._degraded_batching
+        self._degraded_batching = None
 
     @property
     def variant(self) -> str:  # type: ignore[override]
@@ -112,12 +149,7 @@ class ACEBufferPoolManager(BufferPoolManager):
 
         victim = self.policy.select_victim()
         if victim is None:
-            raise PoolExhaustedError(
-                "all pages are pinned",
-                page=page,
-                capacity=self.capacity,
-                pinned=len(self._pinned_set),
-            )
+            raise self._pool_exhausted(page)
 
         dirty_set = self._dirty_set
         if victim not in dirty_set:
@@ -188,11 +220,13 @@ class ACEBufferPoolManager(BufferPoolManager):
 
         The paper augments PostgreSQL's checkpointer and background writer
         to "always perform n_w writes concurrently"; the ACE manager's own
-        flush does the same.
+        flush does the same.  It reads the Writer's *live* batch size so a
+        breaker-degraded manager also checkpoints with small batches.
         """
         dirty = self.dirty_pages()
-        for start in range(0, len(dirty), self.config.n_w):
-            self._write_back(dirty[start : start + self.config.n_w])
+        n_w = self.writer.n_w
+        for start in range(0, len(dirty), n_w):
+            self._write_back(dirty[start : start + n_w])
         if self.wal is not None and not self._dirty_set:
             # Same rule as the base manager: no checkpoint record while
             # degraded write-backs have left pages dirty.

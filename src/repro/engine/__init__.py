@@ -5,6 +5,13 @@ from repro.engine.executor import ExecutionOptions, run_trace, run_transactions
 from repro.engine.latency import LatencyRecorder
 from repro.engine.metrics import RunMetrics, percent_delta, speedup
 from repro.engine.multiclient import interleave_traces, interleave_transactions
+from repro.engine.serving import (
+    BreakerConfig,
+    CircuitBreaker,
+    ServingConfig,
+    ServingLayer,
+    ServingMetrics,
+)
 
 __all__ = [
     "Database",
@@ -19,4 +26,9 @@ __all__ = [
     "interleave_traces",
     "interleave_transactions",
     "LatencyRecorder",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "ServingConfig",
+    "ServingLayer",
+    "ServingMetrics",
 ]

@@ -69,6 +69,7 @@ def run_trace(
     label: str | None = None,
     latencies: LatencyRecorder | None = None,
     warmup_ops: int = 0,
+    serving=None,
 ) -> RunMetrics:
     """Replay ``trace`` against ``manager`` and collect metrics.
 
@@ -78,6 +79,14 @@ def run_trace(
     ``warmup_ops`` replays that many leading requests before measurement
     starts (the pool fills, stats and clock baselines reset afterwards),
     for steady-state methodology.
+
+    ``serving`` enables the overload-resilient admission layer: pass a
+    :class:`~repro.engine.serving.ServingConfig` (or a prebuilt
+    :class:`~repro.engine.serving.ServingLayer` bound to ``manager``) and
+    the trace is served through a bounded admission queue with deadlines,
+    load shedding, requeue backoff, and an optional circuit breaker; the
+    returned metrics carry a ``serving`` field.  ``None`` (the default)
+    keeps the historical direct-replay path, at zero overhead.
     """
     if options is None:
         options = ExecutionOptions()
@@ -96,6 +105,24 @@ def run_trace(
         # the measured window, matching the buffer-stats reset above.
         manager.device.reset_stats()
         trace = trace.slice(warmup_ops, len(trace))
+    if serving is not None:
+        from repro.engine.serving.layer import ServingLayer
+
+        layer = (
+            serving
+            if isinstance(serving, ServingLayer)
+            else ServingLayer(manager, serving)
+        )
+        if layer.manager is not manager:
+            raise ValueError("serving layer is bound to a different manager")
+        return layer.serve_trace(
+            trace,
+            options=options,
+            bg_writer=bg_writer,
+            checkpointer=checkpointer,
+            label=label,
+            latencies=latencies,
+        )
     clock = manager.device.clock
     start_us = clock.now_us
     start_reads = manager.device.stats.read_time_us
@@ -170,15 +197,38 @@ def run_transactions(
     bg_writer: BackgroundWriter | None = None,
     checkpointer: Checkpointer | None = None,
     label: str = "transactions",
+    serving=None,
 ) -> RunMetrics:
     """Run a (type, requests) transaction stream; tracks tpmC.
 
     Transactions execute back to back on the virtual clock (the paper's
     gains are I/O-path effects, so a single-stream model preserves relative
     behaviour; see DESIGN.md).
+
+    ``serving`` (a :class:`~repro.engine.serving.ServingConfig` or bound
+    :class:`~repro.engine.serving.ServingLayer`) routes the stream through
+    the admission layer with whole transactions as the admission unit; see
+    :meth:`ServingLayer.serve_transactions`.
     """
     if options is None:
         options = ExecutionOptions()
+    if serving is not None:
+        from repro.engine.serving.layer import ServingLayer
+
+        layer = (
+            serving
+            if isinstance(serving, ServingLayer)
+            else ServingLayer(manager, serving)
+        )
+        if layer.manager is not manager:
+            raise ValueError("serving layer is bound to a different manager")
+        return layer.serve_transactions(
+            transactions,
+            options=options,
+            bg_writer=bg_writer,
+            checkpointer=checkpointer,
+            label=label,
+        )
     clock = manager.device.clock
     start_us = clock.now_us
     start_reads = manager.device.stats.read_time_us

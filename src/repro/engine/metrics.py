@@ -11,10 +11,14 @@ time, plus the comparison helpers the figures need (speedup, deltas).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.bufferpool.stats import BufferStats
 from repro.storage.device import DeviceStats
 from repro.storage.ftl import FtlCounters
+
+if TYPE_CHECKING:  # deferred to break the metrics <-> serving import cycle
+    from repro.engine.serving.metrics import ServingMetrics
 
 __all__ = ["RunMetrics", "speedup", "percent_delta"]
 
@@ -34,6 +38,9 @@ class RunMetrics:
     wal_pages_written: int = 0
     io_time_us: float = 0.0
     cpu_time_us: float = 0.0
+    #: Serving-layer accounting; ``None`` for runs without admission
+    #: control (the historical default).
+    serving: "ServingMetrics | None" = None
 
     # ----------------------------------------------------------- derived
 

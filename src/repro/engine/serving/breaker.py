@@ -1,0 +1,119 @@
+"""Latency-triggered circuit breaker over ACE's batch sizes.
+
+State machine (all transitions on the virtual clock, all deterministic)::
+
+    CLOSED ──p99 > threshold──> OPEN (batches degraded)
+    OPEN ──cooldown elapsed──> HALF_OPEN (full batches, on probation)
+    HALF_OPEN ──`probation` clean evals──> CLOSED
+    HALF_OPEN ──p99 > threshold──> OPEN (re-trip)
+
+Rationale: an ACE write-back batch of ``n_w`` pages stalls the request
+that triggered it — and, through head-of-line blocking, everything queued
+behind it — for the whole batch.  When injected latency spikes (or a
+device whose concurrency collapsed) push tail latency past the threshold,
+trading batch amortisation for shorter stalls lowers p99; once pressure
+clears, full batching returns.  Managers without the degraded-batching
+hooks (the baseline) still get breaker *bookkeeping* (trip/restore ticks),
+just no actuation.
+
+The latency window is cleared at every transition so each state is judged
+only on samples gathered while it was active.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.engine.serving.config import BreakerConfig
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Rolling-p99 breaker actuating ``enter/exit_degraded_batching``."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, config: BreakerConfig, manager: object) -> None:
+        self.config = config
+        self.state = self.CLOSED
+        self._enter_degraded = getattr(manager, "enter_degraded_batching", None)
+        self._exit_degraded = getattr(manager, "exit_degraded_batching", None)
+        self._window: deque[float] = deque(maxlen=config.window)
+        self._since_eval = 0
+        self._opened_at_us = 0.0
+        self._probation_left = 0
+        #: Event ticks as ``(virtual_time_us, completed_count)``.
+        self.trips: list[tuple[float, int]] = []
+        self.restores: list[tuple[float, int]] = []
+        self.recoveries: list[tuple[float, int]] = []
+
+    @property
+    def actuates(self) -> bool:
+        """Whether the manager exposes the degraded-batching hooks."""
+        return self._enter_degraded is not None
+
+    def observe(self, latency_us: float, now_us: float, completed: int) -> None:
+        """Feed one completed request's latency and advance the machine."""
+        config = self.config
+        if self.state == self.OPEN:
+            if now_us - self._opened_at_us >= config.cooldown_us:
+                self._restore(now_us, completed)
+            return
+        self._window.append(latency_us)
+        self._since_eval += 1
+        if (
+            self._since_eval < config.eval_every
+            or len(self._window) < config.min_samples
+        ):
+            return
+        self._since_eval = 0
+        if self._window_p99() > config.p99_threshold_us:
+            self._trip(now_us, completed)
+        elif self.state == self.HALF_OPEN:
+            self._probation_left -= 1
+            if self._probation_left <= 0:
+                self._close(now_us, completed)
+
+    def finish(self) -> None:
+        """End of run: leave the manager at full batch sizes."""
+        if self._exit_degraded is not None:
+            self._exit_degraded()
+
+    # --------------------------------------------------------- transitions
+
+    def _trip(self, now_us: float, completed: int) -> None:
+        self.state = self.OPEN
+        self._opened_at_us = now_us
+        self.trips.append((now_us, completed))
+        self._window.clear()
+        self._since_eval = 0
+        if self._enter_degraded is not None:
+            self._enter_degraded(
+                self.config.degraded_n_w, self.config.degraded_n_e
+            )
+
+    def _restore(self, now_us: float, completed: int) -> None:
+        self.state = self.HALF_OPEN
+        self._probation_left = self.config.probation
+        self.restores.append((now_us, completed))
+        self._window.clear()
+        self._since_eval = 0
+        if self._exit_degraded is not None:
+            self._exit_degraded()
+
+    def _close(self, now_us: float, completed: int) -> None:
+        self.state = self.CLOSED
+        self.recoveries.append((now_us, completed))
+        self._window.clear()
+        self._since_eval = 0
+
+    # ----------------------------------------------------------- internals
+
+    def _window_p99(self) -> float:
+        ordered = sorted(self._window)
+        rank = math.ceil(0.99 * len(ordered))
+        return ordered[max(0, rank - 1)]

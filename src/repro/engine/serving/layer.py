@@ -1,0 +1,479 @@
+"""The serving layer: deterministic request admission in front of a manager.
+
+``ServingLayer`` models what sits between "millions of users" and the
+bufferpool in a real system: per-client sessions whose requests arrive on
+the virtual clock (open-loop pacing) or back-to-back (closed loop), wait in
+a bounded admission queue, carry deadlines, are requeued with capped
+backoff on transient failures (`PoolExhaustedError`, transient
+``IOFaultError``), are shed under overload, and are watched by an optional
+circuit breaker that degrades ACE batch sizes when tail latency spikes.
+
+Everything runs on the shared :class:`~repro.storage.clock.VirtualClock`;
+given the same (trace, config, fault plan) two runs produce identical
+metrics, queue decisions, and breaker ticks.  The layer is pay-for-what-
+you-use: ``run_trace(..., serving=None)`` never touches this module's
+hot path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Sequence
+
+from repro.engine.latency import LatencyRecorder
+from repro.engine.metrics import RunMetrics
+from repro.engine.serving.breaker import CircuitBreaker
+from repro.engine.serving.config import ServingConfig
+from repro.engine.serving.metrics import ServingMetrics
+from repro.engine.serving.queue import AdmissionQueue, Request
+from repro.errors import IOFaultError, PoolExhaustedError
+from repro.workloads.tpcc.transactions import TransactionType
+from repro.workloads.trace import PageRequest, Trace
+
+__all__ = ["ServingLayer"]
+
+_INF = float("inf")
+
+
+class ServingLayer:
+    """Serves a trace or transaction stream through a buffer manager."""
+
+    def __init__(self, manager, config: ServingConfig | None = None) -> None:
+        self.manager = manager
+        self.config = config if config is not None else ServingConfig()
+        #: Metrics of the most recent serve call.
+        self.metrics: ServingMetrics | None = None
+
+    # -------------------------------------------------------- trace mode
+
+    def serve_trace(
+        self,
+        trace: Trace,
+        options=None,
+        bg_writer=None,
+        checkpointer=None,
+        label: str | None = None,
+        latencies: LatencyRecorder | None = None,
+    ) -> RunMetrics:
+        """Serve ``trace`` under admission control; returns ``RunMetrics``.
+
+        The trace's ``client_ids`` side-channel (see
+        :func:`~repro.engine.multiclient.interleave_traces`) attributes
+        requests to sessions; a plain trace is billed to client 0.
+        """
+        options = self._resolve_options(options)
+        manager = self.manager
+        config = self.config
+        clock = manager.device.clock
+        start_us = clock.now_us
+        start_reads = manager.device.stats.read_time_us
+        start_writes = manager.device.stats.write_time_us
+
+        metrics = self._begin_run()
+        queue = self._queue
+        deferred = self._deferred
+        client_ids = trace.client_ids
+        pages = trace.pages
+        writes = trace.writes
+        total = len(trace)
+        interval = config.arrival_interval_us
+        deadline_us = config.deadline_us if config.deadline_us > 0 else _INF
+        cpu_per_op = options.cpu_us_per_op
+        commit_every = options.commit_every_ops
+        wal = manager.wal
+        next_bg_writer_us = start_us + options.bg_writer_interval_us
+        since_commit = 0
+        next_index = 0  # arrival pointer into the trace
+
+        while next_index < total or deferred or len(queue):
+            now = clock.now_us
+            # 1. Requeued requests whose backoff elapsed rejoin the queue.
+            self._promote_deferred(now)
+            # 2. Admit arrivals.
+            if interval:
+                while (
+                    next_index < total
+                    and start_us + next_index * interval <= now
+                ):
+                    arrival = start_us + next_index * interval
+                    self._admit(
+                        Request(
+                            next_index,
+                            client_ids[next_index] if client_ids else 0,
+                            pages[next_index],
+                            writes[next_index],
+                            arrival,
+                            arrival + deadline_us,
+                        )
+                    )
+                    next_index += 1
+            elif not len(queue) and next_index < total:
+                # Closed loop: the next request "arrives" as the server
+                # frees up, so backpressure cannot build by construction.
+                self._admit(
+                    Request(
+                        next_index,
+                        client_ids[next_index] if client_ids else 0,
+                        pages[next_index],
+                        writes[next_index],
+                        now,
+                        now + deadline_us,
+                    )
+                )
+                next_index += 1
+            # 3. Nothing runnable: jump the clock to the next event.
+            if not len(queue):
+                next_event = _INF
+                if deferred:
+                    next_event = deferred[0][0]
+                if interval and next_index < total:
+                    next_event = min(
+                        next_event, start_us + next_index * interval
+                    )
+                if next_event == _INF or next_event <= now:
+                    continue
+                clock.advance(next_event - now)
+                continue
+            # 4. Dispatch the queue head.
+            request = queue.pop()
+            if request.deadline_us <= now:
+                self._expire(request)
+                continue
+            if cpu_per_op:
+                clock.advance(cpu_per_op)
+            try:
+                manager.access(request.page, request.is_write)
+            except PoolExhaustedError:
+                self._requeue_or_fail(request, clock.now_us)
+            except IOFaultError as fault:
+                if _is_permanent(fault):
+                    self._fail(request)
+                else:
+                    self._requeue_or_fail(request, clock.now_us)
+            else:
+                self._complete(request, clock.now_us, latencies)
+                if wal is not None:
+                    if request.is_write:
+                        self._versions[request.page] = (
+                            self._versions.get(request.page, 0) + 1
+                        )
+                    if commit_every:
+                        since_commit += 1
+                        if since_commit >= commit_every:
+                            wal.flush()  # commit point: durable prefix
+                            metrics.committed_versions = dict(self._versions)
+                            since_commit = 0
+            if bg_writer is not None and clock.now_us >= next_bg_writer_us:
+                bg_writer.run_round()
+                next_bg_writer_us = clock.now_us + options.bg_writer_interval_us
+            if checkpointer is not None:
+                checkpointer.maybe_checkpoint()
+
+        self._end_run(clock.now_us - start_us)
+        io_time = (
+            manager.device.stats.read_time_us
+            - start_reads
+            + manager.device.stats.write_time_us
+            - start_writes
+        )
+        return RunMetrics(
+            label=(
+                label
+                if label is not None
+                else f"{manager.variant}/{trace.name}+serving"
+            ),
+            elapsed_us=metrics.elapsed_us,
+            ops=metrics.completed,
+            buffer=manager.stats.copy(),
+            device=manager.device.stats.copy(),
+            ftl=manager.device.ftl.counters.copy() if manager.device.ftl else None,
+            wal_pages_written=manager.wal.pages_written if manager.wal else 0,
+            io_time_us=io_time,
+            cpu_time_us=metrics.elapsed_us - io_time,
+            serving=metrics,
+        )
+
+    # -------------------------------------------------- transaction mode
+
+    def serve_transactions(
+        self,
+        transactions: Iterable[tuple[TransactionType, list[PageRequest]]],
+        options=None,
+        bg_writer=None,
+        checkpointer=None,
+        label: str = "transactions+serving",
+        client_ids: Sequence[int] | None = None,
+    ) -> RunMetrics:
+        """Serve a transaction stream; the admission unit is a transaction.
+
+        Admission, deadlines, and shedding act on whole transactions
+        (their page requests stay atomic).  A transaction hitting a
+        transient failure is requeued only when no write of it has been
+        applied yet (there is no rollback in the simulator); later
+        failures count the transaction as ``failed``.
+        """
+        options = self._resolve_options(options)
+        manager = self.manager
+        config = self.config
+        clock = manager.device.clock
+        start_us = clock.now_us
+        start_reads = manager.device.stats.read_time_us
+        start_writes = manager.device.stats.write_time_us
+
+        metrics = self._begin_run()
+        queue = self._queue
+        deferred = self._deferred
+        stream = list(transactions)
+        total = len(stream)
+        if client_ids is not None and len(client_ids) != total:
+            raise ValueError(
+                f"client_ids ({len(client_ids)}) and transactions ({total}) "
+                "differ in length"
+            )
+        interval = config.arrival_interval_us
+        deadline_us = config.deadline_us if config.deadline_us > 0 else _INF
+        cpu_per_op = options.cpu_us_per_op
+        wal = manager.wal
+        next_bg_writer_us = start_us + options.bg_writer_interval_us
+        next_index = 0
+        executed_ops = 0
+        new_order_count = 0
+
+        while next_index < total or deferred or len(queue):
+            now = clock.now_us
+            self._promote_deferred(now)
+            if interval:
+                while (
+                    next_index < total
+                    and start_us + next_index * interval <= now
+                ):
+                    arrival = start_us + next_index * interval
+                    self._admit(
+                        Request(
+                            next_index,
+                            client_ids[next_index] if client_ids else 0,
+                            -1,
+                            False,
+                            arrival,
+                            arrival + deadline_us,
+                        )
+                    )
+                    next_index += 1
+            elif not len(queue) and next_index < total:
+                self._admit(
+                    Request(
+                        next_index,
+                        client_ids[next_index] if client_ids else 0,
+                        -1,
+                        False,
+                        now,
+                        now + deadline_us,
+                    )
+                )
+                next_index += 1
+            if not len(queue):
+                next_event = _INF
+                if deferred:
+                    next_event = deferred[0][0]
+                if interval and next_index < total:
+                    next_event = min(
+                        next_event, start_us + next_index * interval
+                    )
+                if next_event == _INF or next_event <= now:
+                    continue
+                clock.advance(next_event - now)
+                continue
+            request = queue.pop()
+            if request.deadline_us <= now:
+                self._expire(request)
+                continue
+            kind, requests = stream[request.index]
+            if options.cpu_us_per_transaction:
+                clock.advance(options.cpu_us_per_transaction)
+            writes_applied = 0
+            outcome = "completed"
+            for page_request in requests:
+                if cpu_per_op:
+                    clock.advance(cpu_per_op)
+                try:
+                    manager.access(page_request.page, page_request.is_write)
+                except PoolExhaustedError:
+                    outcome = "requeue" if not writes_applied else "failed"
+                    break
+                except IOFaultError as fault:
+                    if _is_permanent(fault) or writes_applied:
+                        outcome = "failed"
+                    else:
+                        outcome = "requeue"
+                    break
+                else:
+                    executed_ops += 1
+                    if page_request.is_write:
+                        writes_applied += 1
+                        if wal is not None:
+                            self._versions[page_request.page] = (
+                                self._versions.get(page_request.page, 0) + 1
+                            )
+            if outcome == "requeue":
+                self._requeue_or_fail(request, clock.now_us)
+            elif outcome == "failed":
+                self._fail(request)
+            else:
+                if wal is not None:
+                    wal.flush()  # commit: WAL must be durable
+                    metrics.committed_versions = dict(self._versions)
+                self._complete(request, clock.now_us, None)
+                metrics.transactions_completed += 1
+                if kind is TransactionType.NEW_ORDER:
+                    new_order_count += 1
+            if bg_writer is not None and clock.now_us >= next_bg_writer_us:
+                bg_writer.run_round()
+                next_bg_writer_us = clock.now_us + options.bg_writer_interval_us
+            if checkpointer is not None:
+                checkpointer.maybe_checkpoint()
+
+        self._end_run(clock.now_us - start_us)
+        io_time = (
+            manager.device.stats.read_time_us
+            - start_reads
+            + manager.device.stats.write_time_us
+            - start_writes
+        )
+        return RunMetrics(
+            label=label,
+            elapsed_us=metrics.elapsed_us,
+            ops=executed_ops,
+            transactions=metrics.transactions_completed,
+            new_order_transactions=new_order_count,
+            buffer=manager.stats.copy(),
+            device=manager.device.stats.copy(),
+            ftl=manager.device.ftl.counters.copy() if manager.device.ftl else None,
+            wal_pages_written=manager.wal.pages_written if manager.wal else 0,
+            io_time_us=io_time,
+            cpu_time_us=metrics.elapsed_us - io_time,
+            serving=metrics,
+        )
+
+    # ------------------------------------------------------- run plumbing
+
+    def _resolve_options(self, options):
+        if options is not None:
+            return options
+        from repro.engine.executor import ExecutionOptions
+
+        return ExecutionOptions()
+
+    def _begin_run(self) -> ServingMetrics:
+        config = self.config
+        self.metrics = metrics = ServingMetrics()
+        self._queue = AdmissionQueue(config.queue_capacity, config.shed_policy)
+        #: Heap of (not_before_us, request index, request) — the index
+        #: breaks time ties deterministically.
+        self._deferred: list[tuple[float, int, Request]] = []
+        self._versions: dict[int, int] = {}
+        self._breaker = (
+            CircuitBreaker(config.breaker, self.manager)
+            if config.breaker is not None
+            else None
+        )
+        return metrics
+
+    def _end_run(self, elapsed_us: float) -> None:
+        metrics = self.metrics
+        metrics.elapsed_us = elapsed_us
+        metrics.queue_peak = self._queue.peak
+        if self._breaker is not None:
+            metrics.breaker_trips = list(self._breaker.trips)
+            metrics.breaker_restores = list(self._breaker.restores)
+            metrics.breaker_recoveries = list(self._breaker.recoveries)
+            self._breaker.finish()
+
+    # ------------------------------------------------------ request steps
+
+    def _admit(self, request: Request) -> None:
+        metrics = self.metrics
+        client = metrics.client(request.client)
+        metrics.offered += 1
+        client.offered += 1
+        threshold = self.config.pressure_threshold
+        if (
+            threshold is not None
+            and self.manager.pool_pressure >= threshold
+        ):
+            metrics.shed += 1
+            metrics.shed_pressure += 1
+            client.shed += 1
+            return
+        queue = self._queue
+        if len(queue) >= queue.capacity:
+            # Expired entries should not force shedding; sweep them first.
+            for expired in queue.expire_due(self.manager.device.clock.now_us):
+                self._expire(expired)
+        victim = queue.offer(request)
+        if victim is not request:
+            metrics.admitted += 1
+            client.admitted += 1
+        if victim is not None:
+            metrics.shed += 1
+            metrics.client(victim.client).shed += 1
+
+    def _promote_deferred(self, now_us: float) -> None:
+        deferred = self._deferred
+        while deferred and deferred[0][0] <= now_us:
+            _, _, request = heapq.heappop(deferred)
+            victim = self._queue.offer(request)
+            if victim is not None:
+                metrics = self.metrics
+                metrics.shed += 1
+                metrics.client(victim.client).shed += 1
+
+    def _requeue_or_fail(self, request: Request, now_us: float) -> None:
+        request.attempts += 1
+        if request.attempts >= self.config.max_attempts:
+            self._fail(request)
+            return
+        metrics = self.metrics
+        metrics.requeued += 1
+        request.not_before_us = now_us + self.config.backoff_for(request.attempts)
+        heapq.heappush(
+            self._deferred, (request.not_before_us, request.index, request)
+        )
+
+    def _expire(self, request: Request) -> None:
+        metrics = self.metrics
+        metrics.expired += 1
+        metrics.client(request.client).expired += 1
+
+    def _fail(self, request: Request) -> None:
+        metrics = self.metrics
+        metrics.failed += 1
+        metrics.client(request.client).failed += 1
+
+    def _complete(
+        self,
+        request: Request,
+        now_us: float,
+        latencies: LatencyRecorder | None,
+    ) -> None:
+        metrics = self.metrics
+        client = metrics.client(request.client)
+        latency = now_us - request.arrival_us
+        metrics.completed += 1
+        client.completed += 1
+        if now_us > request.deadline_us:
+            metrics.completed_late += 1
+            client.completed_late += 1
+        metrics.latency.record(latency)
+        client.latency.record(latency)
+        if latencies is not None:
+            latencies.record(latency)
+        if self._breaker is not None:
+            self._breaker.observe(latency, now_us, metrics.completed)
+
+
+def _is_permanent(fault: IOFaultError) -> bool:
+    """Whether no retry/requeue can ever serve this request."""
+    if fault.permanent:
+        return True
+    last = getattr(fault, "last_fault", None)
+    return last is not None and last.permanent

@@ -1,0 +1,150 @@
+"""Bounded admission queue with pluggable load shedding.
+
+The queue is the serving layer's backpressure point: arrivals beyond
+``capacity`` must displace something (drop-oldest, client-fair) or be
+rejected (drop-newest).  All choices are deterministic — ties break on
+stable, explicit keys — so a serving run is a pure function of (trace,
+config, fault plan, seed).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["Request", "AdmissionQueue"]
+
+
+class Request:
+    """One in-flight client request tracked by the serving layer."""
+
+    __slots__ = (
+        "index",
+        "client",
+        "page",
+        "is_write",
+        "arrival_us",
+        "deadline_us",
+        "attempts",
+        "not_before_us",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        client: int,
+        page: int,
+        is_write: bool,
+        arrival_us: float,
+        deadline_us: float,
+    ) -> None:
+        self.index = index
+        self.client = client
+        self.page = page
+        self.is_write = is_write
+        self.arrival_us = arrival_us
+        #: Absolute virtual time; ``inf`` when deadlines are disabled.
+        self.deadline_us = deadline_us
+        #: Dispatch attempts made so far (incremented on failure).
+        self.attempts = 0
+        #: Earliest virtual time the next dispatch may happen (requeue
+        #: backoff); 0 for a fresh request.
+        self.not_before_us = 0.0
+
+    def __repr__(self) -> str:
+        kind = "W" if self.is_write else "R"
+        return (
+            f"Request(#{self.index} client={self.client} {kind}({self.page}) "
+            f"arrived={self.arrival_us:.0f}us)"
+        )
+
+
+class AdmissionQueue:
+    """FIFO admission queue bounded at ``capacity`` with shedding.
+
+    :meth:`offer` returns the request that was shed — the incoming one
+    (drop-newest, or client-fair deciding the newcomer's own session is
+    the heaviest) or a displaced queued one — or ``None`` when the arrival
+    was absorbed without shedding.
+    """
+
+    def __init__(self, capacity: int, shed_policy: str) -> None:
+        self.capacity = capacity
+        self.shed_policy = shed_policy
+        self._queue: deque[Request] = deque()
+        self._per_client: dict[int, int] = {}
+        #: High-water mark of the queue length.
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def queued_for(self, client: int) -> int:
+        return self._per_client.get(client, 0)
+
+    def offer(self, request: Request) -> Request | None:
+        """Admit ``request``, shedding per policy when full."""
+        if len(self._queue) < self.capacity:
+            self._append(request)
+            return None
+        if self.shed_policy == "drop-newest":
+            return request
+        if self.shed_policy == "drop-oldest":
+            victim = self._queue.popleft()
+            self._account_removed(victim)
+            self._append(request)
+            return victim
+        # client-fair: shed the *newest* queued request of the client
+        # occupying the most slots.  The newcomer's own session counts too
+        # (as if admitted): if it already holds the most slots, the
+        # newcomer itself is shed — one hot client cannot displace others.
+        counts = dict(self._per_client)
+        counts[request.client] = counts.get(request.client, 0) + 1
+        heaviest = max(counts, key=lambda client: (counts[client], -client))
+        if heaviest == request.client:
+            return request
+        victim = self._remove_newest_of(heaviest)
+        self._append(request)
+        return victim
+
+    def pop(self) -> Request:
+        """Dequeue the oldest request."""
+        request = self._queue.popleft()
+        self._account_removed(request)
+        return request
+
+    def expire_due(self, now_us: float) -> list[Request]:
+        """Remove and return every queued request past its deadline."""
+        if not self._queue:
+            return []
+        expired = [r for r in self._queue if r.deadline_us <= now_us]
+        if expired:
+            for request in expired:
+                self._queue.remove(request)
+                self._account_removed(request)
+        return expired
+
+    # ----------------------------------------------------------- internals
+
+    def _append(self, request: Request) -> None:
+        self._queue.append(request)
+        self._per_client[request.client] = (
+            self._per_client.get(request.client, 0) + 1
+        )
+        if len(self._queue) > self.peak:
+            self.peak = len(self._queue)
+
+    def _account_removed(self, request: Request) -> None:
+        count = self._per_client[request.client] - 1
+        if count:
+            self._per_client[request.client] = count
+        else:
+            del self._per_client[request.client]
+
+    def _remove_newest_of(self, client: int) -> Request:
+        for position in range(len(self._queue) - 1, -1, -1):
+            if self._queue[position].client == client:
+                victim = self._queue[position]
+                del self._queue[position]
+                self._account_removed(victim)
+                return victim
+        raise AssertionError(f"no queued request for client {client}")

@@ -29,8 +29,11 @@ class PoolExhaustedError(BufferPoolError):
 
     Structured like :class:`SanitizerError` so tooling and logs can key off
     the failure: ``page`` is the request that could not be served,
-    ``capacity`` the pool size, and ``pinned`` how many resident pages were
-    pinned at the time (when the raiser knows them).
+    ``capacity`` the pool size, ``pinned`` how many resident pages were
+    pinned at the time, and ``candidates_examined`` how many eviction
+    candidates the raiser inspected before giving up (when the raiser knows
+    them).  The serving layer uses ``pinned``/``capacity`` to decide
+    between requeue (transient pin pressure) and shed.
     """
 
     def __init__(
@@ -39,10 +42,12 @@ class PoolExhaustedError(BufferPoolError):
         page: int | None = None,
         capacity: int | None = None,
         pinned: int | None = None,
+        candidates_examined: int | None = None,
     ) -> None:
         self.page = page
         self.capacity = capacity
         self.pinned = pinned
+        self.candidates_examined = candidates_examined
         context = []
         if page is not None:
             context.append(f"requested page {page}")
@@ -50,6 +55,8 @@ class PoolExhaustedError(BufferPoolError):
             context.append(f"pool capacity {capacity}")
         if pinned is not None:
             context.append(f"{pinned} pinned")
+        if candidates_examined is not None:
+            context.append(f"{candidates_examined} candidates examined")
         suffix = f" ({', '.join(context)})" if context else ""
         super().__init__(f"{message}{suffix}")
 

@@ -105,6 +105,18 @@ class FaultPlan:
         )
 
     @classmethod
+    def spikes(
+        cls, rate: float, spike_us: float = 2_000.0, seed: int = 0
+    ) -> "FaultPlan":
+        """A latency-spike-only plan (every operation still succeeds).
+
+        The overload harness and the serving-layer circuit breaker tests
+        use this shape: spikes inflate tail latency without introducing
+        retries or data loss, isolating the admission-control response.
+        """
+        return cls(seed=seed, latency_spike_rate=rate, latency_spike_us=spike_us)
+
+    @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
         """Parse a ``REPRO_FAULTS``-style spec into a plan.
 

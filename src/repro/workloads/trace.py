@@ -30,16 +30,35 @@ class PageRequest:
 
 
 class Trace:
-    """An ordered stream of page requests."""
+    """An ordered stream of page requests.
 
-    def __init__(self, pages: list[int], writes: list[bool], name: str = "trace") -> None:
+    ``client_ids`` is an optional parallel list attributing each request to
+    the client session that issued it (see
+    :func:`repro.engine.multiclient.interleave_traces`).  Single-client
+    traces leave it ``None``; the serving layer then attributes every
+    request to client 0.
+    """
+
+    def __init__(
+        self,
+        pages: list[int],
+        writes: list[bool],
+        name: str = "trace",
+        client_ids: list[int] | None = None,
+    ) -> None:
         if len(pages) != len(writes):
             raise ValueError(
                 f"pages ({len(pages)}) and writes ({len(writes)}) differ in length"
             )
+        if client_ids is not None and len(client_ids) != len(pages):
+            raise ValueError(
+                f"client_ids ({len(client_ids)}) and pages ({len(pages)}) "
+                "differ in length"
+            )
         self.pages = pages
         self.writes = writes
         self.name = name
+        self.client_ids = client_ids
 
     @classmethod
     def from_arrays(
@@ -71,14 +90,28 @@ class Trace:
 
     def concat(self, other: "Trace", name: str | None = None) -> "Trace":
         """A new trace running this trace followed by ``other``."""
+        client_ids: list[int] | None = None
+        if self.client_ids is not None or other.client_ids is not None:
+            client_ids = (self.client_ids or [0] * len(self)) + (
+                other.client_ids or [0] * len(other)
+            )
         return Trace(
             self.pages + other.pages,
             self.writes + other.writes,
             name if name is not None else f"{self.name}+{other.name}",
+            client_ids=client_ids,
         )
 
     def slice(self, start: int, stop: int) -> "Trace":
-        return Trace(self.pages[start:stop], self.writes[start:stop], self.name)
+        client_ids = (
+            self.client_ids[start:stop] if self.client_ids is not None else None
+        )
+        return Trace(
+            self.pages[start:stop],
+            self.writes[start:stop],
+            self.name,
+            client_ids=client_ids,
+        )
 
     # ------------------------------------------------------------ metrics
 

@@ -1,0 +1,13 @@
+"""R006 negative fixture: virtual-clock deadline arithmetic is clean."""
+
+
+def deadline_for(now_us: float, budget_us: float) -> float:
+    return now_us + budget_us
+
+
+def backoff_for(attempt: int, base_us: float, cap_us: float) -> float:
+    return min(cap_us, base_us * (2.0 ** (attempt - 1)))
+
+
+def expired(now_us: float, deadline_us: float) -> bool:
+    return deadline_us > 0.0 and deadline_us <= now_us

@@ -1,0 +1,17 @@
+"""R006 fixture: wall-clock waits inside the serving package.
+
+Never imported, only parsed by the lint tests.  ``time.sleep`` is the
+canary: it is not in R001's wall-clock call denylist, so only R006's
+module-wide ban catches it (same for the bare imports).
+"""
+
+import time  # noqa: F401
+from datetime import timedelta  # noqa: F401
+
+
+def wait_for_deadline(pause_s: float) -> None:
+    time.sleep(pause_s)
+
+
+def sanctioned_pause() -> None:
+    time.sleep(0.01)  # lint: allow-wall-clock

@@ -1,4 +1,4 @@
-"""Tests for the repo-specific AST lint rules (R001-R005).
+"""Tests for the repo-specific AST lint rules (R001-R006).
 
 Each rule gets at least one positive test (a fixture file written to
 violate it, laid out under ``fixtures/repro/...`` so package scoping
@@ -79,7 +79,7 @@ class TestFramework:
 
     def test_rule_catalogue_complete(self):
         assert [rule.code for rule in DEFAULT_RULES] == \
-            ["R001", "R002", "R003", "R004", "R005"]
+            ["R001", "R002", "R003", "R004", "R005", "R006"]
         for rule in DEFAULT_RULES:
             assert rule.name and rule.description
 
@@ -200,6 +200,48 @@ class TestIORetryRule:
         assert lint_file(free) == []
 
 
+class TestServingVirtualTimeRule:
+    def test_flags_wall_clock_in_serving(self):
+        violations = lint_file(
+            FIXTURES / "engine" / "serving" / "r006_wall_clock.py"
+        )
+        assert codes(violations) == {"R006"}
+        messages = " | ".join(violation.message for violation in violations)
+        assert "import time" in messages
+        assert "from datetime import" in messages
+        assert "time.sleep" in messages  # not in R001's denylist
+        assert len(violations) == 3
+
+    def test_allow_wall_clock_hatch_suppresses(self):
+        fixture = FIXTURES / "engine" / "serving" / "r006_wall_clock.py"
+        hatch_line = next(
+            lineno
+            for lineno, line in enumerate(
+                fixture.read_text().splitlines(), start=1
+            )
+            if "allow-wall-clock" in line
+        )
+        violations = lint_file(fixture)
+        assert all(violation.line != hatch_line for violation in violations)
+
+    def test_virtual_clock_arithmetic_is_clean(self):
+        assert lint_file(
+            FIXTURES / "engine" / "serving" / "r006_virtual_ok.py"
+        ) == []
+
+    def test_scoped_to_serving_package(self, tmp_path):
+        # The same source elsewhere in repro.engine is R001's business
+        # (which allows time.sleep); R006 only polices the serving package.
+        source = (
+            FIXTURES / "engine" / "serving" / "r006_wall_clock.py"
+        ).read_text()
+        engine_dir = tmp_path / "repro" / "engine"
+        engine_dir.mkdir(parents=True)
+        free = engine_dir / "r006_wall_clock.py"
+        free.write_text(source)
+        assert lint_file(free) == []
+
+
 class TestShippedTree:
     def test_src_is_clean(self):
         violations, files = run_lint([REPO_ROOT / "src"])
@@ -211,7 +253,7 @@ class TestLintCli:
     def test_fixtures_exit_nonzero(self, capsys):
         assert main(["lint", str(FIXTURES)]) == 1
         out = capsys.readouterr().out
-        for code in ("R001", "R002", "R003", "R004", "R005"):
+        for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
             assert code in out
         assert "violation(s)" in out
 
@@ -222,5 +264,5 @@ class TestLintCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("R001", "R002", "R003", "R004", "R005"):
+        for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
             assert code in out

@@ -98,9 +98,24 @@ class TestEviction:
         assert error.page == 7
         assert error.capacity == 2
         assert error.pinned == 2
+        assert error.candidates_examined == 2
         assert "requested page 7" in str(error)
         assert "pool capacity 2" in str(error)
         assert "2 pinned" in str(error)
+        assert "2 candidates examined" in str(error)
+
+    def test_pool_pressure_counts_pinned_and_dirty(self):
+        manager = make_manager(capacity=4)
+        assert manager.pool_pressure == 0.0
+        manager.read_page(0)
+        manager.pin(0)
+        assert manager.pool_pressure == pytest.approx(0.25)
+        manager.write_page(1)  # dirty, unpinned
+        assert manager.pool_pressure == pytest.approx(0.5)
+        manager.write_page(0)  # pinned AND dirty: counted once
+        assert manager.pool_pressure == pytest.approx(0.5)
+        manager.unpin(0)
+        assert manager.pool_pressure == pytest.approx(0.5)
 
     def test_pinned_page_survives_pressure(self):
         manager = make_manager(capacity=2)

@@ -1,0 +1,175 @@
+"""Tests for the bounded admission queue and its shedding policies."""
+
+import pytest
+
+from repro.engine.serving.queue import AdmissionQueue, Request
+
+INF = float("inf")
+
+
+def req(index, client=0, page=None, is_write=False, arrival=0.0, deadline=INF):
+    return Request(
+        index,
+        client,
+        page if page is not None else index,
+        is_write,
+        arrival,
+        deadline,
+    )
+
+
+class TestRequest:
+    def test_fields_and_defaults(self):
+        request = req(3, client=1, page=7, is_write=True, arrival=12.0)
+        assert request.index == 3
+        assert request.client == 1
+        assert request.page == 7
+        assert request.is_write
+        assert request.attempts == 0
+        assert request.not_before_us == 0.0
+
+    def test_repr_mentions_kind_and_client(self):
+        assert "W(7)" in repr(req(0, client=2, page=7, is_write=True))
+        assert "client=2" in repr(req(0, client=2, page=7, is_write=True))
+
+
+class TestAdmission:
+    def test_below_capacity_absorbs(self):
+        queue = AdmissionQueue(2, "drop-newest")
+        assert queue.offer(req(0)) is None
+        assert queue.offer(req(1)) is None
+        assert len(queue) == 2
+
+    def test_pop_is_fifo(self):
+        queue = AdmissionQueue(4, "drop-newest")
+        for index in range(3):
+            queue.offer(req(index))
+        assert [queue.pop().index for _ in range(3)] == [0, 1, 2]
+        assert len(queue) == 0
+
+    def test_peak_tracks_high_water_mark(self):
+        queue = AdmissionQueue(8, "drop-newest")
+        for index in range(5):
+            queue.offer(req(index))
+        for _ in range(5):
+            queue.pop()
+        assert queue.peak == 5
+
+    def test_queued_for_accounting(self):
+        queue = AdmissionQueue(8, "drop-newest")
+        queue.offer(req(0, client=1))
+        queue.offer(req(1, client=1))
+        queue.offer(req(2, client=2))
+        assert queue.queued_for(1) == 2
+        assert queue.queued_for(2) == 1
+        assert queue.queued_for(9) == 0
+        queue.pop()
+        assert queue.queued_for(1) == 1
+
+
+class TestDropNewest:
+    def test_full_queue_rejects_incoming(self):
+        queue = AdmissionQueue(2, "drop-newest")
+        queue.offer(req(0))
+        queue.offer(req(1))
+        newcomer = req(2)
+        assert queue.offer(newcomer) is newcomer
+        assert [queue.pop().index, queue.pop().index] == [0, 1]
+
+
+class TestDropOldest:
+    def test_full_queue_evicts_head(self):
+        queue = AdmissionQueue(2, "drop-oldest")
+        queue.offer(req(0))
+        queue.offer(req(1))
+        victim = queue.offer(req(2))
+        assert victim.index == 0
+        assert [queue.pop().index, queue.pop().index] == [1, 2]
+
+
+class TestClientFair:
+    def test_sheds_newest_of_heaviest_client(self):
+        queue = AdmissionQueue(3, "client-fair")
+        queue.offer(req(0, client=0))
+        queue.offer(req(1, client=0))
+        queue.offer(req(2, client=1))
+        victim = queue.offer(req(3, client=2))
+        # Client 0 holds the most slots; its *newest* request goes.
+        assert victim.index == 1
+        assert victim.client == 0
+        assert [r.index for r in (queue.pop(), queue.pop(), queue.pop())] == \
+            [0, 2, 3]
+
+    def test_newcomer_of_heaviest_client_is_rejected(self):
+        queue = AdmissionQueue(2, "client-fair")
+        queue.offer(req(0, client=0))
+        queue.offer(req(1, client=1))
+        # Counting itself, client 0 would hold 2 of 3 slots: reject it.
+        newcomer = req(2, client=0)
+        assert queue.offer(newcomer) is newcomer
+        assert queue.queued_for(0) == 1
+
+    def test_tie_breaks_on_lower_client_id(self):
+        queue = AdmissionQueue(2, "client-fair")
+        queue.offer(req(0, client=5))
+        queue.offer(req(1, client=3))
+        victim = queue.offer(req(2, client=7))
+        assert victim.client == 3
+
+    def test_deterministic_across_identical_runs(self):
+        def run():
+            queue = AdmissionQueue(3, "client-fair")
+            victims = []
+            for index in range(12):
+                victim = queue.offer(req(index, client=index % 4))
+                victims.append(victim.index if victim is not None else None)
+            return victims
+
+        assert run() == run()
+
+
+class TestExpiry:
+    def test_expire_due_removes_past_deadline(self):
+        queue = AdmissionQueue(4, "drop-newest")
+        queue.offer(req(0, deadline=10.0))
+        queue.offer(req(1, deadline=100.0))
+        queue.offer(req(2, deadline=5.0))
+        expired = queue.expire_due(20.0)
+        assert sorted(r.index for r in expired) == [0, 2]
+        assert len(queue) == 1
+        assert queue.pop().index == 1
+
+    def test_expire_due_empty_queue(self):
+        queue = AdmissionQueue(4, "drop-newest")
+        assert queue.expire_due(1e9) == []
+
+
+class TestConfigValidation:
+    def test_unknown_shed_policy_rejected(self):
+        from repro.engine.serving import ServingConfig
+
+        with pytest.raises(ValueError):
+            ServingConfig(shed_policy="drop-random")
+
+    def test_backoff_schedule_is_capped(self):
+        from repro.engine.serving import ServingConfig
+
+        config = ServingConfig(
+            requeue_backoff_us=100.0,
+            requeue_backoff_multiplier=2.0,
+            requeue_backoff_cap_us=300.0,
+        )
+        assert config.backoff_for(1) == 100.0
+        assert config.backoff_for(2) == 200.0
+        assert config.backoff_for(3) == 300.0  # capped
+        assert config.backoff_for(10) == 300.0
+
+    def test_breaker_config_validation(self):
+        from repro.engine.serving import BreakerConfig
+
+        with pytest.raises(ValueError):
+            BreakerConfig(min_samples=10, window=5)
+        with pytest.raises(ValueError):
+            BreakerConfig(p99_threshold_us=0.0)
+        with pytest.raises(ValueError):
+            BreakerConfig(degraded_n_w=0)

@@ -77,3 +77,31 @@ class TestTrace:
     def test_locality_validation(self):
         with pytest.raises(ValueError):
             Trace([1], [True]).locality(hot_fraction=0.0)
+
+
+class TestClientIds:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([1, 2], [True, False], client_ids=[0])
+
+    def test_defaults_to_none(self):
+        assert Trace([1], [True]).client_ids is None
+
+    def test_slice_carries_client_ids(self):
+        trace = Trace([1, 2, 3], [True, False, True], client_ids=[0, 1, 2])
+        part = trace.slice(1, 3)
+        assert part.client_ids == [1, 2]
+
+    def test_slice_without_client_ids_stays_none(self):
+        assert Trace([1, 2], [True, False]).slice(0, 1).client_ids is None
+
+    def test_concat_fills_missing_side_with_client_zero(self):
+        tagged = Trace([1, 2], [True, False], client_ids=[3, 4])
+        plain = Trace([5], [False])
+        assert tagged.concat(plain).client_ids == [3, 4, 0]
+        assert plain.concat(tagged).client_ids == [0, 3, 4]
+
+    def test_concat_of_untagged_traces_stays_none(self):
+        a = Trace([1], [True])
+        b = Trace([2], [False])
+        assert a.concat(b).client_ids is None

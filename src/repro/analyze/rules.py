@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (R001-R006).
+"""The repo-specific lint rules (R001-R007).
 
 Each rule encodes a contract the simulator depends on but no generic tool
 checks:
@@ -50,6 +50,17 @@ R006 *serving-virtual-time*
     Stricter than R001's call denylist: the package must not import or
     touch the ``time``/``datetime`` modules at all (``time.sleep``
     included).  Escape hatch: ``# lint: allow-wall-clock``.
+
+R007 *translation-encapsulation*
+    The page→frame translation structures (``_slots``, ``_frame_of``) are
+    owned by :mod:`repro.bufferpool.table`.  Code elsewhere that reaches
+    into another object's translation internals (``manager._slots[page]``,
+    ``table._frame_of[page]``) bakes in one backend's representation and
+    silently diverges when the dict/array backend switches; go through
+    ``table.lookup``/``table.pages`` or the manager's resident API.  The
+    deliberate hot-path aliases (manager construction, the executor's
+    inlined replay, crash bricking, the sanitizer's ground-truth peek)
+    carry the escape hatch ``# lint: allow-translation``.
 """
 
 from __future__ import annotations
@@ -66,6 +77,7 @@ __all__ = [
     "IORetryRule",
     "PicklabilityRule",
     "ServingVirtualTimeRule",
+    "TranslationEncapsulationRule",
     "VirtualOrderPurityRule",
 ]
 
@@ -638,6 +650,49 @@ class ServingVirtualTimeRule(LintRule):
                     )
 
 
+class TranslationEncapsulationRule(LintRule):
+    """R007: page→frame translation internals stay inside the table module."""
+
+    code = "R007"
+    name = "translation-encapsulation"
+    description = (
+        "the page→frame translation structures (_slots, _frame_of) belong "
+        "to repro.bufferpool.table; reaching into another object's "
+        "translation internals bakes in one backend's representation — go "
+        "through table.lookup()/pages() or the manager's resident API; "
+        "escape hatch: `# lint: allow-translation`"
+    )
+    suppression = "allow-translation"
+
+    #: The home module, exempt by definition.
+    home = "repro.bufferpool.table"
+    _fields = frozenset({"_slots", "_frame_of"})
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not module.in_package("repro") or module.module == self.home:
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in self._fields
+                # `self._slots` is an object's own state (the table's
+                # vector, the manager's declared alias); only reaching
+                # into ANOTHER object's translation internals is flagged.
+                and not (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                )
+                and not self.allowed(module, node)
+            ):
+                yield self.violation(
+                    module, node,
+                    f"direct access to translation internal .{node.attr} "
+                    "outside repro.bufferpool.table; use table.lookup()/"
+                    "pages() or the manager's resident API (deliberate "
+                    "hot-path aliases: `# lint: allow-translation`)",
+                )
+
+
 #: The rule set ``python -m repro lint`` runs.
 DEFAULT_RULES: tuple[LintRule, ...] = (
     DeterminismRule(),
@@ -646,4 +701,5 @@ DEFAULT_RULES: tuple[LintRule, ...] = (
     PicklabilityRule(),
     IORetryRule(),
     ServingVirtualTimeRule(),
+    TranslationEncapsulationRule(),
 )

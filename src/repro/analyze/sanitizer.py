@@ -133,7 +133,7 @@ class InvariantSanitizer:
 
     def _check_pins(self, operation: str) -> None:
         manager = self.manager
-        frame_of = manager.table._frame_of
+        frame_of = manager.table._frame_of  # lint: allow-translation
         pinned_pages: set[int] = set()
         for descriptor in manager.pool.descriptors:
             if descriptor.pin_count < 0:
@@ -182,7 +182,7 @@ class InvariantSanitizer:
     def _check_free_list(self, operation: str) -> None:
         manager = self.manager
         pool = manager.pool
-        frame_of = manager.table._frame_of
+        frame_of = manager.table._frame_of  # lint: allow-translation
         free = pool._free
         if len(free) + len(frame_of) != pool.capacity:
             raise SanitizerError(
@@ -207,7 +207,7 @@ class InvariantSanitizer:
 
     def _check_residency(self, operation: str) -> None:
         manager = self.manager
-        frame_of = manager.table._frame_of
+        frame_of = manager.table._frame_of  # lint: allow-translation
         descriptors = manager.pool.descriptors
         for page, frame_id in frame_of.items():
             if descriptors[frame_id].page != page:
@@ -260,7 +260,7 @@ class InvariantSanitizer:
                 f"eviction_order() mutated policy state: {changed} "
                 f"({type(policy).__name__})",
             )
-        resident = manager.table._frame_of
+        resident = manager.table._frame_of  # lint: allow-translation
         seen: set[int] = set()
         for page in order:
             if page in seen:

@@ -119,8 +119,17 @@ def measure_single_stack(
         options=_OPTIONS,
     )
     best_s = float("inf")
+    table_backend = None
+    address_space = None
     for _ in range(max(1, repeats)):
         manager = build_stack(config)
+        table = getattr(manager, "table", None)
+        if table is not None:
+            # Recorded per entry so --check can compare like with like:
+            # an array-backed rate is not a fair bar for a dict-backed
+            # run (and vice versa).
+            table_backend = table.backend
+            address_space = table.address_space
         start = time.perf_counter()
         run_trace(manager, trace, options=_OPTIONS)
         best_s = min(best_s, time.perf_counter() - start)
@@ -130,6 +139,8 @@ def measure_single_stack(
         "ops": num_ops,
         "wall_s": best_s,
         "accesses_per_sec": num_ops / best_s,
+        "table_backend": table_backend,
+        "address_space": address_space,
     }
 
 
@@ -255,7 +266,10 @@ def write_entry(
 
 
 def _committed_stack_rate(
-    report: dict[str, object], stack: str, fast: bool
+    report: dict[str, object],
+    stack: str,
+    fast: bool,
+    backend: str | None = None,
 ) -> float | None:
     """The committed accesses/second for ``stack``, mode-matched.
 
@@ -263,6 +277,12 @@ def _committed_stack_rate(
     fast check is never compared against full-size numbers; falls back to
     the ``current`` entry, and returns ``None`` when no committed entry
     records the stack at all.
+
+    When ``backend`` is given, entries recorded under a *different*
+    translation backend are skipped (like-for-like: an array-backed rate
+    is not a fair floor for a dict-backed run).  Entries predating
+    backend recording (no ``table_backend`` key) are accepted as
+    a fallback.
     """
     current = report.get("current")
     if not current:
@@ -273,22 +293,29 @@ def _committed_stack_rate(
             if bool(entry.get("fast")) == fast:
                 candidates.insert(0, entry)
                 break
+    fallback: float | None = None
     for entry in candidates:
         recorded = entry.get("single_stack", {}).get(stack)
-        if recorded:
-            return float(recorded["accesses_per_sec"])
-    return None
+        if not recorded:
+            continue
+        recorded_backend = recorded.get("table_backend")
+        if backend is not None and recorded_backend not in (None, backend):
+            continue
+        if backend is not None and recorded_backend is None:
+            if fallback is None:
+                fallback = float(recorded["accesses_per_sec"])
+            continue
+        return float(recorded["accesses_per_sec"])
+    return fallback
 
 
-def _measure_stack_for_check(stack: str, fast: bool) -> float:
+def _measure_stack_for_check(stack: str, fast: bool) -> dict[str, object]:
     policy, variant = stack.split("/")
     if fast:
-        measured = measure_single_stack(
+        return measure_single_stack(
             policy, variant, num_pages=4_000, num_ops=6_000, repeats=2
         )
-    else:
-        measured = measure_single_stack(policy, variant)
-    return float(measured["accesses_per_sec"])
+    return measure_single_stack(policy, variant)
 
 
 def check_against(
@@ -300,21 +327,42 @@ def check_against(
 
     Returns ``(ok, measured, committed)`` where ``committed`` is the
     committed entry's headline accesses/second scaled to the measurement
-    mode: a ``fast`` check against a full-size committed entry compares
-    like with like by re-deriving the committed rate from the same-mode
-    history entry when one exists, else the raw headline.
+    mode and translation backend: a ``fast`` check against a full-size
+    committed entry compares like with like by re-deriving the committed
+    rate from the same-mode (and, when recorded, same-backend) history
+    entry when one exists, else the raw headline.
     """
     current = report.get("current")
     if not current:
         raise ValueError("benchmark report has no `current` entry")
-    committed = float(current["headline_accesses_per_sec"])
-    if fast != bool(current.get("fast")):
-        # Prefer a same-mode historical entry for an apples-to-apples bar.
-        for entry in reversed(report.get("history", [])):
-            if bool(entry.get("fast")) == fast:
-                committed = float(entry["headline_accesses_per_sec"])
-                break
-    measured = _measure_stack_for_check(HEADLINE_STACK, fast)
+    measured_entry = _measure_stack_for_check(HEADLINE_STACK, fast)
+    measured = float(measured_entry["accesses_per_sec"])
+    backend = measured_entry.get("table_backend")
+    # The committed bar is always an entry's *headline* field (the
+    # per-stack rates gate via the policy floors, not here); candidates
+    # run newest-first with `current` ahead of history, and an entry only
+    # qualifies when its mode matches and its recorded headline-stack
+    # backend is not a *different* one than we just measured with.
+    committed: float | None = None
+    fallback: float | None = None
+    for entry in [current, *reversed(report.get("history", []))]:
+        if bool(entry.get("fast")) != fast:
+            continue
+        recorded = entry.get("single_stack", {}).get(HEADLINE_STACK, {})
+        entry_backend = recorded.get("table_backend")
+        if backend is not None and entry_backend not in (None, backend):
+            continue
+        rate = float(entry["headline_accesses_per_sec"])
+        if backend is not None and entry_backend is None:
+            if fallback is None:
+                fallback = rate  # predates backend recording
+            continue
+        committed = rate
+        break
+    if committed is None:
+        committed = fallback
+    if committed is None:
+        committed = float(current["headline_accesses_per_sec"])
     return measured >= min_ratio * committed, measured, committed
 
 
@@ -332,15 +380,21 @@ def check_policy_floors(
     """
     results: list[dict[str, object]] = []
     for stack, floor in (floors or POLICY_FLOORS).items():
-        committed = _committed_stack_rate(report, stack, fast)
+        if _committed_stack_rate(report, stack, fast) is None:
+            continue  # never recorded: nothing to gate (skip the measure)
+        measured_entry = _measure_stack_for_check(stack, fast)
+        measured = float(measured_entry["accesses_per_sec"])
+        committed = _committed_stack_rate(
+            report, stack, fast, backend=measured_entry.get("table_backend")
+        )
         if committed is None:
             continue
-        measured = _measure_stack_for_check(stack, fast)
         results.append({
             "stack": stack,
             "floor": floor,
             "measured": measured,
             "committed": committed,
+            "table_backend": measured_entry.get("table_backend"),
             "ok": measured >= floor * committed,
         })
     return results
@@ -367,11 +421,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--no-policy-floors", action="store_true",
                         help="--check: gate only the headline stack, "
                              "skipping the per-policy floors")
+    parser.add_argument("--require-backend", choices=("array", "dict"),
+                        default=None,
+                        help="fail unless the measured stacks resolve to "
+                             "this translation backend (CI guard: the "
+                             "committed floors are array-backed numbers)")
     parser.add_argument("--profile", metavar="PSTATS", default=None,
                         help="run the measurement under cProfile: write a "
                              "pstats dump to this path and print the "
                              "top-20 cumulative table")
     args = parser.parse_args(argv)
+
+    if args.require_backend:
+        from repro.bufferpool.table import resolve_backend
+
+        resolved = resolve_backend(20_000)
+        if resolved != args.require_backend:
+            print(
+                f"BACKEND MISMATCH: stacks resolve to {resolved!r}, "
+                f"--require-backend demands {args.require_backend!r} "
+                "(check REPRO_TABLE)"
+            )
+            return 2
 
     if args.check:
         report = load_report(args.output)

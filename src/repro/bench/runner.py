@@ -83,6 +83,10 @@ class StackConfig:
     retry:
         Retry policy handed to the manager for faulted I/O (``None`` means
         the stack-wide default).
+    table_backend:
+        Buffer-table translation backend (``"array"`` or ``"dict"``);
+        ``None`` defers to the ``REPRO_TABLE`` environment switch and the
+        address-space auto-selection (see :mod:`repro.bufferpool.table`).
     options:
         Execution-model knobs (CPU costs, background intervals).
     """
@@ -100,6 +104,7 @@ class StackConfig:
     sanitize: bool | None = None
     fault_plan: FaultPlan | None = None
     retry: RetryPolicy | None = None
+    table_backend: str | None = None
     options: ExecutionOptions = field(default_factory=ExecutionOptions)
 
     def __post_init__(self) -> None:
@@ -154,6 +159,7 @@ def build_stack(
         return BufferPoolManager(
             capacity, policy, stack_device, wal=wal,
             sanitize=config.sanitize, retry=config.retry,
+            table_backend=config.table_backend,
         )
 
     ace_config = ACEConfig.for_device(
@@ -165,6 +171,7 @@ def build_stack(
     return ACEBufferPoolManager(
         capacity, policy, stack_device, wal=wal, config=ace_config,
         prefetcher=prefetcher, sanitize=config.sanitize, retry=config.retry,
+        table_backend=config.table_backend,
     )
 
 

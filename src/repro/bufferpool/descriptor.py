@@ -3,38 +3,132 @@
 A descriptor records which page occupies a frame and its state bits: dirty
 (modified since the last write-back), pin count (references holding the page
 in memory), and usage bookkeeping is delegated to the replacement policy.
+
+Since the array-translation rework the *storage* for these bits lives in
+the :class:`~repro.bufferpool.pool.FramePool`'s parallel flat arrays
+(``page_of`` / ``dirty_bits`` / ``pin_counts`` / ``prefetched_bits``), so
+the request hot path touches preallocated ints instead of attribute slots
+on per-frame objects.  :class:`BufferDescriptor` survives as a *view* over
+those arrays — the cold paths (recovery, sanitizer, diagnostics, tests)
+keep the object-per-frame API, lazily materialised and always reading the
+authoritative arrays.  A descriptor constructed standalone (outside a
+pool) owns a private one-slot backing store, preserving the original
+value-object behaviour.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 __all__ = ["BufferDescriptor"]
 
 
-@dataclass
 class BufferDescriptor:
-    """State of one bufferpool frame."""
+    """State of one bufferpool frame (a view over the pool's bit arrays)."""
 
-    frame_id: int
-    page: int | None = None
-    dirty: bool = False
-    pin_count: int = 0
-    #: Set while the frame holds a prefetched page that was never requested;
-    #: cleared on the first real access.  Used for prefetch-accuracy stats.
-    prefetched: bool = False
+    __slots__ = (
+        "frame_id",
+        "_index",
+        "_page_of",
+        "_dirty_bits",
+        "_pin_counts",
+        "_prefetched_bits",
+    )
+
+    def __init__(
+        self,
+        frame_id: int,
+        page: int | None = None,
+        dirty: bool = False,
+        pin_count: int = 0,
+        prefetched: bool = False,
+    ) -> None:
+        # Standalone construction: private one-slot stores.
+        self.frame_id = frame_id
+        self._index = 0
+        self._page_of = [-1 if page is None else page]
+        self._dirty_bits = [1 if dirty else 0]
+        self._pin_counts = [pin_count]
+        self._prefetched_bits = [1 if prefetched else 0]
+
+    @classmethod
+    def view(cls, pool: object, frame_id: int) -> "BufferDescriptor":
+        """A descriptor reading/writing ``pool``'s arrays at ``frame_id``."""
+        descriptor = cls.__new__(cls)
+        descriptor.frame_id = frame_id
+        descriptor._index = frame_id
+        descriptor._page_of = pool.page_of
+        descriptor._dirty_bits = pool.dirty_bits
+        descriptor._pin_counts = pool.pin_counts
+        descriptor._prefetched_bits = pool.prefetched_bits
+        return descriptor
+
+    # ------------------------------------------------------------- fields
+
+    @property
+    def page(self) -> int | None:
+        raw = self._page_of[self._index]
+        return None if raw < 0 else raw
+
+    @page.setter
+    def page(self, value: int | None) -> None:
+        self._page_of[self._index] = -1 if value is None else value
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._dirty_bits[self._index])
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        self._dirty_bits[self._index] = 1 if value else 0
+
+    @property
+    def pin_count(self) -> int:
+        return self._pin_counts[self._index]
+
+    @pin_count.setter
+    def pin_count(self, value: int) -> None:
+        self._pin_counts[self._index] = value
+
+    @property
+    def prefetched(self) -> bool:
+        """Whether the frame holds a prefetched, never-requested page."""
+        return bool(self._prefetched_bits[self._index])
+
+    @prefetched.setter
+    def prefetched(self, value: bool) -> None:
+        self._prefetched_bits[self._index] = 1 if value else 0
+
+    # ------------------------------------------------------------ derived
 
     @property
     def in_use(self) -> bool:
-        return self.page is not None
+        return self._page_of[self._index] >= 0
 
     @property
     def pinned(self) -> bool:
-        return self.pin_count > 0
+        return self._pin_counts[self._index] > 0
 
     def reset(self) -> None:
         """Return the descriptor to the empty state (frame freed)."""
-        self.page = None
-        self.dirty = False
-        self.pin_count = 0
-        self.prefetched = False
+        index = self._index
+        self._page_of[index] = -1
+        self._dirty_bits[index] = 0
+        self._pin_counts[index] = 0
+        self._prefetched_bits[index] = 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BufferDescriptor):
+            return NotImplemented
+        return (
+            self.frame_id == other.frame_id
+            and self.page == other.page
+            and self.dirty == other.dirty
+            and self.pin_count == other.pin_count
+            and self.prefetched == other.prefetched
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferDescriptor(frame_id={self.frame_id}, page={self.page}, "
+            f"dirty={self.dirty}, pin_count={self.pin_count}, "
+            f"prefetched={self.prefetched})"
+        )

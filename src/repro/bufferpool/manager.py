@@ -12,12 +12,18 @@ overrides only the miss-handling path, mirroring how the paper implements
 ACE as a wrapper inside PostgreSQL's ``bufmgr.c`` without touching the
 replacement policies themselves.
 
-The per-request path is the hottest code in the simulator, so ``read_page``
-and ``write_page`` are written against direct aliases of the buffer table's
-dict, the descriptor array, and the payload array (bound once in
-``__init__``; the underlying containers are never replaced).  Each request
-performs exactly one table lookup: the miss path returns the frame id it
-installed rather than forcing a second lookup.
+The per-request path is the hottest code in the simulator.  Translation is
+a single probe of the table's ``_slots`` vector (a flat array under the
+array backend, a ``__missing__``-shimmed dict otherwise — see
+:mod:`repro.bufferpool.table`), and the per-frame state bits live in the
+pool's parallel flat arrays rather than descriptor objects.  All of these
+containers live for the manager's lifetime, so ``__init__`` binds direct
+aliases once.  Each request performs exactly one translation probe: the
+miss path returns the frame id it installed rather than forcing a second
+lookup.  On a bare :class:`~repro.storage.device.SimulatedSSD` (no fault
+injection, no subclass) the miss path additionally runs fully inlined —
+device accounting included — with accounting identical to the generic
+retry-capable path, which remains in place for faulty devices.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from repro.analyze.sanitizer import attach as _attach_sanitizer
 from repro.analyze.sanitizer import env_enabled as _sanitize_env_enabled
 from repro.bufferpool.pool import FramePool
 from repro.bufferpool.stats import BufferStats
-from repro.bufferpool.table import BufferTable
+from repro.bufferpool.table import make_table
 from repro.bufferpool.wal import WriteAheadLog
 from repro.errors import (
     IOFaultError,
@@ -72,6 +78,10 @@ class BufferPoolManager:
         :data:`~repro.faults.DEFAULT_RETRY_POLICY`.  The fault path is
         reached exclusively through ``except`` handlers, so a fault-free
         device pays nothing for it.
+    table_backend:
+        Translation backend: ``"array"``, ``"dict"``, or ``None`` for
+        automatic selection (honouring ``REPRO_TABLE``); see
+        :func:`repro.bufferpool.table.make_table`.
     """
 
     #: Variant label used in reports ("baseline" vs "ace"/"ace+pf").
@@ -82,6 +92,12 @@ class BufferPoolManager:
     #: its virtual order incrementally instead of re-deriving it per miss.
     notifies_state_changes = True
 
+    #: Executor handshake: the manager exposes ``_slots``/``_probe_space``/
+    #: ``_prefetched_bits`` with read-hit semantics identical to
+    #: ``read_page``, so ``run_trace`` may resolve runs of read hits with
+    #: inline translation probes (see :func:`repro.engine.executor.run_trace`).
+    hit_run_ready = True
+
     def __init__(
         self,
         capacity: int,
@@ -90,6 +106,7 @@ class BufferPoolManager:
         wal: WriteAheadLog | None = None,
         sanitize: bool | None = None,
         retry: RetryPolicy | None = None,
+        table_backend: str | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
@@ -99,20 +116,39 @@ class BufferPoolManager:
         self.wal = wal
         self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
         self.pool = FramePool(capacity)
-        self.table = BufferTable()
+        self.table = make_table(
+            getattr(device, "num_pages", None), table_backend
+        )
         self.stats = BufferStats()
         # Fast-path mirrors of the descriptor state bits.  Policies probe
         # dirty/pinned state on every victim-selection step, so these are
-        # the hottest lookups in the system; the descriptors remain the
-        # authoritative record.
+        # the hottest lookups in the system; the pool's flat arrays remain
+        # the authoritative record.
         self._dirty_set: set[int] = set()
         self._pinned_set: set[int] = set()
-        # Hot-path aliases.  The table's dict, the descriptor list, and
-        # the payload list live for the manager's lifetime, so binding
-        # them here removes two attribute hops per request.
-        self._frame_of = self.table._frame_of
-        self._descriptors = self.pool.descriptors
-        self._payloads = self.pool._payloads
+        #: ``|dirty ∩ pinned|``, maintained on every dirty/clean/pin/unpin
+        #: transition so :attr:`pool_pressure` is O(1) and allocation-free
+        #: (the serving layer's admission gate reads it per dispatch).
+        self._dirty_pinned_overlap = 0
+        # Hot-path aliases.  The table's containers and the pool's state
+        # arrays live for the manager's lifetime, so binding them here
+        # removes attribute hops per request.
+        self._slots = self.table._slots  # lint: allow-translation
+        self._frame_of = self.table._frame_of  # lint: allow-translation
+        self._probe_space = self.table.probe_space
+        self._array_slots = self.table.backend == "array"
+        pool = self.pool
+        self._page_of = pool.page_of
+        self._dirty_bits = pool.dirty_bits
+        self._pin_counts = pool.pin_counts
+        self._prefetched_bits = pool.prefetched_bits
+        self._payloads = pool._payloads
+        #: The device, iff it is a *bare* simulated SSD: no fault injection
+        #: layer, no subclass.  Such a device cannot raise
+        #: :class:`~repro.errors.IOFaultError`, so the miss path may run
+        #: fully inlined (``_handle_miss``'s turbo branch) with accounting
+        #: identical to the generic path.
+        self._plain_device = device if type(device) is SimulatedSSD else None
         #: Prefetcher-training callback invoked once per access; installed
         #: by the ACE manager when a reader/prefetcher is attached.
         self._observer = None
@@ -121,6 +157,40 @@ class BufferPoolManager:
         # dirty/clean transition).
         self._note_dirty = policy.note_dirty
         self._note_clean = policy.note_clean
+        # Bound policy entry points for the per-request paths (saves the
+        # ``self.policy.<method>`` chain on every access and eviction).
+        self._policy_on_access = policy.on_access
+        self._policy_select_victim = policy.select_victim
+        self._policy_insert = policy.insert
+        self._policy_remove = policy.remove
+        if self._plain_device is not None:
+            # Everything the inlined miss path touches that is immutable
+            # for the manager's lifetime, packed into one tuple: a single
+            # load + unpack per miss replaces a dozen ``self.<attr>``
+            # lookups.  ``self.stats`` and ``device.stats`` are NOT cached
+            # — both are replaced wholesale (warmup reset, ``reset_stats``).
+            self._turbo = (
+                pool._free,
+                self._slots,
+                self._frame_of,
+                self._array_slots,
+                pool._payloads,
+                pool.page_of,
+                pool.dirty_bits,
+                pool.pin_counts,
+                pool.prefetched_bits,
+                device._payloads,
+                device._single_read_us,
+                device._single_write_us,
+                device.num_pages,
+                device.ftl,
+                device.clock,
+                policy.select_victim,
+                policy.remove,
+                policy.insert,
+                policy.note_clean,
+                self._dirty_set.discard,
+            )
         #: The attached invariant checker, or ``None`` when sanitising is
         #: off (the common case: the request path then carries zero
         #: sanitizer overhead — the wrappers are instance attributes
@@ -145,14 +215,14 @@ class BufferPoolManager:
         """Fetch ``page`` for reading; returns its payload."""
         stats = self.stats
         stats.read_requests += 1
-        frame_id = self._frame_of.get(page)
-        if frame_id is not None:
+        frame_id = self._slots[page] if 0 <= page < self._probe_space else -1
+        if frame_id >= 0:
             stats.hits += 1
-            descriptor = self._descriptors[frame_id]
-            if descriptor.prefetched:
-                descriptor.prefetched = False
+            prefetched_bits = self._prefetched_bits
+            if prefetched_bits[frame_id]:
+                prefetched_bits[frame_id] = 0
                 stats.prefetch_hits += 1
-            self.policy.on_access(page, is_write=False)
+            self._policy_on_access(page, False)
         else:
             stats.misses += 1
             frame_id = self._handle_miss(page)
@@ -175,14 +245,14 @@ class BufferPoolManager:
         """
         stats = self.stats
         stats.write_requests += 1
-        frame_id = self._frame_of.get(page)
-        if frame_id is not None:
+        frame_id = self._slots[page] if 0 <= page < self._probe_space else -1
+        if frame_id >= 0:
             stats.hits += 1
-            descriptor = self._descriptors[frame_id]
-            if descriptor.prefetched:
-                descriptor.prefetched = False
+            prefetched_bits = self._prefetched_bits
+            if prefetched_bits[frame_id]:
+                prefetched_bits[frame_id] = 0
                 stats.prefetch_hits += 1
-            self.policy.on_access(page, is_write=True)
+            self._policy_on_access(page, True)
         else:
             stats.misses += 1
             frame_id = self._handle_miss(page)
@@ -190,19 +260,22 @@ class BufferPoolManager:
                 raise PageNotBufferedError(
                     f"miss handling failed to load page {page}"
                 )
-            descriptor = self._descriptors[frame_id]
         observer = self._observer
         if observer is not None:
             observer(page)
-        if not descriptor.dirty:
-            descriptor.dirty = True
+        dirty_bits = self._dirty_bits
+        if not dirty_bits[frame_id]:
+            dirty_bits[frame_id] = 1
             self._dirty_set.add(page)
+            if self._pin_counts[frame_id]:
+                self._dirty_pinned_overlap += 1
             self._note_dirty(page)
+        payloads = self._payloads
         if payload is None:
-            current = self._payloads[frame_id]
+            current = payloads[frame_id]
             base = current if isinstance(current, int) else 0
             payload = base + 1
-        self._payloads[frame_id] = payload
+        payloads[frame_id] = payload
         if self.wal is not None:
             self.wal.log_update(page, payload)
         return payload
@@ -225,10 +298,27 @@ class BufferPoolManager:
         write-back first, so ``|pinned ∪ dirty| / capacity`` approaches 1.0
         just before misses start stalling on write-backs or the pool
         exhausts outright.  The serving layer's admission gate sheds new
-        requests on this signal (see ``ServingConfig.pressure_threshold``).
+        requests on this signal (see ``ServingConfig.pressure_threshold``),
+        calling this once per dispatch — it is O(1) and allocation-free,
+        computed from the maintained mirrors and the dirty∩pinned overlap
+        counter rather than fresh set arithmetic.
         """
-        pressured = len(self._pinned_set) + len(self._dirty_set - self._pinned_set)
+        pressured = (
+            len(self._pinned_set)
+            + len(self._dirty_set)
+            - self._dirty_pinned_overlap
+        )
         return pressured / self.capacity
+
+    @property
+    def _descriptors(self):
+        """Descriptor views over the pool's state arrays (cold paths)."""
+        return self.pool.descriptors
+
+    @property
+    def resident_count(self) -> int:
+        """Number of resident pages (O(1))."""
+        return len(self._frame_of)
 
     def resident_pages(self) -> list[int]:
         return self.table.pages()
@@ -244,25 +334,40 @@ class BufferPoolManager:
 
     def pin(self, page: int) -> None:
         """Pin a resident page so it cannot be evicted."""
-        descriptor = self._descriptor_of(page)
-        descriptor.pin_count += 1
-        if descriptor.pin_count == 1:
+        frame_id = self._frame_of.get(page)
+        if frame_id is None:
+            raise PageNotBufferedError(f"page {page} is not resident")
+        pin_counts = self._pin_counts
+        count = pin_counts[frame_id] + 1
+        pin_counts[frame_id] = count
+        if count == 1:
             self._pinned_set.add(page)
+            if self._dirty_bits[frame_id]:
+                self._dirty_pinned_overlap += 1
             self.policy.note_pinned(page)
 
     def unpin(self, page: int) -> None:
-        descriptor = self._descriptor_of(page)
-        if descriptor.pin_count == 0:
+        frame_id = self._frame_of.get(page)
+        if frame_id is None:
+            raise PageNotBufferedError(f"page {page} is not resident")
+        pin_counts = self._pin_counts
+        count = pin_counts[frame_id]
+        if count == 0:
             raise ValueError(f"page {page} is not pinned")
-        descriptor.pin_count -= 1
-        if descriptor.pin_count == 0:
+        count -= 1
+        pin_counts[frame_id] = count
+        if count == 0:
             self._pinned_set.discard(page)
+            if self._dirty_bits[frame_id]:
+                self._dirty_pinned_overlap -= 1
             self.policy.note_unpinned(page)
 
     def flush_page(self, page: int) -> None:
         """Write a resident dirty page back to the device (stays resident)."""
-        descriptor = self._descriptor_of(page)
-        if descriptor.dirty:
+        frame_id = self._frame_of.get(page)
+        if frame_id is None:
+            raise PageNotBufferedError(f"page {page} is not resident")
+        if self._dirty_bits[frame_id]:
             self._write_back([page])
 
     def flush_all(self) -> int:
@@ -289,21 +394,131 @@ class BufferPoolManager:
         Returns the frame id the page was installed into, so the request
         path never needs a second table lookup.  Subclasses (ACE) override
         this method; everything else in the manager is shared.
+
+        On a bare device the whole exchange — victim write-back, eviction,
+        read, install — runs inlined below with accounting identical to
+        the generic helpers (``_write_back``/``_evict``/``_load``), which
+        handle the fault-capable devices.
         """
-        if not self.pool.has_free():
-            victim = self.policy.select_victim()
+        device = self._plain_device
+        if device is None:
+            # Generic, retry-capable path (FaultyDevice or a subclass).
+            if not self.pool.has_free():
+                victim = self.policy.select_victim()
+                if victim is None:
+                    raise self._pool_exhausted(page)
+                if victim in self._dirty_set:
+                    # The classic exchange: one write-back for one read.
+                    self.stats.dirty_evictions += 1
+                    self._write_back([victim])
+                    if victim in self._dirty_set:
+                        victim = self._degraded_victim(victim)
+                else:
+                    self.stats.clean_evictions += 1
+                self._evict(victim)
+            return self._load(page)
+
+        (
+            free,
+            slots,
+            frame_of,
+            array_slots,
+            payloads,
+            page_of,
+            dirty_bits,
+            pin_counts,
+            prefetched_bits,
+            device_payloads,
+            read_us,
+            write_us,
+            num_pages,
+            ftl,
+            # Direct clock bumps below: ``advance`` only validates
+            # non-negativity, and the per-page costs are positive by
+            # construction.
+            clock,
+            select_victim,
+            policy_remove,
+            policy_insert,
+            note_clean,
+            dirty_discard,
+        ) = self._turbo
+        stats = self.stats
+        device_stats = device.stats
+        if not free:
+            victim = select_victim()
             if victim is None:
                 raise self._pool_exhausted(page)
-            if victim in self._dirty_set:
-                # The classic exchange: one write-back for one read.
-                self.stats.dirty_evictions += 1
-                self._write_back([victim])
-                if victim in self._dirty_set:
-                    victim = self._degraded_victim(victim)
+            victim_frame = slots[victim]
+            if dirty_bits[victim_frame]:
+                # The classic exchange, single-page write-back inlined
+                # end to end (identical accounting to ``_write_back`` +
+                # ``SimulatedSSD.write_batch`` with one page).
+                stats.dirty_evictions += 1
+                if self.wal is not None:
+                    # WAL-before-data, as in the generic path.
+                    self.wal.flush()
+                clock._now_us += write_us
+                device_stats.writes += 1
+                device_stats.write_batches += 1
+                device_stats.write_time_us += write_us
+                histogram = device_stats.write_batch_size_histogram
+                try:
+                    histogram[1] += 1
+                except KeyError:
+                    histogram[1] = 1
+                if device_stats.largest_write_batch < 1:
+                    device_stats.largest_write_batch = 1
+                device_payloads[victim] = payloads[victim_frame]
+                if ftl is not None:
+                    ftl.write(victim)
+                dirty_bits[victim_frame] = 0
+                dirty_discard(victim)
+                if pin_counts[victim_frame]:
+                    self._dirty_pinned_overlap -= 1
+                note_clean(victim)
+                stats.writebacks += 1
+                stats.writeback_batches += 1
             else:
-                self.stats.clean_evictions += 1
-            self._evict(victim)
-        return self._load(page)
+                stats.clean_evictions += 1
+            # Eviction (the victim is clean and unpinned by construction).
+            if prefetched_bits[victim_frame]:
+                stats.prefetch_unused += 1
+                prefetched_bits[victim_frame] = 0
+            stats.evictions += 1
+            del frame_of[victim]
+            if array_slots:
+                slots[victim] = -1
+            policy_remove(victim)
+            page_of[victim_frame] = -1
+            payloads[victim_frame] = None
+            free.append(victim_frame)
+        # Read the missed page (identical accounting to
+        # ``SimulatedSSD.read_page``) and install it into a free frame.
+        if num_pages is not None and not 0 <= page < num_pages:
+            raise IndexError(
+                f"page {page} out of device range [0, {num_pages})"
+            )
+        clock._now_us += read_us
+        device_stats.reads += 1
+        device_stats.read_batches += 1
+        device_stats.read_time_us += read_us
+        if device_stats.largest_read_batch < 1:
+            device_stats.largest_read_batch = 1
+        if ftl is not None:
+            ftl.read(page)
+        try:
+            payload = device_payloads[page]
+        except KeyError:
+            payload = None
+        frame_id = free.pop()
+        page_of[frame_id] = page
+        payloads[frame_id] = payload
+        frame_of[page] = frame_id
+        if array_slots:
+            slots[page] = frame_id
+        policy_insert(page, cold=False)
+        return frame_id
 
     # ----------------------------------------------------------- internals
 
@@ -332,12 +547,15 @@ class BufferPoolManager:
         frame_id = self._frame_of.get(page)
         if frame_id is None:
             raise PageNotBufferedError(f"page {page} is not resident")
-        return self._descriptors[frame_id]
+        return self.pool.descriptors[frame_id]
 
     def _mark_dirty(self, page: int, frame_id: int) -> None:
-        self._descriptors[frame_id].dirty = True
-        self._dirty_set.add(page)
-        self._note_dirty(page)
+        if not self._dirty_bits[frame_id]:
+            self._dirty_bits[frame_id] = 1
+            self._dirty_set.add(page)
+            if self._pin_counts[frame_id]:
+                self._dirty_pinned_overlap += 1
+            self._note_dirty(page)
 
     def _write_back(self, pages: Iterable[int], background: bool = False) -> int:
         """Write the given resident dirty pages to the device in one batch.
@@ -348,19 +566,18 @@ class BufferPoolManager:
         number of pages written.
         """
         frame_of = self._frame_of
-        descriptors = self._descriptors
+        dirty_bits = self._dirty_bits
         payloads = self._payloads
         batch: dict[int, object | None] = {}
-        resolved: list[object] = []
+        frames: list[int] = []
         for page in pages:
             frame_id = frame_of.get(page)
             if frame_id is None:
                 raise PageNotBufferedError(f"page {page} is not resident")
-            descriptor = descriptors[frame_id]
-            if not descriptor.dirty:
+            if not dirty_bits[frame_id]:
                 raise ValueError(f"page {page} is not dirty")
             batch[page] = payloads[frame_id]
-            resolved.append(descriptor)
+            frames.append(frame_id)
         if not batch:
             return 0
         if self.wal is not None:
@@ -371,8 +588,14 @@ class BufferPoolManager:
             self.device.write_batch(batch)
         except IOFaultError as fault:
             return self._retry_write_back(batch, fault, background)
-        for descriptor in resolved:
-            descriptor.dirty = False
+        pin_counts = self._pin_counts
+        overlap = 0
+        for frame_id in frames:
+            dirty_bits[frame_id] = 0
+            if pin_counts[frame_id]:
+                overlap += 1
+        if overlap:
+            self._dirty_pinned_overlap -= overlap
         self._dirty_set.difference_update(batch)
         note_clean = self._note_clean
         for page in batch:
@@ -438,12 +661,15 @@ class BufferPoolManager:
         if not landed:
             return 0
         frame_of = self._frame_of
-        descriptors = self._descriptors
+        dirty_bits = self._dirty_bits
+        pin_counts = self._pin_counts
         note_clean = self._note_clean
         for page in landed:
             frame_id = frame_of.get(page)
             if frame_id is not None:
-                descriptors[frame_id].dirty = False
+                dirty_bits[frame_id] = 0
+                if pin_counts[frame_id]:
+                    self._dirty_pinned_overlap -= 1
                 note_clean(page)
         self._dirty_set.difference_update(landed)
         stats.writebacks += len(landed)
@@ -476,17 +702,16 @@ class BufferPoolManager:
         frame_id = self._frame_of.get(page)
         if frame_id is None:
             raise PageNotBufferedError(f"page {page} is not resident")
-        descriptor = self._descriptors[frame_id]
-        if descriptor.dirty:
+        if self._dirty_bits[frame_id]:
             raise ValueError(
                 f"cannot evict dirty page {page}; write it back first"
             )
-        if descriptor.pin_count > 0:
+        if self._pin_counts[frame_id] > 0:
             raise ValueError(f"cannot evict pinned page {page}")
-        if descriptor.prefetched:
+        if self._prefetched_bits[frame_id]:
             self.stats.prefetch_unused += 1
         self.stats.evictions += 1
-        del self._frame_of[page]
+        self.table.delete(page)
         self.policy.remove(page)
         self.pool.free(frame_id)
 
@@ -540,12 +765,10 @@ class BufferPoolManager:
 
         Returns the frame id the page now occupies.
         """
-        descriptor = self.pool.allocate()
-        frame_id = descriptor.frame_id
-        descriptor.page = page
-        descriptor.dirty = False
-        descriptor.prefetched = prefetched
+        frame_id = self.pool.allocate_frame()
+        self._page_of[frame_id] = page
         if prefetched:
+            self._prefetched_bits[frame_id] = 1
             self.stats.prefetch_issued += 1
         self._payloads[frame_id] = payload
         self.table.insert(page, frame_id)

@@ -17,10 +17,15 @@ monolithic vs partitioned pools quantify the imbalance cost.
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Callable
 
 from repro.bufferpool.manager import BufferPoolManager
 from repro.bufferpool.stats import BufferStats
+
+#: Counter names aggregated across partitions (BufferStats is slotted, so
+#: ``vars()`` is unavailable).
+_STAT_FIELDS = tuple(field.name for field in dataclasses.fields(BufferStats))
 from repro.storage.device import SimulatedSSD
 
 __all__ = ["PartitionedBufferPoolManager"]
@@ -117,7 +122,7 @@ class PartitionedBufferPoolManager:
         total = BufferStats()
         for partition in self.partitions:
             stats = partition.stats
-            for field in vars(total):
+            for field in _STAT_FIELDS:
                 setattr(total, field, getattr(total, field) + getattr(stats, field))
         return total
 

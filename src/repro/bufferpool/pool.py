@@ -4,6 +4,14 @@ Mirrors PostgreSQL's shared buffer array: frames are identified by a stable
 ``frame_id`` (PostgreSQL's ``buffer_id``) and hold the page payload.  The
 simulator stores a small Python object per frame (typically a version
 counter) instead of 8 KB of bytes.
+
+The per-frame state bits are packed into parallel flat arrays indexed by
+frame id (``page_of`` with ``-1`` for a free frame, ``dirty_bits``,
+``pin_counts``, ``prefetched_bits``) so the request hot path reads and
+writes preallocated ints.  :class:`~repro.bufferpool.descriptor.BufferDescriptor`
+objects are a lazily materialised view over these arrays for the cold
+paths (recovery, sanitizer, tests); a bench run that never touches
+``descriptors`` never pays for the objects.
 """
 
 from __future__ import annotations
@@ -20,9 +28,23 @@ class FramePool:
         if capacity < 1:
             raise ValueError(f"pool capacity must be positive: {capacity}")
         self.capacity = capacity
-        self.descriptors = [BufferDescriptor(frame_id=i) for i in range(capacity)]
+        #: Parallel per-frame state arrays — the authoritative record.
+        self.page_of: list[int] = [-1] * capacity
+        self.dirty_bits: list[int] = [0] * capacity
+        self.pin_counts: list[int] = [0] * capacity
+        self.prefetched_bits: list[int] = [0] * capacity
         self._payloads: list[object | None] = [None] * capacity
         self._free: list[int] = list(range(capacity - 1, -1, -1))
+        self._descriptors: list[BufferDescriptor] | None = None
+
+    @property
+    def descriptors(self) -> list[BufferDescriptor]:
+        """Per-frame descriptor views (materialised on first use)."""
+        if self._descriptors is None:
+            self._descriptors = [
+                BufferDescriptor.view(self, i) for i in range(self.capacity)
+            ]
+        return self._descriptors
 
     @property
     def free_count(self) -> int:
@@ -35,18 +57,24 @@ class FramePool:
     def has_free(self) -> bool:
         return bool(self._free)
 
-    def allocate(self) -> BufferDescriptor:
-        """Take a free frame; raises ``RuntimeError`` if none is available."""
+    def allocate_frame(self) -> int:
+        """Take a free frame id; raises ``RuntimeError`` if none is free."""
         if not self._free:
             raise RuntimeError("frame pool exhausted — evict before allocating")
-        return self.descriptors[self._free.pop()]
+        return self._free.pop()
+
+    def allocate(self) -> BufferDescriptor:
+        """Take a free frame; raises ``RuntimeError`` if none is available."""
+        return self.descriptors[self.allocate_frame()]
 
     def free(self, frame_id: int) -> None:
-        """Return a frame to the free list and clear its descriptor."""
-        descriptor = self.descriptors[frame_id]
-        if not descriptor.in_use:
+        """Return a frame to the free list and clear its state bits."""
+        if self.page_of[frame_id] < 0:
             raise ValueError(f"frame {frame_id} is already free")
-        descriptor.reset()
+        self.page_of[frame_id] = -1
+        self.dirty_bits[frame_id] = 0
+        self.pin_counts[frame_id] = 0
+        self.prefetched_bits[frame_id] = 0
         self._payloads[frame_id] = None
         self._free.append(frame_id)
 

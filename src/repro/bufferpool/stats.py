@@ -7,12 +7,14 @@ write-backs (pages flushed to the device), and prefetch accuracy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 __all__ = ["BufferStats"]
 
 
-@dataclass
+# ``slots=True``: the manager increments these counters on every request,
+# so the attribute writes bypass a per-instance dict.
+@dataclass(slots=True)
 class BufferStats:
     """Counters maintained by the buffer manager."""
 
@@ -79,4 +81,4 @@ class BufferStats:
         return self.prefetch_hits / used_or_wasted
 
     def copy(self) -> "BufferStats":
-        return BufferStats(**vars(self))
+        return replace(self)

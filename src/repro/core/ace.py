@@ -63,9 +63,16 @@ class ACEBufferPoolManager(BufferPoolManager):
         prefetcher: Prefetcher | None = None,
         sanitize: bool | None = None,
         retry: RetryPolicy | None = None,
+        table_backend: str | None = None,
     ) -> None:
         super().__init__(
-            capacity, policy, device, wal=wal, sanitize=sanitize, retry=retry
+            capacity,
+            policy,
+            device,
+            wal=wal,
+            sanitize=sanitize,
+            retry=retry,
+            table_backend=table_backend,
         )
         if config is None:
             config = ACEConfig.for_device(device.profile)

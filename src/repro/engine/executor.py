@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.bufferpool.background import BackgroundWriter, Checkpointer
 from repro.bufferpool.manager import BufferPoolManager
+from repro.errors import PageNotBufferedError
 from repro.engine.latency import LatencyRecorder
 from repro.engine.metrics import RunMetrics
 from repro.workloads.tpcc.transactions import TransactionType
@@ -58,6 +59,322 @@ class ExecutionOptions:
             raise ValueError("background intervals must be positive")
         if self.commit_every_ops < 0:
             raise ValueError("commit_every_ops cannot be negative")
+
+
+def _replay_turbo_baseline(manager: BufferPoolManager, trace: Trace) -> None:
+    """Replay ``trace`` against a bare baseline manager, fully inlined.
+
+    The strictest specialisation: requires the *base* manager class (no
+    ACE override of ``_handle_miss``), a bare :class:`SimulatedSSD` (the
+    manager's ``_turbo`` tuple exists), no WAL, and no observer.  Under
+    those conditions every step of the request path — probe, hit
+    bookkeeping, victim write-back, eviction, device read, install, dirty
+    marking — is straight-line code here, and the *commuting* integer
+    counters (hits, evictions, device read/write counts, the batch
+    histogram) are accumulated in locals and flushed once.  Floating-point
+    accounting (the virtual clock and device time sums) stays sequential
+    per event, so the resulting metrics are byte-identical to the
+    per-request replay, not merely equal modulo summation order.
+
+    Counter locals that must not count a failed request (device reads,
+    write-backs) are bumped exactly where the per-request path bumps
+    them, so an exception mid-trace flushes the same totals the
+    per-request replay would have recorded.
+    """
+    (
+        free,
+        slots,
+        frame_of,
+        array_slots,
+        payloads,
+        page_of,
+        dirty_bits,
+        pin_counts,
+        prefetched_bits,
+        device_payloads,
+        read_us,
+        write_us,
+        num_pages,
+        ftl,
+        clock,
+        select_victim,
+        policy_remove,
+        policy_insert,
+        note_clean,
+        dirty_discard,
+    ) = manager._turbo
+    probe_space = manager._probe_space
+    on_access = manager._policy_on_access
+    note_dirty = manager._note_dirty
+    dirty_add = manager._dirty_set.add
+    stats = manager.stats
+    device_stats = manager._plain_device.stats
+    hits = 0
+    misses = 0
+    prefetch_hits = 0
+    read_requests = 0
+    write_requests = 0
+    evictions = 0
+    clean_evictions = 0
+    dirty_evictions = 0
+    prefetch_unused = 0
+    reads_done = 0
+    writebacks_done = 0
+    try:
+        for page, is_write in zip(trace.pages, trace.writes):
+            frame_id = slots[page] if 0 <= page < probe_space else -1
+            if frame_id >= 0:
+                hits += 1
+                if prefetched_bits[frame_id]:
+                    prefetched_bits[frame_id] = 0
+                    prefetch_hits += 1
+                if is_write:
+                    write_requests += 1
+                    on_access(page, True)
+                else:
+                    read_requests += 1
+                    on_access(page, False)
+                    continue
+            else:
+                misses += 1
+                if is_write:
+                    write_requests += 1
+                else:
+                    read_requests += 1
+                # Miss: evict (when full), read, install — the manager's
+                # turbo ``_handle_miss`` body, step for step.
+                if not free:
+                    victim = select_victim()
+                    if victim is None:
+                        raise manager._pool_exhausted(page)
+                    victim_frame = slots[victim]
+                    if dirty_bits[victim_frame]:
+                        dirty_evictions += 1
+                        clock._now_us += write_us
+                        device_stats.write_time_us += write_us
+                        device_payloads[victim] = payloads[victim_frame]
+                        if ftl is not None:
+                            ftl.write(victim)
+                        dirty_bits[victim_frame] = 0
+                        dirty_discard(victim)
+                        if pin_counts[victim_frame]:
+                            manager._dirty_pinned_overlap -= 1
+                        note_clean(victim)
+                        writebacks_done += 1
+                    else:
+                        clean_evictions += 1
+                    if prefetched_bits[victim_frame]:
+                        prefetch_unused += 1
+                        prefetched_bits[victim_frame] = 0
+                    evictions += 1
+                    del frame_of[victim]
+                    if array_slots:
+                        slots[victim] = -1
+                    policy_remove(victim)
+                    page_of[victim_frame] = -1
+                    payloads[victim_frame] = None
+                    free.append(victim_frame)
+                if num_pages is not None and not 0 <= page < num_pages:
+                    raise IndexError(
+                        f"page {page} out of device range [0, {num_pages})"
+                    )
+                clock._now_us += read_us
+                device_stats.read_time_us += read_us
+                reads_done += 1
+                if ftl is not None:
+                    ftl.read(page)
+                try:
+                    payload = device_payloads[page]
+                except KeyError:
+                    payload = None
+                frame_id = free.pop()
+                page_of[frame_id] = page
+                payloads[frame_id] = payload
+                frame_of[page] = frame_id
+                if array_slots:
+                    slots[page] = frame_id
+                policy_insert(page, False)
+                if not is_write:
+                    continue
+            # Write post-work (hit or miss): dirty marking + version bump.
+            if not dirty_bits[frame_id]:
+                dirty_bits[frame_id] = 1
+                dirty_add(page)
+                if pin_counts[frame_id]:
+                    manager._dirty_pinned_overlap += 1
+                note_dirty(page)
+            current = payloads[frame_id]
+            payloads[frame_id] = (current if isinstance(current, int) else 0) + 1
+    finally:
+        # One flush of the commuting integer counters (identical totals to
+        # the per-request replay, including on mid-trace exceptions — see
+        # the docstring).
+        stats.hits += hits
+        stats.misses += misses
+        stats.read_requests += read_requests
+        stats.write_requests += write_requests
+        stats.prefetch_hits += prefetch_hits
+        stats.evictions += evictions
+        stats.clean_evictions += clean_evictions
+        stats.dirty_evictions += dirty_evictions
+        stats.prefetch_unused += prefetch_unused
+        stats.writebacks += writebacks_done
+        stats.writeback_batches += writebacks_done
+        device_stats.reads += reads_done
+        device_stats.read_batches += reads_done
+        if reads_done and device_stats.largest_read_batch < 1:
+            device_stats.largest_read_batch = 1
+        device_stats.writes += writebacks_done
+        device_stats.write_batches += writebacks_done
+        if writebacks_done:
+            histogram = device_stats.write_batch_size_histogram
+            histogram[1] = histogram.get(1, 0) + writebacks_done
+            if device_stats.largest_write_batch < 1:
+                device_stats.largest_write_batch = 1
+
+
+def _replay_hit_runs(manager: BufferPoolManager, trace: Trace) -> None:
+    """Replay ``trace`` resolving runs of requests with inline probes.
+
+    A request whose translation probe resolves (``slots[page] >= 0``) is
+    a buffer hit by definition, and for a hit ``read_page``/``write_page``
+    do a short, fixed sequence of steps: bump counters, clear the
+    prefetched bit (counting a prefetch hit), notify the policy and the
+    observer, and — for writes — mark the frame dirty, bump the payload
+    version, and log to the WAL.  Doing all of that inline — no executor
+    frame, no ``read_page``/``write_page`` frame — and flushing the
+    counters in one add at the end is what the translation vector buys
+    the executor.  A miss falls back to the manager's own
+    ``_handle_miss`` (the retry/fault-capable entry point), so semantics,
+    metrics, and determinism are byte-identical to the request-by-request
+    replay (counter addition commutes; nothing observes the stats mid-run
+    on this path, and the per-request step order within each access is
+    preserved exactly).
+
+    Only called for managers advertising ``hit_run_ready`` (the
+    ``_slots``/``_probe_space``/``_prefetched_bits`` handshake) without a
+    sanitizer attached (its op wrappers must see every request).
+    """
+    slots = manager._slots  # lint: allow-translation
+    probe_space = manager._probe_space
+    prefetched_bits = manager._prefetched_bits
+    dirty_bits = manager._dirty_bits
+    pin_counts = manager._pin_counts
+    payloads = manager._payloads
+    dirty_add = manager._dirty_set.add
+    note_dirty = manager._note_dirty
+    on_access = manager.policy.on_access
+    handle_miss = manager._handle_miss
+    observer = manager._observer
+    wal = manager.wal
+    wal_log = wal.log_update if wal is not None else None
+    stats = manager.stats
+    hits = 0
+    misses = 0
+    prefetch_hits = 0
+    read_requests = 0
+    write_requests = 0
+    try:
+        if observer is None:
+            for page, is_write in zip(trace.pages, trace.writes):
+                frame_id = slots[page] if 0 <= page < probe_space else -1
+                if not is_write:
+                    read_requests += 1
+                    if frame_id >= 0:
+                        hits += 1
+                        if prefetched_bits[frame_id]:
+                            prefetched_bits[frame_id] = 0
+                            prefetch_hits += 1
+                        on_access(page, False)
+                    else:
+                        misses += 1
+                        frame_id = handle_miss(page)
+                        if frame_id is None:
+                            raise PageNotBufferedError(
+                                f"miss handling failed to load page {page}"
+                            )
+                    continue
+                write_requests += 1
+                if frame_id >= 0:
+                    hits += 1
+                    if prefetched_bits[frame_id]:
+                        prefetched_bits[frame_id] = 0
+                        prefetch_hits += 1
+                    on_access(page, True)
+                else:
+                    misses += 1
+                    frame_id = handle_miss(page)
+                    if frame_id is None:
+                        raise PageNotBufferedError(
+                            f"miss handling failed to load page {page}"
+                        )
+                if not dirty_bits[frame_id]:
+                    dirty_bits[frame_id] = 1
+                    dirty_add(page)
+                    if pin_counts[frame_id]:
+                        manager._dirty_pinned_overlap += 1
+                    note_dirty(page)
+                current = payloads[frame_id]
+                payload = (current if isinstance(current, int) else 0) + 1
+                payloads[frame_id] = payload
+                if wal_log is not None:
+                    wal_log(page, payload)
+        else:
+            for page, is_write in zip(trace.pages, trace.writes):
+                frame_id = slots[page] if 0 <= page < probe_space else -1
+                if not is_write:
+                    read_requests += 1
+                    if frame_id >= 0:
+                        hits += 1
+                        if prefetched_bits[frame_id]:
+                            prefetched_bits[frame_id] = 0
+                            prefetch_hits += 1
+                        on_access(page, False)
+                    else:
+                        misses += 1
+                        frame_id = handle_miss(page)
+                        if frame_id is None:
+                            raise PageNotBufferedError(
+                                f"miss handling failed to load page {page}"
+                            )
+                    observer(page)
+                    continue
+                write_requests += 1
+                if frame_id >= 0:
+                    hits += 1
+                    if prefetched_bits[frame_id]:
+                        prefetched_bits[frame_id] = 0
+                        prefetch_hits += 1
+                    on_access(page, True)
+                else:
+                    misses += 1
+                    frame_id = handle_miss(page)
+                    if frame_id is None:
+                        raise PageNotBufferedError(
+                            f"miss handling failed to load page {page}"
+                        )
+                observer(page)
+                if not dirty_bits[frame_id]:
+                    dirty_bits[frame_id] = 1
+                    dirty_add(page)
+                    if pin_counts[frame_id]:
+                        manager._dirty_pinned_overlap += 1
+                    note_dirty(page)
+                current = payloads[frame_id]
+                payload = (current if isinstance(current, int) else 0) + 1
+                payloads[frame_id] = payload
+                if wal_log is not None:
+                    wal_log(page, payload)
+    finally:
+        # Flushed even if a request raised (pool exhaustion, device
+        # errors) so the recorded stats match the per-request replay —
+        # the failing request's request/miss counters were bumped before
+        # its miss handler raised, exactly as in ``read_page``.
+        stats.read_requests += read_requests
+        stats.write_requests += write_requests
+        stats.hits += hits
+        stats.misses += misses
+        stats.prefetch_hits += prefetch_hits
 
 
 def run_trace(
@@ -137,12 +454,27 @@ def run_trace(
     ):
         # Fast path: nothing observes the clock between requests, so the
         # per-op CPU charge can be applied in one advance at the end
-        # (identical modulo float-summation rounding).  Hoisting
-        # ``manager.access`` and zipping the parallel arrays directly is
-        # worth ~15% on hit-heavy traces.
-        access = manager.access
-        for page, is_write in zip(trace.pages, trace.writes):
-            access(page, is_write)
+        # (identical modulo float-summation rounding).
+        if manager.sanitizer is None and getattr(
+            manager, "hit_run_ready", False
+        ):
+            if (
+                type(manager) is BufferPoolManager
+                and manager._plain_device is not None
+                and manager.wal is None
+                and manager._observer is None
+            ):
+                # Bare baseline stack: the whole request path inlines.
+                _replay_turbo_baseline(manager, trace)
+            else:
+                _replay_hit_runs(manager, trace)
+        else:
+            # Sanitised managers (instance-attribute op wrappers) and
+            # facade managers without the ``hit_run_ready`` handshake
+            # (e.g. the partitioned pool) replay request by request.
+            access = manager.access
+            for page, is_write in zip(trace.pages, trace.writes):
+                access(page, is_write)
         if cpu_per_op:
             clock.advance(cpu_per_op * len(trace))
     else:

@@ -27,7 +27,9 @@ from repro.storage.profiles import DeviceProfile
 __all__ = ["SimulatedSSD", "DeviceStats"]
 
 
-@dataclass
+# ``slots=True``: the buffer manager's inlined miss path bumps these
+# counters on every device-bound request.
+@dataclass(slots=True)
 class DeviceStats:
     """Logical I/O counters for one simulated device."""
 

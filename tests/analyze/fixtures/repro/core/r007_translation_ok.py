@@ -1,0 +1,23 @@
+"""R007 fixture: sanctioned translation access patterns.
+
+Own-state access (``self.``), the public probe surface, and the
+deliberate hot-path alias under the escape hatch are all clean.
+"""
+
+
+class OwnsState:
+    def __init__(self):
+        self._slots = [-1] * 8
+        self._frame_of = {}
+
+    def lookup(self, page):
+        frame = self._slots[page]
+        return None if frame < 0 else frame
+
+
+def resident(manager, page):
+    return manager.table.lookup(page) is not None
+
+
+def hot_alias(manager):
+    return manager._slots  # lint: allow-translation

@@ -1,0 +1,19 @@
+"""R007 fixture: reaching into another object's translation internals.
+
+Every function below bakes in one backend's page→frame representation
+(dict membership / vector indexing) instead of going through the table's
+public probe surface.
+"""
+
+
+def resident(manager, page):
+    return page in manager._frame_of
+
+
+def probe(manager, page):
+    return manager._slots[page]
+
+
+def peek(table, page):
+    frame_of = table._frame_of
+    return frame_of.get(page)

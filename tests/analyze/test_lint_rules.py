@@ -1,4 +1,4 @@
-"""Tests for the repo-specific AST lint rules (R001-R006).
+"""Tests for the repo-specific AST lint rules (R001-R007).
 
 Each rule gets at least one positive test (a fixture file written to
 violate it, laid out under ``fixtures/repro/...`` so package scoping
@@ -79,7 +79,7 @@ class TestFramework:
 
     def test_rule_catalogue_complete(self):
         assert [rule.code for rule in DEFAULT_RULES] == \
-            ["R001", "R002", "R003", "R004", "R005", "R006"]
+            ["R001", "R002", "R003", "R004", "R005", "R006", "R007"]
         for rule in DEFAULT_RULES:
             assert rule.name and rule.description
 
@@ -242,6 +242,38 @@ class TestServingVirtualTimeRule:
         assert lint_file(free) == []
 
 
+class TestTranslationEncapsulationRule:
+    def test_flags_foreign_translation_access(self):
+        violations = lint_file(FIXTURES / "core" / "r007_translation_poke.py")
+        assert codes(violations) == {"R007"}
+        messages = " | ".join(violation.message for violation in violations)
+        assert "._frame_of" in messages
+        assert "._slots" in messages
+        assert len(violations) == 3
+
+    def test_own_state_public_api_and_hatch_are_clean(self):
+        assert lint_file(FIXTURES / "core" / "r007_translation_ok.py") == []
+
+    def test_table_module_itself_is_exempt(self, tmp_path):
+        # The home module manipulates the dict/vector freely, including
+        # cross-object moves (e.g. rebuilding one backend from another).
+        pool_dir = tmp_path / "repro" / "bufferpool"
+        pool_dir.mkdir(parents=True)
+        inside = pool_dir / "table.py"
+        inside.write_text(
+            "def rebuild(old, new):\n"
+            "    for page, frame in old._frame_of.items():\n"
+            "        new._slots[page] = frame\n"
+        )
+        assert lint_file(inside) == []
+
+    def test_scoped_to_repro_package(self, tmp_path):
+        source = (FIXTURES / "core" / "r007_translation_poke.py").read_text()
+        free = tmp_path / "r007_translation_poke.py"
+        free.write_text(source)
+        assert lint_file(free) == []
+
+
 class TestShippedTree:
     def test_src_is_clean(self):
         violations, files = run_lint([REPO_ROOT / "src"])
@@ -253,7 +285,7 @@ class TestLintCli:
     def test_fixtures_exit_nonzero(self, capsys):
         assert main(["lint", str(FIXTURES)]) == 1
         out = capsys.readouterr().out
-        for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
+        for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
             assert code in out
         assert "violation(s)" in out
 
@@ -264,5 +296,5 @@ class TestLintCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
+        for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
             assert code in out

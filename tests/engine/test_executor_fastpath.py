@@ -1,0 +1,144 @@
+"""Executor fast-path equivalence: inlined replay vs per-request replay.
+
+``run_trace`` resolves hit runs (and, for the bare baseline stack, whole
+misses) inside the executor instead of calling ``manager.access`` per
+request.  That inlining is pure mechanics — forcing the per-request path
+via the ``hit_run_ready`` handshake must leave every observable output
+byte-identical: RunMetrics, device counters, virtual clock, residency
+order, dirty set, and WAL records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bufferpool.manager import BufferPoolManager
+from repro.bufferpool.wal import WriteAheadLog
+from repro.core.ace import ACEBufferPoolManager
+from repro.core.config import ACEConfig
+from repro.engine.executor import ExecutionOptions, run_trace
+from repro.errors import PoolExhaustedError
+from repro.policies.registry import make_policy
+from repro.storage.clock import VirtualClock
+from repro.storage.device import SimulatedSSD
+from repro.workloads.synthetic import MS, generate_trace
+
+from tests.bufferpool.conftest import TEST_PROFILE
+
+NUM_PAGES = 400
+CAPACITY = 32
+OPTIONS = ExecutionOptions(cpu_us_per_op=3.0)
+
+
+def build(policy_name="lru", variant="baseline", *, with_wal=False):
+    clock = VirtualClock()
+    device = SimulatedSSD(TEST_PROFILE, num_pages=NUM_PAGES, clock=clock)
+    device.format_pages(range(NUM_PAGES))
+    policy = make_policy(policy_name, CAPACITY)
+    wal = WriteAheadLog(clock) if with_wal else None
+    if variant == "baseline":
+        return BufferPoolManager(CAPACITY, policy, device, wal=wal)
+    config = ACEConfig.for_device(
+        TEST_PROFILE, prefetch_enabled=(variant == "ace+pf")
+    )
+    return ACEBufferPoolManager(
+        CAPACITY, policy, device, wal=wal, config=config
+    )
+
+
+def fingerprint(manager, metrics):
+    wal = manager.wal
+    return {
+        "buffer": dataclasses.asdict(metrics.buffer),
+        "device": dataclasses.asdict(metrics.device),
+        "elapsed_us": metrics.elapsed_us,
+        "io_time_us": metrics.io_time_us,
+        "cpu_time_us": metrics.cpu_time_us,
+        "clock_us": manager.device.clock.now_us,
+        "residency_order": manager.table.pages(),
+        "dirty": sorted(manager.dirty_pages()),
+        "wal_records": None if wal is None else wal._records,
+    }
+
+
+def run_one(policy_name, variant, *, with_wal, force_slow, ops=2500, seed=11):
+    manager = build(policy_name, variant, with_wal=with_wal)
+    assert type(manager).hit_run_ready is True
+    if force_slow:
+        # Instance override defeats the handshake: run_trace falls back
+        # to the per-request ``manager.access`` loop.
+        manager.hit_run_ready = False
+    trace = generate_trace(MS, NUM_PAGES, ops, seed=seed)
+    metrics = run_trace(manager, trace, options=OPTIONS)
+    return fingerprint(manager, metrics)
+
+
+@pytest.mark.parametrize("policy_name", ["lru", "clock", "lfu"])
+def test_turbo_baseline_matches_per_request(policy_name):
+    """Bare baseline stack: the fully inlined miss path vs access()."""
+    fast = run_one(policy_name, "baseline", with_wal=False, force_slow=False)
+    slow = run_one(policy_name, "baseline", with_wal=False, force_slow=True)
+    assert fast == slow
+
+
+def test_hit_run_path_with_wal_matches_per_request():
+    """A WAL disqualifies the turbo path; the hit-run path must agree too."""
+    fast = run_one("lru", "baseline", with_wal=True, force_slow=False)
+    slow = run_one("lru", "baseline", with_wal=True, force_slow=True)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("variant", ["ace", "ace+pf"])
+def test_ace_hit_run_matches_per_request(variant):
+    fast = run_one("lru", variant, with_wal=True, force_slow=False)
+    slow = run_one("lru", variant, with_wal=True, force_slow=True)
+    assert fast == slow
+
+
+def test_fast_path_error_parity():
+    """A mid-trace out-of-range page fails identically on both paths.
+
+    The inlined executor batches commuting counters in locals; on an
+    exception those batches flush in ``finally`` so the counters must
+    cover exactly the requests that completed — the same totals the
+    per-request path leaves behind.
+    """
+    results = []
+    for force_slow in (False, True):
+        manager = build("lru", "baseline")
+        if force_slow:
+            manager.hit_run_ready = False
+        trace = generate_trace(MS, NUM_PAGES, 600, seed=3)
+        trace.pages[450] = NUM_PAGES + 7  # beyond the device
+        with pytest.raises(IndexError):
+            run_trace(manager, trace, options=OPTIONS)
+        results.append({
+            "buffer": dataclasses.asdict(manager.stats),
+            "device": dataclasses.asdict(manager.device.stats),
+            "residency_order": manager.table.pages(),
+            "dirty": sorted(manager.dirty_pages()),
+        })
+    assert results[0] == results[1]
+
+
+def test_pool_exhaustion_error_parity():
+    """Every frame pinned: the next miss raises the same way on both paths."""
+    results = []
+    for force_slow in (False, True):
+        manager = build("lru", "baseline")
+        if force_slow:
+            manager.hit_run_ready = False
+        for page in range(CAPACITY):
+            manager.read_page(page)
+            manager.pin(page)
+        trace = generate_trace(MS, NUM_PAGES, 50, seed=5)
+        trace.pages[0] = CAPACITY + 1  # guaranteed miss, no victim
+        with pytest.raises(PoolExhaustedError):
+            run_trace(manager, trace, options=OPTIONS)
+        results.append({
+            "buffer": dataclasses.asdict(manager.stats),
+            "device": dataclasses.asdict(manager.device.stats),
+        })
+    assert results[0] == results[1]

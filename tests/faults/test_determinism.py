@@ -49,7 +49,7 @@ class TestScheduleDeterminism:
         assert first.injector.events == second.injector.events
         assert first.injector.faults_injected > 0
         assert first.clock.now_us == second.clock.now_us
-        assert vars(first.stats) == vars(second.stats)
+        assert dataclasses.asdict(first.stats) == dataclasses.asdict(second.stats)
 
     def test_events_shift_with_the_seed(self):
         first = FaultyDevice(make_base_device(), PLAN)

@@ -1,5 +1,7 @@
 """Tests for FaultyDevice: fault application semantics and pass-through."""
 
+import dataclasses
+
 import pytest
 
 from repro.errors import IOFaultError, TornWriteError
@@ -27,7 +29,7 @@ class TestNullPlanPassThrough:
             device.write_batch({20: "x", 21: "y"})
             device.read_page(5)
         assert wrapped.clock.now_us == bare.clock.now_us
-        assert vars(wrapped.stats) == vars(bare.stats)
+        assert dataclasses.asdict(wrapped.stats) == dataclasses.asdict(bare.stats)
         assert wrapped.peek(20) == bare.peek(20) == "x"
         assert wrapped.stats.faults_injected == 0
 

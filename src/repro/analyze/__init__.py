@@ -7,11 +7,18 @@ fan-out.  This package holds the tooling that keeps those invariants true
 as the codebase grows:
 
 :mod:`repro.analyze.lint`
-    A custom AST lint framework with repo-specific rules (R001-R005),
+    A custom AST lint framework with repo-specific rules (R001-R011),
     run as ``python -m repro lint``.  The rules encode the contracts prose
     comments used to carry: determinism of the simulation packages,
     descriptor encapsulation, virtual-order purity, picklability of grid
     jobs, and no-silent-swallowing of injected I/O faults.
+
+:mod:`repro.analyze.graph` / :mod:`repro.analyze.cfg` /
+:mod:`repro.analyze.dataflow`
+    The whole-program side of the linter: the project import graph with
+    the declared layer DAG (enforced as R008), and a per-function
+    CFG + forward-dataflow framework (reaching definitions, taint)
+    backing the flow-sensitive rules R009-R011.
 
 :mod:`repro.analyze.sanitizer`
     A runtime invariant sanitizer for the bufferpool, enabled with
@@ -22,17 +29,30 @@ as the codebase grows:
     violation.
 """
 
+from repro.analyze.cfg import CFG, BasicBlock, build_cfg
+from repro.analyze.dataflow import ReachingDefinitions, TaintAnalysis, TaintSpec
+from repro.analyze.graph import LAYER_DEPS, ImportEdge, ProjectGraph
 from repro.analyze.lint import LintRule, SourceModule, Violation, run_lint
-from repro.analyze.rules import DEFAULT_RULES
+from repro.analyze.rules import DEFAULT_RULES, RULES_BY_CODE
 from repro.analyze.sanitizer import InvariantSanitizer, attach, env_enabled
 
 __all__ = [
+    "CFG",
+    "BasicBlock",
     "DEFAULT_RULES",
+    "ImportEdge",
     "InvariantSanitizer",
+    "LAYER_DEPS",
     "LintRule",
+    "ProjectGraph",
+    "RULES_BY_CODE",
+    "ReachingDefinitions",
     "SourceModule",
+    "TaintAnalysis",
+    "TaintSpec",
     "Violation",
     "attach",
     "env_enabled",
+    "build_cfg",
     "run_lint",
 ]

@@ -1,0 +1,99 @@
+"""Baseline suppression for the lint driver: adopt now, ratchet later.
+
+Turning a new rule on over an old tree surfaces findings nobody can fix
+today.  A baseline file records their *fingerprints*; a later run with
+``--baseline <file>`` demotes exactly those findings to warnings and
+fails only on new ones, so the rule ratchets forward instead of being
+watered down or hatched wholesale.
+
+Fingerprints are deliberately line-number-independent: a finding is
+identified by ``(path, rule, message, occurrence-index)``, where the
+index counts findings with the same path/rule/message triple in report
+order.  Pure line motion (an unrelated edit above the finding) does not
+invalidate the baseline; changing the offending code does, because the
+rule message embeds the specifics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analyze.lint import Violation
+
+__all__ = [
+    "fingerprints",
+    "load_baseline",
+    "split_by_baseline",
+    "write_baseline_file",
+]
+
+_VERSION = 1
+
+
+def fingerprints(violations: Iterable[Violation]) -> list[str]:
+    """One stable fingerprint per finding, order-aligned with the input."""
+    counts: dict[tuple[str, str, str], int] = {}
+    out: list[str] = []
+    for violation in violations:
+        key = (
+            Path(violation.path).as_posix(),
+            violation.rule,
+            violation.message,
+        )
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        digest = hashlib.sha256(
+            "|".join([*key, str(index)]).encode("utf-8")
+        ).hexdigest()[:16]
+        out.append(digest)
+    return out
+
+
+def write_baseline_file(
+    path: str | Path, violations: Sequence[Violation]
+) -> None:
+    """Record the current findings as the accepted baseline."""
+    document = {
+        "version": _VERSION,
+        "fingerprints": sorted(set(fingerprints(violations))),
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """The accepted fingerprints from a baseline file.
+
+    A malformed file raises ``ValueError`` — a silently empty baseline
+    would resurface every accepted finding as a hard failure.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != _VERSION
+        or not isinstance(document.get("fingerprints"), list)
+    ):
+        raise ValueError(
+            f"baseline {path} is not a version-{_VERSION} baseline document"
+        )
+    return frozenset(
+        fp for fp in document["fingerprints"] if isinstance(fp, str)
+    )
+
+
+def split_by_baseline(
+    violations: Sequence[Violation], accepted: frozenset[str]
+) -> tuple[list[Violation], list[Violation]]:
+    """Partition findings into (new, baselined)."""
+    new: list[Violation] = []
+    known: list[Violation] = []
+    for violation, fingerprint in zip(violations, fingerprints(violations)):
+        (known if fingerprint in accepted else new).append(violation)
+    return new, known

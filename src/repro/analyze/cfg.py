@@ -1,0 +1,372 @@
+"""Per-function control-flow graphs for the dataflow-based lint rules.
+
+The AST answers "what does this statement do"; flow-sensitive rules need
+"what can run before/after it".  This module lowers one function body to
+basic blocks:
+
+* :class:`BasicBlock` — a maximal straight-line statement run with
+  successor edges;
+* :func:`build_cfg` — the builder, handling ``if``/``while``/``for``
+  (with ``else``), ``break``/``continue``/``return``/``raise``,
+  ``try``/``except``/``finally``, and ``with``;
+* optional *exceptional* edges (``with_exceptions=True``): any block
+  whose statements contain a call or an explicit ``raise`` gains an edge
+  to the innermost enclosing ``finally`` (else the function EXIT),
+  modelling "anything the interpreter runs may raise".  That is the
+  over-approximation rule R010 needs: a path that reaches EXIT without
+  passing the counter flush is exactly a lost batch of metrics.
+
+The graph is conservative by design — it may contain paths the program
+cannot take (e.g. a ``finally`` block flows both onward and to EXIT) —
+which is the safe direction for the *must-pass* queries the rules ask.
+
+Nested function/class definitions are treated as opaque single
+statements of the enclosing function; build a separate CFG per function
+to analyze their bodies.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of statements with explicit successor edges."""
+
+    index: int
+    label: str
+    statements: list[ast.stmt] = field(default_factory=list)
+    successors: set[int] = field(default_factory=set)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [getattr(s, "lineno", "?") for s in self.statements]
+        return (
+            f"<block {self.index} {self.label!r} lines={lines} "
+            f"-> {sorted(self.successors)}>"
+        )
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    ENTRY = 0
+    EXIT = 1
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.blocks: list[BasicBlock] = []
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[self.ENTRY]
+
+    @property
+    def exit(self) -> BasicBlock:
+        return self.blocks[self.EXIT]
+
+    def predecessors(self) -> dict[int, set[int]]:
+        preds: dict[int, set[int]] = {b.index: set() for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors:
+                preds[succ].add(block.index)
+        return preds
+
+    def reachable(self) -> set[int]:
+        """Blocks reachable from ENTRY (dead blocks are kept but inert)."""
+        seen: set[int] = set()
+        work = [self.ENTRY]
+        while work:
+            index = work.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            work.extend(self.blocks[index].successors)
+        return seen
+
+    def block_of(self, stmt: ast.stmt) -> BasicBlock | None:
+        for block in self.blocks:
+            if any(s is stmt for s in block.statements):
+                return block
+        return None
+
+    def rpo(self) -> list[int]:
+        """Reverse postorder over reachable blocks (forward-analysis order)."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(index: int) -> None:
+            stack = [(index, iter(sorted(self.blocks[index].successors)))]
+            seen.add(index)
+            while stack:
+                node, children = stack[-1]
+                for child in children:
+                    if child not in seen:
+                        seen.add(child)
+                        stack.append(
+                            (child, iter(sorted(self.blocks[child].successors)))
+                        )
+                        break
+                else:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.ENTRY)
+        return list(reversed(order))
+
+    def always_passes_through(
+        self, start: int, targets: set[int]
+    ) -> bool:
+        """Whether every path ``start`` -> EXIT crosses a target block.
+
+        The must-pass query behind R010: can control flow leak from the
+        accumulation site to the function exit without a flush?
+        Implemented as reachability in the graph with the target blocks
+        removed.
+        """
+        if start in targets:
+            return True
+        seen = {start}
+        work = [start]
+        while work:
+            index = work.pop()
+            if index == self.EXIT:
+                return False
+            for succ in self.blocks[index].successors:
+                if succ not in targets and succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return True
+
+
+class _LoopFrame:
+    def __init__(self, head: int, after: int) -> None:
+        self.head = head
+        self.after = after
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Whether the statement can plausibly raise at runtime.
+
+    Calls, subscripts, attribute loads on arbitrary objects, and explicit
+    ``raise`` all can; a bare ``pass``/constant cannot.  Over-approximate
+    (any of those anywhere in the statement counts), never under.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Call, ast.Subscript, ast.Attribute, ast.BinOp)):
+            return True
+    return False
+
+
+class _Builder:
+    def __init__(self, cfg: CFG, with_exceptions: bool) -> None:
+        self.cfg = cfg
+        self.with_exceptions = with_exceptions
+        self.loops: list[_LoopFrame] = []
+        #: Innermost exceptional landing pads, outermost first.  Each entry
+        #: is the block index control transfers to when a statement raises:
+        #: a handler-dispatch block or a ``finally`` entry.
+        self.exc_targets: list[int] = []
+
+    # -- plumbing ---------------------------------------------------------
+
+    def new_block(self, label: str) -> BasicBlock:
+        block = BasicBlock(index=len(self.cfg.blocks), label=label)
+        self.cfg.blocks.append(block)
+        return block
+
+    def link(self, src: int, dst: int) -> None:
+        self.cfg.blocks[src].successors.add(dst)
+
+    def exceptional_target(self) -> int:
+        return self.exc_targets[-1] if self.exc_targets else CFG.EXIT
+
+    def add_statement(self, block: BasicBlock, stmt: ast.stmt) -> None:
+        block.statements.append(stmt)
+        if self.with_exceptions and _may_raise(stmt):
+            self.link(block.index, self.exceptional_target())
+
+    # -- statement lowering ----------------------------------------------
+
+    def lower_body(self, body: list[ast.stmt], current: BasicBlock) -> BasicBlock | None:
+        """Lower a statement sequence; return the live exit block or None
+        when every path out of the sequence has already been routed
+        (return/raise/break/continue)."""
+        for stmt in body:
+            if current is None:
+                # Unreachable code after a terminator: park it in a dead
+                # block so rules can still see the statements if needed.
+                current = self.new_block("dead")
+            current = self.lower_statement(stmt, current)
+        return current
+
+    def lower_statement(
+        self, stmt: ast.stmt, current: BasicBlock
+    ) -> BasicBlock | None:
+        if isinstance(stmt, ast.Return):
+            self.add_statement(current, stmt)
+            # A return inside try/finally runs the finally suite first.
+            self.link(current.index, self._return_target())
+            return None
+        if isinstance(stmt, ast.Raise):
+            self.add_statement(current, stmt)
+            self.link(current.index, self.exceptional_target())
+            return None
+        if isinstance(stmt, ast.Break):
+            self.add_statement(current, stmt)
+            if self.loops:
+                self.link(current.index, self.loops[-1].after)
+            return None
+        if isinstance(stmt, ast.Continue):
+            self.add_statement(current, stmt)
+            if self.loops:
+                self.link(current.index, self.loops[-1].head)
+            return None
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._lower_loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._lower_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # The context-manager protocol calls may raise; the body is
+            # then lowered inline.
+            self.add_statement(current, stmt)
+            return self.lower_body(stmt.body, current)
+        # Plain statement (including nested def/class, treated opaquely).
+        self.add_statement(current, stmt)
+        return current
+
+    def _return_target(self) -> int:
+        """Where ``return`` transfers control: innermost finally, else EXIT."""
+        return self.exc_targets[-1] if self.exc_targets else CFG.EXIT
+
+    def _lower_if(self, stmt: ast.If, current: BasicBlock) -> BasicBlock | None:
+        self.add_statement(current, stmt)  # the test lives with the branch
+        then_block = self.new_block("then")
+        self.link(current.index, then_block.index)
+        then_exit = self.lower_body(stmt.body, then_block)
+        if stmt.orelse:
+            else_block = self.new_block("else")
+            self.link(current.index, else_block.index)
+            else_exit = self.lower_body(stmt.orelse, else_block)
+        else:
+            else_exit = current
+        if then_exit is None and else_exit is None:
+            return None
+        join = self.new_block("join")
+        if then_exit is not None:
+            self.link(then_exit.index, join.index)
+        if else_exit is not None:
+            self.link(else_exit.index, join.index)
+        return join
+
+    def _lower_loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, current: BasicBlock
+    ) -> BasicBlock:
+        head = self.new_block("loop-head")
+        self.link(current.index, head.index)
+        self.add_statement(head, stmt)  # the test / iterator lives here
+        after = self.new_block("loop-after")
+        body = self.new_block("loop-body")
+        self.link(head.index, body.index)
+        self.loops.append(_LoopFrame(head=head.index, after=after.index))
+        body_exit = self.lower_body(stmt.body, body)
+        self.loops.pop()
+        if body_exit is not None:
+            self.link(body_exit.index, head.index)
+        if stmt.orelse:
+            else_block = self.new_block("loop-else")
+            self.link(head.index, else_block.index)
+            else_exit = self.lower_body(stmt.orelse, else_block)
+            if else_exit is not None:
+                self.link(else_exit.index, after.index)
+        else:
+            self.link(head.index, after.index)
+        return after
+
+    def _lower_try(self, stmt: ast.Try, current: BasicBlock) -> BasicBlock | None:
+        after = self.new_block("try-after")
+
+        fin_entry: BasicBlock | None = None
+        fin_exit: BasicBlock | None = None
+        if stmt.finalbody:
+            fin_entry = self.new_block("finally")
+            outer_exc = self.exceptional_target()
+            fin_exit = self.lower_body(stmt.finalbody, fin_entry)
+            if fin_exit is not None:
+                # The finally suite flows onward on the normal path and
+                # re-raises / returns on the exceptional one; model both.
+                self.link(fin_exit.index, after.index)
+                self.link(fin_exit.index, outer_exc)
+
+        dispatch: BasicBlock | None = None
+        if stmt.handlers:
+            dispatch = self.new_block("except-dispatch")
+
+        # Statements in the try body raise to the handler dispatch when
+        # handlers exist, else straight into the finally.
+        landing = dispatch or fin_entry
+        if landing is not None:
+            self.exc_targets.append(landing.index)
+        body_block = self.new_block("try-body")
+        self.link(current.index, body_block.index)
+        body_exit = self.lower_body(stmt.body, body_block)
+        if landing is not None:
+            self.exc_targets.pop()
+
+        if stmt.orelse and body_exit is not None:
+            body_exit = self.lower_body(stmt.orelse, body_exit)
+
+        normal_out = fin_entry.index if fin_entry is not None else after.index
+        if body_exit is not None:
+            self.link(body_exit.index, normal_out)
+
+        if dispatch is not None:
+            # An unmatched exception propagates past the handlers.
+            unmatched = (
+                fin_entry.index if fin_entry is not None
+                else self.exceptional_target()
+            )
+            self.link(dispatch.index, unmatched)
+            if fin_entry is not None:
+                self.exc_targets.append(fin_entry.index)
+            for handler in stmt.handlers:
+                handler_block = self.new_block("except-body")
+                self.link(dispatch.index, handler_block.index)
+                handler_exit = self.lower_body(handler.body, handler_block)
+                if handler_exit is not None:
+                    self.link(handler_exit.index, normal_out)
+            if fin_entry is not None:
+                self.exc_targets.pop()
+
+        return after
+
+
+def build_cfg(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    with_exceptions: bool = False,
+) -> CFG:
+    """Lower one function body to a CFG.
+
+    ``with_exceptions=True`` adds the implicit may-raise edges described
+    in the module docstring; leave it off for purely shape-based queries
+    (reaching definitions over normal control flow).
+    """
+    cfg = CFG(func)
+    builder = _Builder(cfg, with_exceptions)
+    entry = builder.new_block("entry")
+    assert entry.index == CFG.ENTRY
+    exit_block = builder.new_block("exit")
+    assert exit_block.index == CFG.EXIT
+    first = builder.new_block("body")
+    builder.link(entry.index, first.index)
+    last = builder.lower_body(func.body, first)
+    if last is not None:
+        builder.link(last.index, CFG.EXIT)
+    return cfg

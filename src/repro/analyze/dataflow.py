@@ -1,0 +1,314 @@
+"""Forward dataflow over the per-function CFG: reaching defs and taint.
+
+Two analyses share one worklist engine:
+
+* :class:`ReachingDefinitions` — which ``(name, lineno)`` definitions can
+  reach each block; the classic warm-up analysis, exposed so rules (and
+  the fixture battery) can ask "which assignment produced this value".
+* :class:`TaintAnalysis` — a small forward taint engine.  A
+  :class:`TaintSpec` names the *sources* (expressions that create taint),
+  the *sanitizers* (calls that cleanse it), and how taint propagates
+  through expressions; the engine computes, per block, the set of
+  tainted local names together with the source node that tainted them.
+
+Both are intraprocedural and flow-sensitive but path-insensitive: states
+merge by union at joins, which over-approximates (a value tainted on
+*either* branch is tainted after the join) — the safe direction for
+"this must never flow there" rules.
+
+Compound statements carry only their *header* expressions in the block
+that holds them (an ``if`` contributes its test, a ``for`` its iterator
+and target binding); their bodies live in separate blocks, so the
+transfer functions here must only evaluate headers.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+from repro.analyze.cfg import CFG
+
+__all__ = [
+    "ReachingDefinitions",
+    "TaintAnalysis",
+    "TaintSpec",
+    "assigned_names",
+    "header_expressions",
+]
+
+
+def assigned_names(target: ast.expr) -> Iterator[str]:
+    """Local names bound by an assignment target (tuples flattened).
+
+    Attribute/subscript stores bind no local name and are yielded by the
+    rules' own sink logic instead.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from assigned_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from assigned_names(target.value)
+
+
+def header_expressions(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions a compound statement evaluates *in its own block*."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [
+        node for node in ast.iter_child_nodes(stmt)
+        if isinstance(node, ast.expr)
+    ]
+
+
+class _Engine:
+    """Round-robin-to-fixpoint forward solver over CFG blocks."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+
+    def solve(
+        self,
+        initial: Callable[[], dict],
+        transfer: Callable[[int, dict], dict],
+        merge: Callable[[dict, dict], dict],
+    ) -> tuple[dict[int, dict], dict[int, dict]]:
+        """Returns (in_state, out_state) per block index."""
+        order = self.cfg.rpo()
+        preds = self.cfg.predecessors()
+        in_state: dict[int, dict] = {i: initial() for i in order}
+        out_state: dict[int, dict] = {i: initial() for i in order}
+        changed = True
+        while changed:
+            changed = False
+            for index in order:
+                merged = initial()
+                for pred in preds[index]:
+                    if pred in out_state:
+                        merged = merge(merged, out_state[pred])
+                in_state[index] = merged
+                new_out = transfer(index, dict(merged))
+                if new_out != out_state[index]:
+                    out_state[index] = new_out
+                    changed = True
+        return in_state, out_state
+
+
+class ReachingDefinitions:
+    """Which ``(name, lineno)`` definitions reach each block.
+
+    The state maps a local name to the frozenset of line numbers of
+    assignments that may currently define it.  Function parameters are
+    definitions at the ``def`` line.
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.in_state, self.out_state = _Engine(cfg).solve(
+            initial=self._initial, transfer=self._transfer, merge=self._merge
+        )
+
+    def _initial(self) -> dict[str, frozenset[int]]:
+        return {}
+
+    def _merge(
+        self,
+        left: dict[str, frozenset[int]],
+        right: dict[str, frozenset[int]],
+    ) -> dict[str, frozenset[int]]:
+        merged = dict(left)
+        for name, lines in right.items():
+            merged[name] = merged.get(name, frozenset()) | lines
+        return merged
+
+    def _transfer(
+        self, index: int, state: dict[str, frozenset[int]]
+    ) -> dict[str, frozenset[int]]:
+        if index == CFG.ENTRY:
+            args = self.cfg.func.args
+            for arg in [
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *filter(None, [args.vararg, args.kwarg]),
+            ]:
+                state[arg.arg] = frozenset({self.cfg.func.lineno})
+        for stmt in self.cfg.blocks[index].statements:
+            for name, lineno in self._definitions(stmt):
+                state[name] = frozenset({lineno})
+        return state
+
+    @staticmethod
+    def _definitions(stmt: ast.stmt) -> Iterator[tuple[str, int]]:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for name in assigned_names(target):
+                    yield name, stmt.lineno
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is None:
+                return
+            for name in assigned_names(stmt.target):
+                yield name, stmt.lineno
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            for name in assigned_names(stmt.target):
+                yield name, stmt.lineno
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    for name in assigned_names(item.optional_vars):
+                        yield name, stmt.lineno
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            yield stmt.name, stmt.lineno
+
+    def reaching(self, block_index: int) -> dict[str, frozenset[int]]:
+        """Definitions live on entry to the given block."""
+        return self.in_state.get(block_index, {})
+
+
+@dataclass
+class TaintSpec:
+    """What taints, what cleanses, and what a rule calls the taint.
+
+    ``source`` inspects one expression node and returns a short reason
+    string when that expression *itself* creates taint (independent of
+    its operands), or None.  ``sanitizer`` inspects a Call node and
+    returns True when the call cleanses its arguments (e.g. ``sorted``).
+    """
+
+    source: Callable[[ast.expr], str | None]
+    sanitizer: Callable[[ast.Call], bool] = lambda call: False
+    label: str = "taint"
+
+
+class TaintAnalysis:
+    """Forward may-taint of local names, per block.
+
+    State: ``name -> (reason, source_lineno)`` for every tainted local.
+    An expression is tainted when it is a source, or mentions a tainted
+    name outside sanitizer calls.  Assignments propagate; reassignment
+    from a clean expression cleanses the name.
+    """
+
+    def __init__(self, cfg: CFG, spec: TaintSpec) -> None:
+        self.cfg = cfg
+        self.spec = spec
+        self.in_state, self.out_state = _Engine(cfg).solve(
+            initial=dict, transfer=self._transfer, merge=self._merge
+        )
+
+    @staticmethod
+    def _merge(left: dict, right: dict) -> dict:
+        merged = dict(left)
+        for name, origin in right.items():
+            # Keep the earliest source line for a stable report.
+            if name not in merged or origin[1] < merged[name][1]:
+                merged[name] = origin
+        return merged
+
+    # -- expression-level taint ------------------------------------------
+
+    def taint_of(
+        self, expr: ast.expr, state: dict[str, tuple[str, int]]
+    ) -> tuple[str, int] | None:
+        """The taint origin of an expression under ``state``, if any."""
+        for node in self._taint_relevant(expr):
+            reason = self.spec.source(node)
+            if reason is not None:
+                return (reason, node.lineno)
+            if isinstance(node, ast.Name) and node.id in state:
+                return state[node.id]
+        return None
+
+    def _taint_relevant(self, expr: ast.expr) -> Iterator[ast.expr]:
+        """Walk an expression, skipping the arguments of sanitizer calls."""
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if not isinstance(node, ast.expr):
+                continue
+            if isinstance(node, ast.Call) and self.spec.sanitizer(node):
+                # The call result is clean; only its *function* expression
+                # could still carry taint (e.g. method on tainted object).
+                stack.append(node.func)
+                continue
+            yield node
+            stack.extend(
+                child for child in ast.iter_child_nodes(node)
+                if isinstance(child, ast.expr)
+            )
+
+    # -- statement-level transfer ----------------------------------------
+
+    def _transfer(
+        self, index: int, state: dict[str, tuple[str, int]]
+    ) -> dict[str, tuple[str, int]]:
+        for stmt in self.cfg.blocks[index].statements:
+            self._apply(stmt, state)
+        return state
+
+    def _apply(self, stmt: ast.stmt, state: dict[str, tuple[str, int]]) -> None:
+        if isinstance(stmt, ast.Assign):
+            origin = self.taint_of(stmt.value, state)
+            for target in stmt.targets:
+                for name in assigned_names(target):
+                    if origin is not None:
+                        state[name] = origin
+                    else:
+                        state.pop(name, None)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            origin = self.taint_of(stmt.value, state)
+            for name in assigned_names(stmt.target):
+                if origin is not None:
+                    state[name] = origin
+                else:
+                    state.pop(name, None)
+        elif isinstance(stmt, ast.AugAssign):
+            origin = self.taint_of(stmt.value, state)
+            if origin is not None:
+                for name in assigned_names(stmt.target):
+                    state[name] = origin
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            origin = self.taint_of(stmt.iter, state)
+            for name in assigned_names(stmt.target):
+                if origin is not None:
+                    state[name] = origin
+                else:
+                    state.pop(name, None)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is None:
+                    continue
+                origin = self.taint_of(item.context_expr, state)
+                for name in assigned_names(item.optional_vars):
+                    if origin is not None:
+                        state[name] = origin
+                    else:
+                        state.pop(name, None)
+
+    # -- conveniences for rules ------------------------------------------
+
+    def state_before(self, block_index: int) -> dict[str, tuple[str, int]]:
+        return self.in_state.get(block_index, {})
+
+    def walk_statements(self) -> Iterator[tuple[ast.stmt, dict]]:
+        """Every reachable statement with the taint state *at* it.
+
+        The state is advanced statement-by-statement inside each block,
+        so sinks later in a block see taint created earlier in it.
+        """
+        reachable = self.cfg.reachable()
+        for block in self.cfg.blocks:
+            if block.index not in reachable:
+                continue
+            state = dict(self.in_state.get(block.index, {}))
+            for stmt in block.statements:
+                yield stmt, dict(state)
+                self._apply(stmt, state)

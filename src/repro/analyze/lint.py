@@ -10,34 +10,56 @@ is side-effect-free", "grid jobs must pickle".  The concrete rules live in
 * :class:`SourceModule` — a parsed file plus the context rules need (the
   dotted module name derived from its path, and per-line suppression tags);
 * :class:`LintRule` — the rule interface (``code``, ``check(module)``);
-* :func:`run_lint` — collect files, parse, run every rule, sort findings;
-* :func:`run_cli` — the ``python -m repro lint`` entry point.
+  rules with ``scope = "graph"`` instead implement ``check_graph`` and run
+  once over the assembled :class:`~repro.analyze.graph.ProjectGraph`;
+* :func:`run_lint` — collect files, parse, run the per-file rules (in
+  parallel when ``jobs > 1``), assemble the import graph, run the graph
+  rules, sort findings;
+* :func:`run_cli` — the ``python -m repro lint`` entry point, with
+  ``--select/--exclude/--jobs/--format/--output/--baseline`` handling.
 
 Suppressions are per-line comments of the form ``# lint: allow-mutation``
 (several tags may be comma-separated).  Each rule documents its tag; the
 rule code itself (``# lint: allow-R003``) always works.
+
+Unreadable or unparseable files never crash a run: they surface as a
+structured ``E000`` parse-error finding so one bad file cannot hide
+findings elsewhere.  ``E000`` is an *error*, not a rule — it ignores
+``--select`` and cannot be suppressed.
 """
 
 from __future__ import annotations
 
 import ast
+import fnmatch
+import json
 import re
-from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+from dataclasses import asdict, dataclass
 from pathlib import Path
+
+from repro.analyze.graph import ImportEdge, ProjectGraph, extract_edges
 
 __all__ = [
     "LintRule",
+    "PARSE_ERROR",
     "SourceModule",
     "Violation",
     "collect_files",
     "module_name",
+    "render_json",
+    "render_sarif",
     "run_cli",
     "run_lint",
 ]
 
 #: Matches the suppression comment; the tail is a comma-separated tag list.
 _SUPPRESSION_RE = re.compile(r"#\s*lint:\s*([A-Za-z0-9_,\-\s]+)")
+
+#: The code given to files that cannot be read or parsed.  Outside the
+#: ``R0xx`` rule namespace on purpose: it is an error condition of the
+#: *run*, always reported, never selectable or suppressible.
+PARSE_ERROR = "E000"
 
 
 @dataclass(frozen=True, order=True)
@@ -61,9 +83,10 @@ class SourceModule:
         self.path = path
         self.source = source
         self.tree = ast.parse(source, filename=str(path))
-        #: Dotted module name when the file sits under a ``repro`` package
-        #: directory (``src/repro/policies/lru.py`` -> ``repro.policies.lru``),
-        #: else the bare stem.  Rules scoped to packages key off this.
+        #: Dotted module name rooted at the innermost ``repro``/``tests``/
+        #: ``benchmarks`` directory (``src/repro/policies/lru.py`` ->
+        #: ``repro.policies.lru``), else the bare stem.  Rules scoped to
+        #: packages key off this.
         self.module = module_name(path)
         self._suppressed: dict[int, frozenset[str]] = {}
         for lineno, line in enumerate(source.splitlines(), start=1):
@@ -86,19 +109,35 @@ class SourceModule:
                 return True
         return False
 
+    def import_edges(self) -> list[ImportEdge]:
+        """The file's intra-``repro`` import edges, for graph assembly."""
+        return extract_edges(
+            str(self.path),
+            self.module,
+            self.tree,
+            line_tags=self._suppressed,
+            is_package=self.path.name == "__init__.py",
+        )
+
+
+#: Directory names a dotted module name may be rooted at; the *innermost*
+#: occurrence wins, so a fixture tree ``tests/.../fixtures/repro/...``
+#: still roots at ``repro`` while ``tests/engine/test_x.py`` roots at
+#: ``tests``.
+_MODULE_ROOTS = ("repro", "tests", "benchmarks")
+
 
 def module_name(path: Path) -> str:
-    """Derive a dotted module name from a file path.
-
-    The name is rooted at the innermost ``repro`` directory so the same
-    rule scoping works for the shipped tree (``src/repro/...``) and for
-    test fixtures laid out as ``tests/.../fixtures/repro/...``.
-    """
+    """Derive a dotted module name from a file path."""
     parts = list(path.parts)
     stem = path.stem
-    try:
-        root = len(parts) - 1 - parts[::-1].index("repro")
-    except ValueError:
+    root = -1
+    for name in _MODULE_ROOTS:
+        try:
+            root = max(root, len(parts) - 1 - parts[::-1].index(name))
+        except ValueError:
+            continue
+    if root < 0:
         return stem
     dotted = list(parts[root:-1])
     if stem != "__init__":
@@ -111,16 +150,25 @@ class LintRule:
 
     Subclasses set ``code`` (``R00x``), ``name``, ``description``, and
     ``suppression`` (the human-friendly ``# lint: <tag>`` escape hatch),
-    and implement :meth:`check`.
+    and implement :meth:`check`.  Whole-program rules set
+    ``scope = "graph"`` and implement :meth:`check_graph` instead; the
+    driver calls it once with the assembled project graph after the
+    per-file pass.
     """
 
     code = "R000"
     name = "base"
     description = ""
     suppression: str | None = None
+    #: "file" rules get check(module) per file; "graph" rules get
+    #: check_graph(graph) once per run.
+    scope = "file"
 
-    def check(self, module: SourceModule) -> Iterator[Violation]:
+    def check(self, module: SourceModule) -> Iterable[Violation]:
         raise NotImplementedError
+
+    def check_graph(self, graph: ProjectGraph) -> Iterable[Violation]:
+        return ()
 
     def violation(
         self, module: SourceModule, node: ast.AST, message: str
@@ -141,8 +189,14 @@ class LintRule:
         return module.suppressed(getattr(node, "lineno", 0), *tags)
 
 
-def collect_files(paths: Iterable[str | Path]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+def collect_files(
+    paths: Iterable[str | Path], exclude: Sequence[str] = ()
+) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    ``exclude`` holds fnmatch patterns matched against the
+    forward-slash form of each path (``tests/analyze/fixtures/*``).
+    """
     files: set[Path] = set()
     for entry in paths:
         path = Path(entry)
@@ -154,46 +208,238 @@ def collect_files(paths: Iterable[str | Path]) -> list[Path]:
             files.add(path)
         elif not path.exists():
             raise FileNotFoundError(f"no such file or directory: {path}")
+    if exclude:
+        files = {
+            f for f in files
+            if not any(
+                fnmatch.fnmatch(f.as_posix(), pattern) for pattern in exclude
+            )
+        }
     return sorted(files)
+
+
+def _parse_error(path: Path, exc: Exception) -> Violation:
+    if isinstance(exc, SyntaxError):
+        return Violation(
+            path=str(path),
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            rule=PARSE_ERROR,
+            message=f"syntax error: {exc.msg}",
+        )
+    return Violation(
+        path=str(path),
+        line=1,
+        col=0,
+        rule=PARSE_ERROR,
+        message=f"cannot read file: {exc}",
+    )
+
+
+def _analyze_file(
+    path: Path, rules: Sequence[LintRule]
+) -> tuple[list[Violation], list[ImportEdge], str | None]:
+    """One file through the per-file rules: (violations, edges, module).
+
+    ``module`` is None when the file failed to parse (the violations then
+    hold the ``E000`` finding and the edges are empty).
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+        module = SourceModule(path, source)
+    except (SyntaxError, UnicodeDecodeError, OSError, ValueError) as exc:
+        return [_parse_error(path, exc)], [], None
+    violations: list[Violation] = []
+    for rule in rules:
+        if rule.scope == "file":
+            violations.extend(rule.check(module))
+    return violations, module.import_edges(), module.module
+
+
+def _analyze_file_by_codes(
+    path_str: str, codes: Sequence[str]
+) -> tuple[list[Violation], list[ImportEdge], str | None]:
+    """Worker-process entry: rules are shipped by code, not by object."""
+    from repro.analyze.rules import RULES_BY_CODE
+
+    rules = [RULES_BY_CODE[code] for code in codes]
+    return _analyze_file(Path(path_str), rules)
+
+
+def _select_rules(
+    rules: Sequence[LintRule], select: Sequence[str] | None
+) -> list[LintRule]:
+    if select is None:
+        return list(rules)
+    wanted = {code.strip().upper() for code in select if code.strip()}
+    chosen = [rule for rule in rules if rule.code in wanted]
+    unknown = wanted - {rule.code for rule in rules}
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return chosen
 
 
 def run_lint(
     paths: Iterable[str | Path],
     rules: Sequence[LintRule] | None = None,
+    select: Sequence[str] | None = None,
+    exclude: Sequence[str] = (),
+    jobs: int = 1,
 ) -> tuple[list[Violation], int]:
     """Run the rules over every ``.py`` file under ``paths``.
 
     Returns the sorted violation list and the number of files checked.
-    Unparseable files yield an ``R000`` violation instead of crashing the
-    run, so one syntax error cannot hide findings elsewhere.
+    The per-file pass fans out over ``jobs`` worker processes when
+    ``jobs > 1`` *and* every rule is a stock rule (custom rule objects
+    cannot be shipped by code, so they force the serial path).  Graph
+    rules always run in the calling process, over the import graph
+    assembled from the per-file results.
     """
     if rules is None:
         from repro.analyze.rules import DEFAULT_RULES
 
         rules = DEFAULT_RULES
-    files = collect_files(paths)
+    rules = _select_rules(rules, select)
+    files = collect_files(paths, exclude=exclude)
     violations: list[Violation] = []
-    for path in files:
-        source = path.read_text(encoding="utf-8")
-        try:
-            module = SourceModule(path, source)
-        except SyntaxError as exc:
-            violations.append(
-                Violation(
-                    path=str(path),
-                    line=exc.lineno or 1,
-                    col=exc.offset or 0,
-                    rule="R000",
-                    message=f"syntax error: {exc.msg}",
-                )
-            )
-            continue
-        for rule in rules:
-            violations.extend(rule.check(module))
+    edges: list[ImportEdge] = []
+    modules: list[str] = []
+
+    def absorb(
+        result: tuple[list[Violation], list[ImportEdge], str | None],
+    ) -> None:
+        file_violations, file_edges, module = result
+        violations.extend(file_violations)
+        edges.extend(file_edges)
+        if module is not None:
+            modules.append(module)
+
+    from repro.analyze.rules import RULES_BY_CODE
+
+    stock = all(RULES_BY_CODE.get(rule.code) is rule for rule in rules)
+    if jobs > 1 and stock and len(files) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        codes = [rule.code for rule in rules]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for result in pool.map(
+                _analyze_file_by_codes,
+                [str(path) for path in files],
+                [codes] * len(files),
+                chunksize=8,
+            ):
+                absorb(result)
+    else:
+        for path in files:
+            absorb(_analyze_file(path, rules))
+
+    graph_rules = [rule for rule in rules if rule.scope == "graph"]
+    if graph_rules:
+        graph = ProjectGraph(edges, modules)
+        for rule in graph_rules:
+            violations.extend(rule.check_graph(graph))
     return sorted(violations), len(files)
 
 
-def run_cli(paths: Sequence[str], list_rules: bool = False) -> int:
+# -- output formats ---------------------------------------------------------
+
+
+def render_json(violations: Sequence[Violation], files: int) -> str:
+    return json.dumps(
+        {
+            "files": files,
+            "violations": [asdict(violation) for violation in violations],
+        },
+        indent=2,
+    )
+
+
+def render_sarif(
+    violations: Sequence[Violation],
+    rules: Sequence[LintRule],
+) -> str:
+    """SARIF 2.1.0, the shape GitHub code scanning ingests."""
+    rule_ids = sorted(
+        {violation.rule for violation in violations}
+        | {rule.code for rule in rules}
+    )
+    described = {rule.code: rule for rule in rules}
+    sarif_rules = []
+    for rule_id in rule_ids:
+        rule = described.get(rule_id)
+        entry: dict = {"id": rule_id}
+        if rule is not None:
+            entry["name"] = rule.name
+            entry["shortDescription"] = {"text": rule.description or rule.name}
+        elif rule_id == PARSE_ERROR:
+            entry["name"] = "parse-error"
+            entry["shortDescription"] = {
+                "text": "file could not be read or parsed"
+            }
+        sarif_rules.append(entry)
+    results = [
+        {
+            "ruleId": violation.rule,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(violation.path).as_posix(),
+                        },
+                        "region": {
+                            "startLine": max(violation.line, 1),
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in violations
+    ]
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/architecture"
+                        ),
+                        "rules": sarif_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+def _emit(text: str, output: str | None) -> None:
+    if output is None:
+        print(text)
+    else:
+        Path(output).write_text(text + "\n", encoding="utf-8")
+
+
+def run_cli(
+    paths: Sequence[str],
+    list_rules: bool = False,
+    select: Sequence[str] | None = None,
+    exclude: Sequence[str] = (),
+    jobs: int = 1,
+    fmt: str = "text",
+    output: str | None = None,
+    baseline: str | None = None,
+    write_baseline: str | None = None,
+) -> int:
     """``python -m repro lint`` behaviour: print findings, return exit code."""
     from repro.analyze.rules import DEFAULT_RULES
 
@@ -201,11 +447,55 @@ def run_cli(paths: Sequence[str], list_rules: bool = False) -> int:
         for rule in DEFAULT_RULES:
             print(f"{rule.code} {rule.name}: {rule.description}")
         return 0
-    violations, files = run_lint(paths or ["src"])
-    for violation in violations:
-        print(violation.format())
-    if violations:
-        print(f"{len(violations)} violation(s) in {files} file(s) checked")
-        return 1
-    print(f"OK: {files} file(s) clean")
-    return 0
+    try:
+        violations, files = run_lint(
+            paths or ["src"], select=select, exclude=exclude, jobs=jobs
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    known: list[Violation] = []
+    if write_baseline is not None:
+        from repro.analyze.baseline import write_baseline_file
+
+        write_baseline_file(write_baseline, violations)
+        print(
+            f"baseline: recorded {len(violations)} finding(s) from "
+            f"{files} file(s) into {write_baseline}"
+        )
+        return 0
+    if baseline is not None:
+        from repro.analyze.baseline import load_baseline, split_by_baseline
+
+        violations, known = split_by_baseline(
+            violations, load_baseline(baseline)
+        )
+
+    if fmt == "json":
+        _emit(render_json(violations, files), output)
+    elif fmt == "sarif":
+        _emit(render_sarif(violations, DEFAULT_RULES), output)
+    else:
+        for violation in known:
+            print(f"warning (baselined): {violation.format()}")
+        for violation in violations:
+            print(violation.format())
+        if violations:
+            print(
+                f"{len(violations)} violation(s) in {files} file(s) checked"
+            )
+        elif known:
+            print(
+                f"OK: {files} file(s); {len(known)} baselined finding(s) "
+                "suppressed"
+            )
+        else:
+            print(f"OK: {files} file(s) clean")
+    if fmt in {"json", "sarif"} and output is not None and violations:
+        # Machine formats going to a file still need a console verdict.
+        print(
+            f"{len(violations)} violation(s) in {files} file(s) checked "
+            f"(written to {output})"
+        )
+    return 1 if violations else 0

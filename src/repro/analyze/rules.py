@@ -1,7 +1,10 @@
-"""The repo-specific lint rules (R001-R007).
+"""The repo-specific lint rules (R001-R011).
 
 Each rule encodes a contract the simulator depends on but no generic tool
-checks:
+checks.  R001-R007 are per-file AST rules; R008 is a whole-program rule
+over the import graph (:mod:`repro.analyze.graph`), and R009-R011 are
+flow-sensitive rules built on the CFG/dataflow framework
+(:mod:`repro.analyze.cfg`, :mod:`repro.analyze.dataflow`):
 
 R001 *determinism*
     The simulation packages (``repro.core``, ``repro.policies``,
@@ -61,6 +64,45 @@ R007 *translation-encapsulation*
     deliberate hot-path aliases (manager construction, the executor's
     inlined replay, crash bricking, the sanitizer's ground-truth peek)
     carry the escape hatch ``# lint: allow-translation``.
+
+R008 *layering*
+    The architecture is a declared DAG of package layers
+    (:data:`repro.analyze.graph.LAYER_DEPS`): ``repro.policies`` and
+    ``repro.bufferpool`` must never import the engine/bench/serving
+    layers above them, ``repro.analyze`` stands alone on
+    ``repro.errors``, and no module-scope import cycles may exist at
+    module granularity.  ``TYPE_CHECKING`` imports are exempt.  Escape
+    hatch: ``# lint: allow-layering``.
+
+R009 *iteration-order determinism*
+    Iterating a ``set``/``frozenset`` yields hash order — stable within
+    one process, but dependent on insertion history, which is exactly
+    the kind of order that silently diverges between "should be
+    identical" runs.  Values derived from set iteration must not flow
+    into ordered outputs (list appends, ``list()``/``tuple()``
+    materialisation, ``yield``, ``str.join``) without an intervening
+    ``sorted()``.  Escape hatch: ``# lint: allow-set-order``.
+
+R010 *batched-counter exception safety*
+    The executor fast paths accumulate commuting integer deltas in
+    locals and flush them into stats/metrics objects once — the
+    ``_replay_turbo_baseline`` contract is that a mid-trace exception
+    flushes the same totals the per-request path would have recorded.
+    Mechanically: a local accumulated with ``+=`` inside a loop and
+    flushed into a stats/metrics attribute must reach that flush on
+    *every* CFG path to the function exit, including the implicit
+    may-raise edges — in practice, the flush belongs in a ``finally``.
+    Escape hatch: ``# lint: allow-unflushed-counter``.
+
+R011 *value-level wall-clock taint*
+    Generalizes R001/R006 from call denylists to dataflow: any value
+    tainted by ``time.*``/``datetime.*``/``os.environ`` must not reach
+    simulation state, metrics objects, or control flow anywhere under
+    ``repro``.  Reading the wall clock is not the violation — acting on
+    it is.  Deliberate host inputs (the perf harness, env-var knobs)
+    carry ``# lint: allow-wall-clock`` (or R001's
+    ``allow-nondeterminism``) on the *source* line, which kills the
+    taint at the seed.
 """
 
 from __future__ import annotations
@@ -68,6 +110,9 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+from repro.analyze.cfg import build_cfg
+from repro.analyze.dataflow import TaintAnalysis, TaintSpec, assigned_names
+from repro.analyze.graph import LAYER_DEPS, ProjectGraph, package_of
 from repro.analyze.lint import LintRule, SourceModule, Violation
 
 __all__ = [
@@ -145,6 +190,9 @@ class DeterminismRule(LintRule):
     suppression = "allow-nondeterminism"
 
     #: Packages whose behaviour must be a pure function of config + seed.
+    #: ``tests``/``benchmarks`` are included so the suites that *assert*
+    #: determinism cannot themselves smuggle in the wall clock (CI lints
+    #: them with ``--select R001,R004,R009``).
     packages = (
         "repro.core",
         "repro.policies",
@@ -153,6 +201,8 @@ class DeterminismRule(LintRule):
         "repro.workloads",
         "repro.engine",
         "repro.faults",
+        "tests",
+        "benchmarks",
     )
 
     _random_funcs = frozenset({
@@ -693,6 +743,615 @@ class TranslationEncapsulationRule(LintRule):
                 )
 
 
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class LayeringRule(LintRule):
+    """R008: whole-program import layering and cycle freedom."""
+
+    code = "R008"
+    name = "layering"
+    description = (
+        "intra-repro imports must follow the declared layer DAG "
+        "(repro.analyze.graph.LAYER_DEPS) and form no module-scope import "
+        "cycles; TYPE_CHECKING imports are exempt — escape hatch: "
+        "`# lint: allow-layering`"
+    )
+    suppression = "allow-layering"
+    #: Marks the rule as whole-program: the driver calls check_graph once
+    #: with the assembled ProjectGraph instead of check() per file.
+    scope = "graph"
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        return iter(())
+
+    def _edge_suppressed(self, tags: frozenset[str]) -> bool:
+        return bool(tags & {f"allow-{self.code}", self.suppression})
+
+    @staticmethod
+    def _target_package(target: str) -> str:
+        """The layer key of an import target.
+
+        Per-alias edges overshoot by one component on symbol imports
+        (``from repro import run_lint`` targets ``repro.run_lint``);
+        when the direct key is undeclared, fall back to the parent.
+        """
+        pkg = package_of(target)
+        if pkg in LAYER_DEPS or "." not in target:
+            return pkg
+        parent = package_of(target.rsplit(".", 1)[0])
+        return parent if parent in LAYER_DEPS else pkg
+
+    def check_graph(self, graph: ProjectGraph) -> Iterator[Violation]:
+        for edge in graph.edges:
+            if edge.type_checking or self._edge_suppressed(edge.tags):
+                continue
+            src_pkg = package_of(edge.src_module)
+            if src_pkg not in LAYER_DEPS:
+                continue  # not a governed package (scripts, test modules)
+            target_pkg = self._target_package(edge.target)
+            if target_pkg == src_pkg:
+                continue
+            if target_pkg not in LAYER_DEPS:
+                yield Violation(
+                    path=edge.src_path, line=edge.lineno, col=edge.col,
+                    rule=self.code,
+                    message=(
+                        f"{src_pkg} imports {edge.target}, whose package "
+                        f"{target_pkg} is not in the declared layer DAG; "
+                        "add it to repro.analyze.graph.LAYER_DEPS with its "
+                        "allowed dependencies"
+                    ),
+                )
+            elif target_pkg not in LAYER_DEPS[src_pkg]:
+                yield Violation(
+                    path=edge.src_path, line=edge.lineno, col=edge.col,
+                    rule=self.code,
+                    message=(
+                        f"{src_pkg} must not import {target_pkg} "
+                        f"(layer DAG allows only: "
+                        f"{', '.join(sorted(LAYER_DEPS[src_pkg])) or 'nothing'})"
+                        + ("; deferred imports still count — move the "
+                           "dependency down a layer or invert it"
+                           if edge.deferred else "")
+                    ),
+                )
+        for cycle in graph.cycles():
+            edge = graph.edge_for(cycle[0], cycle[1 % len(cycle)])
+            if edge is None or self._edge_suppressed(edge.tags):
+                continue
+            chain = " -> ".join(cycle + [cycle[0]])
+            yield Violation(
+                path=edge.src_path, line=edge.lineno, col=edge.col,
+                rule=self.code,
+                message=(
+                    f"module-scope import cycle: {chain}; defer one import "
+                    "into the function that needs it or move the shared "
+                    "piece down a layer"
+                ),
+            )
+
+
+class IterationOrderRule(LintRule):
+    """R009: set-iteration order must not leak into ordered outputs."""
+
+    code = "R009"
+    name = "iteration-order"
+    description = (
+        "values derived from iterating a set/frozenset must not flow into "
+        "ordered outputs (list appends, list()/tuple(), yield, str.join) "
+        "without an intervening sorted() — escape hatch: "
+        "`# lint: allow-set-order`"
+    )
+    suppression = "allow-set-order"
+
+    packages = ("repro", "tests", "benchmarks")
+
+    #: Methods that keep set-ness when called on a set.
+    _set_methods = frozenset({
+        "union", "intersection", "difference", "symmetric_difference", "copy",
+    })
+    #: Binary operators that keep set-ness.
+    _set_ops = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    #: Consumers for which iteration order genuinely does not matter.
+    _order_free_consumers = frozenset({
+        "sorted", "set", "frozenset", "sum", "len", "min", "max", "any",
+        "all", "Counter", "dict",
+    })
+    #: Ordered materialisations of an iterable.
+    _ordered_builders = frozenset({"list", "tuple"})
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not module.in_package(*self.packages):
+            return
+        for func in _functions(module.tree):
+            yield from self._check_function(module, func)
+
+    # -- set-typed inference (flow-insensitive, per function) -------------
+
+    def _set_locals(self, func: ast.AST) -> set[str]:
+        """Names assigned a set-typed expression anywhere in the function."""
+        sets: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Assign):
+                    continue
+                names = [
+                    name for target in node.targets
+                    for name in assigned_names(target)
+                ]
+                if not names:
+                    continue
+                if self._is_set_expr(node.value, sets):
+                    for name in names:
+                        if name not in sets:
+                            sets.add(name)
+                            changed = True
+        return sets
+
+    def _is_set_expr(self, expr: ast.expr, sets: set[str]) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in sets
+        if isinstance(expr, ast.Attribute):
+            return expr.attr.endswith("_set") or expr.attr == "_sets"
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._set_methods
+            ):
+                return self._is_set_expr(func.value, sets)
+            return False
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, self._set_ops):
+            return (
+                self._is_set_expr(expr.left, sets)
+                or self._is_set_expr(expr.right, sets)
+            )
+        if isinstance(expr, ast.IfExp):
+            return (
+                self._is_set_expr(expr.body, sets)
+                or self._is_set_expr(expr.orelse, sets)
+            )
+        return False
+
+    # -- sinks ------------------------------------------------------------
+
+    def _check_function(
+        self, module: SourceModule, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        sets = self._set_locals(func)
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(func):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        sorted_later = self._sorted_later_names(func)
+
+        # Ordered loop targets: `for x in some_set:` taints x for the body.
+        tainted: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(node.iter, sets):
+                    tainted.update(assigned_names(node.target))
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(
+                    module, node, sets, tainted, parents, sorted_later
+                )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                yield from self._check_comprehension(
+                    module, node, sets, parents, sorted_later
+                )
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is None:
+                    continue
+                hazard = None
+                if isinstance(node, ast.YieldFrom) and self._is_set_expr(
+                    value, sets
+                ):
+                    hazard = "yield from a set yields hash order"
+                elif self._mentions(value, tainted):
+                    hazard = (
+                        "yield of a value bound by set iteration emits "
+                        "hash order"
+                    )
+                if hazard and not self.allowed(module, node):
+                    yield self.violation(
+                        module, node, f"{hazard}; wrap the set in sorted()"
+                    )
+
+    def _sorted_later_names(self, func: ast.AST) -> set[str]:
+        """Receivers that are later ``.sort()``-ed or passed to sorted()."""
+        names: set[str] = set()
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "sort"
+                and isinstance(node.func.value, ast.Name)
+            ):
+                names.add(node.func.value.id)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sorted"
+            ):
+                for arg in node.args:
+                    if isinstance(arg, ast.Name):
+                        names.add(arg.id)
+        return names
+
+    def _assigned_name_of(self, node: ast.AST, parents: dict) -> str | None:
+        parent = parents.get(node)
+        if isinstance(parent, ast.Assign):
+            targets = [
+                name for target in parent.targets
+                for name in assigned_names(target)
+            ]
+            if len(targets) == 1:
+                return targets[0]
+        return None
+
+    def _consumed_order_free(self, node: ast.AST, parents: dict) -> bool:
+        parent = parents.get(node)
+        if isinstance(parent, ast.Call):
+            func = parent.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in self._order_free_consumers
+                and node in parent.args
+            ):
+                return True
+        if isinstance(parent, (ast.Compare,)):
+            # Membership / equality against a set is order-free.
+            return True
+        return False
+
+    @staticmethod
+    def _mentions(expr: ast.expr, names: set[str]) -> bool:
+        return any(
+            isinstance(node, ast.Name) and node.id in names
+            for node in ast.walk(expr)
+        )
+
+    def _check_call(
+        self,
+        module: SourceModule,
+        node: ast.Call,
+        sets: set[str],
+        tainted: set[str],
+        parents: dict,
+        sorted_later: set[str],
+    ) -> Iterator[Violation]:
+        func = node.func
+        # list(S) / tuple(S) over a set materialises hash order.
+        if (
+            isinstance(func, ast.Name)
+            and func.id in self._ordered_builders
+            and node.args
+            and self._is_set_expr(node.args[0], sets)
+        ):
+            target = self._assigned_name_of(node, parents)
+            if (
+                not self._consumed_order_free(node, parents)
+                and (target is None or target not in sorted_later)
+                and not self.allowed(module, node)
+            ):
+                yield self.violation(
+                    module, node,
+                    f"{func.id}() over a set materialises hash order; "
+                    "use sorted() (or sort the result before it escapes)",
+                )
+        # out.append(x) / out.extend(...) with a set-iteration value.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in {"append", "appendleft", "extend", "insert"}
+            and node.args
+        ):
+            receiver = (
+                func.value.id if isinstance(func.value, ast.Name) else None
+            )
+            for arg in node.args:
+                if self._mentions(arg, tainted) or (
+                    func.attr == "extend" and self._is_set_expr(arg, sets)
+                ):
+                    if receiver is not None and receiver in sorted_later:
+                        continue
+                    if not self.allowed(module, node):
+                        yield self.violation(
+                            module, node,
+                            f".{func.attr}() of a value bound by set "
+                            "iteration builds an order-dependent sequence; "
+                            "iterate sorted(<set>) instead",
+                        )
+                    break
+        # "sep".join(S) over a set.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and node.args
+            and self._is_set_expr(node.args[0], sets)
+            and not self.allowed(module, node)
+        ):
+            yield self.violation(
+                module, node,
+                "str.join over a set concatenates in hash order; "
+                "join sorted(<set>) instead",
+            )
+
+    def _check_comprehension(
+        self,
+        module: SourceModule,
+        node: ast.ListComp | ast.GeneratorExp,
+        sets: set[str],
+        parents: dict,
+        sorted_later: set[str],
+    ) -> Iterator[Violation]:
+        if not any(
+            self._is_set_expr(gen.iter, sets) for gen in node.generators
+        ):
+            return
+        if self._consumed_order_free(node, parents):
+            return
+        if isinstance(node, ast.GeneratorExp):
+            # A generator over a set is only a hazard when its consumer
+            # is ordered; unknown consumers are left alone.
+            parent = parents.get(node)
+            ordered = (
+                isinstance(parent, ast.Call)
+                and (
+                    (isinstance(parent.func, ast.Name)
+                     and parent.func.id in self._ordered_builders)
+                    or (isinstance(parent.func, ast.Attribute)
+                        and parent.func.attr == "join")
+                )
+            )
+            if not ordered:
+                return
+        target = self._assigned_name_of(node, parents)
+        if target is not None and target in sorted_later:
+            return
+        if not self.allowed(module, node):
+            yield self.violation(
+                module, node,
+                "comprehension over a set produces an order-dependent "
+                "sequence; iterate sorted(<set>) instead",
+            )
+
+
+class BatchedCounterFlushRule(LintRule):
+    """R010: loop-batched counters must flush on every path to exit."""
+
+    code = "R010"
+    name = "batched-counter-flush"
+    description = (
+        "a local accumulated with += inside a loop and flushed into a "
+        "stats/metrics attribute must reach the flush on every CFG path "
+        "to the function exit (including may-raise edges): put the flush "
+        "in a finally — escape hatch: `# lint: allow-unflushed-counter`"
+    )
+    suppression = "allow-unflushed-counter"
+
+    _sink_markers = ("stats", "metrics")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not module.in_package("repro"):
+            return
+        for func in _functions(module.tree):
+            yield from self._check_function(module, func)
+
+    def _check_function(
+        self, module: SourceModule, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        accumulations = self._loop_accumulations(func)
+        if not accumulations:
+            return
+        flushes = self._flushes(func, set(accumulations))
+        if not flushes:
+            return
+        cfg = build_cfg(func, with_exceptions=True)
+        reachable = cfg.reachable()
+        for counter, stmts in accumulations.items():
+            counter_flushes = flushes.get(counter)
+            if not counter_flushes:
+                continue
+            flush_blocks = {
+                block.index
+                for stmt in counter_flushes
+                if (block := cfg.block_of(stmt)) is not None
+            }
+            if not flush_blocks:
+                continue
+            for stmt in stmts:
+                block = cfg.block_of(stmt)
+                if block is None or block.index not in reachable:
+                    continue
+                if cfg.always_passes_through(block.index, flush_blocks):
+                    continue
+                if self.allowed(module, stmt):
+                    continue
+                flush_line = min(s.lineno for s in counter_flushes)
+                yield self.violation(
+                    module, stmt,
+                    f"counter {counter!r} batched here can reach the "
+                    f"function exit without the flush at line {flush_line} "
+                    "(an exception or early exit would lose the delta); "
+                    "flush it in a finally",
+                )
+
+    @staticmethod
+    def _loop_accumulations(
+        func: ast.AST,
+    ) -> dict[str, list[ast.AugAssign]]:
+        """Locals accumulated with ``+=`` inside a loop, per name."""
+        out: dict[str, list[ast.AugAssign]] = {}
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.AugAssign)
+                    and isinstance(inner.op, ast.Add)
+                    and isinstance(inner.target, ast.Name)
+                ):
+                    out.setdefault(inner.target.id, []).append(inner)
+        return out
+
+    def _flushes(
+        self, func: ast.AST, counters: set[str]
+    ) -> dict[str, list[ast.AugAssign]]:
+        """Statements flushing a counter into a stats/metrics attribute."""
+        out: dict[str, list[ast.AugAssign]] = {}
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Attribute)
+            ):
+                continue
+            if not self._is_sink_chain(node.target):
+                continue
+            for name_node in ast.walk(node.value):
+                if (
+                    isinstance(name_node, ast.Name)
+                    and name_node.id in counters
+                ):
+                    out.setdefault(name_node.id, []).append(node)
+        return out
+
+    def _is_sink_chain(self, target: ast.Attribute) -> bool:
+        """Whether the attribute chain names a stats/metrics object."""
+        node: ast.expr = target
+        parts: list[str] = []
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            if isinstance(node, ast.Attribute):
+                parts.append(node.attr.lower())
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id.lower())
+        return any(
+            marker in part for part in parts for marker in self._sink_markers
+        )
+
+
+class WallClockTaintRule(LintRule):
+    """R011: wall-clock/env-tainted values must not reach state or flow."""
+
+    code = "R011"
+    name = "wall-clock-taint"
+    description = (
+        "any value tainted by time.*/datetime.*/os.environ must not reach "
+        "simulation state, metrics objects, or control flow under repro; "
+        "deliberate host inputs hatch the *source* line with "
+        "`# lint: allow-wall-clock` (or `allow-nondeterminism`)"
+    )
+    suppression = "allow-wall-clock"
+
+    _env_calls = frozenset({"os.getenv", "os.environb"})
+
+    def allowed(self, module: SourceModule, node: ast.AST) -> bool:
+        return module.suppressed(
+            getattr(node, "lineno", 0),
+            f"allow-{self.code}", self.suppression, "allow-nondeterminism",
+        )
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not module.in_package("repro"):
+            return
+        imports = _ImportTable(module.tree)
+        for func in _functions(module.tree):
+            yield from self._check_function(module, func, imports)
+
+    def _source_reason(
+        self, module: SourceModule, imports: _ImportTable, expr: ast.expr
+    ) -> str | None:
+        if self.allowed(module, expr):
+            return None
+        if isinstance(expr, ast.Call):
+            target = imports.resolve(expr.func)
+            if target is not None and (
+                target.split(".")[0] in {"time", "datetime"}
+                or target in self._env_calls
+            ):
+                return f"{target}()"
+        elif isinstance(expr, ast.Attribute):
+            if imports.resolve(expr) == "os.environ":
+                return "os.environ"
+        return None
+
+    def _check_function(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        imports: _ImportTable,
+    ) -> Iterator[Violation]:
+        spec = TaintSpec(
+            source=lambda expr: self._source_reason(module, imports, expr),
+            label="wall-clock",
+        )
+        cfg = build_cfg(func)
+        analysis = TaintAnalysis(cfg, spec)
+        for stmt, state in analysis.walk_statements():
+            yield from self._check_sinks(module, analysis, stmt, state)
+
+    def _check_sinks(
+        self,
+        module: SourceModule,
+        analysis: TaintAnalysis,
+        stmt: ast.stmt,
+        state: dict,
+    ) -> Iterator[Violation]:
+        if isinstance(stmt, (ast.If, ast.While)):
+            origin = analysis.taint_of(stmt.test, state)
+            if origin is not None and not self.allowed(module, stmt):
+                yield self.violation(
+                    module, stmt,
+                    f"control flow depends on a value tainted by "
+                    f"{origin[0]} (line {origin[1]}); decide from config "
+                    "or the virtual clock instead",
+                )
+        elif isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                list(stmt.targets)
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            value = stmt.value
+            if value is None:
+                return
+            origin = analysis.taint_of(value, state)
+            if origin is None:
+                return
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    if not self.allowed(module, stmt):
+                        yield self.violation(
+                            module, stmt,
+                            f"value tainted by {origin[0]} (line "
+                            f"{origin[1]}) is stored into object state; "
+                            "simulation state and metrics must be pure "
+                            "functions of config + seed + virtual time",
+                        )
+                    break
+        elif isinstance(stmt, ast.Assert):
+            origin = analysis.taint_of(stmt.test, state)
+            if origin is not None and not self.allowed(module, stmt):
+                yield self.violation(
+                    module, stmt,
+                    f"assertion depends on a value tainted by {origin[0]} "
+                    f"(line {origin[1]})",
+                )
+
+
 #: The rule set ``python -m repro lint`` runs.
 DEFAULT_RULES: tuple[LintRule, ...] = (
     DeterminismRule(),
@@ -702,4 +1361,11 @@ DEFAULT_RULES: tuple[LintRule, ...] = (
     IORetryRule(),
     ServingVirtualTimeRule(),
     TranslationEncapsulationRule(),
+    LayeringRule(),
+    IterationOrderRule(),
+    BatchedCounterFlushRule(),
+    WallClockTaintRule(),
 )
+
+#: Code -> rule instance, for ``--select`` and the parallel worker pass.
+RULES_BY_CODE: dict[str, LintRule] = {rule.code: rule for rule in DEFAULT_RULES}

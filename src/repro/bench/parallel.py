@@ -139,7 +139,7 @@ def _execute_job(job: GridJob) -> RunMetrics:
 def resolve_workers(workers: int | None = None) -> int:
     """Resolve the worker count: argument > ``REPRO_WORKERS`` > cpu count."""
     if workers is None:
-        env = os.environ.get(WORKERS_ENV_VAR)
+        env = os.environ.get(WORKERS_ENV_VAR)  # lint: allow-wall-clock
         if env is not None:
             try:
                 workers = int(env)

@@ -326,11 +326,12 @@ class BufferPoolManager:
     def dirty_pages(self) -> list[int]:
         """Resident pages with unflushed modifications.
 
-        Reads the maintained dirty-set mirror (O(dirty)) instead of
-        scanning every descriptor (O(capacity)); the background writer
-        calls this every round.
+        Reads the maintained dirty-set mirror instead of scanning every
+        descriptor (O(capacity)); the background writer calls this every
+        round.  Sorted so write-back scheduling never depends on set
+        iteration order.
         """
-        return list(self._dirty_set)
+        return sorted(self._dirty_set)
 
     def pin(self, page: int) -> None:
         """Pin a resident page so it cannot be evicted."""

@@ -4,7 +4,7 @@ PostgreSQL identifies every page with a ``buffer_tag`` — the relation file,
 the fork, and the block number within the fork.  The simulator flattens
 tags to a single integer page number (the device's address space), but the
 structured form is preserved here for the database layout layer
-(:mod:`repro.engine.database`), which assigns each relation a contiguous
+(:mod:`repro.bufferpool.database`), which assigns each relation a contiguous
 page range and converts between the two representations.
 """
 

@@ -1,6 +1,6 @@
 """Execution substrate: database layout, trace execution, metrics."""
 
-from repro.engine.database import AppendCursor, Database, Relation
+from repro.bufferpool.database import AppendCursor, Database, Relation
 from repro.engine.executor import ExecutionOptions, run_trace, run_transactions
 from repro.engine.latency import LatencyRecorder
 from repro.engine.metrics import RunMetrics, percent_delta, speedup

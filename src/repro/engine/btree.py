@@ -8,7 +8,7 @@ fanout, height, page ranges per level — and emits the page-access
 sequences of lookups, range scans, and inserts, without materialising keys.
 
 The index is laid out over a relation allocated from the shared
-:class:`~repro.engine.database.Database`, so index pages compete for
+:class:`~repro.bufferpool.database.Database`, so index pages compete for
 bufferpool frames exactly like data pages.
 """
 
@@ -18,7 +18,7 @@ import math
 import random
 from dataclasses import dataclass
 
-from repro.engine.database import Database, Relation
+from repro.bufferpool.database import Database, Relation
 from repro.workloads.trace import PageRequest
 
 __all__ = ["BTreeIndex", "BTreeShape"]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from repro.engine.database import AppendCursor, Database
+from repro.bufferpool.database import AppendCursor, Database
 from repro.workloads.trace import PageRequest, Trace
 
 __all__ = ["PgbenchWorkload"]

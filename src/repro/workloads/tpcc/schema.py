@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import random
 
-from repro.engine.database import AppendCursor, Database
+from repro.bufferpool.database import AppendCursor, Database
 
 __all__ = ["TPCCDatabase", "DISTRICTS_PER_WAREHOUSE", "nurand"]
 

@@ -1,0 +1,28 @@
+"""R011 negative fixture: virtual clock, hatched env read, local timing.
+
+The virtual clock is not a taint source; a hatched ``os.environ`` read
+kills the taint at the source line; and a tainted value that only flows
+to a ``return`` (never into state or a branch) is the caller's problem
+by design — R011 polices *sinks*, not mere existence.
+"""
+
+import os
+import time
+
+
+def tick(clock, device):
+    now = clock.now()
+    device.stats.last_tick = now
+
+
+def host_budget():
+    raw = os.environ.get("REPRO_BUDGET")  # lint: allow-wall-clock
+    if raw:
+        return int(raw)
+    return None
+
+
+def frame_duration():
+    start = time.perf_counter()
+    elapsed = time.perf_counter() - start
+    return elapsed

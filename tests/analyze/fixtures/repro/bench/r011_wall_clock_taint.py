@@ -1,0 +1,22 @@
+"""R011 fixture: wall-clock/env taint reaching state and control flow."""
+
+import os
+import time
+
+
+def stamp(device):
+    now = time.perf_counter()
+    device.stats.last_tick = now
+
+
+def deadline_check(config):
+    if time.monotonic() > config.deadline:
+        return "late"
+    return "on-time"
+
+
+def env_loop(pool):
+    limit = os.environ.get("REPRO_LIMIT")
+    while limit:
+        pool.shrink()
+        limit = None

@@ -1,0 +1,11 @@
+"""R008 fixture: one half of a module-scope import cycle.
+
+Invisible to any per-file rule — each file parses fine alone; only the
+assembled project graph (both cycle files on the table) can see it.
+"""
+
+from repro.core.r008_cycle_b import helper_b
+
+
+def helper_a():
+    return helper_b() + 1

@@ -1,0 +1,7 @@
+"""R008 fixture: the other half of the module-scope import cycle."""
+
+from repro.core.r008_cycle_a import helper_a
+
+
+def helper_b():
+    return helper_a() - 1

@@ -1,0 +1,24 @@
+"""R010 negative fixture: the finally flush covers every path."""
+
+
+def replay_protected(manager, trace, stats):
+    hits = 0
+    misses = 0
+    try:
+        for page, is_write in trace:
+            frame = manager.lookup(page, is_write)
+            if frame is None:
+                misses += 1
+                manager.fetch(page)
+            else:
+                hits += 1
+    finally:
+        stats.hits += hits
+        stats.misses += misses
+
+
+def tally_pure(trace, stats):
+    total = 0
+    for _ in trace:
+        total += 1
+    stats.accesses += total

@@ -1,0 +1,30 @@
+"""R010 fixture: batched counters that can miss their flush.
+
+Modeled on the executor's turbo-replay baseline with the ``finally``
+flush removed: a fault raised by the manager mid-trace (or the early
+return) loses the accumulated deltas, and the reported hit rate
+silently under-counts.
+"""
+
+
+def replay_unprotected(manager, trace, stats):
+    hits = 0
+    misses = 0
+    for page, is_write in trace:
+        frame = manager.lookup(page, is_write)
+        if frame is None:
+            misses += 1
+            manager.fetch(page)
+        else:
+            hits += 1
+    stats.hits += hits
+    stats.misses += misses
+
+
+def replay_early_exit(manager, trace, stats):
+    accesses = 0
+    for page, _ in trace:
+        accesses += 1
+        if manager.poisoned(page):
+            return None
+    stats.accesses += accesses

@@ -1,0 +1,13 @@
+"""R008 fixture: a policy reaching up into the engine layer.
+
+Policies sit near the bottom of the layer DAG; importing the serving
+stack inverts the architecture (the policy would see the machinery that
+drives it).
+"""
+
+from repro.engine.serving import AdmissionController
+
+
+def admit(request):
+    controller = AdmissionController()
+    return controller.admit(request)

@@ -1,0 +1,17 @@
+"""R008 negative fixture: sanctioned import shapes pass clean.
+
+Downward imports follow the layer DAG, and ``TYPE_CHECKING`` imports are
+exempt — they are erased at runtime and exist precisely to annotate
+across layers.
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.errors import PolicyError
+
+if TYPE_CHECKING:
+    from repro.engine.executor import Executor
+
+
+def describe(error: PolicyError, executor: "Executor | None") -> str:
+    return f"{error} via {executor}"

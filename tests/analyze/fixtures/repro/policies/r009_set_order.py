@@ -1,0 +1,19 @@
+"""R009 fixture: set-iteration order leaking into ordered outputs."""
+
+
+def leak_append(pages):
+    hot = {page for page in pages if page > 8}
+    out = []
+    for page in hot:
+        out.append(page)
+    return out
+
+
+def leak_list(tags):
+    names = set(tags)
+    return list(names)
+
+
+def leak_join(raw):
+    parts = {item.strip() for item in raw}
+    return ",".join(parts)

@@ -1,0 +1,21 @@
+"""R009 negative fixture: sorted() and order-free consumption pass."""
+
+
+def ordered(pages):
+    hot = {page for page in pages if page > 8}
+    out = []
+    for page in sorted(hot):
+        out.append(page)
+    return out
+
+
+def totals(pages):
+    hot = set(pages)
+    return len(hot) + sum(hot)
+
+
+def sort_after(pages):
+    hot = set(pages)
+    items = list(hot)
+    items.sort()
+    return items

@@ -1,0 +1,229 @@
+"""Tests for the per-function CFG builder: shape, edges, must-pass."""
+
+import ast
+
+from repro.analyze.cfg import CFG, build_cfg
+
+
+def cfg_of(source, with_exceptions=False):
+    func = ast.parse(source).body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func, with_exceptions=with_exceptions)
+
+
+def line_block(cfg, lineno):
+    """The block holding the statement that *starts* at the given line."""
+    for block in cfg.blocks:
+        for stmt in block.statements:
+            if stmt.lineno == lineno:
+                return block
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+class TestLinear:
+    def test_straight_line_is_one_body_block(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = a + 1\n    return b\n")
+        body = line_block(cfg, 2)
+        assert [s.lineno for s in body.statements] == [2, 3, 4]
+        assert body.successors == {CFG.EXIT}
+
+    def test_fall_off_the_end_reaches_exit(self):
+        cfg = cfg_of("def f():\n    a = 1\n")
+        assert CFG.EXIT in line_block(cfg, 2).successors
+
+
+class TestBranches:
+    SRC = (
+        "def f(x):\n"
+        "    if x:\n"        # 2
+        "        a = 1\n"    # 3
+        "    else:\n"
+        "        a = 2\n"    # 5
+        "    return a\n"     # 6
+    )
+
+    def test_then_and_else_join(self):
+        cfg = cfg_of(self.SRC)
+        head = line_block(cfg, 2)
+        then = line_block(cfg, 3)
+        orelse = line_block(cfg, 5)
+        join = line_block(cfg, 6)
+        assert head.successors == {then.index, orelse.index}
+        assert join.index in then.successors
+        assert join.index in orelse.successors
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of("def f(x):\n    if x:\n        a = 1\n    return x\n")
+        head = line_block(cfg, 2)
+        join = line_block(cfg, 4)
+        assert join.index in head.successors  # the test-false path
+
+    def test_return_in_branch_goes_to_exit(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        return 1\n"
+            "    return 2\n"
+        )
+        assert line_block(cfg, 3).successors == {CFG.EXIT}
+
+
+class TestLoops:
+    SRC = (
+        "def f(items):\n"
+        "    total = 0\n"          # 2
+        "    for item in items:\n" # 3
+        "        total += item\n"  # 4
+        "    return total\n"       # 5
+    )
+
+    def test_body_loops_back_to_head(self):
+        cfg = cfg_of(self.SRC)
+        head = line_block(cfg, 3)
+        body = line_block(cfg, 4)
+        assert body.index in head.successors
+        assert head.index in body.successors  # the back edge
+
+    def test_head_exits_to_after(self):
+        cfg = cfg_of(self.SRC)
+        head = line_block(cfg, 3)
+        after = line_block(cfg, 5)
+        assert after.index in head.successors
+
+    def test_break_jumps_past_the_loop(self):
+        cfg = cfg_of(
+            "def f(items):\n"
+            "    for item in items:\n"  # 2
+            "        break\n"           # 3
+            "    return 0\n"            # 4
+        )
+        assert line_block(cfg, 4).index in line_block(cfg, 3).successors
+
+    def test_continue_jumps_to_the_head(self):
+        cfg = cfg_of(
+            "def f(items):\n"
+            "    for item in items:\n"  # 2
+            "        continue\n"        # 3
+        )
+        assert line_block(cfg, 2).index in line_block(cfg, 3).successors
+
+    def test_while_else_runs_on_normal_exit(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    while x:\n"     # 2
+            "        x -= 1\n"   # 3
+            "    else:\n"
+            "        x = -1\n"   # 5
+            "    return x\n"     # 6
+        )
+        head = line_block(cfg, 2)
+        orelse = line_block(cfg, 5)
+        assert orelse.index in head.successors
+
+
+class TestExceptions:
+    def test_calls_gain_edge_to_exit_without_handler(self):
+        cfg = cfg_of("def f(m):\n    m.work()\n", with_exceptions=True)
+        assert CFG.EXIT in line_block(cfg, 2).successors
+
+    def test_no_exceptional_edges_by_default(self):
+        cfg = cfg_of("def f(m):\n    m.work()\n    x = 1\n")
+        body = line_block(cfg, 2)
+        assert body.successors == {CFG.EXIT}  # only the fall-off edge
+        assert len(body.statements) == 2      # no block split either
+
+    def test_calls_raise_into_innermost_finally(self):
+        cfg = cfg_of(
+            "def f(m):\n"
+            "    try:\n"            # 2
+            "        m.work()\n"    # 3
+            "    finally:\n"
+            "        m.close()\n"   # 5
+            , with_exceptions=True,
+        )
+        fin = line_block(cfg, 5)
+        assert fin.index in line_block(cfg, 3).successors
+        # The finally flows both onward and out (re-raise path).
+        assert CFG.EXIT in fin.successors
+
+    def test_handler_catches_before_finally(self):
+        cfg = cfg_of(
+            "def f(m):\n"
+            "    try:\n"
+            "        m.work()\n"          # 3
+            "    except ValueError:\n"
+            "        m.recover()\n"       # 5
+            "    return 1\n"              # 6
+            , with_exceptions=True,
+        )
+        body = line_block(cfg, 3)
+        handler = line_block(cfg, 5)
+        # The raise edge lands on the dispatch block, which feeds the
+        # handler; the handler rejoins normal flow.
+        dispatch = next(
+            index for index in body.successors
+            if handler.index in cfg.blocks[index].successors
+        )
+        assert dispatch != CFG.EXIT
+        assert line_block(cfg, 6).index in handler.successors
+
+    def test_pure_arithmetic_cannot_raise(self):
+        cfg = cfg_of(
+            "def f(x):\n    y = 1\n    y = y if x else 2\n",
+            with_exceptions=True,
+        )
+        assert line_block(cfg, 2).successors == {CFG.EXIT}
+
+
+class TestMustPass:
+    def test_finally_flush_dominates_exit(self):
+        cfg = cfg_of(
+            "def f(m, s):\n"
+            "    n = 0\n"
+            "    try:\n"
+            "        for item in m.items():\n"  # 4
+            "            n += 1\n"              # 5
+            "    finally:\n"
+            "        s.stats.n += n\n"          # 7
+            , with_exceptions=True,
+        )
+        acc = line_block(cfg, 5)
+        flush = line_block(cfg, 7)
+        assert cfg.always_passes_through(acc.index, {flush.index})
+
+    def test_unprotected_flush_is_bypassable(self):
+        cfg = cfg_of(
+            "def f(m, s):\n"
+            "    n = 0\n"
+            "    for item in m.items():\n"  # 3
+            "        n += 1\n"              # 4
+            "    s.stats.n += n\n"          # 5
+            , with_exceptions=True,
+        )
+        acc = line_block(cfg, 4)
+        flush = line_block(cfg, 5)
+        assert not cfg.always_passes_through(acc.index, {flush.index})
+
+    def test_start_in_target_passes_trivially(self):
+        cfg = cfg_of("def f():\n    a = 1\n")
+        block = line_block(cfg, 2)
+        assert cfg.always_passes_through(block.index, {block.index})
+
+
+class TestQueries:
+    def test_reachable_excludes_code_after_return(self):
+        cfg = cfg_of("def f():\n    return 1\n    x = 2\n")
+        dead = line_block(cfg, 3)
+        assert dead.index not in cfg.reachable()
+        assert cfg.block_of(dead.statements[0]) is dead
+
+    def test_rpo_starts_at_entry_and_respects_edges(self):
+        cfg = cfg_of(
+            "def f(x):\n    if x:\n        a = 1\n    return x\n"
+        )
+        order = cfg.rpo()
+        assert order[0] == CFG.ENTRY
+        positions = {index: pos for pos, index in enumerate(order)}
+        head = line_block(cfg, 2)
+        then = line_block(cfg, 3)
+        assert positions[head.index] < positions[then.index]

@@ -1,0 +1,189 @@
+"""Tests for the dataflow framework: reaching defs and the taint engine."""
+
+import ast
+
+from repro.analyze.cfg import build_cfg
+from repro.analyze.dataflow import (
+    ReachingDefinitions,
+    TaintAnalysis,
+    TaintSpec,
+    assigned_names,
+)
+
+
+def cfg_of(source):
+    func = ast.parse(source).body[0]
+    return build_cfg(func)
+
+
+def block_at(cfg, lineno):
+    for block in cfg.blocks:
+        for stmt in block.statements:
+            if stmt.lineno == lineno:
+                return block
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+class TestAssignedNames:
+    def test_tuple_and_starred_targets_flatten(self):
+        target = ast.parse("a, (b, c), *rest = x").body[0].targets[0]
+        assert list(assigned_names(target)) == ["a", "b", "c", "rest"]
+
+    def test_attribute_store_binds_no_local(self):
+        target = ast.parse("obj.field = x").body[0].targets[0]
+        assert list(assigned_names(target)) == []
+
+
+class TestReachingDefinitions:
+    def test_parameters_defined_at_def_line(self):
+        cfg = cfg_of("def f(x, y):\n    return x\n")
+        defs = ReachingDefinitions(cfg)
+        body = block_at(cfg, 2)
+        assert defs.reaching(body.index)["x"] == frozenset({1})
+        assert defs.reaching(body.index)["y"] == frozenset({1})
+
+    def test_reassignment_kills_the_old_definition(self):
+        cfg = cfg_of(
+            "def f():\n"
+            "    a = 1\n"     # 2
+            "    a = 2\n"     # 3
+            "    b = a\n"     # 4
+        )
+        defs = ReachingDefinitions(cfg)
+        body = block_at(cfg, 2)
+        assert defs.out_state[body.index]["a"] == frozenset({3})
+
+    def test_both_branch_definitions_reach_the_join(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"   # 3
+            "    else:\n"
+            "        a = 2\n"   # 5
+            "    return a\n"    # 6
+        )
+        defs = ReachingDefinitions(cfg)
+        join = block_at(cfg, 6)
+        assert defs.reaching(join.index)["a"] == frozenset({3, 5})
+
+    def test_loop_body_definition_reaches_its_own_entry(self):
+        cfg = cfg_of(
+            "def f(items):\n"
+            "    total = 0\n"            # 2
+            "    for item in items:\n"   # 3
+            "        total = total + 1\n"  # 4
+            "    return total\n"         # 5
+        )
+        defs = ReachingDefinitions(cfg)
+        body = block_at(cfg, 4)
+        # Around the back edge, the body sees both the init and itself.
+        assert defs.reaching(body.index)["total"] == frozenset({2, 4})
+        after = block_at(cfg, 5)
+        assert defs.reaching(after.index)["total"] == frozenset({2, 4})
+
+
+def clock_spec():
+    """Taint: calls to ``tick()``; sanitizer: ``clean(...)``."""
+    def source(expr):
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "tick"
+        ):
+            return "tick()"
+        return None
+
+    def sanitizer(call):
+        return isinstance(call.func, ast.Name) and call.func.id == "clean"
+
+    return TaintSpec(source=source, sanitizer=sanitizer, label="clock")
+
+
+def taint_of(source_code, lineno, name):
+    cfg = cfg_of(source_code)
+    analysis = TaintAnalysis(cfg, clock_spec())
+    for stmt, state in analysis.walk_statements():
+        if stmt.lineno == lineno:
+            return state.get(name)
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+class TestTaintAnalysis:
+    def test_source_taints_the_assigned_name(self):
+        origin = taint_of(
+            "def f():\n    t = tick()\n    use(t)\n", 3, "t"
+        )
+        assert origin == ("tick()", 2)
+
+    def test_taint_propagates_through_expressions(self):
+        origin = taint_of(
+            "def f():\n    t = tick()\n    u = t + 1\n    use(u)\n", 4, "u"
+        )
+        assert origin == ("tick()", 2)
+
+    def test_sanitizer_cleanses_its_arguments(self):
+        origin = taint_of(
+            "def f():\n    t = tick()\n    u = clean(t)\n    use(u)\n",
+            4, "u",
+        )
+        assert origin is None
+
+    def test_reassignment_from_clean_value_cleanses(self):
+        origin = taint_of(
+            "def f():\n    t = tick()\n    t = 0\n    use(t)\n", 4, "t"
+        )
+        assert origin is None
+
+    def test_branch_taint_survives_the_join(self):
+        origin = taint_of(
+            "def f(x):\n"
+            "    t = 0\n"
+            "    if x:\n"
+            "        t = tick()\n"  # 4
+            "    use(t)\n"          # 5
+            , 5, "t",
+        )
+        assert origin == ("tick()", 4)
+
+    def test_loop_carried_taint_reaches_the_loop_test(self):
+        origin = taint_of(
+            "def f(items):\n"
+            "    t = 0\n"
+            "    for item in items:\n"  # 3
+            "        t = tick()\n"      # 4
+            , 3, "t",
+        )
+        assert origin == ("tick()", 4)
+
+    def test_for_target_tainted_by_tainted_iterable(self):
+        origin = taint_of(
+            "def f():\n"
+            "    seq = tick()\n"
+            "    for item in seq:\n"  # 3
+            "        use(item)\n"     # 4
+            , 4, "item",
+        )
+        assert origin == ("tick()", 2)
+
+    def test_earliest_source_line_wins_at_merges(self):
+        origin = taint_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        t = tick()\n"  # 3
+            "    else:\n"
+            "        t = tick()\n"  # 5
+            "    use(t)\n"          # 6
+            , 6, "t",
+        )
+        assert origin == ("tick()", 3)
+
+    def test_taint_of_evaluates_raw_expressions(self):
+        cfg = cfg_of("def f():\n    t = tick()\n    use(t)\n")
+        analysis = TaintAnalysis(cfg, clock_spec())
+        for stmt, state in analysis.walk_statements():
+            if stmt.lineno == 3:
+                call = stmt.value
+                assert analysis.taint_of(call, state) == ("tick()", 2)
+                break
+        else:
+            raise AssertionError("line 3 not reached")

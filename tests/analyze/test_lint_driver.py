@@ -1,0 +1,198 @@
+"""Tests for the lint driver: selection, parallelism, formats, baseline."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.baseline import (
+    fingerprints,
+    load_baseline,
+    split_by_baseline,
+    write_baseline_file,
+)
+from repro.analyze.lint import (
+    Violation,
+    module_name,
+    render_json,
+    render_sarif,
+    run_lint,
+)
+from repro.analyze.rules import DEFAULT_RULES
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+
+
+class TestModuleNameRoots:
+    def test_tests_and_benchmarks_root_like_repro(self):
+        assert module_name(Path("tests/engine/test_executor.py")) == \
+            "tests.engine.test_executor"
+        assert module_name(Path("benchmarks/bench_replay.py")) == \
+            "benchmarks.bench_replay"
+
+    def test_innermost_root_wins_for_fixture_trees(self):
+        path = Path("tests/analyze/fixtures/repro/policies/r001_unseeded.py")
+        assert module_name(path) == "repro.policies.r001_unseeded"
+
+
+class TestSelection:
+    def test_select_runs_only_named_rules(self):
+        violations, _ = run_lint([FIXTURES], select=["R005"])
+        assert violations and {v.rule for v in violations} == {"R005"}
+
+    def test_select_is_case_insensitive(self):
+        violations, _ = run_lint([FIXTURES], select=["r005"])
+        assert {v.rule for v in violations} == {"R005"}
+
+    def test_unknown_select_code_errors(self):
+        with pytest.raises(ValueError, match="R999"):
+            run_lint([FIXTURES], select=["R999"])
+
+    def test_exclude_drops_matching_paths(self):
+        all_v, all_files = run_lint([FIXTURES], select=["R001"])
+        none_v, none_files = run_lint(
+            [FIXTURES], select=["R001"], exclude=["*/fixtures/*"]
+        )
+        assert all_v and all_files > 0
+        assert none_v == [] and none_files == 0
+
+
+class TestParseErrors:
+    def test_unreadable_file_is_a_structured_finding(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_bytes(b"\xff\xfe\x00invalid")
+        violations, files = run_lint([bad])
+        assert files == 1
+        assert [v.rule for v in violations] == ["E000"]
+        assert "cannot read file" in violations[0].message
+
+    def test_empty_file_is_clean_not_an_error(self, tmp_path):
+        empty = tmp_path / "empty.py"
+        empty.write_text("")
+        assert run_lint([empty]) == ([], 1)
+
+    def test_parse_error_does_not_hide_other_findings(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        pol = tmp_path / "repro" / "policies"
+        pol.mkdir(parents=True)
+        (pol / "dirty.py").write_text("import random\nrandom.random()\n")
+        violations, files = run_lint([tmp_path])
+        assert files == 2
+        assert {v.rule for v in violations} == {"E000", "R001"}
+
+
+class TestParallel:
+    def test_jobs_match_serial_results(self):
+        serial = run_lint([FIXTURES])
+        parallel = run_lint([FIXTURES], jobs=2)
+        assert parallel == serial
+        assert parallel[0]  # the fixture tree does violate
+
+    def test_custom_rules_fall_back_to_serial(self):
+        from repro.analyze.lint import LintRule
+
+        class Everything(LintRule):
+            code = "X001"
+            name = "everything"
+            description = "flags every module once"
+
+            def check(self, module):
+                yield self.violation(module, module.tree.body[0], "seen")
+
+        violations, files = run_lint(
+            [FIXTURES / "policies"], rules=[Everything()], jobs=4
+        )
+        assert files > 0 and len(violations) == files
+
+
+class TestFormats:
+    def test_json_document_shape(self):
+        violations, files = run_lint([FIXTURES], select=["R005"])
+        document = json.loads(render_json(violations, files))
+        assert document["files"] == files
+        assert len(document["violations"]) == len(violations)
+        first = document["violations"][0]
+        assert set(first) == {"path", "line", "col", "rule", "message"}
+
+    def test_sarif_document_shape(self):
+        violations, _ = run_lint([FIXTURES], select=["R005"])
+        document = json.loads(render_sarif(violations, DEFAULT_RULES))
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {f"R{i:03d}" for i in range(1, 12)} <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "R005"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_cli_writes_sarif_to_output_file(self, tmp_path, capsys):
+        out = tmp_path / "lint.sarif"
+        code = main([
+            "lint", str(FIXTURES / "io"), "--format", "sarif",
+            "--output", str(out),
+        ])
+        assert code == 1
+        document = json.loads(out.read_text())
+        assert document["runs"][0]["results"]
+        assert "violation(s)" in capsys.readouterr().out
+
+    def test_cli_select_and_jobs_flags(self, capsys):
+        code = main([
+            "lint", str(FIXTURES), "--select", "R005", "--jobs", "2",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "R005" in out and "R001" not in out
+
+
+class TestBaseline:
+    def test_fingerprints_ignore_line_motion(self):
+        a = Violation("p.py", 10, 0, "R001", "boom")
+        b = Violation("p.py", 99, 4, "R001", "boom")
+        assert fingerprints([a]) == fingerprints([b])
+
+    def test_fingerprints_distinguish_duplicates_by_occurrence(self):
+        a = Violation("p.py", 10, 0, "R001", "boom")
+        b = Violation("p.py", 20, 0, "R001", "boom")
+        fps = fingerprints([a, b])
+        assert len(set(fps)) == 2
+
+    def test_roundtrip_and_split(self, tmp_path):
+        violations, _ = run_lint([FIXTURES / "io"])
+        path = tmp_path / "baseline.json"
+        write_baseline_file(path, violations)
+        accepted = load_baseline(path)
+        new, known = split_by_baseline(violations, accepted)
+        assert new == [] and known == violations
+
+    def test_malformed_baseline_errors(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{\"nope\": true}")
+        with pytest.raises(ValueError, match="baseline"):
+            load_baseline(path)
+
+    def test_cli_baseline_demotes_known_findings(self, tmp_path, capsys):
+        target = str(FIXTURES / "io")
+        base = tmp_path / "baseline.json"
+        assert main(["lint", target, "--write-baseline", str(base)]) == 0
+        capsys.readouterr()
+        # Every current finding is baselined: exit 0, findings warned.
+        assert main(["lint", target, "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined finding(s) suppressed" in out
+        assert "warning (baselined):" in out
+
+    def test_cli_baseline_still_fails_on_new_findings(self, tmp_path, capsys):
+        base = tmp_path / "baseline.json"
+        assert main([
+            "lint", str(FIXTURES / "io"), "--write-baseline", str(base),
+        ]) == 0
+        capsys.readouterr()
+        # Linting a *wider* tree against the narrow baseline must fail.
+        assert main([
+            "lint", str(FIXTURES / "policies"), "--baseline", str(base),
+        ]) == 1
+        assert "violation(s)" in capsys.readouterr().out

@@ -221,13 +221,19 @@ LAYER_DEPS: dict[str, frozenset[str]] = {
         "repro.errors", "repro.storage", "repro.workloads", "repro.bufferpool",
         "repro.core", "repro.policies",
     }),
+    # Verification engines: exhaustive crash-point enumeration drives the
+    # execution layer against crash-hooked stacks.
+    "repro.verify": frozenset({
+        "repro.errors", "repro.storage", "repro.policies", "repro.bufferpool",
+        "repro.core", "repro.engine", "repro.workloads",
+    }),
     # The experiment harness may use everything below it.
     "repro.bench": _ALL_CORE,
     # Entry points see the whole world.
-    "repro.cli": _ALL_CORE | {"repro.bench"},
-    "repro.__main__": _ALL_CORE | {"repro.bench", "repro.cli"},
+    "repro.cli": _ALL_CORE | {"repro.bench", "repro.verify"},
+    "repro.__main__": _ALL_CORE | {"repro.bench", "repro.cli", "repro.verify"},
     # The root package re-exports the public API.
-    "repro": _ALL_CORE | {"repro.bench"},
+    "repro": _ALL_CORE | {"repro.bench", "repro.verify"},
 }
 
 

@@ -11,7 +11,9 @@ is side-effect-free", "grid jobs must pickle".  The concrete rules live in
   dotted module name derived from its path, and per-line suppression tags);
 * :class:`LintRule` — the rule interface (``code``, ``check(module)``);
   rules with ``scope = "graph"`` instead implement ``check_graph`` and run
-  once over the assembled :class:`~repro.analyze.graph.ProjectGraph`;
+  once over the assembled :class:`~repro.analyze.graph.ProjectGraph`, and
+  rules with ``scope = "project"`` implement ``check_project`` and run
+  once over every parsed :class:`SourceModule` (cross-file AST contracts);
 * :func:`run_lint` — collect files, parse, run the per-file rules (in
   parallel when ``jobs > 1``), assemble the import graph, run the graph
   rules, sort findings;
@@ -150,10 +152,15 @@ class LintRule:
 
     Subclasses set ``code`` (``R00x``), ``name``, ``description``, and
     ``suppression`` (the human-friendly ``# lint: <tag>`` escape hatch),
-    and implement :meth:`check`.  Whole-program rules set
-    ``scope = "graph"`` and implement :meth:`check_graph` instead; the
-    driver calls it once with the assembled project graph after the
-    per-file pass.
+    and implement :meth:`check`.  Whole-program rules come in two scopes:
+    ``scope = "graph"`` rules implement :meth:`check_graph` and see only
+    the assembled import graph (edges and module names — cheap enough to
+    assemble from the parallel per-file pass); ``scope = "project"`` rules
+    implement :meth:`check_project` and see every parsed
+    :class:`SourceModule` at once, for contracts that relate *ASTs* in
+    different files (e.g. an enum in one module and its dispatch in
+    another).  Both run once, in the calling process, after the per-file
+    pass.
     """
 
     code = "R000"
@@ -161,13 +168,19 @@ class LintRule:
     description = ""
     suppression: str | None = None
     #: "file" rules get check(module) per file; "graph" rules get
-    #: check_graph(graph) once per run.
+    #: check_graph(graph) once per run; "project" rules get
+    #: check_project(modules) once per run.
     scope = "file"
 
     def check(self, module: SourceModule) -> Iterable[Violation]:
         raise NotImplementedError
 
     def check_graph(self, graph: ProjectGraph) -> Iterable[Violation]:
+        return ()
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterable[Violation]:
         return ()
 
     def violation(
@@ -338,6 +351,22 @@ def run_lint(
         graph = ProjectGraph(edges, modules)
         for rule in graph_rules:
             violations.extend(rule.check_graph(graph))
+
+    project_rules = [rule for rule in rules if rule.scope == "project"]
+    if project_rules:
+        # Project rules need the ASTs themselves, which never cross the
+        # worker-process boundary — re-parse in the calling process.
+        # Unparseable files are skipped here; the per-file pass already
+        # reported them as E000.
+        source_modules: list[SourceModule] = []
+        for path in files:
+            try:
+                source = path.read_text(encoding="utf-8")
+                source_modules.append(SourceModule(path, source))
+            except (SyntaxError, UnicodeDecodeError, OSError, ValueError):
+                continue
+        for rule in project_rules:
+            violations.extend(rule.check_project(source_modules))
     return sorted(violations), len(files)
 
 

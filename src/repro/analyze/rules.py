@@ -1,10 +1,11 @@
-"""The repo-specific lint rules (R001-R011).
+"""The repo-specific lint rules (R001-R012).
 
 Each rule encodes a contract the simulator depends on but no generic tool
 checks.  R001-R007 are per-file AST rules; R008 is a whole-program rule
-over the import graph (:mod:`repro.analyze.graph`), and R009-R011 are
+over the import graph (:mod:`repro.analyze.graph`), R009-R011 are
 flow-sensitive rules built on the CFG/dataflow framework
-(:mod:`repro.analyze.cfg`, :mod:`repro.analyze.dataflow`):
+(:mod:`repro.analyze.cfg`, :mod:`repro.analyze.dataflow`), and R012 is a
+cross-file project rule over the parsed ASTs:
 
 R001 *determinism*
     The simulation packages (``repro.core``, ``repro.policies``,
@@ -103,6 +104,16 @@ R011 *value-level wall-clock taint*
     carry ``# lint: allow-wall-clock`` (or R001's
     ``allow-nondeterminism``) on the *source* line, which kills the
     taint at the seed.
+
+R012 *fault-dispatch exhaustiveness*
+    :class:`~repro.faults.plan.FaultKind` members and the
+    :class:`~repro.faults.device.FaultyDevice` dispatch that handles them
+    live in different files, so adding a fault kind without teaching the
+    injector's apply paths about it fails only at runtime — as an
+    ``AssertionError`` mid-simulation, or worse, as a silently undrawn
+    fault.  Every enum member must be referenced by name
+    (``FaultKind.X``) inside a ``FaultyDevice`` class.  Escape hatch on
+    the member's definition line: ``# lint: allow-unhandled-fault``.
 """
 
 from __future__ import annotations
@@ -119,6 +130,7 @@ __all__ = [
     "DEFAULT_RULES",
     "DeterminismRule",
     "EncapsulationRule",
+    "FaultDispatchRule",
     "IORetryRule",
     "PicklabilityRule",
     "ServingVirtualTimeRule",
@@ -201,6 +213,7 @@ class DeterminismRule(LintRule):
         "repro.workloads",
         "repro.engine",
         "repro.faults",
+        "repro.verify",
         "tests",
         "benchmarks",
     )
@@ -1352,6 +1365,113 @@ class WallClockTaintRule(LintRule):
                 )
 
 
+class FaultDispatchRule(LintRule):
+    """R012: every ``FaultKind`` member is handled by ``FaultyDevice``."""
+
+    code = "R012"
+    name = "fault-dispatch"
+    description = (
+        "every FaultKind member must be referenced (FaultKind.X) inside a "
+        "FaultyDevice class so the injector's dispatch stays exhaustive"
+    )
+    suppression = "allow-unhandled-fault"
+    scope = "project"
+
+    #: The enum class name whose members are the contract, and the class
+    #: name whose body must mention each of them.
+    enum_class = "FaultKind"
+    dispatch_class = "FaultyDevice"
+
+    def check_project(self, modules) -> Iterator[Violation]:
+        # module name -> [(member name, defining node, SourceModule)]
+        enums: dict[str, list[tuple[str, ast.stmt, SourceModule]]] = {}
+        # module name -> set of FaultKind.X names referenced in dispatch
+        handled: dict[str, set[str]] = {}
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if node.name == self.enum_class:
+                    members = enums.setdefault(module.module, [])
+                    members.extend(
+                        (name, stmt, module)
+                        for name, stmt in self._members(node)
+                    )
+                elif node.name == self.dispatch_class:
+                    refs = handled.setdefault(module.module, set())
+                    refs.update(self._references(node))
+        if not handled:
+            # Nothing dispatches fault kinds in the linted set (e.g. a
+            # fixture tree containing only the enum): no contract to check.
+            return
+        for enum_module, members in enums.items():
+            dispatch_module = self._pair(enum_module, handled)
+            refs = handled[dispatch_module]
+            for name, stmt, module in members:
+                if name in refs or self.allowed(module, stmt):
+                    continue
+                yield self.violation(
+                    module, stmt,
+                    f"FaultKind.{name} is never handled: add an explicit "
+                    f"branch referencing it inside {dispatch_module}'s "
+                    f"{self.dispatch_class} (or mark this line "
+                    f"'# lint: {self.suppression}')",
+                )
+
+    def _members(
+        self, node: ast.ClassDef
+    ) -> Iterator[tuple[str, ast.stmt]]:
+        """``NAME = value`` members of the enum class body."""
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and not target.id.startswith(
+                    "_"
+                ):
+                    yield target.id, stmt
+
+    def _references(self, node: ast.ClassDef) -> set[str]:
+        """Every ``FaultKind.X`` attribute access inside the class body."""
+        refs: set[str] = set()
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.value, ast.Name)
+                and child.value.id == self.enum_class
+            ):
+                refs.add(child.attr)
+        return refs
+
+    @staticmethod
+    def _pair(enum_module: str, handled: dict[str, set[str]]) -> str:
+        """The dispatch module an enum is checked against.
+
+        Same module wins outright; otherwise the dispatch module sharing
+        the longest dotted prefix with the enum's module (ties broken
+        lexicographically for determinism).  A fixture tree defining both
+        classes in one file therefore never pairs against the real
+        injector, and vice versa.
+        """
+        if enum_module in handled:
+            return enum_module
+
+        def shared(candidate: str) -> int:
+            a, b = enum_module.split("."), candidate.split(".")
+            n = 0
+            for left, right in zip(a, b):
+                if left != right:
+                    break
+                n += 1
+            return n
+
+        return max(sorted(handled), key=shared)
+
+
 #: The rule set ``python -m repro lint`` runs.
 DEFAULT_RULES: tuple[LintRule, ...] = (
     DeterminismRule(),
@@ -1365,6 +1485,7 @@ DEFAULT_RULES: tuple[LintRule, ...] = (
     IterationOrderRule(),
     BatchedCounterFlushRule(),
     WallClockTaintRule(),
+    FaultDispatchRule(),
 )
 
 #: Code -> rule instance, for ``--select`` and the parallel worker pass.

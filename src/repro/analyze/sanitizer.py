@@ -26,7 +26,10 @@ invariant set after **every public operation** (``read_page``,
   ``next_clean``) return exactly the reference prefixes derived from
   ``eviction_order()``, and its notification-fed pin mirror agrees with
   the manager's — the runtime teeth behind the incremental virtual-order
-  engine.
+  engine;
+* the WAL's durable record/LSN index (when a WAL is attached) stays
+  aligned at its tail — length-consistent, strictly increasing, with
+  ``durable_lsn`` equal to the last indexed LSN.
 
 The first violation raises a structured
 :class:`~repro.errors.SanitizerError` naming the invariant, the operation,
@@ -124,6 +127,7 @@ class InvariantSanitizer:
         self._check_residency(operation)
         self._check_virtual_order(operation)
         self._check_fast_paths(operation)
+        self._check_wal_index(operation)
 
     def assert_clean(self) -> None:
         """Validate outside any operation (e.g. at end of a test)."""
@@ -177,6 +181,49 @@ class InvariantSanitizer:
                 f"dirty mirror set disagrees with descriptor dirty flags "
                 f"on {sorted(diff)}",
                 page=sample,
+            )
+
+    def _check_wal_index(self, operation: str) -> None:
+        """The WAL's durable index must stay internally consistent.
+
+        Recovery and the bisect-backed ``records_since`` both trust the
+        in-memory durable index; a record list that disagrees with its LSN
+        index (length mismatch, non-monotone LSNs, or a ``durable_lsn``
+        that is not the index tail) would silently corrupt the redo window.
+        """
+        wal = self.manager.wal
+        if wal is None:
+            return
+        lsns = wal._durable_lsns
+        records = wal._durable_records
+        if len(lsns) != len(records):
+            raise SanitizerError(
+                "wal-index", operation,
+                f"durable LSN index has {len(lsns)} entries for "
+                f"{len(records)} durable records",
+            )
+        if not lsns:
+            return
+        # O(1) per op on purpose (the index grows with the run): the tail
+        # is where every append lands, so tail corruption is caught on the
+        # very operation that introduced it.
+        if len(lsns) >= 2 and lsns[-2] >= lsns[-1]:
+            raise SanitizerError(
+                "wal-index", operation,
+                f"durable LSN index tail is not increasing "
+                f"({lsns[-2]} >= {lsns[-1]})",
+            )
+        if records[-1].lsn != lsns[-1]:
+            raise SanitizerError(
+                "wal-index", operation,
+                f"durable index tail {lsns[-1]} disagrees with the last "
+                f"durable record's LSN {records[-1].lsn}",
+            )
+        if wal.durable_lsn != lsns[-1]:
+            raise SanitizerError(
+                "wal-index", operation,
+                f"durable_lsn {wal.durable_lsn} is not the index tail "
+                f"{lsns[-1]}",
             )
 
     def _check_free_list(self, operation: str) -> None:

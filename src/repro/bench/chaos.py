@@ -11,6 +11,13 @@ that did not survive.  The acceptance bar is exactly zero lost updates in
 every cell — including the cells where write batches tear, transient errors
 exhaust retries, and checkpoints are withheld.
 
+A second cell type attacks the *quiet* failure mode: silent corruption.
+:func:`run_corruption_cell` runs a checksummed stack while the injector
+rots pages, misdirects writes, and drops writes without any error surfacing,
+then requires every corruption to be detected (checksum on read, or the
+idle scrubber's WAL cross-check) and healed from WAL redo images until the
+device matches the write ledger exactly.
+
 Everything is virtual-time deterministic: the same seed produces the same
 trace, the same fault schedule, and therefore the same cell results, so a
 red cell is reproducible with ``python -m repro chaos --seed <s>``.
@@ -21,8 +28,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.runner import StackConfig, build_stack
-from repro.bufferpool.background import BackgroundWriter, Checkpointer
-from repro.bufferpool.recovery import recover, simulate_crash
+from repro.bufferpool.background import (
+    BackgroundWriter,
+    Checkpointer,
+    IdleScrubber,
+)
+from repro.bufferpool.recovery import (
+    CrashImage,
+    audit_committed,
+    recover,
+    simulate_crash,
+)
 from repro.core.ace import ACEBufferPoolManager
 from repro.engine.executor import ExecutionOptions, run_trace
 from repro.engine.serving import ServingConfig, ServingLayer
@@ -34,11 +50,14 @@ from repro.workloads.synthetic import MU, generate_trace
 __all__ = [
     "ChaosCellResult",
     "ChaosReport",
+    "CorruptionCellResult",
     "DEFAULT_POLICIES",
     "DEFAULT_RATES",
     "DEFAULT_VARIANTS",
     "run_cell",
     "run_chaos",
+    "run_corruption_cell",
+    "smoke_corruption",
     "smoke_grid",
 ]
 
@@ -219,21 +238,15 @@ def run_cell(
     device_stats = manager.device.stats
     image = simulate_crash(manager)
     report = recover(image, retry=retry)
-
-    lost = 0
-    for page, version in committed.items():
-        recovered = image.device.peek(page)
-        durable = recovered if isinstance(recovered, int) else 0
-        if durable < version:
-            lost += 1
+    audit = audit_committed(image, report, committed)
 
     return ChaosCellResult(
         policy=policy,
         variant=variant,
         rate=rate,
         ops_run=metrics.ops if metrics is not None else crash_at,
-        committed_updates=sum(committed.values()),
-        lost_updates=lost,
+        committed_updates=audit.committed_updates,
+        lost_updates=audit.lost_updates,
         faults_injected=device_stats.faults_injected,
         io_retries=buffer_stats.io_retries,
         degraded_writebacks=buffer_stats.degraded_writebacks,
@@ -245,6 +258,173 @@ def run_cell(
         shed=serving_metrics.shed if serving_metrics is not None else 0,
         expired=serving_metrics.expired if serving_metrics is not None else 0,
         requeued=serving_metrics.requeued if serving_metrics is not None else 0,
+    )
+
+
+@dataclass(frozen=True)
+class CorruptionCellResult:
+    """One silent-corruption detect-and-repair experiment.
+
+    The stack runs with per-page checksums and an idle-time scrubber while
+    the device silently decays pages (bitrot), misdirects writes, and
+    drops writes on the floor.  The cell passes when every surviving
+    corruption is scrubbed out after the run and the healed device matches
+    the write ledger *exactly* — silent faults must be detectable and
+    repairable from WAL redo images, never absorbed into wrong data.
+    """
+
+    policy: str
+    variant: str
+    rate: float
+    ops_run: int
+    #: Corruptions the injector introduced (device counter).
+    corruptions_injected: int
+    #: Checksum failures caught on the client read path mid-run, and how
+    #: many of those pages the manager healed inline from the WAL.
+    read_path_detections: int
+    read_path_repairs: int
+    #: Scrubber totals across the run and the post-run healing passes.
+    scrub_detected: int
+    scrub_repaired: int
+    #: Post-run ``scrub_all`` passes until a pass found nothing.
+    scrub_passes: int
+    #: Corruption still detectable after the healing passes.  Must be zero.
+    residual_corruption: int
+    lost_updates: int
+    phantom_pages: int
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.error is None
+            and self.residual_corruption == 0
+            and self.lost_updates == 0
+            and self.phantom_pages == 0
+        )
+
+    @property
+    def label(self) -> str:
+        return f"{self.policy}/{self.variant}@silent:{self.rate:g}"
+
+
+def run_corruption_cell(
+    policy: str = "lru",
+    variant: str = "ace",
+    rate: float = 0.002,
+    profile: DeviceProfile = PCIE_SSD,
+    num_pages: int = 800,
+    ops: int = 2_400,
+    seed: int = 7,
+    commit_every: int = 64,
+    max_heal_passes: int = 5,
+) -> CorruptionCellResult:
+    """Run one silent-corruption cell: inject, detect, repair, audit.
+
+    No crash here — the threat model is the quiet one: the run completes
+    "successfully" while pages rot underneath it.  Checksums catch
+    corruption on read (the manager heals inline from WAL redo), the idle
+    scrubber catches it between requests, and post-run ``scrub_all``
+    passes heal whatever neither path touched.  The final exact audit
+    proves the device equals the write ledger on *every* page, including
+    neighbours clobbered by misdirected writes.
+    """
+    plan = FaultPlan.silent(rate, seed=seed)
+    options = ExecutionOptions(
+        cpu_us_per_op=2.0,
+        bg_writer_interval_us=20_000.0,
+        checkpoint_interval_us=100_000.0,
+        commit_every_ops=commit_every,
+    )
+    config = StackConfig(
+        profile=profile,
+        policy=policy,
+        variant=variant,
+        num_pages=num_pages,
+        with_wal=True,
+        checksums=True,
+        fault_plan=plan,
+        options=options,
+    )
+    manager = build_stack(config)
+    trace = generate_trace(MU, num_pages, ops, seed=seed)
+
+    # Every trace write executes (no serving layer), so the final ledger
+    # is each page's total write count.
+    ledger: dict[int, int] = {}
+    for page, is_write in zip(trace.pages, trace.writes):
+        if is_write:
+            ledger[page] = ledger.get(page, 0) + 1
+
+    if isinstance(manager, ACEBufferPoolManager):
+        batch_size = manager.config.n_w
+    else:
+        batch_size = 1
+    bg_writer = BackgroundWriter(manager, pages_per_round=16,
+                                 batch_size=batch_size)
+    checkpointer = Checkpointer(manager,
+                                interval_us=options.checkpoint_interval_us,
+                                batch_size=batch_size)
+    scrubber = IdleScrubber(manager, interval_us=40_000.0)
+
+    error: str | None = None
+    metrics = None
+    try:
+        metrics = run_trace(
+            manager, trace, options=options,
+            bg_writer=bg_writer, checkpointer=checkpointer,
+            scrubber=scrubber,
+            label=f"corruption/{policy}/{variant}@{rate:g}",
+        )
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+
+    # Quiesce: flush every dirty page so the device should now equal the
+    # ledger everywhere, then heal until a full scrub pass finds nothing.
+    # Repair writes flow through the injector too, so one pass may not
+    # converge; the bound keeps a pathological seed from looping forever.
+    checkpointer.checkpoint()
+    scrub = scrubber.scrubber
+    passes = 0
+    residual = 0
+    while passes < max_heal_passes:
+        before = scrub.stats.detected
+        scrub.scrub_all()
+        passes += 1
+        residual = scrub.stats.detected - before
+        if residual == 0:
+            break
+
+    image = CrashImage(
+        device=manager.device, wal=manager.wal, lost_dirty_pages=(),
+    )
+    audit = audit_committed(
+        image, None, ledger, exact=True, pages=range(num_pages),
+    )
+
+    return CorruptionCellResult(
+        policy=policy,
+        variant=variant,
+        rate=rate,
+        ops_run=metrics.ops if metrics is not None else len(trace),
+        corruptions_injected=manager.device.stats.silent_corruptions,
+        read_path_detections=manager.stats.corrupt_page_reads,
+        read_path_repairs=manager.stats.pages_repaired,
+        scrub_detected=scrub.stats.detected,
+        scrub_repaired=scrub.stats.repaired,
+        scrub_passes=passes,
+        residual_corruption=residual,
+        lost_updates=audit.lost_updates,
+        phantom_pages=audit.phantom_pages,
+        error=error,
+    )
+
+
+def smoke_corruption(seed: int = 7) -> CorruptionCellResult:
+    """The CI smoke corruption cell: one policy, ACE variant, short run."""
+    return run_corruption_cell(
+        policy="lru", variant="ace", rate=0.01,
+        num_pages=600, ops=1_800, seed=seed,
     )
 
 

@@ -72,6 +72,10 @@ class StackConfig:
         Attach an FTL for physical-write accounting.
     with_wal:
         Attach a write-ahead log on a separate simulated device.
+    checksums:
+        Keep per-page checksums on the data device so silent corruption
+        (bitrot, misdirected and lost writes) is detected on read; see
+        :mod:`repro.storage.device`.
     sanitize:
         Attach the runtime invariant sanitizer to the manager (``None``
         defers to the ``REPRO_SANITIZE`` environment switch).  Debugging
@@ -100,6 +104,7 @@ class StackConfig:
     n_e: int | None = None
     with_ftl: bool = False
     with_wal: bool = False
+    checksums: bool = False
     over_provision: float = 0.10
     sanitize: bool | None = None
     fault_plan: FaultPlan | None = None
@@ -147,6 +152,7 @@ def build_stack(
         clock=clock,
         with_ftl=config.with_ftl,
         over_provision=config.over_provision,
+        checksums=config.checksums,
     )
     device.format_pages(range(config.num_pages))
     plan = config.fault_plan if config.fault_plan is not None else _env_fault_plan()

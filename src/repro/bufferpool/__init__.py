@@ -9,13 +9,17 @@ from repro.bufferpool.stats import BufferStats
 from repro.bufferpool.table import BufferTable
 from repro.bufferpool.recovery import (
     CrashImage,
+    DurabilityAudit,
     RecoveryReport,
+    audit_committed,
     recover,
     simulate_crash,
 )
+from repro.bufferpool.repair import Scrubber, ScrubStats, repair_page
 from repro.bufferpool.tag import BufferTag, ForkNumber
 from repro.bufferpool.wal import (
     WAL_DEVICE_PROFILE,
+    WalPageImage,
     WalRecord,
     WalRecordKind,
     WriteAheadLog,
@@ -31,13 +35,19 @@ __all__ = [
     "ForkNumber",
     "FramePool",
     "WriteAheadLog",
+    "WalPageImage",
     "WalRecord",
     "WalRecordKind",
     "WAL_DEVICE_PROFILE",
     "BackgroundWriter",
     "Checkpointer",
     "CrashImage",
+    "DurabilityAudit",
     "RecoveryReport",
     "simulate_crash",
     "recover",
+    "audit_committed",
+    "Scrubber",
+    "ScrubStats",
+    "repair_page",
 ]

@@ -10,13 +10,19 @@ writes concurrently".  Both classes therefore take a ``batch_size``: 1
 reproduces the stock one-I/O-at-a-time behaviour, ``n_w`` the ACE-augmented
 one.  The execution engine invokes :meth:`BackgroundWriter.run_round` /
 :meth:`Checkpointer.maybe_checkpoint` on a virtual-time schedule.
+
+A third maintenance process rides the same schedule: :class:`IdleScrubber`
+binds a :class:`~repro.bufferpool.repair.Scrubber` to a manager so latent
+silent corruption (see :mod:`repro.faults`) is detected and healed from
+WAL redo images during idle time, before a client read trips over it.
 """
 
 from __future__ import annotations
 
 from repro.bufferpool.manager import BufferPoolManager
+from repro.bufferpool.repair import Scrubber
 
-__all__ = ["BackgroundWriter", "Checkpointer"]
+__all__ = ["BackgroundWriter", "Checkpointer", "IdleScrubber"]
 
 
 class BackgroundWriter:
@@ -53,6 +59,51 @@ class BackgroundWriter:
             flushed += self.manager._write_back(chunk, background=True)
         self.pages_flushed += flushed
         return flushed
+
+
+class IdleScrubber:
+    """Interval-driven corruption scrubbing bound to a running manager.
+
+    Wraps a :class:`~repro.bufferpool.repair.Scrubber` with the manager's
+    own dirty-page testimony (a dirty page's device image is legitimately
+    stale, so the redo cross-check must skip it) and the virtual-time
+    interval contract the executor drives the other background processes
+    with.  Requires a WAL-attached manager: repair without redo images
+    would be guesswork.
+    """
+
+    def __init__(
+        self,
+        manager: BufferPoolManager,
+        interval_us: float = 50_000.0,
+        pages_per_round: int = 64,
+    ) -> None:
+        if manager.wal is None:
+            raise ValueError("scrubbing needs a WAL-attached manager")
+        if interval_us <= 0:
+            raise ValueError("scrub interval must be positive")
+        self.manager = manager
+        self.interval_us = interval_us
+        self.scrubber = Scrubber(
+            manager.device,
+            manager.wal,
+            pages_per_round=pages_per_round,
+            is_dirty=manager.is_dirty,
+        )
+        self._last_round_us = manager.device.clock.now_us
+
+    @property
+    def stats(self):
+        return self.scrubber.stats
+
+    def maybe_scrub(self) -> bool:
+        """Run one scrub round if the interval elapsed."""
+        now = self.manager.device.clock.now_us
+        if now - self._last_round_us < self.interval_us:
+            return False
+        self.scrubber.run_round()
+        self._last_round_us = self.manager.device.clock.now_us
+        return True
 
 
 class Checkpointer:

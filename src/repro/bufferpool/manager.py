@@ -33,10 +33,12 @@ from collections.abc import Iterable
 from repro.analyze.sanitizer import attach as _attach_sanitizer
 from repro.analyze.sanitizer import env_enabled as _sanitize_env_enabled
 from repro.bufferpool.pool import FramePool
+from repro.bufferpool.repair import repair_page
 from repro.bufferpool.stats import BufferStats
 from repro.bufferpool.table import make_table
 from repro.bufferpool.wal import WriteAheadLog
 from repro.errors import (
+    CorruptPageError,
     IOFaultError,
     PageNotBufferedError,
     PoolExhaustedError,
@@ -144,11 +146,18 @@ class BufferPoolManager:
         self._prefetched_bits = pool.prefetched_bits
         self._payloads = pool._payloads
         #: The device, iff it is a *bare* simulated SSD: no fault injection
-        #: layer, no subclass.  Such a device cannot raise
-        #: :class:`~repro.errors.IOFaultError`, so the miss path may run
-        #: fully inlined (``_handle_miss``'s turbo branch) with accounting
-        #: identical to the generic path.
-        self._plain_device = device if type(device) is SimulatedSSD else None
+        #: layer, no subclass, no checksum metadata.  Such a device cannot
+        #: raise :class:`~repro.errors.IOFaultError`, so the miss path may
+        #: run fully inlined (``_handle_miss``'s turbo branch) with
+        #: accounting identical to the generic path.  A checksum-enabled
+        #: device must go through the generic path: the inlined branch
+        #: writes payloads directly and would leave the checksum metadata
+        #: stale (and skip read verification).
+        self._plain_device = (
+            device
+            if type(device) is SimulatedSSD and not device.checksums_enabled
+            else None
+        )
         #: Prefetcher-training callback invoked once per access; installed
         #: by the ACE manager when a reader/prefetcher is attached.
         self._observer = None
@@ -720,9 +729,33 @@ class BufferPoolManager:
         """Read ``page`` from the device and install it into a free frame."""
         try:
             payload = self.device.read_page(page)
+        except CorruptPageError as corrupt:
+            payload = self._repair_corrupt_read(page, corrupt)
         except IOFaultError as fault:
             payload = self._read_page_with_retry(page, fault)
         return self._install_fetched(page, payload, cold=cold, prefetched=False)
+
+    def _repair_corrupt_read(
+        self, page: int, corrupt: CorruptPageError
+    ) -> object | None:
+        """Heal a checksum-failed read from the WAL and re-read once.
+
+        A corrupt page is not retryable (re-reading returns the same bad
+        bytes), but with a WAL attached it is *repairable*: the page's
+        latest durable redo image — or the load-time payload for pages the
+        log never touched — is rewritten and the read retried exactly once.
+        A second checksum failure (fresh corruption injected under the
+        repair) propagates: repair must terminate, not duel the injector.
+        """
+        stats = self.stats
+        stats.io_faults += 1
+        stats.corrupt_page_reads += 1
+        if self.wal is None:
+            raise corrupt
+        if not repair_page(self.device, self.wal, page):
+            raise corrupt
+        stats.pages_repaired += 1
+        return self.device.read_page(page)
 
     def _read_page_with_retry(
         self, page: int, fault: IOFaultError

@@ -21,6 +21,7 @@ file is written in a separate device following common practice").
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
 from repro.bufferpool.manager import BufferPoolManager
@@ -29,7 +30,14 @@ from repro.errors import IOFaultError, RetriesExhaustedError
 from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.storage.device import SimulatedSSD
 
-__all__ = ["CrashImage", "RecoveryReport", "simulate_crash", "recover"]
+__all__ = [
+    "CrashImage",
+    "RecoveryReport",
+    "DurabilityAudit",
+    "simulate_crash",
+    "recover",
+    "audit_committed",
+]
 
 
 @dataclass(frozen=True)
@@ -116,6 +124,10 @@ def recover(
     if retry is None:
         retry = DEFAULT_RETRY_POLICY
     wal = image.wal
+    # Recovery trusts only what physically survived: revalidate the log's
+    # page images (cached after the first pass) so a flush torn by the
+    # crash is excluded from redo rather than half-replayed.
+    wal.verify_durable_records()
     start_lsn = min(wal.last_checkpoint_lsn, wal.durable_lsn)
     records = wal.records_since(start_lsn)
     applied = 0
@@ -159,4 +171,93 @@ def recover(
         redo_applied=applied,
         redo_skipped=skipped,
         redo_retries=redo_retries,
+    )
+
+
+@dataclass(frozen=True)
+class DurabilityAudit:
+    """Outcome of comparing a recovered device against a committed ledger.
+
+    ``lost`` holds ``(page, committed_version, durable_version)`` for every
+    page whose recovered payload is *behind* its committed version — each
+    one is a committed update the system lost, the single unforgivable
+    failure.  ``phantoms`` (exact mode only) holds ``(page,
+    expected_version, durable_version)`` for pages *ahead of or diverging
+    from* the ledger — redo that replayed work the durable log never
+    committed.
+    """
+
+    committed_updates: int
+    lost: tuple[tuple[int, int, int], ...] = ()
+    phantoms: tuple[tuple[int, int, int], ...] = ()
+
+    @property
+    def lost_updates(self) -> int:
+        return len(self.lost)
+
+    @property
+    def phantom_pages(self) -> int:
+        return len(self.phantoms)
+
+    @property
+    def ok(self) -> bool:
+        return not self.lost and not self.phantoms
+
+
+def _durable_version(device: SimulatedSSD, page: int) -> int:
+    """A page's recovered version counter (non-counter payloads are 0)."""
+    payload = device.peek(page)
+    return payload if isinstance(payload, int) else 0
+
+
+def audit_committed(
+    image: CrashImage,
+    report: RecoveryReport | None,
+    ledger: Mapping[int, int],
+    exact: bool = False,
+    pages: Iterable[int] | None = None,
+) -> DurabilityAudit:
+    """Audit a recovered crash image against a committed-version ledger.
+
+    ``ledger`` maps page -> committed version (payloads are monotone
+    version counters, so a page's durable version below its ledger entry
+    means a committed update was lost).  ``report`` is accepted for
+    symmetry with the recover call-site and future extensions; the audit
+    itself reads only the recovered device.
+
+    Two strictnesses, matching the two harnesses that share this helper:
+
+    * ``exact=False`` (the chaos harness): the ledger is a *lower bound* —
+      versions at the last commit point.  The device may legitimately be
+      ahead (later write-backs made more recent durable work visible), so
+      only ``durable < committed`` counts as a failure.
+    * ``exact=True`` (the crash-point engine): the ledger is the complete
+      durable truth — the version each page must have after redo.  Every
+      audited page must match *exactly*; a page ahead of or diverging from
+      the ledger is a phantom redo.  ``pages`` extends the audit beyond
+      the ledger's keys (e.g. ``range(num_pages)``) so unledgered pages
+      are proven untouched too.
+    """
+    del report  # the audit is a pure function of device state vs ledger
+    device = image.device
+    lost: list[tuple[int, int, int]] = []
+    phantoms: list[tuple[int, int, int]] = []
+    audited = set(ledger)
+    for page, version in ledger.items():
+        durable = _durable_version(device, page)
+        if durable < version:
+            lost.append((page, version, durable))
+        elif exact and durable != version:
+            phantoms.append((page, version, durable))
+    if exact and pages is not None:
+        for page in pages:
+            if page in audited:
+                continue
+            durable = _durable_version(device, page)
+            if durable != 0:
+                phantoms.append((page, 0, durable))
+    return DurabilityAudit(
+        committed_updates=sum(ledger.values()),
+        lost=tuple(lost),
+        phantoms=tuple(phantoms),
     )

@@ -1,0 +1,181 @@
+"""WAL-based page repair and the idle-time corruption scrubber.
+
+The silent-corruption fault kinds (:class:`~repro.faults.plan.FaultKind`
+``BITROT`` / ``MISDIRECTED_WRITE`` / ``LOST_WRITE``) damage device state
+without raising; checksums make the damage *detectable* on read, and this
+module makes it *healable*: every committed update's redo image is in the
+WAL (WAL-before-data), so a corrupt page can be rewritten from its latest
+durable redo image — the same physical redo recovery applies after a
+crash, used surgically on one page.
+
+Two consumers:
+
+* the buffer manager's read path repairs on demand when a device read
+  raises :class:`~repro.errors.CorruptPageError`;
+* the :class:`Scrubber` sweeps the device in idle-time rounds, verifying
+  checksums and cross-checking clean pages against their latest durable
+  redo image, healing latent corruption *before* anything reads it.  The
+  WAL cross-check is what catches lost writes on devices without
+  checksums: the payload self-verifies (it is simply old), but it cannot
+  lie to the log.
+
+Pages with no durable redo image (never updated since the initial load)
+repair to the load-time payload — the simulator formats every page to
+version ``0``, the moral equivalent of re-initialising from the base
+backup a real system keeps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.bufferpool.wal import WalRecordKind, WriteAheadLog
+
+__all__ = ["redo_index", "repair_page", "ScrubStats", "Scrubber"]
+
+#: The payload ``format_pages`` loads every page with.
+FORMAT_PAYLOAD = 0
+
+
+def redo_index(wal: WriteAheadLog) -> dict[int, object]:
+    """Latest durable redo payload per page, in one pass over the log."""
+    index: dict[int, object] = {}
+    for record in wal.durable_records():
+        if record.kind is WalRecordKind.UPDATE and record.page is not None:
+            index[record.page] = record.payload
+    return index
+
+
+def repair_page(
+    device,
+    wal: WriteAheadLog,
+    page: int,
+    default_payload: object | None = FORMAT_PAYLOAD,
+) -> bool:
+    """Rewrite ``page`` from its latest durable redo image.
+
+    Returns ``True`` when the page was rewritten (the write charges normal
+    I/O time and refreshes the device's checksum metadata).  Falls back to
+    ``default_payload`` for pages the durable log never updated; pass
+    ``None`` to disable the fallback and report such pages unrepairable.
+    """
+    payload = default_payload
+    found = False
+    # Newest-first scan: a single repair only needs the last image.
+    for record in reversed(wal.durable_records()):
+        if record.kind is WalRecordKind.UPDATE and record.page == page:
+            payload = record.payload
+            found = True
+            break
+    if not found and default_payload is None:
+        return False
+    device.write_page(page, payload)
+    return True
+
+
+@dataclass
+class ScrubStats:
+    """Counters for one scrubber's lifetime."""
+
+    rounds: int = 0
+    pages_scanned: int = 0
+    #: Checksum verification failures found (bitrot, misdirected targets,
+    #: phantom-checksum lost writes).
+    corrupt_found: int = 0
+    #: Checksum-clean pages whose payload disagreed with their latest
+    #: durable redo image (lost writes on checksum-less devices).
+    stale_found: int = 0
+    repaired: int = 0
+    unrepairable: int = 0
+
+    @property
+    def detected(self) -> int:
+        return self.corrupt_found + self.stale_found
+
+
+class Scrubber:
+    """Sweeps the device in bounded rounds, detecting and healing damage.
+
+    Each round verifies ``pages_per_round`` pages (each verify is a real
+    read, so scrubbing charges virtual time like the maintenance I/O it
+    models) and repairs every page that fails its checksum or — when the
+    page is clean by ``is_dirty``'s testimony — disagrees with its latest
+    durable redo image.  Dirty pages are exempt from the redo cross-check:
+    their device image is *legitimately* stale until the next write-back.
+
+    ``is_dirty`` is typically ``manager.is_dirty``; omitting it asserts the
+    caller scrubs a quiesced device (everything flushed).
+    """
+
+    def __init__(
+        self,
+        device,
+        wal: WriteAheadLog,
+        pages_per_round: int = 64,
+        is_dirty: Callable[[int], bool] | None = None,
+        default_payload: object | None = FORMAT_PAYLOAD,
+    ) -> None:
+        if device.num_pages is None:
+            raise ValueError("scrubbing needs a bounded device (num_pages)")
+        if pages_per_round < 1:
+            raise ValueError("pages_per_round must be positive")
+        self.device = device
+        self.wal = wal
+        self.pages_per_round = pages_per_round
+        self.is_dirty = is_dirty
+        self.default_payload = default_payload
+        self.stats = ScrubStats()
+        self._cursor = 0
+        # The redo index is rebuilt only when more records became durable.
+        self._index: dict[int, object] = {}
+        self._index_lsn = -1
+
+    def _redo_lookup(self) -> dict[int, object]:
+        durable = self.wal.durable_lsn
+        if durable != self._index_lsn:
+            self._index = redo_index(self.wal)
+            self._index_lsn = durable
+        return self._index
+
+    def run_round(self) -> int:
+        """Scrub the next ``pages_per_round`` pages; returns repairs made."""
+        device = self.device
+        num_pages = device.num_pages
+        index = self._redo_lookup()
+        is_dirty = self.is_dirty
+        stats = self.stats
+        stats.rounds += 1
+        repaired_before = stats.repaired
+        for _ in range(min(self.pages_per_round, num_pages)):
+            page = self._cursor
+            self._cursor = (self._cursor + 1) % num_pages
+            stats.pages_scanned += 1
+            verified = device.verify_page(page)
+            needs_repair = not verified
+            if needs_repair:
+                stats.corrupt_found += 1
+            elif is_dirty is None or not is_dirty(page):
+                # Checksum-clean, but does the content agree with the log?
+                expected = index.get(page, self.default_payload)
+                if expected is not None and device.peek(page) != expected:
+                    stats.stale_found += 1
+                    needs_repair = True
+            if not needs_repair:
+                continue
+            payload = index.get(page, self.default_payload)
+            if payload is None and page not in index:
+                stats.unrepairable += 1
+                continue
+            device.write_page(page, payload)
+            stats.repaired += 1
+        return stats.repaired - repaired_before
+
+    def scrub_all(self) -> ScrubStats:
+        """One full pass over every device page, starting from page 0."""
+        self._cursor = 0
+        num_pages = self.device.num_pages
+        rounds = -(-num_pages // self.pages_per_round)
+        for _ in range(rounds):
+            self.run_round()
+        return self.stats

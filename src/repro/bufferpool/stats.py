@@ -48,6 +48,10 @@ class BufferStats:
     degraded_writebacks: int = 0
     failed_writebacks: int = 0
     degraded_evictions: int = 0
+    #: Data integrity: reads that tripped a checksum failure, and pages
+    #: healed in place from a WAL redo image (see repro.bufferpool.repair).
+    corrupt_page_reads: int = 0
+    pages_repaired: int = 0
 
     @property
     def accesses(self) -> int:

@@ -11,18 +11,35 @@ Records carry physical redo information (the page's new payload), so
 :mod:`repro.bufferpool.recovery` can replay committed work after a
 simulated crash — the durability property that makes it safe for both the
 classic manager and ACE to delay data-page writes.
+
+Every flushed log page is a :class:`WalPageImage` carrying a checksum over
+the *intended* record group, so a flush torn by power loss mid-page leaves
+a detectably partial image: the stored prefix no longer matches the
+checksum, and recovery excludes the whole torn page from redo instead of
+replaying half a group commit.  The crash-point engine drives this through
+:attr:`WriteAheadLog.flush_hook`.
 """
 
 from __future__ import annotations
 
+import zlib
+from bisect import bisect_right
+from collections.abc import Callable
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.errors import PowerFailure
 from repro.storage.clock import VirtualClock
 from repro.storage.device import SimulatedSSD
 from repro.storage.profiles import DeviceProfile
 
-__all__ = ["WriteAheadLog", "WalRecord", "WalRecordKind", "WAL_DEVICE_PROFILE"]
+__all__ = [
+    "WriteAheadLog",
+    "WalRecord",
+    "WalRecordKind",
+    "WalPageImage",
+    "WAL_DEVICE_PROFILE",
+]
 
 #: A fast log device: sequential writes on flash are nearly symmetric and a
 #: dedicated WAL volume has shallow queues.
@@ -57,6 +74,37 @@ class WalRecord:
     payload: object | None = None
 
 
+def _records_checksum(records: tuple[WalRecord, ...]) -> int:
+    """Checksum over a record group's full redo content."""
+    return zlib.crc32(repr(tuple(
+        (r.lsn, r.kind.value, r.page, r.payload) for r in records
+    )).encode())
+
+
+@dataclass(frozen=True)
+class WalPageImage:
+    """What one flushed WAL page physically stores.
+
+    ``checksum`` always covers the *intended* group of ``intended_count``
+    records.  A clean flush stores all of them; a flush torn by power loss
+    stores only a prefix, so verification recomputes a different checksum
+    and the page — and with it every record of the group — is excluded
+    from redo.  This is the page-level atomicity unit real WALs get from
+    per-page CRCs.
+    """
+
+    records: tuple[WalRecord, ...]
+    intended_count: int
+    checksum: int
+
+    @property
+    def is_valid(self) -> bool:
+        return (
+            len(self.records) == self.intended_count
+            and _records_checksum(self.records) == self.checksum
+        )
+
+
 class WriteAheadLog:
     """A sequential, group-committed log of page updates."""
 
@@ -75,10 +123,23 @@ class WriteAheadLog:
         self._next_page = 0
         self.pages_written = 0
         self.checkpoints = 0
-        #: All records with lsn <= durable_lsn survive a crash.
-        self.durable_lsn = 0
+        #: Flushes that tore mid-page under a crash schedule.
+        self.torn_flushes = 0
         #: LSN of the most recent durable checkpoint record (0 = none).
         self.last_checkpoint_lsn = 0
+        # Durable records indexed flat and by LSN: ``records_since`` is a
+        # bisect + slice, so the crash-point engine's repeated recoveries
+        # stay linear in the redo window instead of rescanning the log.
+        self._durable_records: list[WalRecord] = []
+        self._durable_lsns: list[int] = []
+        #: Crash-schedule hook consulted on every buffer flush.  Called
+        #: with the record group about to be written; returning ``None``
+        #: lands the page atomically, returning ``j`` (0 <= j < len)
+        #: simulates power loss mid-page — a torn image holding only the
+        #: first ``j`` records is written and :class:`PowerFailure` raised.
+        self.flush_hook: Callable[[tuple[WalRecord, ...]], int | None] | None = None
+        # Device-scan verification cache: log pages verified so far.
+        self._verified_pages = 0
 
     @property
     def lsn(self) -> int:
@@ -88,6 +149,11 @@ class WriteAheadLog:
     @property
     def records_logged(self) -> int:
         return len(self._records)
+
+    @property
+    def durable_lsn(self) -> int:
+        """All records with lsn <= durable_lsn survive a crash."""
+        return self._durable_lsns[-1] if self._durable_lsns else 0
 
     def log_update(self, page: int, payload: object | None = None) -> int:
         """Append an update record for ``page``; returns the record's LSN.
@@ -114,7 +180,9 @@ class WriteAheadLog:
 
         The caller (checkpointer / ``flush_all``) must have flushed every
         dirty page *before* logging the checkpoint, so that recovery can
-        start redo from here.
+        start redo from here.  The checkpoint only takes effect once its
+        record is durable: a flush torn mid-page never advances
+        ``last_checkpoint_lsn``.
         """
         record = WalRecord(lsn=self.lsn + 1, kind=WalRecordKind.CHECKPOINT)
         self._records.append(record)
@@ -126,17 +194,78 @@ class WriteAheadLog:
 
     def durable_records(self) -> list[WalRecord]:
         """Records that survive a crash (flushed to the log device)."""
-        return self._records[: self.durable_lsn]
+        return list(self._durable_records)
 
     def records_since(self, lsn: int) -> list[WalRecord]:
         """Durable records with LSN strictly greater than ``lsn``."""
         if lsn < 0:
             raise ValueError(f"lsn cannot be negative: {lsn}")
-        return self._records[lsn : self.durable_lsn]
+        start = bisect_right(self._durable_lsns, lsn)
+        return self._durable_records[start:]
+
+    def verify_durable_records(self) -> list[WalRecord]:
+        """Durable records revalidated against the log device's images.
+
+        Recovery must not trust in-memory bookkeeping — after a crash only
+        the device survives.  This scans the physical log pages, validates
+        each :class:`WalPageImage` checksum, and stops at the first invalid
+        (torn) page: everything after a tear is unreachable, exactly as a
+        sequential-scan redo pass would see it.  The scan is cached per
+        flushed page, so repeated recoveries (the crash-point engine's
+        crash-during-recovery replays) verify each page once.
+
+        Raises ``RuntimeError`` if the physical log diverges from the
+        in-memory durable index — that would mean the WAL itself lost
+        acknowledged writes, which the simulator does not model.
+        """
+        if self._verified_pages == self.pages_written:
+            return list(self._durable_records)
+        scanned: list[WalRecord] = []
+        for page_no in range(self.pages_written):
+            image = self.device.peek(page_no % _WAL_PAGES)
+            if not isinstance(image, WalPageImage) or not image.is_valid:
+                break  # torn tail: the log ends here
+            scanned.extend(image.records)
+        if [r.lsn for r in scanned] != self._durable_lsns:
+            raise RuntimeError(
+                "WAL device scan diverges from the durable index: "
+                f"{len(scanned)} records on device vs "
+                f"{len(self._durable_lsns)} indexed"
+            )
+        self._verified_pages = self.pages_written
+        return list(self._durable_records)
 
     def _flush_buffer(self) -> None:
-        self.device.write_page(self._next_page % _WAL_PAGES, payload=self.lsn)
+        pending = tuple(self._records[len(self._records) - self._pending_records:])
+        tear: int | None = None
+        hook = self.flush_hook
+        if hook is not None:
+            tear = hook(pending)
+            if tear is not None and not 0 <= tear < len(pending):
+                tear = None  # landing the full group is not a tear
+        checksum = _records_checksum(pending)
+        stored = pending if tear is None else pending[:tear]
+        image = WalPageImage(
+            records=stored, intended_count=len(pending), checksum=checksum,
+        )
+        page_no = self._next_page % _WAL_PAGES
+        self.device.write_page(page_no, payload=image)
         self._next_page += 1
         self.pages_written += 1
         self._pending_records = 0
-        self.durable_lsn = self.lsn
+        if tear is not None:
+            # Power fails mid-flush: none of the group's records become
+            # durable (the torn image will not verify), and the machine
+            # stops here.
+            self.torn_flushes += 1
+            site = (
+                "wal-checkpoint"
+                if any(r.kind is WalRecordKind.CHECKPOINT for r in pending)
+                else "wal-flush"
+            )
+            raise PowerFailure(
+                site, self.pages_written - 1,
+                f"flush torn after {tear}/{len(pending)} records",
+            )
+        self._durable_records.extend(pending)
+        self._durable_lsns.extend(record.lsn for record in pending)

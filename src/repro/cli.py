@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro lint src                       # repo-specific AST lint
     python -m repro check                          # invariant-sanitized smoke run
     python -m repro chaos                          # fault-injection durability sweep
+    python -m repro crashpoints --smoke            # exhaustive crash-point verification
     python -m repro overload                       # saturation sweep + breaker A/B
 
 Every command prints a small report and exits 0 on success; the heavy
@@ -151,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument("--output", default="EXPERIMENTS.md")
 
     lint = sub.add_parser(
-        "lint", help="run the repo-specific AST lint rules (R001-R011)"
+        "lint", help="run the repo-specific AST lint rules (R001-R012)"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
@@ -204,6 +205,29 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--smoke", action="store_true",
                        help="small fixed grid for CI (overrides the sweep "
                             "options above)")
+
+    crashpoints = sub.add_parser(
+        "crashpoints",
+        help="exhaustive crash-consistency verification: enumerate every "
+             "write boundary, crash there, recover, and audit the device "
+             "against the durable-write ledger byte for byte",
+    )
+    crashpoints.add_argument("--policies", default=",".join(POLICY_NAMES),
+                             help="comma-separated policy names")
+    crashpoints.add_argument("--variants", default="baseline,ace",
+                             help="comma-separated variants (baseline|ace)")
+    crashpoints.add_argument("--pages", type=int, default=400)
+    crashpoints.add_argument("--ops", type=int, default=1500)
+    crashpoints.add_argument("--seed", type=int, default=7)
+    crashpoints.add_argument("--max-points", type=int, default=64,
+                             help="crash points tested per cell (evenly "
+                                  "subsampled; 0 = exhaustive)")
+    crashpoints.add_argument("--max-redo-crashes", type=int, default=8,
+                             help="crash-during-recovery replays per point "
+                                  "(0 = every redo write)")
+    crashpoints.add_argument("--smoke", action="store_true",
+                             help="small fixed sweep for CI (overrides the "
+                                  "options above)")
 
     overload = sub.add_parser(
         "overload",
@@ -448,10 +472,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Durability sweep under fault injection; exit 1 on any lost update."""
-    from repro.bench.chaos import run_chaos, smoke_grid
+    from repro.bench.chaos import run_chaos, smoke_corruption, smoke_grid
 
+    corruption = None
     if args.smoke:
         report = smoke_grid(seed=args.seed)
+        corruption = smoke_corruption(seed=args.seed)
     else:
         rates = tuple(
             float(part) for part in args.rates.split(",") if part.strip()
@@ -493,11 +519,82 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for cell in report.failures:
         reason = cell.error if cell.error else f"{cell.lost_updates} lost"
         print(f"FAIL {cell.label}: {reason}")
-    if not report.ok:
+    if corruption is not None:
+        status = "ok  " if corruption.ok else "FAIL"
+        print(
+            f"{status} {corruption.label}: "
+            f"{corruption.corruptions_injected} silent corruptions injected, "
+            f"{corruption.read_path_detections} caught on read "
+            f"({corruption.read_path_repairs} healed inline), "
+            f"{corruption.scrub_detected} scrubbed, "
+            f"{corruption.residual_corruption} residual"
+        )
+        if not corruption.ok and corruption.error:
+            print(f"FAIL {corruption.label}: {corruption.error}")
+    if not report.ok or (corruption is not None and not corruption.ok):
         return 1
     print(
         f"all {len(report.cells)} cells durable "
         f"({report.total_faults} faults injected, 0 committed updates lost)"
+    )
+    return 0
+
+
+def _cmd_crashpoints(args: argparse.Namespace) -> int:
+    """Exhaustive crash-point verification; exit 1 on any audit failure."""
+    from repro.verify import run_crashpoints, smoke_report
+
+    if args.smoke:
+        report = smoke_report(seed=args.seed)
+    else:
+        policies = tuple(
+            name.strip() for name in args.policies.split(",") if name.strip()
+        )
+        variants = tuple(
+            name.strip() for name in args.variants.split(",") if name.strip()
+        )
+        report = run_crashpoints(
+            policies=policies,
+            variants=variants,
+            num_pages=args.pages,
+            ops=args.ops,
+            seed=args.seed,
+            max_points=args.max_points or None,
+            max_redo_crashes=args.max_redo_crashes or None,
+        )
+    rows = []
+    for config in report.configs:
+        rows.append([
+            "ok" if config.ok else "FAIL",
+            config.label,
+            str(config.boundaries),
+            str(config.points_tested),
+            str(config.points_skipped),
+            str(config.redo_crashes_tested),
+            str(sum(o.lost_updates for o in config.outcomes)),
+            str(sum(o.phantom_pages for o in config.outcomes)),
+        ])
+    print(format_table(
+        ["", "config", "boundaries", "points", "skipped", "redo-crashes",
+         "lost", "phantom"],
+        rows,
+        title=f"Crash-point verification (seed={report.seed})",
+    ))
+    for config in report.failures:
+        for outcome in config.failures:
+            reason = outcome.error or (
+                f"{outcome.lost_updates} lost, "
+                f"{outcome.phantom_pages} phantom, redo replays "
+                f"{outcome.redo_crashes_ok}/{outcome.redo_crashes_tested}"
+            )
+            print(f"FAIL {config.label} {outcome.point.label}: {reason}")
+    if not report.ok:
+        return 1
+    print(
+        f"all {len(report.configs)} configs crash-consistent "
+        f"({report.points_tested} crash points, "
+        f"{report.redo_crashes_tested} recovery re-crashes, "
+        f"0 committed updates lost, 0 phantom pages)"
     )
     return 0
 
@@ -535,6 +632,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "check": _cmd_check,
     "chaos": _cmd_chaos,
+    "crashpoints": _cmd_crashpoints,
     "overload": _cmd_overload,
 }
 

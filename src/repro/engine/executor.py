@@ -387,11 +387,17 @@ def run_trace(
     latencies: LatencyRecorder | None = None,
     warmup_ops: int = 0,
     serving=None,
+    scrubber=None,
 ) -> RunMetrics:
     """Replay ``trace`` against ``manager`` and collect metrics.
 
     Pass a :class:`LatencyRecorder` as ``latencies`` to additionally
     capture the per-request latency distribution (mean/p50/p95/p99).
+
+    ``scrubber`` attaches an
+    :class:`~repro.bufferpool.background.IdleScrubber`: like the
+    background writer, it runs on its own virtual-time interval and heals
+    latent silent corruption between requests.
 
     ``warmup_ops`` replays that many leading requests before measurement
     starts (the pool fills, stats and clock baselines reset afterwards),
@@ -450,6 +456,7 @@ def run_trace(
         latencies is None
         and bg_writer is None
         and checkpointer is None
+        and scrubber is None
         and not options.commit_every_ops
     ):
         # Fast path: nothing observes the clock between requests, so the
@@ -501,6 +508,8 @@ def run_trace(
                 next_bg_writer_us = clock.now_us + options.bg_writer_interval_us
             if checkpointer is not None:
                 checkpointer.maybe_checkpoint()
+            if scrubber is not None:
+                scrubber.maybe_scrub()
 
     elapsed = clock.now_us - start_us
     io_time = (

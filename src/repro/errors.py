@@ -12,12 +12,38 @@ __all__ = [
     "SanitizerError",
     "IOFaultError",
     "TornWriteError",
+    "CorruptPageError",
     "RetriesExhaustedError",
+    "PowerFailure",
 ]
 
 
 class ReproError(Exception):
     """Base class for all library-specific errors."""
+
+
+class PowerFailure(ReproError):
+    """The simulated machine lost power at an I/O boundary.
+
+    Raised by the crash-point engine's schedule hooks
+    (:mod:`repro.verify.crashpoints`) and by a torn WAL flush.  This is
+    deliberately *not* an :class:`IOFaultError`: power loss is not a device
+    fault the retry machinery may absorb — it must unwind the whole run so
+    the harness can take a :func:`~repro.bufferpool.recovery.simulate_crash`
+    image.
+
+    ``boundary`` is the global write-boundary ordinal at which the power
+    failed; ``site`` names the kind of boundary (``"data-write"``,
+    ``"wal-flush"``, ``"wal-checkpoint"``, ``"redo-write"``).
+    """
+
+    def __init__(self, site: str, boundary: int, message: str = "") -> None:
+        self.site = site
+        self.boundary = boundary
+        detail = f": {message}" if message else ""
+        super().__init__(
+            f"power failure at {site} boundary {boundary}{detail}"
+        )
 
 
 class BufferPoolError(ReproError):
@@ -148,6 +174,33 @@ class TornWriteError(IOFaultError):
         super().__init__(
             "write", pages, message, acknowledged=acknowledged, permanent=False
         )
+
+
+class CorruptPageError(IOFaultError):
+    """A page's stored payload does not match its recorded checksum.
+
+    Raised by a checksum-enabled :class:`~repro.storage.device.SimulatedSSD`
+    when a read (or an explicit verify) finds the payload inconsistent with
+    the device's out-of-band checksum metadata — the read-time detection
+    half of the silent-corruption story.  Permanent by construction: no
+    retry re-reads the bytes into health; the page must be *repaired* from
+    a WAL redo image (:mod:`repro.bufferpool.repair`).
+
+    ``stored_checksum`` is the checksum the device recorded for the page;
+    ``computed_checksum`` is the checksum of the payload actually present.
+    """
+
+    def __init__(
+        self,
+        page: int,
+        stored_checksum: int,
+        computed_checksum: int,
+        message: str = "checksum mismatch (silent corruption detected)",
+    ) -> None:
+        super().__init__("read", (page,), message, permanent=True)
+        self.page = page
+        self.stored_checksum = stored_checksum
+        self.computed_checksum = computed_checksum
 
 
 class RetriesExhaustedError(IOFaultError):

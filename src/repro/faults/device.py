@@ -94,6 +94,23 @@ class FaultyDevice:
     def peek(self, page: int) -> object | None:
         return self.base.peek(page)
 
+    @property
+    def checksums_enabled(self) -> bool:
+        return self.base.checksums_enabled
+
+    def verify_page(self, page: int) -> bool:
+        """Scrub reads are maintenance I/O: charged, but never injected."""
+        return self.base.verify_page(page)
+
+    def corrupt_payload(self, page: int, payload: object | None) -> None:
+        self.base.corrupt_payload(page, payload)
+
+    def snapshot_payloads(self) -> dict[int, object]:
+        return self.base.snapshot_payloads()
+
+    def restore_payloads(self, snapshot: Mapping[int, object]) -> None:
+        self.base.restore_payloads(snapshot)
+
     def format_pages(self, pages: Iterable[int]) -> None:
         """Preloading is an out-of-band operation: never fault-injected."""
         self.base.format_pages(pages)
@@ -118,21 +135,33 @@ class FaultyDevice:
         return self.base.read_batch(pages)
 
     def _apply_read_fault(self, event: FaultEvent, batch_size: int) -> None:
-        stats = self.base.stats
+        base = self.base
+        stats = base.stats
         if event.kind is FaultKind.LATENCY_SPIKE:
             stats.latency_spikes += 1
             stats.fault_delay_us += event.delay_us
-            self.base.clock.advance(event.delay_us)
+            base.clock.advance(event.delay_us)
+            return
+        if event.kind is FaultKind.BITROT:
+            # The victim page decays in place *before* the read: the caller
+            # sees a successful read of garbage — unless the base device
+            # has checksums on, in which case the delegated read raises
+            # CorruptPageError.  No extra time: the decay is free.
+            page = event.pages[0]
+            base.corrupt_payload(page, ("bitrot", base.peek(page)))
+            stats.silent_corruptions += 1
             return
         # The device was busy failing: the read still costs its latency.
-        elapsed = self.base.model.read_batch_us(batch_size)
-        self.base.clock.advance(elapsed)
+        elapsed = base.model.read_batch_us(batch_size)
+        base.clock.advance(elapsed)
         stats.read_faults += 1
         if event.kind is FaultKind.PERMANENT_MEDIA:
             raise IOFaultError(
                 "read", event.pages, "permanent media error", permanent=True
             )
-        raise IOFaultError("read", event.pages, "transient read error")
+        if event.kind is FaultKind.TRANSIENT_READ:
+            raise IOFaultError("read", event.pages, "transient read error")
+        raise AssertionError(f"unhandled read fault kind: {event.kind}")
 
     # ---------------------------------------------------------- writes
 
@@ -181,6 +210,9 @@ class FaultyDevice:
             raise IOFaultError(
                 "write", event.pages, "transient write error"
             )
+        if event.kind in (FaultKind.MISDIRECTED_WRITE, FaultKind.LOST_WRITE):
+            self._apply_silent_write_fault(event, items)
+            return
         acknowledged = set(event.acknowledged)
         landed = {page: payload for page, payload in items if page in acknowledged}
         if landed:
@@ -190,12 +222,41 @@ class FaultyDevice:
             raise TornWriteError(
                 pages=event.pages, acknowledged=event.acknowledged
             )
-        # Permanent media error on part (or all) of the batch.
-        stats.write_faults += 1
-        raise IOFaultError(
-            "write", event.pages, "permanent media error",
-            acknowledged=event.acknowledged, permanent=True,
-        )
+        if event.kind is FaultKind.PERMANENT_MEDIA:
+            # Permanent media error on part (or all) of the batch.
+            stats.write_faults += 1
+            raise IOFaultError(
+                "write", event.pages, "permanent media error",
+                acknowledged=event.acknowledged, permanent=True,
+            )
+        raise AssertionError(f"unhandled write fault kind: {event.kind}")
+
+    def _apply_silent_write_fault(
+        self, event: FaultEvent, items: list[tuple[int, object | None]]
+    ) -> None:
+        """Land the batch "successfully", then quietly betray one page.
+
+        The whole batch is written through the base device first, so the
+        timing, stats, FTL, and checksum-metadata accounting are exactly
+        those of a healthy batch — the device *believes* it wrote
+        everything.  Then the victim page's stored payload is rewound (lost
+        write) or additionally smeared onto its neighbour (misdirected
+        write) behind the checksums' back, leaving latent damage that only
+        a checksum verify or a WAL cross-check can surface.
+        """
+        base = self.base
+        victim = event.pages[0]
+        old = base.peek(victim)
+        new = dict(items)[victim]
+        base.write_batch(dict(items))
+        if event.kind is FaultKind.MISDIRECTED_WRITE:
+            # The victim's payload landed on a neighbouring page instead.
+            num_pages = base.num_pages
+            target = (victim + 1) % num_pages if num_pages else victim + 1
+            if target != victim:
+                base.corrupt_payload(target, new)
+        base.corrupt_payload(victim, old)
+        base.stats.silent_corruptions += 1
 
     def __repr__(self) -> str:
         return f"FaultyDevice({self.plan.describe()}, base={self.base!r})"

@@ -23,13 +23,29 @@ __all__ = ["FaultKind", "FaultEvent", "FaultPlan", "FaultInjector"]
 
 
 class FaultKind(Enum):
-    """The failure modes the injector can schedule."""
+    """The failure modes the injector can schedule.
+
+    The first five raise (or delay) at the faulted operation; the last
+    three are *silent*: the operation appears to succeed while the stored
+    data quietly diverges from what the caller believes it wrote — they are
+    only observable later, through checksum verification or a WAL
+    cross-check (see ``docs/architecture.md``).
+    """
 
     TRANSIENT_READ = "transient-read"
     TRANSIENT_WRITE = "transient-write"
     PERMANENT_MEDIA = "permanent-media"
     LATENCY_SPIKE = "latency-spike"
     TORN_BATCH = "torn-batch"
+    #: A read-path corruption: the page's stored payload decays in place.
+    BITROT = "bitrot"
+    #: One write of a batch lands on the *wrong* page: the victim keeps its
+    #: old data (under fresh checksum metadata) and a neighbour is
+    #: clobbered with the stray payload.
+    MISDIRECTED_WRITE = "misdirected-write"
+    #: One write of a batch is acknowledged but never persisted: the
+    #: victim's old data survives under the new checksum metadata.
+    LOST_WRITE = "lost-write"
 
 
 @dataclass(frozen=True)
@@ -62,12 +78,17 @@ class FaultPlan:
     torn_batch_rate: float = 0.0
     latency_spike_rate: float = 0.0
     latency_spike_us: float = 2_000.0
+    #: Silent-corruption rates (per operation, like the others).
+    bitrot_rate: float = 0.0
+    misdirected_write_rate: float = 0.0
+    lost_write_rate: float = 0.0
     media_error_pages: frozenset[int] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
         for name in (
             "read_error_rate", "write_error_rate",
             "torn_batch_rate", "latency_spike_rate",
+            "bitrot_rate", "misdirected_write_rate", "lost_write_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -90,6 +111,9 @@ class FaultPlan:
             and self.write_error_rate == 0.0
             and self.torn_batch_rate == 0.0
             and self.latency_spike_rate == 0.0
+            and self.bitrot_rate == 0.0
+            and self.misdirected_write_rate == 0.0
+            and self.lost_write_rate == 0.0
             and not self.media_error_pages
         )
 
@@ -117,13 +141,29 @@ class FaultPlan:
         return cls(seed=seed, latency_spike_rate=rate, latency_spike_us=spike_us)
 
     @classmethod
+    def silent(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """A silent-corruption-only plan: bitrot, misdirected, lost writes.
+
+        Every operation still *succeeds* from the caller's point of view —
+        the data just quietly goes wrong.  This is the shape the chaos
+        harness's detect+repair cell and the scrubber tests use.
+        """
+        return cls(
+            seed=seed,
+            bitrot_rate=rate,
+            misdirected_write_rate=rate,
+            lost_write_rate=rate,
+        )
+
+    @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
         """Parse a ``REPRO_FAULTS``-style spec into a plan.
 
         Either a bare float — a uniform rate, ``"0"`` giving the null
         pass-through plan — or a comma-separated ``key=value`` list with
         keys ``read``, ``write``, ``torn``, ``spike``, ``spike_us``,
-        ``seed`` (e.g. ``"read=0.01,torn=0.005,seed=7"``).
+        ``bitrot``, ``misdirect``, ``lost``, ``seed``
+        (e.g. ``"read=0.01,torn=0.005,seed=7"``).
         """
         spec = spec.strip()
         if not spec:
@@ -136,6 +176,9 @@ class FaultPlan:
             "torn": "torn_batch_rate",
             "spike": "latency_spike_rate",
             "spike_us": "latency_spike_us",
+            "bitrot": "bitrot_rate",
+            "misdirect": "misdirected_write_rate",
+            "lost": "lost_write_rate",
             "seed": "seed",
         }
         kwargs: dict[str, object] = {}
@@ -165,6 +208,12 @@ class FaultPlan:
             parts.append(f"torn={self.torn_batch_rate:g}")
         if self.latency_spike_rate:
             parts.append(f"spike={self.latency_spike_rate:g}")
+        if self.bitrot_rate:
+            parts.append(f"bitrot={self.bitrot_rate:g}")
+        if self.misdirected_write_rate:
+            parts.append(f"misdirect={self.misdirected_write_rate:g}")
+        if self.lost_write_rate:
+            parts.append(f"lost={self.lost_write_rate:g}")
         if self.media_error_pages:
             parts.append(f"bad-pages={len(self.media_error_pages)}")
         return ",".join(parts) + f" seed={self.seed}"
@@ -206,6 +255,14 @@ class FaultInjector:
             return self._record(FaultEvent(
                 index, "read", FaultKind.TRANSIENT_READ, pages=tuple(pages),
             ))
+        if plan.bitrot_rate and rng.random() < plan.bitrot_rate:
+            # One page of the batch decays in place before it is read.
+            victim = pages[rng.randrange(len(pages))]
+            rest = tuple(page for page in pages if page != victim)
+            return self._record(FaultEvent(
+                index, "read", FaultKind.BITROT,
+                pages=(victim,), acknowledged=rest,
+            ))
         if plan.latency_spike_rate and rng.random() < plan.latency_spike_rate:
             return self._record(FaultEvent(
                 index, "read", FaultKind.LATENCY_SPIKE, pages=tuple(pages),
@@ -240,6 +297,23 @@ class FaultInjector:
             return self._record(FaultEvent(
                 index, "write", FaultKind.TORN_BATCH,
                 pages=tuple(pages[cut:]), acknowledged=tuple(pages[:cut]),
+            ))
+        if (
+            plan.misdirected_write_rate
+            and rng.random() < plan.misdirected_write_rate
+        ):
+            victim = pages[rng.randrange(len(pages))]
+            rest = tuple(page for page in pages if page != victim)
+            return self._record(FaultEvent(
+                index, "write", FaultKind.MISDIRECTED_WRITE,
+                pages=(victim,), acknowledged=rest,
+            ))
+        if plan.lost_write_rate and rng.random() < plan.lost_write_rate:
+            victim = pages[rng.randrange(len(pages))]
+            rest = tuple(page for page in pages if page != victim)
+            return self._record(FaultEvent(
+                index, "write", FaultKind.LOST_WRITE,
+                pages=(victim,), acknowledged=rest,
             ))
         if plan.latency_spike_rate and rng.random() < plan.latency_spike_rate:
             return self._record(FaultEvent(

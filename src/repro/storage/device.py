@@ -16,15 +16,30 @@ afterwards" — can be property-tested end to end.
 
 from __future__ import annotations
 
+import zlib
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
+from repro.errors import CorruptPageError
 from repro.storage.clock import VirtualClock
 from repro.storage.ftl import FlashTranslationLayer
 from repro.storage.latency import LatencyModel
 from repro.storage.profiles import DeviceProfile
 
-__all__ = ["SimulatedSSD", "DeviceStats"]
+__all__ = ["SimulatedSSD", "DeviceStats", "page_checksum"]
+
+
+def page_checksum(page: int, payload: object | None) -> int:
+    """Deterministic checksum over a page's identity and payload.
+
+    Covering the page *number* as well as the payload makes misdirected
+    writes (page A's bytes landing on page B) detectable, not just bitrot:
+    the stored checksum is computed for the intended page, so the stray
+    payload never verifies against its accidental home.  Payloads are
+    simulator-level Python values (version counters, tuples), so ``repr``
+    is a stable serialisation.
+    """
+    return zlib.crc32(repr((page, payload)).encode())
 
 
 # ``slots=True``: the buffer manager's inlined miss path bumps these
@@ -50,6 +65,11 @@ class DeviceStats:
     torn_batches: int = 0
     latency_spikes: int = 0
     fault_delay_us: float = 0.0
+    #: Silent corruptions injected (bitrot, misdirected or lost writes) —
+    #: these never raise at injection time; that is what makes them silent.
+    silent_corruptions: int = 0
+    #: Reads/verifies that found a payload inconsistent with its checksum.
+    checksum_failures: int = 0
 
     @property
     def total_ios(self) -> int:
@@ -85,6 +105,8 @@ class DeviceStats:
             torn_batches=self.torn_batches,
             latency_spikes=self.latency_spikes,
             fault_delay_us=self.fault_delay_us,
+            silent_corruptions=self.silent_corruptions,
+            checksum_failures=self.checksum_failures,
         )
         fresh.write_batch_size_histogram = dict(self.write_batch_size_histogram)
         return fresh
@@ -106,6 +128,13 @@ class SimulatedSSD:
         tracked (needed for Table III and Figure 9).
     pages_per_block, over_provision:
         Forwarded to the FTL when enabled.
+    checksums:
+        Keep an out-of-band checksum per page (updated on every write,
+        verified on every read).  Reads of a page whose payload no longer
+        matches its checksum raise :class:`~repro.errors.CorruptPageError`.
+        Off by default: a disabled device carries no per-I/O overhead
+        beyond a single ``is None`` test on the generic paths, and the
+        manager's inlined miss path bypasses it entirely.
     """
 
     def __init__(
@@ -116,6 +145,7 @@ class SimulatedSSD:
         with_ftl: bool = False,
         pages_per_block: int = 64,
         over_provision: float = 0.10,
+        checksums: bool = False,
     ) -> None:
         self.profile = profile
         self.model: LatencyModel = profile.latency_model()
@@ -128,6 +158,9 @@ class SimulatedSSD:
         self._single_write_us = self.model.write_batch_us(1)
         self.stats = DeviceStats()
         self._payloads: dict[int, object] = {}
+        #: Out-of-band checksum metadata: page -> checksum of the payload
+        #: the device believes it stored.  ``None`` when disabled.
+        self._checksums: dict[int, int] | None = {} if checksums else None
         self.ftl: FlashTranslationLayer | None = None
         if with_ftl:
             if num_pages is None:
@@ -156,6 +189,8 @@ class SimulatedSSD:
             stats.largest_read_batch = 1
         if self.ftl is not None:
             self.ftl.read(page)
+        if self._checksums is not None:
+            self._verify_checksum(page)
         return self._payloads.get(page)
 
     def read_batch(self, pages: list[int] | tuple[int, ...]) -> list[object | None]:
@@ -179,6 +214,9 @@ class SimulatedSSD:
         if self.ftl is not None:
             for page in pages:
                 self.ftl.read(page)
+        if self._checksums is not None:
+            for page in pages:
+                self._verify_checksum(page)
         payloads = self._payloads
         return [payloads.get(page) for page in pages]
 
@@ -231,6 +269,90 @@ class SimulatedSSD:
             for page, payload in items:
                 payloads[page] = payload
                 ftl.write(page)
+        checksums = self._checksums
+        if checksums is not None:
+            for page, payload in items:
+                checksums[page] = page_checksum(page, payload)
+
+    # ----------------------------------------------------------- checksums
+
+    @property
+    def checksums_enabled(self) -> bool:
+        return self._checksums is not None
+
+    def _verify_checksum(self, page: int) -> None:
+        """Raise :class:`CorruptPageError` if ``page`` fails verification."""
+        stored = self._checksums.get(page)  # type: ignore[union-attr]
+        if stored is None:
+            return  # never written through this device: nothing to check
+        computed = page_checksum(page, self._payloads.get(page))
+        if computed != stored:
+            self.stats.checksum_failures += 1
+            raise CorruptPageError(page, stored, computed)
+
+    def verify_page(self, page: int) -> bool:
+        """Scrub one page: read it and check its checksum, without raising.
+
+        Charges one read latency (a scrub is real I/O) and returns whether
+        the page verified.  On a device without checksums every page
+        trivially verifies — the scrubber then relies on WAL cross-checks
+        alone.
+        """
+        if self.num_pages is not None and not 0 <= page < self.num_pages:
+            raise IndexError(
+                f"page {page} out of device range [0, {self.num_pages})"
+            )
+        elapsed = self._single_read_us
+        self.clock.advance(elapsed)
+        stats = self.stats
+        stats.reads += 1
+        stats.read_batches += 1
+        stats.read_time_us += elapsed
+        if stats.largest_read_batch < 1:
+            stats.largest_read_batch = 1
+        if self.ftl is not None:
+            self.ftl.read(page)
+        checksums = self._checksums
+        if checksums is None:
+            return True
+        stored = checksums.get(page)
+        if stored is None:
+            return True
+        if page_checksum(page, self._payloads.get(page)) == stored:
+            return True
+        stats.checksum_failures += 1
+        return False
+
+    def corrupt_payload(self, page: int, payload: object | None) -> None:
+        """Silently replace a page's stored payload, *bypassing* checksums.
+
+        This is the fault-injection surface for silent corruption: the
+        payload changes but the checksum metadata keeps describing what the
+        device *believes* it stored, so the damage is latent until a read
+        or scrub verifies the page.  Out-of-band: no I/O cost, no stats.
+        """
+        self._payloads[page] = payload
+
+    def snapshot_payloads(self) -> dict[int, object]:
+        """Copy the stored payload map (diagnostics / crash-point replay)."""
+        return dict(self._payloads)
+
+    def restore_payloads(self, snapshot: Mapping[int, object]) -> None:
+        """Reset stored payloads to a snapshot, rebuilding checksums.
+
+        Used by the crash-point engine to rewind the device to its
+        post-crash image between crash-during-recovery replays without
+        re-running the whole trace.  Out-of-band: no I/O cost.
+        """
+        # Mutate in place: hot paths (the manager's turbo tuple) may hold a
+        # direct reference to the payload dict.
+        self._payloads.clear()
+        self._payloads.update(snapshot)
+        checksums = self._checksums
+        if checksums is not None:
+            checksums.clear()
+            for page, payload in self._payloads.items():
+                checksums[page] = page_checksum(page, payload)
 
     # ------------------------------------------------------------- utilities
 
@@ -252,8 +374,11 @@ class SimulatedSSD:
         Counters are reset afterwards so experiments measure steady-state
         behaviour, mirroring the paper's device preconditioning step.
         """
+        checksums = self._checksums
         for page in pages:
             self._payloads[page] = 0
+            if checksums is not None:
+                checksums[page] = page_checksum(page, 0)
             if self.ftl is not None:
                 self.ftl.write(page)
         self.reset_stats()

@@ -1,0 +1,33 @@
+"""Verification engines: exhaustive correctness proofs over the simulator.
+
+Where :mod:`repro.bench.chaos` *samples* the failure space with randomized
+fault injection, this package *enumerates* it.  The first engine,
+:mod:`repro.verify.crashpoints`, walks every write boundary of a
+representative trace, crashes there deterministically, recovers, and
+audits the result byte-for-byte — including re-crashing inside recovery
+itself.
+"""
+
+from repro.verify.crashpoints import (
+    CrashConfigReport,
+    CrashPoint,
+    CrashPointOutcome,
+    CrashPointReport,
+    CrashSchedule,
+    CrashHookDevice,
+    run_crashpoint_config,
+    run_crashpoints,
+    smoke_report,
+)
+
+__all__ = [
+    "CrashConfigReport",
+    "CrashPoint",
+    "CrashPointOutcome",
+    "CrashPointReport",
+    "CrashSchedule",
+    "CrashHookDevice",
+    "run_crashpoint_config",
+    "run_crashpoints",
+    "smoke_report",
+]

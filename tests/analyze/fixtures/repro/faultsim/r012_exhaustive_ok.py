@@ -1,0 +1,17 @@
+"""R012 fixture: every FaultKind member appears in the dispatch."""
+
+import enum
+
+
+class FaultKind(enum.Enum):
+    TRANSIENT = "transient"
+    TORN = "torn"
+
+
+class FaultyDevice:
+    def apply(self, kind):
+        if kind is FaultKind.TRANSIENT:
+            return "retryable"
+        if kind is FaultKind.TORN:
+            return "partial"
+        raise AssertionError(f"unhandled fault kind: {kind}")

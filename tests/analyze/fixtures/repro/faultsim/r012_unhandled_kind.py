@@ -1,0 +1,22 @@
+"""R012 fixture: a FaultKind member the dispatch never references."""
+
+import enum
+
+
+class FaultKind(enum.Enum):
+    TRANSIENT = "transient"
+    TORN = "torn"
+    BITROT = "bitrot"
+    GAMMA_RAY = "gamma-ray"  # the injector below forgot this one
+    COSMIC_RAY = "cosmic-ray"  # lint: allow-unhandled-fault
+
+
+class FaultyDevice:
+    def apply(self, kind):
+        if kind is FaultKind.TRANSIENT:
+            return "retryable"
+        if kind is FaultKind.TORN:
+            return "partial"
+        if kind is FaultKind.BITROT:
+            return "silent"
+        raise AssertionError(f"unhandled fault kind: {kind}")

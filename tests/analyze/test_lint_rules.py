@@ -1,4 +1,4 @@
-"""Tests for the repo-specific AST lint rules (R001-R011).
+"""Tests for the repo-specific AST lint rules (R001-R012).
 
 Each rule gets at least one positive test (a fixture file written to
 violate it, laid out under ``fixtures/repro/...`` so package scoping
@@ -80,11 +80,11 @@ class TestFramework:
     def test_rule_catalogue_complete(self):
         assert [rule.code for rule in DEFAULT_RULES] == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
-            "R008", "R009", "R010", "R011",
+            "R008", "R009", "R010", "R011", "R012",
         ]
         for rule in DEFAULT_RULES:
             assert rule.name and rule.description
-            assert rule.scope in {"file", "graph"}
+            assert rule.scope in {"file", "graph", "project"}
 
 
 class TestDeterminismRule:
@@ -373,6 +373,44 @@ class TestWallClockTaintRule:
         assert lint_file(FIXTURES / "bench" / "r011_virtual_ok.py") == []
 
 
+class TestFaultDispatchRule:
+    def test_unhandled_member_fires(self):
+        violations = lint_file(FIXTURES / "faultsim" / "r012_unhandled_kind.py")
+        assert codes(violations) == {"R012"}
+        assert len(violations) == 1
+        assert "GAMMA_RAY" in violations[0].message
+        # The violation anchors at the member's definition line.
+        assert violations[0].line == 10
+
+    def test_suppressed_member_is_quiet(self):
+        violations = lint_file(FIXTURES / "faultsim" / "r012_unhandled_kind.py")
+        assert all("COSMIC_RAY" not in v.message for v in violations)
+
+    def test_exhaustive_dispatch_is_clean(self):
+        assert lint_file(FIXTURES / "faultsim" / "r012_exhaustive_ok.py") == []
+
+    def test_enum_without_any_dispatch_is_quiet(self):
+        # A lint scope containing the enum but no FaultyDevice has no
+        # dispatch contract to enforce.
+        violations, _ = run_lint(
+            [FIXTURES / "faultsim" / "r012_exhaustive_ok.py"],
+            select=["R012"],
+        )
+        assert violations == []
+
+    def test_cross_file_pairing_covers_the_real_injector(self):
+        # The shipped enum (faults/plan.py) and dispatch (faults/device.py)
+        # live in different files; the project scope must pair them.
+        violations, _ = run_lint(
+            [
+                REPO_ROOT / "src" / "repro" / "faults" / "plan.py",
+                REPO_ROOT / "src" / "repro" / "faults" / "device.py",
+            ],
+            select=["R012"],
+        )
+        assert violations == []
+
+
 class TestShippedTree:
     def test_src_is_clean(self):
         violations, files = run_lint([REPO_ROOT / "src"])
@@ -396,7 +434,7 @@ class TestLintCli:
         assert main(["lint", str(FIXTURES)]) == 1
         out = capsys.readouterr().out
         for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
-                     "R008", "R009", "R010", "R011"):
+                     "R008", "R009", "R010", "R011", "R012"):
             assert code in out
         assert "violation(s)" in out
 
@@ -408,5 +446,5 @@ class TestLintCli:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
-                     "R008", "R009", "R010", "R011"):
+                     "R008", "R009", "R010", "R011", "R012"):
             assert code in out

@@ -5,7 +5,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bufferpool.manager import BufferPoolManager
-from repro.bufferpool.recovery import recover, simulate_crash
+from repro.bufferpool.recovery import (
+    CrashImage,
+    audit_committed,
+    recover,
+    simulate_crash,
+)
 from repro.bufferpool.wal import WalRecordKind, WriteAheadLog
 from repro.core.ace import ACEBufferPoolManager
 from repro.core.config import ACEConfig
@@ -161,3 +166,58 @@ class TestRecovery:
             recovered = image.device._payloads[page]
             assert isinstance(recovered, int)
             assert recovered >= version
+
+
+class TestAuditCommitted:
+    """The reusable recovery audit shared by chaos and crash-point runs."""
+
+    def make_image(self, payloads):
+        device = SimulatedSSD(TEST_PROFILE, num_pages=16)
+        device.format_pages(range(16))
+        if payloads:
+            device.write_batch(payloads)
+        wal = WriteAheadLog(device.clock)
+        return CrashImage(device=device, wal=wal, lost_dirty_pages=())
+
+    def test_clean_match_is_ok(self):
+        image = self.make_image({1: 2, 2: 1})
+        audit = audit_committed(image, None, {1: 2, 2: 1}, exact=True)
+        assert audit.ok
+        assert audit.committed_updates == 3
+        assert audit.lost_updates == 0
+        assert audit.phantom_pages == 0
+
+    def test_behind_the_ledger_is_lost(self):
+        image = self.make_image({1: 1})
+        audit = audit_committed(image, None, {1: 3})
+        assert not audit.ok
+        assert audit.lost == ((1, 3, 1),)
+        assert audit.lost_updates == 1
+
+    def test_non_exact_allows_device_ahead(self):
+        # Chaos mode: the ledger is a lower bound (later write-backs may
+        # have made more recent work durable).
+        image = self.make_image({1: 5})
+        assert audit_committed(image, None, {1: 2}).ok
+
+    def test_exact_flags_ahead_as_phantom(self):
+        image = self.make_image({1: 5})
+        audit = audit_committed(image, None, {1: 2}, exact=True)
+        assert not audit.ok
+        assert audit.phantoms == ((1, 2, 5),)
+
+    def test_exact_pages_extends_to_unledgered_pages(self):
+        # Page 7 was never committed, yet redo left a version on it:
+        # phantom redo, caught only because pages= widens the audit.
+        image = self.make_image({7: 4})
+        ledger = {1: 0}
+        assert audit_committed(image, None, ledger, exact=True).ok
+        audit = audit_committed(
+            image, None, ledger, exact=True, pages=range(16)
+        )
+        assert audit.phantoms == ((7, 0, 4),)
+
+    def test_non_counter_payload_reads_as_version_zero(self):
+        image = self.make_image({1: "garbage"})
+        audit = audit_committed(image, None, {1: 1})
+        assert audit.lost == ((1, 1, 0),)

@@ -1,0 +1,200 @@
+"""Silent-corruption fault kinds: bitrot, misdirected writes, lost writes.
+
+Unlike every other fault kind, these three *never raise at injection
+time* — the operation reports success and the damage is latent.  The
+contract under test: with checksums on, 100% of injected corruptions are
+detectable on a later read; with checksums off the corruption is truly
+silent (that is the scrubber's department, tested in
+``tests/bufferpool/test_repair.py``).
+"""
+
+import pytest
+
+from repro.errors import CorruptPageError
+from repro.faults.device import FaultyDevice
+from repro.faults.plan import FaultKind, FaultPlan
+
+from tests.bufferpool.conftest import TEST_PROFILE
+from tests.faults.conftest import ARMED_PLAN, ScriptedInjector
+
+from repro.storage.device import SimulatedSSD
+
+
+def make_checksummed(num_pages=32):
+    device = SimulatedSSD(
+        TEST_PROFILE, num_pages=num_pages, checksums=True
+    )
+    device.format_pages(range(num_pages))
+    return device
+
+
+def scripted(base, script):
+    faulty = FaultyDevice(base, ARMED_PLAN)
+    faulty.injector = ScriptedInjector(ARMED_PLAN, script)
+    return faulty
+
+
+class TestPlanSurface:
+    def test_silent_constructor_and_parse(self):
+        plan = FaultPlan.silent(0.01, seed=5)
+        assert plan.bitrot_rate == plan.misdirected_write_rate == \
+            plan.lost_write_rate == 0.01
+        assert not plan.is_null
+        parsed = FaultPlan.parse("bitrot=0.1,misdirect=0.2,lost=0.3,seed=5")
+        assert parsed.bitrot_rate == 0.1
+        assert parsed.misdirected_write_rate == 0.2
+        assert parsed.lost_write_rate == 0.3
+        for field in ("bitrot", "misdirect", "lost"):
+            assert field in parsed.describe()
+
+    def test_zero_silent_rates_stay_null(self):
+        assert FaultPlan.silent(0.0).is_null
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(bitrot_rate=-0.1)
+
+
+class TestBitrot:
+    def test_bitrot_decays_before_the_read(self):
+        base = make_checksummed()
+        base.write_batch({3: 42})
+        faulty = scripted(base, [FaultKind.BITROT])
+        with pytest.raises(CorruptPageError) as exc_info:
+            faulty.read_page(3)
+        assert exc_info.value.page == 3
+        assert base.stats.silent_corruptions == 1
+        assert base.stats.checksum_failures == 1
+
+    def test_bitrot_without_checksums_reads_garbage(self):
+        base = SimulatedSSD(TEST_PROFILE, num_pages=32)
+        base.format_pages(range(32))
+        base.write_batch({3: 42})
+        faulty = scripted(base, [FaultKind.BITROT])
+        payload = faulty.read_page(3)
+        assert payload != 42  # wrong data, no error: truly silent
+        assert base.stats.silent_corruptions == 1
+
+
+class TestLostWrite:
+    def test_lost_write_keeps_old_payload(self):
+        base = make_checksummed()
+        base.write_batch({4: 1})
+        faulty = scripted(base, [FaultKind.LOST_WRITE])
+        faulty.write_page(4, payload=2)  # acknowledged, never persisted
+        assert base.peek(4) == 1
+        assert base.stats.silent_corruptions == 1
+
+    def test_lost_write_detected_on_read(self):
+        base = make_checksummed()
+        base.write_batch({4: 1})
+        faulty = scripted(base, [FaultKind.LOST_WRITE, None])
+        faulty.write_page(4, payload=2)
+        with pytest.raises(CorruptPageError):
+            faulty.read_page(4)
+
+    def test_lost_write_charges_normal_write_accounting(self):
+        base = make_checksummed()
+        faulty = scripted(base, [FaultKind.LOST_WRITE])
+        before = base.stats.writes
+        faulty.write_page(4, payload=2)
+        assert base.stats.writes == before + 1  # looked healthy throughout
+        assert base.stats.write_faults == 0
+
+
+class TestMisdirectedWrite:
+    def test_misdirect_clobbers_the_neighbour(self):
+        base = make_checksummed()
+        base.write_batch({5: 10, 6: 20})
+        faulty = scripted(base, [FaultKind.MISDIRECTED_WRITE])
+        faulty.write_page(5, payload=11)
+        assert base.peek(5) == 10  # victim kept its old payload
+        assert base.peek(6) == 11  # neighbour got the victim's payload
+        assert base.stats.silent_corruptions == 1
+
+    def test_both_damaged_pages_detected_on_read(self):
+        base = make_checksummed()
+        base.write_batch({5: 10, 6: 20})
+        faulty = scripted(base, [FaultKind.MISDIRECTED_WRITE, None, None])
+        faulty.write_page(5, payload=11)
+        with pytest.raises(CorruptPageError):
+            faulty.read_page(5)
+        with pytest.raises(CorruptPageError):
+            faulty.read_page(6)
+
+
+class TestFullDetection:
+    def test_every_injected_corruption_is_detectable(self):
+        # Distinct victim pages, one corruption each; a full device scan
+        # must flag every damaged page — 100% detection, the acceptance
+        # bar for the checksum layer.
+        base = make_checksummed(num_pages=64)
+        base.write_batch({page: 100 + page for page in range(64)})
+        script = []
+        damaged = set()
+        faulty = FaultyDevice(base, ARMED_PLAN)
+        for page, kind in (
+            (10, FaultKind.BITROT),
+            (20, FaultKind.LOST_WRITE),
+            (30, FaultKind.MISDIRECTED_WRITE),
+            (40, FaultKind.BITROT),
+        ):
+            faulty.injector = ScriptedInjector(ARMED_PLAN, [kind])
+            if kind is FaultKind.BITROT:
+                with pytest.raises(CorruptPageError):
+                    faulty.read_page(page)
+                damaged.add(page)
+            else:
+                faulty.write_page(page, payload=7)
+                damaged.add(page)
+                if kind is FaultKind.MISDIRECTED_WRITE:
+                    damaged.add(page + 1)
+        del script
+        flagged = {
+            page for page in range(64) if not base.verify_page(page)
+        }
+        assert flagged == damaged
+
+    def test_seeded_rate_one_detects_on_every_read(self):
+        # The real injector at bitrot rate 1.0: every read of a committed
+        # page must surface CorruptPageError, never silent garbage.
+        base = make_checksummed(num_pages=16)
+        base.write_batch({page: page + 1 for page in range(16)})
+        faulty = FaultyDevice(base, FaultPlan(bitrot_rate=1.0, seed=3))
+        for page in range(16):
+            with pytest.raises(CorruptPageError):
+                faulty.read_page(page)
+        assert base.stats.silent_corruptions == 16
+        assert base.stats.checksum_failures == 16
+
+
+class TestRngBackCompat:
+    def test_silent_rates_do_not_disturb_existing_schedules(self):
+        # A plan with silent rates at zero must draw the same RNG stream
+        # as before the kinds existed: identical fault schedules.
+        def run(plan):
+            base = SimulatedSSD(TEST_PROFILE, num_pages=64)
+            base.format_pages(range(64))
+            faulty = FaultyDevice(base, plan)
+            for page in range(60):
+                try:
+                    faulty.write_page(page, payload=1)
+                except Exception:
+                    pass
+                try:
+                    faulty.read_page(page)
+                except Exception:
+                    pass
+            return [
+                (e.index, e.op, e.kind, e.pages)
+                for e in faulty.injector.events
+            ]
+
+        baseline = run(FaultPlan.uniform(0.05, seed=11))
+        silent_zero = run(FaultPlan(
+            read_error_rate=0.05, write_error_rate=0.05,
+            torn_batch_rate=0.05, latency_spike_rate=0.05,
+            bitrot_rate=0.0, misdirected_write_rate=0.0,
+            lost_write_rate=0.0, seed=11,
+        ))
+        assert baseline == silent_zero

@@ -1,0 +1,142 @@
+"""Per-page checksums on :class:`SimulatedSSD`: silent corruption detection.
+
+The checksum is kept *out of band* (metadata beside the payload, as ZFS
+does) and covers the page number, so all three silent-corruption shapes
+are detectable on read: bitrot (payload decayed under a stale checksum),
+misdirected writes (right payload, wrong page), and lost writes (the old
+payload under the *new* checksum — the case in-band checksums miss).
+"""
+
+import pytest
+
+from repro.errors import CorruptPageError
+from repro.storage.device import SimulatedSSD, page_checksum
+
+from tests.bufferpool.conftest import TEST_PROFILE
+
+
+def make_device(num_pages=32, checksums=True):
+    device = SimulatedSSD(
+        TEST_PROFILE, num_pages=num_pages, checksums=checksums
+    )
+    device.format_pages(range(num_pages))
+    return device
+
+
+class TestChecksumOff:
+    def test_disabled_by_default(self):
+        device = SimulatedSSD(TEST_PROFILE, num_pages=8)
+        assert not device.checksums_enabled
+
+    def test_corruption_is_invisible_without_checksums(self):
+        device = make_device(checksums=False)
+        device.write_page(3, payload=42)
+        device.corrupt_payload(3, "garbage")
+        assert device.read_page(3) == "garbage"  # silently wrong
+        assert device.verify_page(3)  # trivially verifies
+        assert device.stats.checksum_failures == 0
+
+
+class TestChecksumOn:
+    def test_clean_reads_pass(self):
+        device = make_device()
+        device.write_page(3, payload=42)
+        assert device.read_page(3) == 42
+        assert device.read_batch([0, 3, 5]) == [0, 42, 0]
+        assert device.stats.checksum_failures == 0
+
+    def test_bitrot_detected_on_read(self):
+        device = make_device()
+        device.write_page(3, payload=42)
+        device.corrupt_payload(3, ("bitrot", 42))
+        with pytest.raises(CorruptPageError) as exc_info:
+            device.read_page(3)
+        error = exc_info.value
+        assert error.page == 3
+        assert error.permanent
+        assert error.stored_checksum != error.computed_checksum
+        assert device.stats.checksum_failures == 1
+
+    def test_bitrot_detected_on_batch_read(self):
+        device = make_device()
+        device.write_batch({1: 10, 2: 20})
+        device.corrupt_payload(2, 999)
+        with pytest.raises(CorruptPageError):
+            device.read_batch([1, 2])
+
+    def test_misdirected_write_detected(self):
+        # Page 5's payload lands on page 6: the checksum covers the page
+        # number, so page 6 fails verification even though the payload is
+        # a perfectly healthy value.
+        device = make_device()
+        device.write_page(5, payload=7)
+        device.corrupt_payload(6, 7)
+        with pytest.raises(CorruptPageError):
+            device.read_page(6)
+
+    def test_lost_write_detected(self):
+        # The device acknowledged v2 (checksum updated) but kept v1 on
+        # media: the phantom-checksum state in-band checksums cannot see.
+        device = make_device()
+        device.write_page(4, payload=1)
+        device.write_page(4, payload=2)
+        device.corrupt_payload(4, 1)
+        with pytest.raises(CorruptPageError):
+            device.read_page(4)
+
+    def test_verify_page_reports_without_raising(self):
+        device = make_device()
+        device.write_page(3, payload=42)
+        reads_before = device.stats.reads
+        assert device.verify_page(3)
+        device.corrupt_payload(3, 0xBAD)
+        assert not device.verify_page(3)
+        # A scrub is real I/O: both verifications charged a read.
+        assert device.stats.reads == reads_before + 2
+        assert device.stats.checksum_failures == 1
+        with pytest.raises(IndexError):
+            device.verify_page(99)
+
+    def test_format_maintains_checksums(self):
+        device = make_device()
+        device.write_page(3, payload=42)
+        device.format_pages([3])
+        assert device.read_page(3) == 0
+
+    def test_write_refreshes_checksum(self):
+        # Overwriting a corrupt page heals it: new payload, new checksum.
+        device = make_device()
+        device.write_page(3, payload=1)
+        device.corrupt_payload(3, "rot")
+        device.write_page(3, payload=2)
+        assert device.read_page(3) == 2
+
+    def test_restore_payloads_rebuilds_checksums(self):
+        device = make_device()
+        device.write_page(3, payload=42)
+        snapshot = device.snapshot_payloads()
+        device.corrupt_payload(3, "rot")
+        device.restore_payloads(snapshot)
+        assert device.read_page(3) == 42
+        assert device.verify_page(3)
+
+    def test_page_checksum_covers_page_number(self):
+        assert page_checksum(1, "x") != page_checksum(2, "x")
+        assert page_checksum(1, "x") != page_checksum(1, "y")
+
+
+class TestManagerFastPathGate:
+    def test_checksums_disable_the_inlined_device_path(self):
+        # The turbo tuple writes payloads directly and would leave checksum
+        # metadata stale; a checksummed device must take the generic path.
+        from repro.bufferpool.manager import BufferPoolManager
+        from repro.policies.lru import LRUPolicy
+
+        plain = make_device(checksums=False)
+        checked = make_device(checksums=True)
+        assert BufferPoolManager(
+            8, LRUPolicy(), plain
+        )._plain_device is plain
+        assert BufferPoolManager(
+            8, LRUPolicy(), checked
+        )._plain_device is None

@@ -38,6 +38,15 @@ from repro.bufferpool import (
     recover,
     simulate_crash,
 )
+from repro.cluster import (
+    ClusterConfig,
+    ClusterMetrics,
+    HashShardRouter,
+    MappedShardRouter,
+    ShardRouter,
+    run_cluster,
+    run_cluster_transactions,
+)
 from repro.core import ACEBufferPoolManager, ACEConfig, AdaptiveACEBufferPoolManager
 from repro.engine import (
     BreakerConfig,
@@ -142,6 +151,14 @@ __all__ = [
     "RecoveryReport",
     "simulate_crash",
     "recover",
+    # cluster
+    "ClusterConfig",
+    "ClusterMetrics",
+    "ShardRouter",
+    "HashShardRouter",
+    "MappedShardRouter",
+    "run_cluster",
+    "run_cluster_transactions",
     # policies
     "ReplacementPolicy",
     "LRUPolicy",

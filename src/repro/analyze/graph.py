@@ -179,7 +179,7 @@ def package_of(module: str) -> str:
 _ALL_CORE = frozenset({
     "repro.errors", "repro.analysis", "repro.analyze", "repro.storage",
     "repro.policies", "repro.faults", "repro.workloads", "repro.bufferpool",
-    "repro.prefetch", "repro.core", "repro.engine",
+    "repro.prefetch", "repro.core", "repro.engine", "repro.cluster",
 })
 
 #: The declared layer DAG: package -> repro packages it may import
@@ -220,6 +220,14 @@ LAYER_DEPS: dict[str, frozenset[str]] = {
     "repro.engine": frozenset({
         "repro.errors", "repro.storage", "repro.workloads", "repro.bufferpool",
         "repro.core", "repro.policies",
+    }),
+    # Sharded cluster: shard routing/placement plus a parallel executor
+    # that builds complete per-shard stacks and replays them through the
+    # engine.  (``repro.bufferpool.partitioned`` re-exports the moved
+    # partitioned pool from here via a declared shim back-edge.)
+    "repro.cluster": frozenset({
+        "repro.errors", "repro.storage", "repro.policies", "repro.bufferpool",
+        "repro.core", "repro.engine", "repro.workloads",
     }),
     # Verification engines: exhaustive crash-point enumeration drives the
     # execution layer against crash-hooked stacks.

@@ -1,9 +1,9 @@
-"""The repo-specific lint rules (R001-R012).
+"""The repo-specific lint rules (R001-R013).
 
 Each rule encodes a contract the simulator depends on but no generic tool
-checks.  R001-R007 are per-file AST rules; R008 is a whole-program rule
-over the import graph (:mod:`repro.analyze.graph`), R009-R011 are
-flow-sensitive rules built on the CFG/dataflow framework
+checks.  R001-R007 and R013 are per-file AST rules; R008 is a
+whole-program rule over the import graph (:mod:`repro.analyze.graph`),
+R009-R011 are flow-sensitive rules built on the CFG/dataflow framework
 (:mod:`repro.analyze.cfg`, :mod:`repro.analyze.dataflow`), and R012 is a
 cross-file project rule over the parsed ASTs:
 
@@ -114,6 +114,18 @@ R012 *fault-dispatch exhaustiveness*
     fault.  Every enum member must be referenced by name
     (``FaultKind.X``) inside a ``FaultyDevice`` class.  Escape hatch on
     the member's definition line: ``# lint: allow-unhandled-fault``.
+
+R013 *worker-shared-state*
+    Worker entry points — module-level functions handed to
+    ``pool.submit(f, ...)``/``pool.map(f, ...)`` — run in forked or
+    spawned processes: a mutation of module-global mutable state (a
+    top-level ``list``/``dict``/``set`` binding) made there lands in the
+    *worker's* copy of the module, silently diverges between worker
+    counts, and never reaches the parent.  The cluster/grid results must
+    be pure functions of the submitted job, so the entry point and every
+    same-module function it (transitively) calls must not mutate or
+    rebind such globals.  Deliberate per-process caches carry
+    ``# lint: allow-shared-state`` on the mutating line.
 """
 
 from __future__ import annotations
@@ -136,6 +148,7 @@ __all__ = [
     "ServingVirtualTimeRule",
     "TranslationEncapsulationRule",
     "VirtualOrderPurityRule",
+    "WorkerSharedStateRule",
 ]
 
 
@@ -214,6 +227,7 @@ class DeterminismRule(LintRule):
         "repro.engine",
         "repro.faults",
         "repro.verify",
+        "repro.cluster",
         "tests",
         "benchmarks",
     )
@@ -1472,6 +1486,269 @@ class FaultDispatchRule(LintRule):
         return max(sorted(handled), key=shared)
 
 
+class WorkerSharedStateRule(LintRule):
+    """R013: worker entry points must not mutate module-global mutables."""
+
+    code = "R013"
+    name = "worker-shared-state"
+    description = (
+        "functions submitted to worker pools (pool.submit/pool.map), and "
+        "every same-module function they transitively call, must not "
+        "mutate or rebind module-global mutable bindings — the mutation "
+        "lands in the worker process's copy and diverges across worker "
+        "counts; escape hatch: `# lint: allow-shared-state`"
+    )
+    suppression = "allow-shared-state"
+
+    #: Pool fan-out methods whose first argument is a worker entry point.
+    _dispatch_methods = frozenset({"submit", "map"})
+    #: In-place mutators on lists/dicts/sets/deques and friends.
+    _mutating_methods = frozenset({
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "insert", "pop", "popitem", "popleft", "remove", "setdefault",
+        "update",
+    })
+    #: Constructor calls that bind a mutable container at module scope.
+    _mutable_constructors = frozenset({
+        "Counter", "OrderedDict", "defaultdict", "deque", "dict", "list",
+        "set",
+    })
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not module.in_package("repro"):
+            return
+        tree = module.tree
+        functions = {
+            node.name: node
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        entries = self._worker_entries(tree, functions)
+        if not entries:
+            return
+        mutables = self._module_mutables(tree)
+        for name in sorted(self._reachable(entries, functions)):
+            yield from self._check_function(
+                module, functions[name], mutables, entries
+            )
+
+    # -- discovery --------------------------------------------------------
+
+    def _module_mutables(self, tree: ast.Module) -> frozenset[str]:
+        """Top-level names bound to a mutable container expression."""
+        names: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            if not self._is_mutable_expr(value):
+                continue
+            for target in targets:
+                elements = (
+                    list(target.elts)
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                names.update(
+                    element.id
+                    for element in elements
+                    if isinstance(element, ast.Name)
+                )
+        return frozenset(names)
+
+    def _is_mutable_expr(self, expr: ast.expr) -> bool:
+        if isinstance(
+            expr,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+             ast.SetComp),
+        ):
+            return True
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            return name in self._mutable_constructors
+        return False
+
+    def _worker_entries(
+        self,
+        tree: ast.Module,
+        functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+    ) -> frozenset[str]:
+        """Module-level functions handed to ``.submit()``/``.map()``."""
+        entries: set[str] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._dispatch_methods
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id in functions
+            ):
+                entries.add(node.args[0].id)
+        return frozenset(entries)
+
+    def _reachable(
+        self,
+        entries: frozenset[str],
+        functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+    ) -> set[str]:
+        """Entry points plus same-module functions they transitively call."""
+        reached = set(entries)
+        frontier = list(entries)
+        while frontier:
+            current = functions[frontier.pop()]
+            for node in ast.walk(current):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee: str | None = None
+                if isinstance(node.func, ast.Name):
+                    callee = node.func.id
+                if callee in functions and callee not in reached:
+                    reached.add(callee)
+                    frontier.append(callee)
+        return reached
+
+    # -- mutation scan ----------------------------------------------------
+
+    def _check_function(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        mutables: frozenset[str],
+        entries: frozenset[str],
+    ) -> Iterator[Violation]:
+        shadowed = self._shadowed_names(func)
+        declared_global = {
+            name
+            for node in ast.walk(func)
+            if isinstance(node, ast.Global)
+            for name in node.names
+        }
+        live = (mutables - shadowed) | (mutables & declared_global)
+        if not live and not declared_global:
+            return
+        where = (
+            "worker entry point"
+            if func.name in entries
+            else "function reachable from a worker entry point"
+        )
+        for node in ast.walk(func):
+            message = self._mutation_message(
+                node, live, declared_global, where
+            )
+            if message and not self.allowed(module, node):
+                yield self.violation(module, node, message)
+
+    @staticmethod
+    def _shadowed_names(
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> set[str]:
+        """Parameters and plain-name assignments that make a name local."""
+        args = func.args
+        shadowed = {
+            arg.arg
+            for arg in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            )
+        }
+        declared_global = {
+            name
+            for node in ast.walk(func)
+            if isinstance(node, ast.Global)
+            for name in node.names
+        }
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    list(node.targets)
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    shadowed.update(
+                        name for name in assigned_names(target)
+                        if name not in declared_global
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                shadowed.update(assigned_names(node.target))
+        return shadowed
+
+    def _mutation_message(
+        self,
+        node: ast.AST,
+        live: frozenset[str],
+        declared_global: set[str],
+        where: str,
+    ) -> str | None:
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                list(node.targets)
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                root = _attr_root(target)
+                if root is None:
+                    continue
+                if (
+                    isinstance(target, (ast.Subscript, ast.Attribute))
+                    and root.id in live
+                ):
+                    return (
+                        f"{where} mutates module global {root.id!r}; the "
+                        "write lands only in this worker process — return "
+                        "the value instead (deliberate per-process caches: "
+                        "`# lint: allow-shared-state`)"
+                    )
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in declared_global
+                ):
+                    return (
+                        f"{where} rebinds module global {target.id!r} via "
+                        "`global`; worker-process state never reaches the "
+                        "parent — return the value instead"
+                    )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                root = _attr_root(target)
+                if (
+                    root is not None
+                    and isinstance(target, (ast.Subscript, ast.Attribute))
+                    and root.id in live
+                ):
+                    return (
+                        f"{where} deletes from module global {root.id!r}; "
+                        "the change lands only in this worker process"
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._mutating_methods
+            ):
+                root = _attr_root(func.value)
+                if root is not None and root.id in live:
+                    return (
+                        f"{where} calls .{func.attr}() on module global "
+                        f"{root.id!r}; the mutation lands only in this "
+                        "worker process — return the value instead"
+                    )
+        return None
+
+
 #: The rule set ``python -m repro lint`` runs.
 DEFAULT_RULES: tuple[LintRule, ...] = (
     DeterminismRule(),
@@ -1486,6 +1763,7 @@ DEFAULT_RULES: tuple[LintRule, ...] = (
     BatchedCounterFlushRule(),
     WallClockTaintRule(),
     FaultDispatchRule(),
+    WorkerSharedStateRule(),
 )
 
 #: Code -> rule instance, for ``--select`` and the parallel worker pass.

@@ -121,7 +121,8 @@ def _materialise(trace: Trace | TraceSpec) -> Trace:
     if isinstance(trace, TraceSpec):
         cached = _TRACE_CACHE.get(trace)
         if cached is None:
-            cached = _TRACE_CACHE[trace] = trace.materialise()
+            # Deliberate per-process memo: each worker warms its own copy.
+            cached = _TRACE_CACHE[trace] = trace.materialise()  # lint: allow-shared-state
         return cached
     return trace
 

@@ -23,7 +23,8 @@ Usage::
 The ``--check`` form re-measures quickly and exits non-zero if single-stack
 accesses/second fell below ``min-ratio`` times the committed ``current``
 entry, or if any stack in :data:`POLICY_FLOORS` fell below its per-policy
-floor — the CI smoke gate.  ``--profile`` wraps the measurement in
+floor, or if any cluster stack in :data:`CLUSTER_FLOORS` fell below its
+aggregate-throughput floor — the CI smoke gate.  ``--profile`` wraps the measurement in
 cProfile (see :mod:`repro.bench.profiling`).
 """
 
@@ -39,6 +40,8 @@ from pathlib import Path
 
 from repro.bench.parallel import GridJob, TraceSpec, resolve_workers, run_grid
 from repro.bench.runner import VARIANTS, StackConfig, build_stack
+from repro.cluster.engine import ClusterConfig, build_shard_stack, run_cluster
+from repro.cluster.placement import coaccess_from_trace, locality_placement
 from repro.engine.executor import ExecutionOptions, run_trace
 from repro.policies.registry import PAPER_POLICIES
 from repro.storage.profiles import PCIE_SSD, DeviceProfile
@@ -48,13 +51,16 @@ __all__ = [
     "SCHEMA_VERSION",
     "DEFAULT_OUTPUT",
     "POLICY_FLOORS",
+    "CLUSTER_FLOORS",
     "measure_single_stack",
+    "measure_cluster",
     "measure_suite",
     "measure",
     "write_entry",
     "load_report",
     "check_against",
     "check_policy_floors",
+    "check_cluster_floors",
     "main",
 ]
 
@@ -85,6 +91,18 @@ POLICY_FLOORS: dict[str, float] = {
     "cflru/baseline": 0.5,
     "cflru/ace": 0.5,
     "lru_wsr/baseline": 0.5,
+}
+
+#: Cluster regression floors for ``--check``, keyed by the cluster stack
+#: label ``policy/variant/s<shards>/<placement>``.  Gated on *aggregate*
+#: accesses/second under the makespan model (total ops / slowest shard's
+#: in-worker replay wall) — the sharded counterpart of the headline gate.
+#: Matching is strictly like-for-like: a committed rate only serves as a
+#: floor for a re-measurement with the same shard count, placement
+#: scheme, and translation backend (single-pool and cluster epochs never
+#: compare against each other).
+CLUSTER_FLOORS: dict[str, float] = {
+    "lru/baseline/s4/hash": 0.5,
 }
 
 
@@ -136,11 +154,81 @@ def measure_single_stack(
     return {
         "policy": policy,
         "variant": variant,
+        # Epoch-schema fields shared with cluster entries: a single-pool
+        # measurement is the degenerate 1-shard, unsharded placement.
+        # --check floor matching keys off these so single-pool and
+        # cluster rates never gate each other.
+        "shards": 1,
+        "placement": "single",
         "ops": num_ops,
         "wall_s": best_s,
         "accesses_per_sec": num_ops / best_s,
         "table_backend": table_backend,
         "address_space": address_space,
+    }
+
+
+def measure_cluster(
+    policy: str = "lru",
+    variant: str = "baseline",
+    num_shards: int = 4,
+    placement: str = "hash",
+    num_pages: int = 20_000,
+    num_ops: int = 30_000,
+    repeats: int = 3,
+    profile: DeviceProfile = PCIE_SSD,
+    seed: int = 42,
+    workers: int | None = 1,
+) -> dict[str, object]:
+    """Best-of-``repeats`` aggregate cluster throughput on MS.
+
+    The cluster replays the same MS trace split across ``num_shards``
+    shard nodes; the recorded rate is the *aggregate* accesses/second
+    under the makespan model — total ops over the slowest shard's replay
+    wall, each shard's wall measured inside its own worker around
+    ``run_trace`` alone.  ``workers=1`` (the default) replays the shards
+    serially in process: on a single-core bench host that measures
+    exactly what N true cores would sustain, without charging the shards
+    for process spawn or oversubscription, and the merged metrics are
+    byte-identical either way.
+    """
+    trace = generate_trace(MS, num_pages, num_ops, seed=seed)
+    assignment = None
+    if placement == "locality":
+        graph = coaccess_from_trace(trace.pages, num_pages)
+        assignment = tuple(locality_placement(graph, num_shards))
+    config = ClusterConfig(
+        profile=profile,
+        policy=policy,
+        variant=variant,
+        num_pages=num_pages,
+        num_shards=num_shards,
+        placement=placement,
+        assignment=assignment,
+        options=_OPTIONS,
+    )
+    best = None
+    for _ in range(max(1, repeats)):
+        metrics = run_cluster(config, trace, workers=workers)
+        if (
+            best is None
+            or metrics.aggregate_accesses_per_sec
+            > best.aggregate_accesses_per_sec
+        ):
+            best = metrics
+    table = getattr(build_shard_stack(config, 0), "table", None)
+    return {
+        "policy": policy,
+        "variant": variant,
+        "shards": num_shards,
+        "placement": placement,
+        "ops": best.ops,
+        "makespan_wall_s": max(best.replay_wall_s),
+        "accesses_per_sec": best.aggregate_accesses_per_sec,
+        "per_shard_ops": list(best.per_shard_ops),
+        "ops_imbalance": best.ops_imbalance,
+        "table_backend": table.backend if table is not None else None,
+        "address_space": table.address_space if table is not None else None,
     }
 
 
@@ -215,6 +303,21 @@ def measure(
         for variant in variants
     }
     headline = single_stack.get(HEADLINE_STACK) or next(iter(single_stack.values()))
+    # The sharded counterpart of the headline stack: 4-shard bare LRU on
+    # hash placement, recorded as aggregate makespan throughput.  Kept to
+    # one configuration here (the full shards x placement x policy sweep
+    # lives in repro.bench.cluster) so the perf entry stays cheap enough
+    # for the CI gate.
+    cluster = {}
+    for floor_stack in CLUSTER_FLOORS:
+        policy, variant, shards, placement = floor_stack.split("/")
+        cluster[floor_stack] = measure_cluster(
+            policy=policy,
+            variant=variant,
+            num_shards=int(shards.lstrip("s")),
+            placement=placement,
+            **stack_kwargs,
+        )
     return {
         "label": label,
         "fast": fast,
@@ -225,6 +328,7 @@ def measure(
         },
         "single_stack": single_stack,
         "headline_accesses_per_sec": headline["accesses_per_sec"],
+        "cluster": cluster,
         "suite": measure_suite(workers=workers, **suite_kwargs),
     }
 
@@ -297,6 +401,11 @@ def _committed_stack_rate(
     for entry in candidates:
         recorded = entry.get("single_stack", {}).get(stack)
         if not recorded:
+            continue
+        if recorded.get("shards") not in (None, 1):
+            # A sharded rate is an aggregate number — never a floor for a
+            # single-pool re-measurement (and vice versa: cluster floors
+            # gate via check_cluster_floors, not here).
             continue
         recorded_backend = recorded.get("table_backend")
         if backend is not None and recorded_backend not in (None, backend):
@@ -400,6 +509,112 @@ def check_policy_floors(
     return results
 
 
+def _committed_cluster_rate(
+    report: dict[str, object],
+    stack: str,
+    fast: bool,
+    shards: int,
+    placement: str,
+    backend: str | None = None,
+) -> float | None:
+    """The committed aggregate accesses/second for a cluster ``stack``.
+
+    Mirrors :func:`_committed_stack_rate` but reads the ``cluster``
+    section and matches strictly like-for-like: an entry only qualifies
+    when its recorded shard count and placement scheme equal the
+    re-measurement's (so a 4-shard rate never gates an 8-shard run, and
+    a locality rate never gates a hash run), in addition to the mode and
+    backend matching the single-stack gate applies.
+    """
+    current = report.get("current")
+    if not current:
+        raise ValueError("benchmark report has no `current` entry")
+    candidates = [current]
+    if fast != bool(current.get("fast")):
+        for entry in reversed(report.get("history", [])):
+            if bool(entry.get("fast")) == fast:
+                candidates.insert(0, entry)
+                break
+    fallback: float | None = None
+    for entry in candidates:
+        recorded = entry.get("cluster", {}).get(stack)
+        if not recorded:
+            continue
+        if recorded.get("shards") != shards:
+            continue
+        if recorded.get("placement") != placement:
+            continue
+        recorded_backend = recorded.get("table_backend")
+        if backend is not None and recorded_backend not in (None, backend):
+            continue
+        if backend is not None and recorded_backend is None:
+            if fallback is None:
+                fallback = float(recorded["accesses_per_sec"])
+            continue
+        return float(recorded["accesses_per_sec"])
+    return fallback
+
+
+def _measure_cluster_for_check(stack: str, fast: bool) -> dict[str, object]:
+    policy, variant, shards, placement = stack.split("/")
+    kwargs: dict[str, object] = {
+        "policy": policy,
+        "variant": variant,
+        "num_shards": int(shards.lstrip("s")),
+        "placement": placement,
+    }
+    if fast:
+        kwargs.update(num_pages=4_000, num_ops=6_000, repeats=2)
+    return measure_cluster(**kwargs)
+
+
+def check_cluster_floors(
+    report: dict[str, object],
+    floors: dict[str, float] | None = None,
+    fast: bool = True,
+) -> list[dict[str, object]]:
+    """Re-measure each floored cluster stack against its committed rate.
+
+    The cluster counterpart of :func:`check_policy_floors`: one result
+    dict per stack in ``floors`` (default :data:`CLUSTER_FLOORS`) with
+    keys ``stack``, ``floor``, ``measured``, ``committed``, ``ok``.
+    Stacks the committed report never recorded are skipped, and matching
+    is strictly like-for-like on shard count, placement, mode, and
+    translation backend — a single-pool rate can never serve as a
+    cluster floor.
+    """
+    results: list[dict[str, object]] = []
+    for stack, floor in (floors or CLUSTER_FLOORS).items():
+        _, _, shards_part, placement = stack.split("/")
+        shards = int(shards_part.lstrip("s"))
+        if (
+            _committed_cluster_rate(report, stack, fast, shards, placement)
+            is None
+        ):
+            continue  # never recorded: nothing to gate (skip the measure)
+        measured_entry = _measure_cluster_for_check(stack, fast)
+        measured = float(measured_entry["accesses_per_sec"])
+        committed = _committed_cluster_rate(
+            report,
+            stack,
+            fast,
+            shards,
+            placement,
+            backend=measured_entry.get("table_backend"),
+        )
+        if committed is None:
+            continue
+        results.append({
+            "stack": stack,
+            "floor": floor,
+            "measured": measured,
+            "committed": committed,
+            "table_backend": measured_entry.get("table_backend"),
+            "ok": measured >= floor * committed,
+        })
+    return results
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.perf",
@@ -465,6 +680,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                     f"{stack_verdict}: {result['stack']} measured "
                     f"{result['measured']:,.0f} accesses/s vs committed "
                     f"{result['committed']:,.0f} "
+                    f"(floor {result['floor']:.0%})"
+                )
+                ok = ok and result["ok"]
+            for result in check_cluster_floors(report, fast=True):
+                stack_verdict = "OK" if result["ok"] else "REGRESSION"
+                print(
+                    f"{stack_verdict}: cluster {result['stack']} measured "
+                    f"{result['measured']:,.0f} aggregate accesses/s vs "
+                    f"committed {result['committed']:,.0f} "
                     f"(floor {result['floor']:.0%})"
                 )
                 ok = ok and result["ok"]

@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro chaos                          # fault-injection durability sweep
     python -m repro crashpoints --smoke            # exhaustive crash-point verification
     python -m repro overload                       # saturation sweep + breaker A/B
+    python -m repro cluster --smoke                # sharded aggregate-throughput sweep
 
 Every command prints a small report and exits 0 on success; the heavy
 lifting lives in :mod:`repro.bench`.
@@ -152,7 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument("--output", default="EXPERIMENTS.md")
 
     lint = sub.add_parser(
-        "lint", help="run the repo-specific AST lint rules (R001-R012)"
+        "lint", help="run the repo-specific AST lint rules (R001-R013)"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
@@ -228,6 +229,34 @@ def build_parser() -> argparse.ArgumentParser:
     crashpoints.add_argument("--smoke", action="store_true",
                              help="small fixed sweep for CI (overrides the "
                                   "options above)")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded cluster sweep: aggregate throughput per shards x "
+             "placement x policy cell plus the imbalance-vs-cut Pareto "
+             "table; fails if locality placement stops beating hash",
+    )
+    cluster.add_argument("--shards", default="1,2,4",
+                         help="comma-separated shard counts")
+    cluster.add_argument("--placements", default="hash,locality",
+                         help="comma-separated placement schemes")
+    cluster.add_argument("--policies", default="lru,clock,cflru",
+                         help="comma-separated replacement policies")
+    cluster.add_argument("--variant", default="baseline",
+                         choices=("baseline", "ace", "ace+pf"))
+    cluster.add_argument("--pages", type=int, default=20_000)
+    cluster.add_argument("--ops", type=int, default=30_000)
+    cluster.add_argument("--seed", type=int, default=42)
+    cluster.add_argument("--workers", type=int, default=1,
+                         help="worker processes for shard replay")
+    cluster.add_argument("--smoke", action="store_true",
+                         help="small fixed grid for CI (one policy, small "
+                              "trace)")
+    cluster.add_argument("--record", action="store_true",
+                         help="append a perf epoch (with the cluster "
+                              "section) to the benchmark file")
+    cluster.add_argument("--label", default="",
+                         help="note recorded with the --record epoch")
 
     overload = sub.add_parser(
         "overload",
@@ -599,6 +628,28 @@ def _cmd_crashpoints(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Cluster sweep; exit 1 if the locality-placement claim fails."""
+    from repro.bench.cluster import main as cluster_main
+
+    forwarded: list[str] = [
+        "--shards", args.shards,
+        "--placements", args.placements,
+        "--policies", args.policies,
+        "--variant", args.variant,
+        "--pages", str(args.pages),
+        "--ops", str(args.ops),
+        "--seed", str(args.seed),
+        "--workers", str(args.workers),
+        "--label", args.label,
+    ]
+    if args.smoke:
+        forwarded.append("--smoke")
+    if args.record:
+        forwarded.append("--record")
+    return cluster_main(forwarded)
+
+
 def _cmd_overload(args: argparse.Namespace) -> int:
     """Overload sweep + breaker A/B; exit 1 on a cliff or breaker loss."""
     from repro.bench.overload import format_report, run_overload, smoke_grid
@@ -633,6 +684,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "chaos": _cmd_chaos,
     "crashpoints": _cmd_crashpoints,
+    "cluster": _cmd_cluster,
     "overload": _cmd_overload,
 }
 

@@ -1,0 +1,583 @@
+"""The cluster engine: N shard nodes replayed in parallel, merged exactly.
+
+A *cluster run* models N independent shard nodes, each a complete stack —
+its own :class:`~repro.storage.device.SimulatedSSD` on a private virtual
+clock, its own replacement policy instance, its own (baseline or ACE)
+:class:`~repro.bufferpool.manager.BufferPoolManager` riding the array
+translation layer and the executor's inlined turbo replay.  A
+deterministic :class:`~repro.cluster.router.ShardRouter` pre-partitions
+the workload into per-shard subtraces; each subtrace is replayed to
+completion on its shard (in a worker process when ``workers > 1``, in
+process otherwise); the per-shard :class:`~repro.engine.metrics.RunMetrics`
+are then merged in shard order.
+
+Because every shard run is a pure function of its
+:class:`ShardJob` — fresh device, fresh clock, no shared state — the
+merged metrics are **byte-identical at any worker count**: the parallel
+fan-out only changes *where* each pure function is evaluated.  The same
+pickling discipline and ``BrokenProcessPool`` handling as
+:mod:`repro.bench.parallel` applies (fresh pool per retry round, bounded
+attempts), except that a shard that still fails is a hard
+:class:`~repro.errors.ClusterReplayError` — a cluster cannot drop a
+shard and still report merged metrics.
+
+Merge semantics (see docs/architecture.md "Sharded cluster"):
+
+* counters (buffer, device, FTL, WAL) are summed in shard order —
+  integer sums commute, float sums are fixed to shard order;
+* ``elapsed_us`` is the **makespan**: the max over shard virtual clocks,
+  plus the cross-shard coordination penalty — shards are independent
+  nodes serving in parallel, so cluster virtual time is bounded by the
+  slowest shard;
+* ``serial_elapsed_us`` preserves the sum (what a single node doing all
+  the work would have taken) — the 1-shard cluster and the differential
+  tests key off it;
+* cross-shard transactions (a split transaction's coordination) charge
+  ``cross_shard_penalty_us`` per extra shard touched, on top of the
+  makespan.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields, replace
+
+from repro.bufferpool.manager import BufferPoolManager
+from repro.bufferpool.stats import BufferStats
+from repro.cluster.router import (
+    CrossShardStats,
+    HashShardRouter,
+    MappedShardRouter,
+    ShardRouter,
+)
+from repro.core.ace import ACEBufferPoolManager
+from repro.core.config import ACEConfig
+from repro.engine.executor import ExecutionOptions, run_trace, run_transactions
+from repro.engine.metrics import RunMetrics
+from repro.errors import ClusterReplayError
+from repro.policies.registry import make_policy
+from repro.storage.clock import VirtualClock
+from repro.storage.device import DeviceStats, SimulatedSSD
+from repro.storage.ftl import FtlCounters
+from repro.storage.profiles import DeviceProfile
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterMetrics",
+    "ShardJob",
+    "ShardResult",
+    "MAX_SHARD_ATTEMPTS",
+    "build_router",
+    "build_shard_stack",
+    "merge_shard_metrics",
+    "run_cluster",
+    "run_cluster_transactions",
+]
+
+#: Total tries per shard job, mirroring ``repro.bench.parallel``: a
+#: crashed worker poisons its pool, so retries run on a fresh one.
+MAX_SHARD_ATTEMPTS = 3
+
+#: Variants a shard stack can be built as (the bench's vocabulary).
+_VARIANTS = ("baseline", "ace", "ace+pf")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to build and drive an N-shard cluster.
+
+    Parameters
+    ----------
+    profile:
+        Device profile for every shard node's SSD.
+    policy, variant:
+        Replacement policy registry name and bufferpool variant
+        (``baseline``/``ace``/``ace+pf``) for every shard.
+    num_pages:
+        Global page space.  Every shard's device covers the whole space
+        (pages keep their global ids; a shard simply never sees pages it
+        does not own), so the array translation backend's address-space
+        auto-selection behaves exactly as in a single-pool run.
+    num_shards:
+        Shard node count.
+    pool_fraction:
+        *Cluster-total* buffer capacity as a fraction of the page space,
+        split across shards like the partitioned pool splits frames
+        (remainder to the first shards).
+    placement:
+        ``"hash"`` (stateless hash routing) or ``"locality"`` (requires
+        ``assignment``).
+    assignment:
+        Page→shard vector from :mod:`repro.cluster.placement`, required
+        for (and only meaningful with) ``placement="locality"``.
+    cross_shard_penalty_us:
+        Virtual-time coordination cost charged per *extra* shard a
+        transaction touches (two-phase-commit style; 0 disables).
+    n_w, n_e, table_backend, options:
+        As in :class:`~repro.bench.runner.StackConfig`.
+    """
+
+    profile: DeviceProfile
+    policy: str
+    variant: str
+    num_pages: int
+    num_shards: int
+    pool_fraction: float = 0.06
+    placement: str = "hash"
+    assignment: tuple[int, ...] | None = None
+    cross_shard_penalty_us: float = 0.0
+    n_w: int | None = None
+    n_e: int | None = None
+    table_backend: str | None = None
+    options: ExecutionOptions = field(default_factory=ExecutionOptions)
+
+    def __post_init__(self) -> None:
+        if self.variant not in _VARIANTS:
+            raise ValueError(
+                f"variant must be one of {_VARIANTS}, got {self.variant!r}"
+            )
+        if self.num_shards < 1:
+            raise ValueError(f"need at least one shard: {self.num_shards}")
+        if self.num_pages < 8:
+            raise ValueError("page space must have at least 8 pages")
+        if not 0.0 < self.pool_fraction <= 1.0:
+            raise ValueError(
+                f"pool fraction must be in (0, 1]: {self.pool_fraction}"
+            )
+        if self.placement not in ("hash", "locality"):
+            raise ValueError(
+                f"placement must be 'hash' or 'locality': {self.placement!r}"
+            )
+        if self.placement == "locality" and self.assignment is None:
+            raise ValueError("locality placement needs an assignment vector")
+        if self.cross_shard_penalty_us < 0:
+            raise ValueError("cross-shard penalty cannot be negative")
+
+    @property
+    def total_capacity(self) -> int:
+        """Cluster-wide frame budget (split across shards)."""
+        return max(4 * self.num_shards, int(self.num_pages * self.pool_fraction))
+
+    def shard_capacity(self, shard: int) -> int:
+        """Frames of one shard (even split, remainder to the first)."""
+        base, remainder = divmod(self.total_capacity, self.num_shards)
+        return base + (1 if shard < remainder else 0)
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.policy}/{self.variant}/s{self.num_shards}/{self.placement}"
+        )
+
+
+def build_router(config: ClusterConfig) -> ShardRouter:
+    """The router a config implies (the cluster's page→shard contract)."""
+    if config.placement == "locality":
+        assert config.assignment is not None  # __post_init__ guarantees
+        return MappedShardRouter(config.assignment, config.num_shards)
+    return HashShardRouter(config.num_shards)
+
+
+def build_shard_stack(config: ClusterConfig, shard: int) -> BufferPoolManager:
+    """Build shard node ``shard``: fresh device, clock, policy, manager."""
+    if not 0 <= shard < config.num_shards:
+        raise ValueError(
+            f"shard {shard} outside [0, {config.num_shards})"
+        )
+    clock = VirtualClock()
+    device = SimulatedSSD(
+        config.profile, num_pages=config.num_pages, clock=clock
+    )
+    device.format_pages(range(config.num_pages))
+    capacity = config.shard_capacity(shard)
+    policy = make_policy(config.policy, capacity)
+    if config.variant == "baseline":
+        return BufferPoolManager(
+            capacity, policy, device, table_backend=config.table_backend
+        )
+    ace_config = ACEConfig.for_device(
+        config.profile,
+        prefetch_enabled=(config.variant == "ace+pf"),
+        n_w=config.n_w,
+        n_e=config.n_e,
+    )
+    return ACEBufferPoolManager(
+        capacity, policy, device, config=ace_config,
+        table_backend=config.table_backend,
+    )
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """One shard's complete replay recipe — pure and picklable.
+
+    Exactly one of ``pages``/``writes`` (a subtrace) and ``transactions``
+    (a per-shard transaction stream) is set.  The job carries everything
+    the worker needs; nothing is read from process state, which is what
+    makes the result independent of *where* the job runs.
+    """
+
+    shard: int
+    config: ClusterConfig
+    pages: tuple[int, ...] | None = None
+    writes: tuple[bool, ...] | None = None
+    transactions: tuple[tuple[object, tuple], ...] | None = None
+    trace_name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if (self.pages is None) == (self.transactions is None):
+            raise ValueError(
+                "a ShardJob needs exactly one of pages/writes and "
+                "transactions"
+            )
+        if self.pages is not None and self.writes is None:
+            raise ValueError("pages without writes")
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """What one shard replay produced."""
+
+    shard: int
+    ops: int
+    metrics: RunMetrics
+    #: Wall-clock seconds of the replay alone, measured inside the
+    #: worker — stack build and pickling excluded, so the number is the
+    #: shard node's own serving rate however the jobs were scheduled.
+    replay_wall_s: float
+
+
+def _replay_shard(job: ShardJob) -> ShardResult:
+    """Worker-side entry point: build the shard node, replay, measure.
+
+    Everything this function touches is local to the call: the stack is
+    built from the job, the subtrace comes with the job, and the result
+    is returned, not stored.  (Lint rule R013 holds worker entry points
+    to exactly that contract.)
+    """
+    manager = build_shard_stack(job.config, job.shard)
+    label = f"{job.config.label}/shard{job.shard}"
+    if job.transactions is not None:
+        stream = [(kind, list(requests)) for kind, requests in job.transactions]
+        start = time.perf_counter()  # lint: allow-wall-clock, allow-nondeterminism
+        metrics = run_transactions(
+            manager, stream, options=job.config.options, label=label
+        )
+        wall_s = time.perf_counter() - start  # lint: allow-wall-clock, allow-nondeterminism
+        return ShardResult(job.shard, metrics.ops, metrics, wall_s)
+    assert job.pages is not None and job.writes is not None
+    trace = Trace(list(job.pages), list(job.writes), name=job.trace_name)
+    start = time.perf_counter()  # lint: allow-wall-clock, allow-nondeterminism
+    metrics = run_trace(
+        manager, trace, options=job.config.options, label=label
+    )
+    wall_s = time.perf_counter() - start  # lint: allow-wall-clock, allow-nondeterminism
+    return ShardResult(job.shard, len(trace), metrics, wall_s)
+
+
+@dataclass
+class ClusterMetrics:
+    """Merged cluster measurements plus the per-shard breakdown."""
+
+    label: str
+    num_shards: int
+    placement: str
+    #: Deterministic merge of the shard runs (makespan elapsed; see
+    #: :func:`merge_shard_metrics`).
+    merged: RunMetrics
+    #: Per-shard metrics in shard order (the merge's inputs).
+    per_shard: list[RunMetrics]
+    per_shard_ops: list[int]
+    #: Sum of shard virtual elapsed times (single-node-equivalent work).
+    serial_elapsed_us: float
+    #: Transaction-affinity accounting from the split (zero for traces).
+    cross_shard: CrossShardStats = field(default_factory=CrossShardStats)
+    cross_shard_penalty_us: float = 0.0
+    #: Per-shard replay wall seconds (measurement side-channel; excluded
+    #: from determinism comparisons, obviously).
+    replay_wall_s: list[float] = field(default_factory=list)
+
+    @property
+    def ops(self) -> int:
+        return self.merged.ops
+
+    @property
+    def aggregate_accesses_per_sec(self) -> float:
+        """Cluster throughput under the makespan model.
+
+        Shards are independent nodes; the cluster clears ``sum(ops)``
+        work in the wall time of its slowest shard.  Each shard's wall
+        clock is measured around its own replay inside the worker, so
+        scheduling artifacts (process spawn, pickling, an oversubscribed
+        bench host) do not pollute the number.
+        """
+        slowest = max(self.replay_wall_s, default=0.0)
+        if slowest <= 0.0:
+            return 0.0
+        return self.merged.ops / slowest
+
+    @property
+    def ops_imbalance(self) -> float:
+        """Max shard ops over the even share (1.0 = perfectly balanced)."""
+        if not self.per_shard_ops or self.merged.ops == 0:
+            return 1.0
+        return max(self.per_shard_ops) / (
+            self.merged.ops / len(self.per_shard_ops)
+        )
+
+    def summary(self) -> str:
+        merged = self.merged
+        return (
+            f"{self.label}: {self.num_shards} shards, {merged.ops} ops, "
+            f"miss={merged.miss_ratio:.3%}, "
+            f"imbalance={self.ops_imbalance:.2f}, "
+            f"cross-shard={self.cross_shard.cross_shard_transactions}"
+        )
+
+
+#: BufferStats counter names, summed field-wise in the merge.
+_BUFFER_FIELDS = tuple(f.name for f in fields(BufferStats))
+#: DeviceStats fields summed field-wise; the histogram and the
+#: ``largest_*`` maxima are merged explicitly.
+_DEVICE_SUM_FIELDS = tuple(
+    f.name
+    for f in fields(DeviceStats)
+    if f.name
+    not in ("write_batch_size_histogram", "largest_write_batch",
+            "largest_read_batch")
+)
+_FTL_FIELDS = tuple(f.name for f in fields(FtlCounters))
+
+
+def merge_shard_metrics(
+    results: Sequence[ShardResult],
+    label: str,
+    cross_shard_penalty_us: float = 0.0,
+) -> RunMetrics:
+    """Merge per-shard runs into one cluster-level :class:`RunMetrics`.
+
+    Deterministic by construction: results are processed in shard order
+    whatever order they completed in, integer counters sum exactly, and
+    float sums always run in the same (shard) order.  ``elapsed_us`` is
+    the makespan (max shard virtual time) plus the cross-shard penalty;
+    ``io_time_us``/``cpu_time_us`` stay sums — they are *work*, not
+    spans.
+    """
+    ordered = sorted(results, key=lambda result: result.shard)
+    if not ordered:
+        raise ValueError("cannot merge zero shard results")
+    buffer = BufferStats()
+    device = DeviceStats()
+    ftl: FtlCounters | None = (
+        FtlCounters()
+        if all(result.metrics.ftl is not None for result in ordered)
+        else None
+    )
+    ops = 0
+    transactions = 0
+    new_order = 0
+    wal_pages = 0
+    makespan = 0.0
+    io_time = 0.0
+    cpu_time = 0.0
+    for result in ordered:
+        metrics = result.metrics
+        ops += metrics.ops
+        transactions += metrics.transactions
+        new_order += metrics.new_order_transactions
+        wal_pages += metrics.wal_pages_written
+        makespan = max(makespan, metrics.elapsed_us)
+        io_time += metrics.io_time_us
+        cpu_time += metrics.cpu_time_us
+        for name in _BUFFER_FIELDS:
+            setattr(buffer, name,
+                    getattr(buffer, name) + getattr(metrics.buffer, name))
+        for name in _DEVICE_SUM_FIELDS:
+            setattr(device, name,
+                    getattr(device, name) + getattr(metrics.device, name))
+        device.largest_write_batch = max(
+            device.largest_write_batch, metrics.device.largest_write_batch
+        )
+        device.largest_read_batch = max(
+            device.largest_read_batch, metrics.device.largest_read_batch
+        )
+        for size, count in sorted(
+            metrics.device.write_batch_size_histogram.items()
+        ):
+            device.write_batch_size_histogram[size] = (
+                device.write_batch_size_histogram.get(size, 0) + count
+            )
+        if ftl is not None:
+            for name in _FTL_FIELDS:
+                setattr(ftl, name,
+                        getattr(ftl, name) + getattr(metrics.ftl, name))
+    return RunMetrics(
+        label=label,
+        elapsed_us=makespan + cross_shard_penalty_us,
+        ops=ops,
+        transactions=transactions,
+        new_order_transactions=new_order,
+        buffer=buffer,
+        device=device,
+        ftl=ftl,
+        wal_pages_written=wal_pages,
+        io_time_us=io_time,
+        cpu_time_us=cpu_time,
+    )
+
+
+def _execute_jobs(
+    jobs: Sequence[ShardJob], workers: int | None
+) -> list[ShardResult]:
+    """Run every shard job, serially or fanned out; results in shard order.
+
+    ``workers`` defaults to one process per shard; ``workers <= 1`` runs
+    in process (no pickling).  The retry discipline mirrors
+    :func:`repro.bench.parallel.run_grid` — a ``BrokenProcessPool``
+    fails every job queued on the pool, so innocent shards retry on a
+    fresh pool — but a shard that exhausts its attempts raises
+    :class:`~repro.errors.ClusterReplayError`: merged cluster metrics
+    with a missing shard would be silently wrong.
+    """
+    if workers is None:
+        workers = len(jobs)
+    if workers < 1:
+        raise ValueError(f"worker count must be at least 1: {workers}")
+    workers = min(workers, len(jobs))
+
+    if workers <= 1:
+        return [_replay_shard(job) for job in jobs]
+
+    results: list[ShardResult | None] = [None] * len(jobs)
+    attempts = [0] * len(jobs)
+    pending = list(range(len(jobs)))
+    while pending:
+        still_failing: list[int] = []
+        failures: list[tuple[int, BaseException]] = []
+        # Fresh pool per round: a BrokenProcessPool poisons its executor.
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending))
+        ) as pool:
+            submitted = []
+            for index in pending:
+                attempts[index] += 1
+                try:
+                    submitted.append(
+                        (index, pool.submit(_replay_shard, jobs[index]))
+                    )
+                except Exception as exc:  # pool already broken
+                    if attempts[index] >= MAX_SHARD_ATTEMPTS:
+                        failures.append((index, exc))
+                    else:
+                        still_failing.append(index)
+            for index, future in submitted:
+                try:
+                    results[index] = future.result()
+                except Exception as exc:
+                    if attempts[index] >= MAX_SHARD_ATTEMPTS:
+                        failures.append((index, exc))
+                    else:
+                        still_failing.append(index)
+        if failures:
+            index, exc = failures[0]
+            raise ClusterReplayError(
+                shard=jobs[index].shard,
+                attempts=attempts[index],
+                error=f"{type(exc).__name__}: {exc}",
+            ) from exc
+        pending = still_failing
+    assert all(result is not None for result in results)
+    return results  # type: ignore[return-value]
+
+
+def run_cluster(
+    config: ClusterConfig,
+    trace: Trace,
+    workers: int | None = None,
+    label: str | None = None,
+) -> ClusterMetrics:
+    """Split ``trace`` across the cluster, replay every shard, merge.
+
+    Same config + same trace ⇒ byte-identical :class:`ClusterMetrics`
+    (modulo the wall-clock side-channel) at any ``workers`` value: the
+    split is deterministic, each shard run is a pure function of its
+    job, and the merge runs in shard order.
+    """
+    router = build_router(config)
+    split = router.split(trace.pages, trace.writes)
+    jobs = [
+        ShardJob(
+            shard=shard,
+            config=config,
+            pages=tuple(sub_pages),
+            writes=tuple(sub_writes),
+            trace_name=trace.name,
+        )
+        for shard, (sub_pages, sub_writes) in enumerate(split)
+    ]
+    results = _execute_jobs(jobs, workers)
+    return _assemble(config, results, CrossShardStats(), label, trace.name)
+
+
+def run_cluster_transactions(
+    config: ClusterConfig,
+    transactions: Iterable[tuple[object, list]],
+    workers: int | None = None,
+    label: str | None = None,
+) -> ClusterMetrics:
+    """Route a transaction stream across the cluster and replay it.
+
+    Each shard replays its slice of every transaction that touches it;
+    transactions spanning shards are counted by the router and charged
+    ``config.cross_shard_penalty_us`` per extra shard touched in the
+    merged elapsed time (the coordination the split cost the cluster).
+    """
+    split = build_router(config).split_transactions(transactions)
+    jobs = [
+        ShardJob(
+            shard=shard,
+            config=config,
+            transactions=tuple(
+                (kind, tuple(requests)) for kind, requests in stream
+            ),
+        )
+        for shard, stream in enumerate(split.per_shard)
+    ]
+    results = _execute_jobs(jobs, workers)
+    return _assemble(config, results, split.stats, label, "transactions")
+
+
+def _assemble(
+    config: ClusterConfig,
+    results: Sequence[ShardResult],
+    cross_shard: CrossShardStats,
+    label: str | None,
+    stream_name: str,
+) -> ClusterMetrics:
+    ordered = sorted(results, key=lambda result: result.shard)
+    penalty_us = (
+        config.cross_shard_penalty_us * cross_shard.extra_shard_touches
+    )
+    merged_label = (
+        label if label is not None else f"{config.label}/{stream_name}"
+    )
+    merged = merge_shard_metrics(
+        ordered, merged_label, cross_shard_penalty_us=penalty_us
+    )
+    return ClusterMetrics(
+        label=merged_label,
+        num_shards=config.num_shards,
+        placement=config.placement,
+        merged=merged,
+        per_shard=[replace(result.metrics) for result in ordered],
+        per_shard_ops=[result.ops for result in ordered],
+        serial_elapsed_us=sum(
+            result.metrics.elapsed_us for result in ordered
+        ),
+        cross_shard=cross_shard,
+        cross_shard_penalty_us=penalty_us,
+        replay_wall_s=[result.replay_wall_s for result in ordered],
+    )

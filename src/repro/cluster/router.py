@@ -1,0 +1,201 @@
+"""Deterministic page→shard routing: the cluster's single source of truth.
+
+Every sharded structure in the repo — the in-process
+:class:`~repro.cluster.partitioned.PartitionedBufferPoolManager`, the
+process-parallel cluster engine, the placement optimizer — must agree on
+which shard owns a page, or replays stop being comparable.  This module
+owns that mapping.  Routers are pure, deterministic functions of their
+construction arguments: the same router routes the same page to the same
+shard in every process, which is what makes the parallel cluster replay
+byte-identical to the serial one.
+
+Two routers cover the design space the bench sweeps:
+
+* :class:`HashShardRouter` — the classic ``hash(page) % num_shards``
+  slice (what ``repro.bufferpool.partitioned`` always did; it now
+  delegates here).  Placement-free, balance comes from the hash.
+* :class:`MappedShardRouter` — an explicit page→shard assignment vector,
+  produced by :mod:`repro.cluster.placement`'s optimizers; pages outside
+  the vector fall back to hash routing so the router is total.
+
+Deliberately free of ``repro`` imports: the split helpers are duck-typed
+over parallel ``pages``/``writes`` sequences and ``(kind, requests)``
+transaction streams, so the low-level bufferpool shim can import this
+module without dragging the whole cluster stack (or an import cycle)
+with it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ShardRouter",
+    "HashShardRouter",
+    "MappedShardRouter",
+    "CrossShardStats",
+    "SplitTransactions",
+]
+
+
+@dataclass
+class CrossShardStats:
+    """Transaction-affinity accounting produced by a transaction split.
+
+    A transaction that touches pages owned by more than one shard is
+    *cross-shard*: a real cluster pays coordination (two-phase commit,
+    remote reads) for it, which the cluster engine models as a virtual
+    time penalty per extra shard touched.
+    """
+
+    #: Transactions whose page set spans more than one shard.
+    cross_shard_transactions: int = 0
+    #: Page requests belonging to those transactions.
+    cross_shard_accesses: int = 0
+    #: Sum over cross-shard transactions of (shards touched - 1) — the
+    #: unit the engine multiplies by its per-hop penalty.
+    extra_shard_touches: int = 0
+    #: Total transactions examined (the denominator for ratios).
+    transactions: int = 0
+
+    @property
+    def cross_shard_ratio(self) -> float:
+        if self.transactions == 0:
+            return 0.0
+        return self.cross_shard_transactions / self.transactions
+
+
+@dataclass
+class SplitTransactions:
+    """Result of routing a transaction stream across shards."""
+
+    #: Per-shard ``(kind, requests)`` streams, index = shard id.  A shard
+    #: receives its slice of every transaction that touches it, in stream
+    #: order, so per-shard replay preserves the original relative order.
+    per_shard: list[list[tuple[object, list]]]
+    stats: CrossShardStats = field(default_factory=CrossShardStats)
+
+
+class ShardRouter:
+    """Base router: a total, deterministic ``page -> shard`` function."""
+
+    #: Human-readable placement scheme name, recorded in bench epochs.
+    placement = "base"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard: {num_shards}")
+        self.num_shards = num_shards
+
+    def shard_of(self, page: int) -> int:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- splits
+
+    def split(
+        self, pages: Sequence[int], writes: Sequence[bool]
+    ) -> list[tuple[list[int], list[bool]]]:
+        """Partition a request stream into per-shard subtraces.
+
+        Returns one ``(pages, writes)`` pair per shard (index = shard
+        id).  Each subtrace preserves the relative order of its requests,
+        so replaying shard ``i``'s subtrace is exactly what shard ``i``
+        would have observed serving the interleaved stream.
+        """
+        if len(pages) != len(writes):
+            raise ValueError(
+                f"pages ({len(pages)}) and writes ({len(writes)}) differ "
+                "in length"
+            )
+        shard_of = self.shard_of
+        split: list[tuple[list[int], list[bool]]] = [
+            ([], []) for _ in range(self.num_shards)
+        ]
+        for page, is_write in zip(pages, writes):
+            sub_pages, sub_writes = split[shard_of(page)]
+            sub_pages.append(page)
+            sub_writes.append(is_write)
+        return split
+
+    def split_transactions(
+        self, transactions: Iterable[tuple[object, list]]
+    ) -> SplitTransactions:
+        """Route a ``(kind, requests)`` stream, accounting affinity.
+
+        Each transaction is sliced per shard (a shard sees only its own
+        requests, as its transaction branch); a transaction whose
+        requests span several shards is counted in
+        :class:`CrossShardStats` so the engine can charge the
+        coordination penalty.
+        """
+        shard_of = self.shard_of
+        per_shard: list[list[tuple[object, list]]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        stats = CrossShardStats()
+        for kind, requests in transactions:
+            stats.transactions += 1
+            by_shard: dict[int, list] = {}
+            for request in requests:
+                by_shard.setdefault(shard_of(request.page), []).append(request)
+            for shard in sorted(by_shard):
+                per_shard[shard].append((kind, by_shard[shard]))
+            if len(by_shard) > 1:
+                stats.cross_shard_transactions += 1
+                stats.cross_shard_accesses += len(requests)
+                stats.extra_shard_touches += len(by_shard) - 1
+        return SplitTransactions(per_shard=per_shard, stats=stats)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_shards={self.num_shards})"
+
+
+class HashShardRouter(ShardRouter):
+    """Hash-sliced page space: ``hash(page) % num_shards``.
+
+    For the integer pages the simulator uses this is effectively
+    ``page % num_shards`` (CPython hashes small ints to themselves), and
+    it is stable across processes — integer hashing does not depend on
+    ``PYTHONHASHSEED`` — which the parallel replay relies on.
+    """
+
+    placement = "hash"
+
+    def shard_of(self, page: int) -> int:
+        return hash(page) % self.num_shards
+
+
+class MappedShardRouter(ShardRouter):
+    """Explicit page→shard assignment, hash fallback outside the map.
+
+    ``assignment[page]`` is the owning shard for every page the
+    placement optimizer saw; pages beyond the vector (a trace can touch
+    pages the optimization trace never did) fall back to hash routing so
+    the router stays total.
+    """
+
+    placement = "locality"
+
+    def __init__(self, assignment: Sequence[int], num_shards: int) -> None:
+        super().__init__(num_shards)
+        assignment = list(assignment)
+        for page, shard in enumerate(assignment):
+            if not 0 <= shard < num_shards:
+                raise ValueError(
+                    f"assignment[{page}] = {shard} outside "
+                    f"[0, {num_shards})"
+                )
+        self.assignment = assignment
+        self._size = len(assignment)
+
+    def shard_of(self, page: int) -> int:
+        if 0 <= page < self._size:
+            return self.assignment[page]
+        return hash(page) % self.num_shards
+
+    def __repr__(self) -> str:
+        return (
+            f"MappedShardRouter(num_shards={self.num_shards}, "
+            f"mapped_pages={self._size})"
+        )

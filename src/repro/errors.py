@@ -15,6 +15,7 @@ __all__ = [
     "CorruptPageError",
     "RetriesExhaustedError",
     "PowerFailure",
+    "ClusterReplayError",
 ]
 
 
@@ -48,6 +49,27 @@ class PowerFailure(ReproError):
 
 class BufferPoolError(ReproError):
     """Base class for buffer manager errors."""
+
+
+class ClusterReplayError(ReproError):
+    """A shard replay failed for good in a cluster run.
+
+    Raised by :mod:`repro.cluster.engine` when a shard job still fails
+    after its retry budget (fresh worker pools per round) is spent.  A
+    cluster cannot drop a shard and keep reporting merged metrics — the
+    aggregates would be silently missing that shard's work — so the
+    whole run unwinds.  ``shard`` is the shard id, ``attempts`` the
+    tries made, ``error`` the final failure rendered as text (the
+    original exception object may not survive the process boundary).
+    """
+
+    def __init__(self, shard: int, attempts: int, error: str) -> None:
+        self.shard = shard
+        self.attempts = attempts
+        self.error = error
+        super().__init__(
+            f"shard {shard} replay failed after {attempts} attempts: {error}"
+        )
 
 
 class PoolExhaustedError(BufferPoolError):

@@ -1,0 +1,45 @@
+"""R013 fixture: worker entry points mutating module-global mutables."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS: dict[int, int] = {}
+_LOG = []
+_TOTALS = {"ops": 0}
+_COUNTER = 0  # an int is immutable: rebinding needs `global` to fire
+
+
+def _record(job: int, value: int) -> None:
+    # Reached transitively from the worker entry: still a violation.
+    _RESULTS[job] = value
+
+
+def _bump_log(job: int) -> None:
+    _LOG.append(job)
+
+
+def worker(job: int) -> int:
+    value = job * 2
+    _record(job, value)
+    _bump_log(job)
+    _TOTALS["ops"] += 1
+    global _COUNTER
+    _COUNTER = _COUNTER + 1
+    return value
+
+
+_CACHE: dict[int, int] = {}
+
+
+def cached_worker(job: int) -> int:
+    hit = _CACHE.get(job)
+    if hit is None:
+        # Deliberate per-process memo, sanctioned by the hatch.
+        hit = _CACHE[job] = job * 3  # lint: allow-shared-state
+    return hit
+
+
+def fan_out(jobs: list[int]) -> list[int]:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, job) for job in jobs]
+        extra = list(pool.map(cached_worker, jobs))
+    return [future.result() for future in futures] + extra

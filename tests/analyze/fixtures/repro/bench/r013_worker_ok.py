@@ -1,0 +1,28 @@
+"""R013 fixture: the sanctioned worker pattern — pure jobs, returned values."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+#: Read-only module constant: never mutated, so never flagged.
+_WEIGHTS = {"read": 1, "write": 4}
+
+#: Mutable module state is fine as long as no worker-reachable code
+#: mutates it — the parent process owns it.
+_HISTORY: list[int] = []
+
+
+def worker(job: int) -> int:
+    # Locals shadowing a global name stay local (no false positive).
+    _RESULTS = {}
+    _RESULTS[job] = job * _WEIGHTS["write"]
+    totals = []
+    totals.append(_RESULTS[job])
+    return sum(totals)
+
+
+def collect(jobs: list[int]) -> list[int]:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, job) for job in jobs]
+    results = [future.result() for future in futures]
+    # Parent-side mutation of module state is not worker-reachable.
+    _HISTORY.extend(results)
+    return results

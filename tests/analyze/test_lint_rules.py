@@ -1,4 +1,4 @@
-"""Tests for the repo-specific AST lint rules (R001-R012).
+"""Tests for the repo-specific AST lint rules (R001-R013).
 
 Each rule gets at least one positive test (a fixture file written to
 violate it, laid out under ``fixtures/repro/...`` so package scoping
@@ -80,7 +80,7 @@ class TestFramework:
     def test_rule_catalogue_complete(self):
         assert [rule.code for rule in DEFAULT_RULES] == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
-            "R008", "R009", "R010", "R011", "R012",
+            "R008", "R009", "R010", "R011", "R012", "R013",
         ]
         for rule in DEFAULT_RULES:
             assert rule.name and rule.description
@@ -411,6 +411,48 @@ class TestFaultDispatchRule:
         assert violations == []
 
 
+class TestWorkerSharedStateRule:
+    def test_worker_mutations_fire(self):
+        violations = lint_file(FIXTURES / "bench" / "r013_shared_state.py")
+        assert codes(violations) == {"R013"}
+        assert len(violations) == 4
+        messages = " | ".join(violation.message for violation in violations)
+        # Direct mutation in the entry point, transitive mutation through
+        # same-module callees, and a `global` rebinding all fire.
+        assert "_TOTALS" in messages
+        assert "_RESULTS" in messages
+        assert "_LOG" in messages
+        assert "_COUNTER" in messages
+
+    def test_hatched_cache_is_quiet(self):
+        violations = lint_file(FIXTURES / "bench" / "r013_shared_state.py")
+        assert all("_CACHE" not in v.message for v in violations)
+
+    def test_pure_worker_is_clean(self):
+        assert lint_file(FIXTURES / "bench" / "r013_worker_ok.py") == []
+
+    def test_scoped_to_repro_packages(self, tmp_path):
+        # The same source outside repro.* (scripts, tests) is not the
+        # rule's business.
+        source = (FIXTURES / "bench" / "r013_shared_state.py").read_text()
+        free = tmp_path / "r013_shared_state.py"
+        free.write_text(source)
+        violations, _ = run_lint([free], select=["R013"])
+        assert violations == []
+
+    def test_module_without_fanout_is_quiet(self, tmp_path):
+        # Mutating module globals is only a worker hazard; a module that
+        # never hands a function to a pool is untouched.
+        src = tmp_path / "repro"
+        src.mkdir()
+        module = src / "no_pool.py"
+        module.write_text(
+            "_CACHE = {}\n\n\ndef warm(key):\n    _CACHE[key] = key\n"
+        )
+        violations, _ = run_lint([module], select=["R013"])
+        assert violations == []
+
+
 class TestShippedTree:
     def test_src_is_clean(self):
         violations, files = run_lint([REPO_ROOT / "src"])
@@ -434,7 +476,7 @@ class TestLintCli:
         assert main(["lint", str(FIXTURES)]) == 1
         out = capsys.readouterr().out
         for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
-                     "R008", "R009", "R010", "R011", "R012"):
+                     "R008", "R009", "R010", "R011", "R012", "R013"):
             assert code in out
         assert "violation(s)" in out
 
@@ -446,5 +488,5 @@ class TestLintCli:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
-                     "R008", "R009", "R010", "R011", "R012"):
+                     "R008", "R009", "R010", "R011", "R012", "R013"):
             assert code in out

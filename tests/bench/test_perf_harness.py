@@ -22,9 +22,9 @@ def bench_file(tmp_path, monkeypatch):
     return path
 
 
-def _tiny_entry(label="test"):
+def _tiny_entry(label="test", cluster=False):
     stack = perf.measure_single_stack("lru", "baseline", **TINY)
-    return {
+    entry = {
         "label": label,
         "fast": True,
         "machine": {},
@@ -32,6 +32,13 @@ def _tiny_entry(label="test"):
         "headline_accesses_per_sec": stack["accesses_per_sec"],
         "suite": {},
     }
+    if cluster:
+        entry["cluster"] = {
+            "lru/baseline/s4/hash": perf.measure_cluster(
+                "lru", "baseline", num_shards=4, placement="hash", **TINY
+            )
+        }
+    return entry
 
 
 class TestMeasurement:
@@ -42,6 +49,21 @@ class TestMeasurement:
         assert result["ops"] == TINY["num_ops"]
         assert result["wall_s"] > 0
         assert result["accesses_per_sec"] > 0
+        # Epoch-schema fields the cluster gate keys like-for-like off.
+        assert result["shards"] == 1
+        assert result["placement"] == "single"
+
+    def test_cluster_positive_aggregate_throughput(self):
+        result = perf.measure_cluster(
+            "lru", "baseline", num_shards=2, placement="hash", **TINY
+        )
+        assert result["shards"] == 2
+        assert result["placement"] == "hash"
+        assert result["ops"] == TINY["num_ops"]
+        assert result["makespan_wall_s"] > 0
+        assert result["accesses_per_sec"] > 0
+        assert sum(result["per_shard_ops"]) == TINY["num_ops"]
+        assert result["ops_imbalance"] >= 1.0
 
     def test_suite_times_both_paths(self):
         suite = perf.measure_suite(
@@ -124,6 +146,52 @@ class TestCheckGate:
         assert perf.main(
             ["--check", "--min-ratio", "0.001", "--no-policy-floors"]
         ) == 0
+
+    def test_cluster_floors_skip_unrecorded_stacks(self, bench_file):
+        # No `cluster` section recorded: nothing to gate, nothing measured.
+        report = perf.write_entry(_tiny_entry())
+        assert perf.check_cluster_floors(report, fast=True) == []
+
+    def test_cluster_floors_pass_against_fresh_entry(self, bench_file):
+        report = perf.write_entry(_tiny_entry(cluster=True))
+        results = perf.check_cluster_floors(
+            report, floors={"lru/baseline/s4/hash": 0.001}, fast=True
+        )
+        assert [r["stack"] for r in results] == ["lru/baseline/s4/hash"]
+        assert results[0]["ok"]
+        assert results[0]["committed"] > 0
+
+    def test_cluster_floors_flag_regressions(self, bench_file):
+        entry = _tiny_entry(cluster=True)
+        entry["cluster"]["lru/baseline/s4/hash"]["accesses_per_sec"] = 1e15
+        report = perf.write_entry(entry)
+        results = perf.check_cluster_floors(
+            report, floors={"lru/baseline/s4/hash": 0.9}, fast=True
+        )
+        assert len(results) == 1
+        assert not results[0]["ok"]
+
+    def test_cluster_floors_never_match_different_shape(self, bench_file):
+        # A committed 4-shard rate must not gate an 8-shard floor, nor a
+        # locality one — like-for-like matching skips both.
+        entry = _tiny_entry(cluster=True)
+        report = perf.write_entry(entry)
+        assert perf.check_cluster_floors(
+            report, floors={"lru/baseline/s8/hash": 0.5}, fast=True
+        ) == []
+        assert perf.check_cluster_floors(
+            report, floors={"lru/baseline/s4/locality": 0.5}, fast=True
+        ) == []
+
+    def test_sharded_rates_never_gate_single_stack(self, bench_file):
+        # A cluster aggregate smuggled into single_stack must be skipped
+        # by the single-pool committed-rate lookup.
+        entry = _tiny_entry()
+        entry["single_stack"]["lru/baseline"]["shards"] = 4
+        report = perf.write_entry(entry)
+        assert perf._committed_stack_rate(
+            report, "lru/baseline", fast=True
+        ) is None
 
     def test_check_against_prefers_same_mode_history(self, bench_file):
         fast_entry = _tiny_entry("fast")

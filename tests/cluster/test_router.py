@@ -1,0 +1,108 @@
+"""Tests for the deterministic page->shard routers."""
+
+import pytest
+
+from repro.cluster.router import (
+    CrossShardStats,
+    HashShardRouter,
+    MappedShardRouter,
+    ShardRouter,
+)
+from repro.workloads.trace import PageRequest
+
+
+class TestHashShardRouter:
+    def test_small_ints_route_modulo(self):
+        router = HashShardRouter(4)
+        for page in range(100):
+            assert router.shard_of(page) == page % 4
+
+    def test_deterministic_across_instances(self):
+        a = HashShardRouter(3)
+        b = HashShardRouter(3)
+        assert [a.shard_of(p) for p in range(50)] == [
+            b.shard_of(p) for p in range(50)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashShardRouter(0)
+
+    def test_placement_name(self):
+        assert HashShardRouter(2).placement == "hash"
+
+
+class TestMappedShardRouter:
+    def test_assignment_is_authoritative(self):
+        router = MappedShardRouter([2, 0, 1, 2], 3)
+        assert [router.shard_of(p) for p in range(4)] == [2, 0, 1, 2]
+
+    def test_hash_fallback_outside_vector(self):
+        router = MappedShardRouter([0, 0], 3)
+        for page in (2, 7, 1000):
+            assert router.shard_of(page) == hash(page) % 3
+
+    def test_rejects_out_of_range_assignment(self):
+        with pytest.raises(ValueError):
+            MappedShardRouter([0, 3], 3)
+
+    def test_placement_name(self):
+        assert MappedShardRouter([0], 1).placement == "locality"
+
+
+class TestSplit:
+    def test_split_preserves_relative_order(self):
+        router = HashShardRouter(2)
+        pages = [0, 1, 2, 3, 4, 5, 2, 0]
+        writes = [False, True, False, True, False, True, True, False]
+        split = router.split(pages, writes)
+        assert split[0] == ([0, 2, 4, 2, 0], [False, False, False, True, False])
+        assert split[1] == ([1, 3, 5], [True, True, True])
+
+    def test_split_covers_every_request(self):
+        router = HashShardRouter(3)
+        pages = list(range(30)) * 2
+        writes = [p % 2 == 0 for p in pages]
+        split = router.split(pages, writes)
+        assert sum(len(sub_pages) for sub_pages, _ in split) == len(pages)
+
+    def test_split_length_mismatch(self):
+        with pytest.raises(ValueError):
+            HashShardRouter(2).split([1, 2], [True])
+
+
+class TestSplitTransactions:
+    @staticmethod
+    def _txn(pages):
+        return ("t", [PageRequest(page=p, is_write=False) for p in pages])
+
+    def test_local_transaction_stays_whole(self):
+        router = HashShardRouter(2)
+        split = router.split_transactions([self._txn([0, 2, 4])])
+        assert len(split.per_shard[0]) == 1
+        assert split.per_shard[1] == []
+        assert split.stats.cross_shard_transactions == 0
+        assert split.stats.extra_shard_touches == 0
+
+    def test_cross_shard_transaction_sliced_and_counted(self):
+        router = HashShardRouter(2)
+        split = router.split_transactions([self._txn([0, 1, 2, 3])])
+        assert [r.page for _, r0 in split.per_shard[0] for r in r0] == [0, 2]
+        assert [r.page for _, r1 in split.per_shard[1] for r in r1] == [1, 3]
+        assert split.stats.cross_shard_transactions == 1
+        assert split.stats.cross_shard_accesses == 4
+        assert split.stats.extra_shard_touches == 1
+
+    def test_extra_touches_scale_with_spread(self):
+        router = HashShardRouter(4)
+        split = router.split_transactions([self._txn([0, 1, 2, 3])])
+        assert split.stats.extra_shard_touches == 3
+
+    def test_cross_shard_ratio(self):
+        stats = CrossShardStats(cross_shard_transactions=1, transactions=4)
+        assert stats.cross_shard_ratio == 0.25
+        assert CrossShardStats().cross_shard_ratio == 0.0
+
+    def test_base_router_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ShardRouter(2).shard_of(1)

@@ -39,6 +39,16 @@ class TestParser:
         assert args.variants == "baseline,ace"
         assert args.smoke is False
 
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.shards == "1,2,4"
+        assert args.placements == "hash,locality"
+        assert args.policies == "lru,clock,cflru"
+        assert args.variant == "baseline"
+        assert args.workers == 1
+        assert args.smoke is False
+        assert args.record is False
+
 
 class TestCommands:
     def test_probe_single_device(self, capsys):
@@ -134,6 +144,17 @@ class TestCommands:
         assert main(["chaos", "--smoke"]) == 0
         out = capsys.readouterr().out
         assert "clock/ace@0.01" in out
+
+    def test_cluster_small_sweep(self, capsys):
+        code = main([
+            "cluster", "--shards", "2", "--policies", "lru",
+            "--pages", "400", "--ops", "800",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lru/baseline/s2/hash" in out
+        assert "Placement Pareto points" in out
+        assert "placement claim holds" in out
 
     def test_summary(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))

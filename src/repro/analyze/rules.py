@@ -1,7 +1,7 @@
-"""The repo-specific lint rules (R001-R013).
+"""The repo-specific lint rules (R001-R014).
 
 Each rule encodes a contract the simulator depends on but no generic tool
-checks.  R001-R007 and R013 are per-file AST rules; R008 is a
+checks.  R001-R007, R013 and R014 are per-file AST rules; R008 is a
 whole-program rule over the import graph (:mod:`repro.analyze.graph`),
 R009-R011 are flow-sensitive rules built on the CFG/dataflow framework
 (:mod:`repro.analyze.cfg`, :mod:`repro.analyze.dataflow`), and R012 is a
@@ -126,6 +126,17 @@ R013 *worker-shared-state*
     same-module function it (transitively) calls must not mutate or
     rebind such globals.  Deliberate per-process caches carry
     ``# lint: allow-shared-state`` on the mutating line.
+
+R014 *replica-write-path*
+    Replica stacks exist to mirror the durable WAL prefix: the *only*
+    writer of a replica's pool/device/WAL is the shipping + apply
+    machinery in :mod:`repro.cluster.replication` (and the recovery redo
+    path it delegates to).  A direct ``access``/``write``/
+    ``write_page``/``write_batch``/``mark_dirty`` call on a replica
+    stack anywhere else forks the replica from the shipped prefix, and
+    the divergence surfaces only after a failover — as a failed
+    promotion audit far from the write.  Deliberate test probes carry
+    ``# lint: allow-replica-write`` on the call line.
 """
 
 from __future__ import annotations
@@ -145,6 +156,7 @@ __all__ = [
     "FaultDispatchRule",
     "IORetryRule",
     "PicklabilityRule",
+    "ReplicaWritePathRule",
     "ServingVirtualTimeRule",
     "TranslationEncapsulationRule",
     "VirtualOrderPurityRule",
@@ -1749,6 +1761,71 @@ class WorkerSharedStateRule(LintRule):
         return None
 
 
+class ReplicaWritePathRule(LintRule):
+    """R014: only the replication module writes to replica stacks."""
+
+    code = "R014"
+    name = "replica-write-path"
+    description = (
+        "replica pools/devices/WALs mirror the shipped durable prefix; "
+        "mutating one directly (access/write/write_page/write_batch/"
+        "mark_dirty on a replica-named receiver) outside "
+        "repro.cluster.replication forks it from the primary and breaks "
+        "the promotion audit — ship WAL records through the replica "
+        "group instead; escape hatch: `# lint: allow-replica-write`"
+    )
+    suppression = "allow-replica-write"
+
+    #: The home module: the shipping/apply/promotion machinery itself.
+    home = "repro.cluster.replication"
+    #: State-mutating entry points on a manager/device/WAL stack.
+    _mutators = frozenset({
+        "access", "mark_dirty", "write", "write_batch", "write_page",
+    })
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if not module.in_package("repro") or module.module == self.home:
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._mutators
+                and self._replica_receiver(node.func.value)
+                and not self.allowed(module, node)
+            ):
+                yield self.violation(
+                    module, node,
+                    f"direct .{node.func.attr}() on a replica stack outside "
+                    "repro.cluster.replication; replicas follow the shipped "
+                    "WAL prefix — route the write through the primary's "
+                    "replica group (deliberate test probes: "
+                    "`# lint: allow-replica-write`)",
+                )
+
+    def _replica_receiver(self, node: ast.expr) -> bool:
+        """True when the receiver's name chain names a replica.
+
+        Matches any segment of the dotted chain — ``replica.manager``,
+        ``self.replicas[1].device``, ``group.replica_wal`` — by the
+        substring ``replica`` (case-insensitive), the naming convention
+        :mod:`repro.cluster.replication` establishes for replica stacks.
+        """
+        while True:
+            if isinstance(node, ast.Attribute):
+                if "replica" in node.attr.lower():
+                    return True
+                node = node.value
+            elif isinstance(node, ast.Subscript):
+                node = node.value
+            elif isinstance(node, ast.Call):
+                node = node.func
+            elif isinstance(node, ast.Name):
+                return "replica" in node.id.lower()
+            else:
+                return False
+
+
 #: The rule set ``python -m repro lint`` runs.
 DEFAULT_RULES: tuple[LintRule, ...] = (
     DeterminismRule(),
@@ -1764,6 +1841,7 @@ DEFAULT_RULES: tuple[LintRule, ...] = (
     WallClockTaintRule(),
     FaultDispatchRule(),
     WorkerSharedStateRule(),
+    ReplicaWritePathRule(),
 )
 
 #: Code -> rule instance, for ``--select`` and the parallel worker pass.

@@ -52,6 +52,7 @@ __all__ = [
     "DEFAULT_OUTPUT",
     "POLICY_FLOORS",
     "CLUSTER_FLOORS",
+    "HEADLINE_CLUSTER_STACK",
     "measure_single_stack",
     "measure_cluster",
     "measure_suite",
@@ -99,11 +100,28 @@ POLICY_FLOORS: dict[str, float] = {
 #: in-worker replay wall) — the sharded counterpart of the headline gate.
 #: Matching is strictly like-for-like: a committed rate only serves as a
 #: floor for a re-measurement with the same shard count, placement
-#: scheme, and translation backend (single-pool and cluster epochs never
-#: compare against each other).
+#: scheme, replication factor, and translation backend (single-pool and
+#: cluster epochs never compare against each other, and an unreplicated
+#: rate never gates a replicated run — synchronous WAL shipping pays a
+#: real per-commit cost).  Stack labels carry an optional ``/r<R>``
+#: fifth segment; absent means unreplicated (R=0).
 CLUSTER_FLOORS: dict[str, float] = {
     "lru/baseline/s4/hash": 0.5,
 }
+
+#: The cluster cell whose replicated (R=1, R=2) aggregate rates every
+#: epoch also records, quantifying what synchronous replication costs.
+HEADLINE_CLUSTER_STACK = "lru/baseline/s4/hash"
+
+
+def _parse_cluster_stack(stack: str) -> tuple[str, str, int, str, int]:
+    """Split ``policy/variant/s<shards>/<placement>[/r<R>]``."""
+    parts = stack.split("/")
+    replication = 0
+    if len(parts) == 5:
+        replication = int(parts.pop().lstrip("r"))
+    policy, variant, shards, placement = parts
+    return policy, variant, int(shards.lstrip("s")), placement, replication
 
 
 def _output_path(output: str | Path | None) -> Path:
@@ -179,6 +197,7 @@ def measure_cluster(
     profile: DeviceProfile = PCIE_SSD,
     seed: int = 42,
     workers: int | None = 1,
+    replication_factor: int = 0,
 ) -> dict[str, object]:
     """Best-of-``repeats`` aggregate cluster throughput on MS.
 
@@ -206,6 +225,7 @@ def measure_cluster(
         placement=placement,
         assignment=assignment,
         options=_OPTIONS,
+        replication_factor=replication_factor,
     )
     best = None
     for _ in range(max(1, repeats)):
@@ -222,6 +242,9 @@ def measure_cluster(
         "variant": variant,
         "shards": num_shards,
         "placement": placement,
+        # 0 = unreplicated (also what entries recorded before replication
+        # existed mean); --check only gates like against like.
+        "replication_factor": replication_factor,
         "ops": best.ops,
         "makespan_wall_s": max(best.replay_wall_s),
         "accesses_per_sec": best.aggregate_accesses_per_sec,
@@ -310,13 +333,36 @@ def measure(
     # for the CI gate.
     cluster = {}
     for floor_stack in CLUSTER_FLOORS:
-        policy, variant, shards, placement = floor_stack.split("/")
+        policy, variant, shards, placement, replication = (
+            _parse_cluster_stack(floor_stack)
+        )
         cluster[floor_stack] = measure_cluster(
             policy=policy,
             variant=variant,
-            num_shards=int(shards.lstrip("s")),
+            num_shards=shards,
             placement=placement,
+            replication_factor=replication,
             **stack_kwargs,
+        )
+    # The replicated counterparts of the headline cluster stack: same
+    # 4-shard bare-LRU hash cell with R=1 and R=2 replica groups under
+    # synchronous WAL shipping, so each epoch records what fault
+    # tolerance costs in aggregate throughput.  Not floored (yet) —
+    # CLUSTER_FLOORS only gates the unreplicated stack — but recorded
+    # like-for-like so a future floor can key off `/rN` directly.
+    for replication in (1, 2):
+        policy, variant, shards, placement, _ = _parse_cluster_stack(
+            HEADLINE_CLUSTER_STACK
+        )
+        cluster[f"{HEADLINE_CLUSTER_STACK}/r{replication}"] = (
+            measure_cluster(
+                policy=policy,
+                variant=variant,
+                num_shards=shards,
+                placement=placement,
+                replication_factor=replication,
+                **stack_kwargs,
+            )
         )
     return {
         "label": label,
@@ -516,15 +562,19 @@ def _committed_cluster_rate(
     shards: int,
     placement: str,
     backend: str | None = None,
+    replication: int = 0,
 ) -> float | None:
     """The committed aggregate accesses/second for a cluster ``stack``.
 
     Mirrors :func:`_committed_stack_rate` but reads the ``cluster``
     section and matches strictly like-for-like: an entry only qualifies
-    when its recorded shard count and placement scheme equal the
-    re-measurement's (so a 4-shard rate never gates an 8-shard run, and
-    a locality rate never gates a hash run), in addition to the mode and
-    backend matching the single-stack gate applies.
+    when its recorded shard count, placement scheme, and replication
+    factor equal the re-measurement's (so a 4-shard rate never gates an
+    8-shard run, a locality rate never gates a hash run, and an
+    unreplicated rate never gates a replicated one — entries recorded
+    before replication existed carry no ``replication_factor`` key and
+    count as R=0), in addition to the mode and backend matching the
+    single-stack gate applies.
     """
     current = report.get("current")
     if not current:
@@ -544,6 +594,8 @@ def _committed_cluster_rate(
             continue
         if recorded.get("placement") != placement:
             continue
+        if int(recorded.get("replication_factor") or 0) != replication:
+            continue
         recorded_backend = recorded.get("table_backend")
         if backend is not None and recorded_backend not in (None, backend):
             continue
@@ -556,12 +608,15 @@ def _committed_cluster_rate(
 
 
 def _measure_cluster_for_check(stack: str, fast: bool) -> dict[str, object]:
-    policy, variant, shards, placement = stack.split("/")
+    policy, variant, shards, placement, replication = (
+        _parse_cluster_stack(stack)
+    )
     kwargs: dict[str, object] = {
         "policy": policy,
         "variant": variant,
-        "num_shards": int(shards.lstrip("s")),
+        "num_shards": shards,
         "placement": placement,
+        "replication_factor": replication,
     }
     if fast:
         kwargs.update(num_pages=4_000, num_ops=6_000, repeats=2)
@@ -579,16 +634,19 @@ def check_cluster_floors(
     dict per stack in ``floors`` (default :data:`CLUSTER_FLOORS`) with
     keys ``stack``, ``floor``, ``measured``, ``committed``, ``ok``.
     Stacks the committed report never recorded are skipped, and matching
-    is strictly like-for-like on shard count, placement, mode, and
-    translation backend — a single-pool rate can never serve as a
-    cluster floor.
+    is strictly like-for-like on shard count, placement, replication
+    factor, mode, and translation backend — a single-pool rate can never
+    serve as a cluster floor, nor an unreplicated rate for a replicated
+    stack.
     """
     results: list[dict[str, object]] = []
     for stack, floor in (floors or CLUSTER_FLOORS).items():
-        _, _, shards_part, placement = stack.split("/")
-        shards = int(shards_part.lstrip("s"))
+        _, _, shards, placement, replication = _parse_cluster_stack(stack)
         if (
-            _committed_cluster_rate(report, stack, fast, shards, placement)
+            _committed_cluster_rate(
+                report, stack, fast, shards, placement,
+                replication=replication,
+            )
             is None
         ):
             continue  # never recorded: nothing to gate (skip the measure)
@@ -601,6 +659,7 @@ def check_cluster_floors(
             shards,
             placement,
             backend=measured_entry.get("table_backend"),
+            replication=replication,
         )
         if committed is None:
             continue

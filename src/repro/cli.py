@@ -13,6 +13,7 @@ Usage (after ``pip install -e .``)::
     python -m repro crashpoints --smoke            # exhaustive crash-point verification
     python -m repro overload                       # saturation sweep + breaker A/B
     python -m repro cluster --smoke                # sharded aggregate-throughput sweep
+    python -m repro failover --smoke               # replicated failover durability sweep
 
 Every command prints a small report and exits 0 on success; the heavy
 lifting lives in :mod:`repro.bench`.
@@ -153,7 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument("--output", default="EXPERIMENTS.md")
 
     lint = sub.add_parser(
-        "lint", help="run the repo-specific AST lint rules (R001-R013)"
+        "lint", help="run the repo-specific AST lint rules (R001-R014)"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
@@ -257,6 +258,31 @@ def build_parser() -> argparse.ArgumentParser:
                               "section) to the benchmark file")
     cluster.add_argument("--label", default="",
                          help="note recorded with the --record epoch")
+
+    failover = sub.add_parser(
+        "failover",
+        help="replicated-cluster failover sweep: node-failure rate x "
+             "replication factor x policy with the exact cluster-wide "
+             "durability audit; fails on any committed loss or phantom "
+             "redo",
+    )
+    failover.add_argument("--rates", default="0,0.5,1",
+                          help="comma-separated node-failure rates")
+    failover.add_argument("--replication", default="1,2",
+                          help="comma-separated replication factors")
+    failover.add_argument("--policies", default="lru,clock",
+                          help="comma-separated replacement policies")
+    failover.add_argument("--variants", default="baseline,ace",
+                          help="comma-separated bufferpool variants")
+    failover.add_argument("--pages", type=int, default=8_000)
+    failover.add_argument("--ops", type=int, default=12_000)
+    failover.add_argument("--shards", type=int, default=2)
+    failover.add_argument("--seed", type=int, default=42)
+    failover.add_argument("--workers", type=int, default=1,
+                          help="worker processes for shard replay")
+    failover.add_argument("--smoke", action="store_true",
+                          help="small fixed grid for CI (one policy, small "
+                               "trace)")
 
     overload = sub.add_parser(
         "overload",
@@ -650,6 +676,27 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return cluster_main(forwarded)
 
 
+def _cmd_failover(args: argparse.Namespace) -> int:
+    """Failover sweep; exit 1 on committed loss, phantoms, or a missed
+    scenario."""
+    from repro.bench.failover import main as failover_main
+
+    forwarded: list[str] = [
+        "--rates", args.rates,
+        "--replication", args.replication,
+        "--policies", args.policies,
+        "--variants", args.variants,
+        "--pages", str(args.pages),
+        "--ops", str(args.ops),
+        "--shards", str(args.shards),
+        "--seed", str(args.seed),
+        "--workers", str(args.workers),
+    ]
+    if args.smoke:
+        forwarded.append("--smoke")
+    return failover_main(forwarded)
+
+
 def _cmd_overload(args: argparse.Namespace) -> int:
     """Overload sweep + breaker A/B; exit 1 on a cliff or breaker loss."""
     from repro.bench.overload import format_report, run_overload, smoke_grid
@@ -685,6 +732,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "crashpoints": _cmd_crashpoints,
     "cluster": _cmd_cluster,
+    "failover": _cmd_failover,
     "overload": _cmd_overload,
 }
 

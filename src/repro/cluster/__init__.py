@@ -15,6 +15,9 @@ deterministically.  Four sub-modules:
   cut/imbalance scoring);
 * :mod:`repro.cluster.engine` — shard stacks, the parallel executor and
   the deterministic metric merge;
+* :mod:`repro.cluster.replication` — replica groups: synchronous WAL
+  shipping, deterministic failover/promotion, anti-entropy rejoin and
+  the cluster-wide exact durability audit;
 * :mod:`repro.cluster.partitioned` — the in-process
   :class:`PartitionedBufferPoolManager` (moved up from
   ``repro.bufferpool.partitioned``, which remains as a shim).
@@ -42,12 +45,21 @@ from repro.cluster.placement import (
     locality_placement,
     placement_report,
 )
+from repro.cluster.replication import (
+    FailoverEvent,
+    ReplicatedShardResult,
+    ReplicationSummary,
+    ShardReplicationReport,
+    build_replica_stack,
+    run_replicated_cluster,
+)
 from repro.cluster.router import (
     CrossShardStats,
     HashShardRouter,
     MappedShardRouter,
     ShardRouter,
     SplitTransactions,
+    StaleRouteError,
 )
 
 __all__ = [
@@ -61,6 +73,13 @@ __all__ = [
     "merge_shard_metrics",
     "run_cluster",
     "run_cluster_transactions",
+    # replication
+    "FailoverEvent",
+    "ReplicatedShardResult",
+    "ReplicationSummary",
+    "ShardReplicationReport",
+    "build_replica_stack",
+    "run_replicated_cluster",
     # partitioned
     "PartitionedBufferPoolManager",
     # placement
@@ -78,4 +97,5 @@ __all__ = [
     "MappedShardRouter",
     "ShardRouter",
     "SplitTransactions",
+    "StaleRouteError",
 ]

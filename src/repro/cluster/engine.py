@@ -56,7 +56,8 @@ from repro.core.ace import ACEBufferPoolManager
 from repro.core.config import ACEConfig
 from repro.engine.executor import ExecutionOptions, run_trace, run_transactions
 from repro.engine.metrics import RunMetrics
-from repro.errors import ClusterReplayError
+from repro.errors import ClusterReplayError, NodeFailure
+from repro.faults.nodes import NodeFaultPlan
 from repro.policies.registry import make_policy
 from repro.storage.clock import VirtualClock
 from repro.storage.device import DeviceStats, SimulatedSSD
@@ -118,6 +119,21 @@ class ClusterConfig:
         transaction touches (two-phase-commit style; 0 disables).
     n_w, n_e, table_backend, options:
         As in :class:`~repro.bench.runner.StackConfig`.
+    replication_factor:
+        Replicas per shard (``R``).  0 keeps the unreplicated fast path
+        — the run is byte-identical to a pre-replication cluster.  With
+        ``R > 0`` every shard becomes a 1-primary + R-replica group with
+        synchronous WAL shipping (:mod:`repro.cluster.replication`).
+    node_faults:
+        Deterministic node-crash schedule
+        (:class:`~repro.faults.nodes.NodeFaultPlan`); a non-null plan
+        routes the run through the replication engine even at ``R = 0``
+        (where any primary crash is a structured
+        :class:`~repro.errors.NodeFailure`).
+    capture_promotion_images:
+        Record each promoted replica's durable page images at promotion
+        time (the divergence battery's probe; off for bench runs — it
+        scans the page space per failover).
     """
 
     profile: DeviceProfile
@@ -133,6 +149,9 @@ class ClusterConfig:
     n_e: int | None = None
     table_backend: str | None = None
     options: ExecutionOptions = field(default_factory=ExecutionOptions)
+    replication_factor: int = 0
+    node_faults: NodeFaultPlan | None = None
+    capture_promotion_images: bool = False
 
     def __post_init__(self) -> None:
         if self.variant not in _VARIANTS:
@@ -155,6 +174,29 @@ class ClusterConfig:
             raise ValueError("locality placement needs an assignment vector")
         if self.cross_shard_penalty_us < 0:
             raise ValueError("cross-shard penalty cannot be negative")
+        if self.replication_factor < 0:
+            raise ValueError(
+                f"replication factor cannot be negative: "
+                f"{self.replication_factor}"
+            )
+        if self.node_faults is not None:
+            if not isinstance(self.node_faults, NodeFaultPlan):
+                raise ValueError(
+                    f"node_faults must be a NodeFaultPlan: "
+                    f"{self.node_faults!r}"
+                )
+            if self.node_faults.max_shard() >= self.num_shards:
+                raise ValueError(
+                    f"node fault targets shard "
+                    f"{self.node_faults.max_shard()} but the cluster has "
+                    f"{self.num_shards} shards"
+                )
+            if self.node_faults.max_node() > self.replication_factor:
+                raise ValueError(
+                    f"node fault targets node "
+                    f"{self.node_faults.max_node()} but replica groups "
+                    f"have nodes 0..{self.replication_factor}"
+                )
 
     @property
     def total_capacity(self) -> int:
@@ -167,10 +209,20 @@ class ClusterConfig:
         return base + (1 if shard < remainder else 0)
 
     @property
+    def replicated(self) -> bool:
+        """Whether this run goes through the replication engine."""
+        return self.replication_factor > 0 or (
+            self.node_faults is not None and not self.node_faults.is_null
+        )
+
+    @property
     def label(self) -> str:
-        return (
+        base = (
             f"{self.policy}/{self.variant}/s{self.num_shards}/{self.placement}"
         )
+        if self.replication_factor:
+            return f"{base}/r{self.replication_factor}"
+        return base
 
 
 def build_router(config: ClusterConfig) -> ShardRouter:
@@ -299,6 +351,12 @@ class ClusterMetrics:
     #: Per-shard replay wall seconds (measurement side-channel; excluded
     #: from determinism comparisons, obviously).
     replay_wall_s: list[float] = field(default_factory=list)
+    #: Replication roll-up
+    #: (:class:`repro.cluster.replication.ReplicationSummary`) when the
+    #: run went through the replication engine; ``None`` on the
+    #: unreplicated fast path.  Typed loosely because the engine only
+    #: imports the replication module lazily.
+    replication: object | None = None
 
     @property
     def ops(self) -> int:
@@ -430,17 +488,26 @@ def merge_shard_metrics(
 
 
 def _execute_jobs(
-    jobs: Sequence[ShardJob], workers: int | None
-) -> list[ShardResult]:
+    jobs: Sequence[ShardJob],
+    workers: int | None,
+    worker=_replay_shard,
+) -> list:
     """Run every shard job, serially or fanned out; results in shard order.
 
     ``workers`` defaults to one process per shard; ``workers <= 1`` runs
-    in process (no pickling).  The retry discipline mirrors
-    :func:`repro.bench.parallel.run_grid` — a ``BrokenProcessPool``
-    fails every job queued on the pool, so innocent shards retry on a
-    fresh pool — but a shard that exhausts its attempts raises
-    :class:`~repro.errors.ClusterReplayError`: merged cluster metrics
-    with a missing shard would be silently wrong.
+    in process (no pickling).  ``worker`` is the module-level job
+    function — the plain shard replay by default, the replication
+    engine's group replay when the config asks for replicas.
+
+    The retry discipline mirrors :func:`repro.bench.parallel.run_grid` —
+    a ``BrokenProcessPool`` fails every job queued on the pool, so
+    innocent shards retry on a fresh pool — but a shard that exhausts
+    its attempts raises :class:`~repro.errors.ClusterReplayError`:
+    merged cluster metrics with a missing shard would be silently wrong.
+    A :class:`~repro.errors.NodeFailure` is different: a replica group
+    dying is a *deterministic* outcome of the job's seeded fault plan,
+    so it wraps immediately (attempts as spent) with the structured
+    failure attached — retrying would replay the identical crash.
     """
     if workers is None:
         workers = len(jobs)
@@ -449,9 +516,20 @@ def _execute_jobs(
     workers = min(workers, len(jobs))
 
     if workers <= 1:
-        return [_replay_shard(job) for job in jobs]
+        results_serial = []
+        for job in jobs:
+            try:
+                results_serial.append(worker(job))
+            except NodeFailure as exc:
+                raise ClusterReplayError(
+                    shard=job.shard,
+                    attempts=1,
+                    error=f"{type(exc).__name__}: {exc}",
+                    failure=exc,
+                ) from exc
+        return results_serial
 
-    results: list[ShardResult | None] = [None] * len(jobs)
+    results: list = [None] * len(jobs)
     attempts = [0] * len(jobs)
     pending = list(range(len(jobs)))
     while pending:
@@ -466,7 +544,7 @@ def _execute_jobs(
                 attempts[index] += 1
                 try:
                     submitted.append(
-                        (index, pool.submit(_replay_shard, jobs[index]))
+                        (index, pool.submit(worker, jobs[index]))
                     )
                 except Exception as exc:  # pool already broken
                     if attempts[index] >= MAX_SHARD_ATTEMPTS:
@@ -476,6 +554,13 @@ def _execute_jobs(
             for index, future in submitted:
                 try:
                     results[index] = future.result()
+                except NodeFailure as exc:
+                    raise ClusterReplayError(
+                        shard=jobs[index].shard,
+                        attempts=attempts[index],
+                        error=f"{type(exc).__name__}: {exc}",
+                        failure=exc,
+                    ) from exc
                 except Exception as exc:
                     if attempts[index] >= MAX_SHARD_ATTEMPTS:
                         failures.append((index, exc))
@@ -490,7 +575,7 @@ def _execute_jobs(
             ) from exc
         pending = still_failing
     assert all(result is not None for result in results)
-    return results  # type: ignore[return-value]
+    return results
 
 
 def run_cluster(
@@ -505,7 +590,20 @@ def run_cluster(
     (modulo the wall-clock side-channel) at any ``workers`` value: the
     split is deterministic, each shard run is a pure function of its
     job, and the merge runs in shard order.
+
+    A config with replicas (or a node-fault schedule) routes through
+    :func:`repro.cluster.replication.run_replicated_cluster`; the
+    unreplicated path below is untouched by replication — byte-identical
+    to what it produced before replica groups existed.
     """
+    if config.replicated:
+        # Deferred: the replication engine imports this module's job
+        # machinery, so a module-scope import would be a cycle.
+        from repro.cluster.replication import run_replicated_cluster
+
+        return run_replicated_cluster(
+            config, trace, workers=workers, label=label
+        )
     router = build_router(config)
     split = router.split(trace.pages, trace.writes)
     jobs = [
@@ -535,6 +633,11 @@ def run_cluster_transactions(
     ``config.cross_shard_penalty_us`` per extra shard touched in the
     merged elapsed time (the coordination the split cost the cluster).
     """
+    if config.replicated:
+        raise ValueError(
+            "transaction streams do not support replication yet; use a "
+            "page trace or replication_factor=0"
+        )
     split = build_router(config).split_transactions(transactions)
     jobs = [
         ShardJob(

@@ -18,7 +18,17 @@ Two routers cover the design space the bench sweeps:
   produced by :mod:`repro.cluster.placement`'s optimizers; pages outside
   the vector fall back to hash routing so the router is total.
 
-Deliberately free of ``repro`` imports: the split helpers are duck-typed
+Routers are **epoch-stamped**: every remap — a shard failing over to a
+replica node, a page range reassigned to another shard — produces a *new*
+router with ``epoch + 1``, and :meth:`ShardRouter.route` refuses a caller
+presenting a stale epoch with a loud :class:`StaleRouteError` rather than
+silently routing to the old owner.  The epoch chain is what lets the
+replicated cluster engine prove that every post-failover access went
+through the remapped table (see docs/architecture.md "Replication &
+failover").
+
+Deliberately free of ``repro`` imports (including ``repro.errors`` —
+:class:`StaleRouteError` lives here): the split helpers are duck-typed
 over parallel ``pages``/``writes`` sequences and ``(kind, requests)``
 transaction streams, so the low-level bufferpool shim can import this
 module without dragging the whole cluster stack (or an import cycle)
@@ -36,7 +46,26 @@ __all__ = [
     "MappedShardRouter",
     "CrossShardStats",
     "SplitTransactions",
+    "StaleRouteError",
 ]
+
+
+class StaleRouteError(RuntimeError):
+    """A caller routed with an epoch the router has since moved past.
+
+    Raised by :meth:`ShardRouter.route` when ``epoch`` does not match the
+    router's current epoch.  Silently honouring a stale epoch would send
+    the access to a node that no longer owns the page (or is dead) —
+    exactly the failure mode remap epochs exist to surface.
+    """
+
+    def __init__(self, presented: int, current: int) -> None:
+        self.presented = presented
+        self.current = current
+        super().__init__(
+            f"stale routing epoch {presented} (router is at epoch "
+            f"{current}); re-fetch the router before routing"
+        )
 
 
 @dataclass
@@ -78,7 +107,17 @@ class SplitTransactions:
 
 
 class ShardRouter:
-    """Base router: a total, deterministic ``page -> shard`` function."""
+    """Base router: a total, deterministic ``page -> shard`` function.
+
+    Every router also tracks the cluster's *remap state*: an ``epoch``
+    counter bumped by every topology change and a per-shard primary-node
+    map (which replica-group member currently serves each shard; node 0
+    until a failover promotes someone else).  Remaps never mutate a
+    router in place — :meth:`with_failover` (and
+    :meth:`MappedShardRouter.with_reassignment`) return a *new* router at
+    ``epoch + 1``, so holders of the old object keep a consistent but
+    provably stale view that :meth:`route` rejects.
+    """
 
     #: Human-readable placement scheme name, recorded in bench epochs.
     placement = "base"
@@ -87,9 +126,54 @@ class ShardRouter:
         if num_shards < 1:
             raise ValueError(f"need at least one shard: {num_shards}")
         self.num_shards = num_shards
+        #: Remap generation: 0 at construction, +1 per topology change.
+        self.epoch = 0
+        self._primary_node = [0] * num_shards
 
     def shard_of(self, page: int) -> int:
         raise NotImplementedError
+
+    # ------------------------------------------------------------- remaps
+
+    def route(self, page: int, epoch: int) -> int:
+        """Epoch-checked routing: the shard owning ``page``, or a loud
+        :class:`StaleRouteError` if ``epoch`` is not the router's current
+        one (the caller is holding a pre-remap view of the cluster)."""
+        if epoch != self.epoch:
+            raise StaleRouteError(presented=epoch, current=self.epoch)
+        return self.shard_of(page)
+
+    def node_of(self, shard: int) -> int:
+        """The replica-group node currently serving ``shard``."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} outside [0, {self.num_shards})"
+            )
+        return self._primary_node[shard]
+
+    def _spawn(self) -> "ShardRouter":
+        """A fresh router with this router's routing function (subclass
+        hook for the remap constructors)."""
+        raise NotImplementedError
+
+    def with_failover(self, shard: int, node: int) -> "ShardRouter":
+        """A new router (``epoch + 1``) with ``shard`` served by ``node``.
+
+        This is the failover remap: the shard's page ownership is
+        unchanged — the same pages route to the same shard — but the
+        serving node moved to a promoted replica.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} outside [0, {self.num_shards})"
+            )
+        if node < 0:
+            raise ValueError(f"node cannot be negative: {node}")
+        remapped = self._spawn()
+        remapped.epoch = self.epoch + 1
+        remapped._primary_node = list(self._primary_node)
+        remapped._primary_node[shard] = node
+        return remapped
 
     # ------------------------------------------------------------- splits
 
@@ -165,6 +249,9 @@ class HashShardRouter(ShardRouter):
     def shard_of(self, page: int) -> int:
         return hash(page) % self.num_shards
 
+    def _spawn(self) -> "HashShardRouter":
+        return HashShardRouter(self.num_shards)
+
 
 class MappedShardRouter(ShardRouter):
     """Explicit page→shard assignment, hash fallback outside the map.
@@ -193,6 +280,43 @@ class MappedShardRouter(ShardRouter):
         if 0 <= page < self._size:
             return self.assignment[page]
         return hash(page) % self.num_shards
+
+    def _spawn(self) -> "MappedShardRouter":
+        return MappedShardRouter(self.assignment, self.num_shards)
+
+    def with_reassignment(
+        self, page_range: range, shard: int
+    ) -> "MappedShardRouter":
+        """A new router (``epoch + 1``) with ``page_range`` owned by
+        ``shard``.
+
+        This is the "shard moved" remap: pages change owner, so every
+        holder of the old router has a wrong page→shard view, not just a
+        wrong node map — which is why the epoch bump (and
+        :meth:`ShardRouter.route`'s stale-epoch check) is load-bearing
+        here.  The assignment vector is extended as needed; pages newly
+        covered by the extension keep their previous (hash-fallback)
+        owner unless they are in ``page_range``, so the remap changes
+        exactly the requested range.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} outside [0, {self.num_shards})"
+            )
+        if len(page_range) == 0:
+            raise ValueError("cannot reassign an empty page range")
+        if page_range[0] < 0:
+            raise ValueError(
+                f"page range starts below zero: {page_range[0]}"
+            )
+        size = max(self._size, page_range[-1] + 1)
+        assignment = [self.shard_of(page) for page in range(size)]
+        for page in page_range:
+            assignment[page] = shard
+        remapped = MappedShardRouter(assignment, self.num_shards)
+        remapped.epoch = self.epoch + 1
+        remapped._primary_node = list(self._primary_node)
+        return remapped
 
     def __repr__(self) -> str:
         return (

@@ -15,6 +15,7 @@ __all__ = [
     "CorruptPageError",
     "RetriesExhaustedError",
     "PowerFailure",
+    "NodeFailure",
     "ClusterReplayError",
 ]
 
@@ -51,6 +52,59 @@ class BufferPoolError(ReproError):
     """Base class for buffer manager errors."""
 
 
+class NodeFailure(ReproError):
+    """A shard node died and its replica group could not absorb the loss.
+
+    Raised by :mod:`repro.cluster.replication` when a primary crashes and
+    no live replica remains to promote — the deterministic end of a
+    replica group, not a transient worker accident.  Structured so the
+    cluster engine (and callers catching the wrapping
+    :class:`ClusterReplayError`) can key off the failure instead of
+    parsing a traceback:
+
+    ``shard``/``node``
+        The replica-group member that took the group down.
+    ``virtual_time_us``
+        The shard group's virtual clock when the crash was detected.
+    ``cause``
+        Short text: what killed the node and why no failover was
+        possible.
+    ``partial_metrics``
+        The shard's :class:`~repro.engine.metrics.RunMetrics` up to the
+        last commit boundary (``None`` when nothing committed) — the
+        work the cluster verifiably completed before the loss.
+
+    Instances cross the worker process boundary intact: ``__reduce__``
+    rebuilds the exception from its structured fields, so the parent
+    process sees the same shard/node/cause the worker raised.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        node: int,
+        virtual_time_us: float,
+        cause: str,
+        partial_metrics: object | None = None,
+    ) -> None:
+        self.shard = shard
+        self.node = node
+        self.virtual_time_us = virtual_time_us
+        self.cause = cause
+        self.partial_metrics = partial_metrics
+        super().__init__(
+            f"node {node} of shard {shard} failed at "
+            f"t={virtual_time_us:.0f}us: {cause}"
+        )
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.shard, self.node, self.virtual_time_us, self.cause,
+             self.partial_metrics),
+        )
+
+
 class ClusterReplayError(ReproError):
     """A shard replay failed for good in a cluster run.
 
@@ -61,12 +115,24 @@ class ClusterReplayError(ReproError):
     whole run unwinds.  ``shard`` is the shard id, ``attempts`` the
     tries made, ``error`` the final failure rendered as text (the
     original exception object may not survive the process boundary).
+
+    ``failure`` carries the structured :class:`NodeFailure` when the
+    shard died deterministically inside a replica group (no retry can
+    change a seeded fault schedule, so those wrap after one attempt);
+    it is ``None`` for ordinary worker failures.
     """
 
-    def __init__(self, shard: int, attempts: int, error: str) -> None:
+    def __init__(
+        self,
+        shard: int,
+        attempts: int,
+        error: str,
+        failure: NodeFailure | None = None,
+    ) -> None:
         self.shard = shard
         self.attempts = attempts
         self.error = error
+        self.failure = failure
         super().__init__(
             f"shard {shard} replay failed after {attempts} attempts: {error}"
         )

@@ -27,6 +27,7 @@ end-to-end durability invariant lives in :mod:`repro.bench.chaos`
 """
 
 from repro.faults.device import FaultyDevice
+from repro.faults.nodes import NodeFault, NodeFaultPlan
 from repro.faults.plan import FaultEvent, FaultInjector, FaultKind, FaultPlan
 from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
@@ -37,5 +38,7 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultyDevice",
+    "NodeFault",
+    "NodeFaultPlan",
     "RetryPolicy",
 ]

@@ -1,0 +1,210 @@
+"""Deterministic node-level fault planning for replicated clusters.
+
+:mod:`repro.faults.plan` schedules *device* failures — I/O errors a stack
+survives in place.  This module schedules *node* failures: a whole shard
+stack (pool, device, WAL) losing power mid-replay.  A
+:class:`NodeFaultPlan` is the same shape of object as a
+:class:`~repro.faults.plan.FaultPlan` — frozen, seeded, picklable — so a
+cluster job can carry its failure schedule across the process boundary
+and two replays of the same plan produce byte-identical failover
+histories.
+
+Each :class:`NodeFault` targets one ``(shard, node)`` member of a replica
+group (node 0 is the initial primary, nodes ``1..R`` the replicas) and
+fires exactly once, at a *virtual* trigger:
+
+``crash_at_access``
+    The node dies before the shard serves access index
+    ``crash_at_access`` of its subtrace (primary), or once the shard's
+    committed progress passes that index (replica).
+``crash_at_us``
+    The node dies once the shard group's virtual clock reaches the given
+    microsecond mark (checked at access and commit granularity).
+
+A fault is either ``permanent`` (the node never comes back) or carries
+``rejoin_after_accesses``: the node is rebuilt empty and caught up via
+the anti-entropy pass once the shard's committed progress has advanced
+that far past the crash.  Applying the schedule — crashing stacks,
+promoting replicas, rebuilding rejoiners — is
+:mod:`repro.cluster.replication`'s job; this module only decides.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["NodeFault", "NodeFaultPlan"]
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One scheduled node failure: which group member, which trigger."""
+
+    shard: int
+    node: int
+    crash_at_access: int | None = None
+    crash_at_us: float | None = None
+    permanent: bool = False
+    #: Committed accesses after the crash before the node rejoins
+    #: (``None`` = stays down; mutually exclusive with ``permanent``).
+    rejoin_after_accesses: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ValueError(f"shard cannot be negative: {self.shard}")
+        if self.node < 0:
+            raise ValueError(f"node cannot be negative: {self.node}")
+        if (self.crash_at_access is None) == (self.crash_at_us is None):
+            raise ValueError(
+                "a NodeFault needs exactly one of crash_at_access and "
+                "crash_at_us"
+            )
+        if self.crash_at_access is not None and self.crash_at_access < 0:
+            raise ValueError(
+                f"crash_at_access cannot be negative: {self.crash_at_access}"
+            )
+        if self.crash_at_us is not None and self.crash_at_us < 0:
+            raise ValueError(
+                f"crash_at_us cannot be negative: {self.crash_at_us}"
+            )
+        if self.permanent and self.rejoin_after_accesses is not None:
+            raise ValueError("a permanent loss cannot schedule a rejoin")
+        if (
+            self.rejoin_after_accesses is not None
+            and self.rejoin_after_accesses < 1
+        ):
+            raise ValueError(
+                "rejoin_after_accesses must be positive: "
+                f"{self.rejoin_after_accesses}"
+            )
+
+    def describe(self) -> str:
+        if self.crash_at_access is not None:
+            trigger = f"@access {self.crash_at_access}"
+        else:
+            trigger = f"@{self.crash_at_us:g}us"
+        fate = "permanent" if self.permanent else (
+            f"rejoin+{self.rejoin_after_accesses}"
+            if self.rejoin_after_accesses is not None else "down"
+        )
+        return f"s{self.shard}/n{self.node} {trigger} ({fate})"
+
+
+@dataclass(frozen=True)
+class NodeFaultPlan:
+    """A frozen, seeded schedule of node crashes for a replicated cluster.
+
+    ``faults`` is the complete schedule; :meth:`faults_for` slices it per
+    shard in deterministic trigger order.  The plan itself never mutates —
+    the replication engine tracks which faults have fired.
+    """
+
+    seed: int = 0
+    faults: tuple[NodeFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, NodeFault):
+                raise ValueError(f"not a NodeFault: {fault!r}")
+
+    @property
+    def is_null(self) -> bool:
+        """Whether the plan can never crash a node."""
+        return not self.faults
+
+    def faults_for(self, shard: int) -> tuple[NodeFault, ...]:
+        """Shard ``shard``'s faults, ordered by trigger then node id."""
+        def key(fault: NodeFault) -> tuple[float, float, int]:
+            access = (
+                float(fault.crash_at_access)
+                if fault.crash_at_access is not None else float("inf")
+            )
+            at_us = (
+                fault.crash_at_us
+                if fault.crash_at_us is not None else float("inf")
+            )
+            return (access, at_us, fault.node)
+
+        return tuple(sorted(
+            (fault for fault in self.faults if fault.shard == shard),
+            key=key,
+        ))
+
+    def max_node(self) -> int:
+        """The highest node id any fault targets (-1 for a null plan)."""
+        return max((fault.node for fault in self.faults), default=-1)
+
+    def max_shard(self) -> int:
+        """The highest shard id any fault targets (-1 for a null plan)."""
+        return max((fault.shard for fault in self.faults), default=-1)
+
+    @classmethod
+    def random(
+        cls,
+        num_shards: int,
+        replicas: int,
+        failure_rate: float,
+        accesses_per_shard: int,
+        seed: int = 0,
+        permanent_fraction: float = 0.25,
+        rejoin_fraction: float = 0.75,
+    ) -> "NodeFaultPlan":
+        """A seeded failure storm over an ``num_shards`` x ``1+R`` cluster.
+
+        Each node of each shard fails with probability ``failure_rate`` at
+        a crash point drawn uniformly over the shard subtrace; a faulted
+        node is permanently lost with probability ``permanent_fraction``,
+        otherwise it rejoins with probability ``rejoin_fraction`` after a
+        drawn delay.  At most ``replicas`` members of any group are
+        faulted — at least one node per shard always survives, so a
+        random storm never strands a shard (strand a group on purpose
+        with an explicit fault list; that is the
+        :class:`~repro.errors.NodeFailure` path).
+        """
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard: {num_shards}")
+        if replicas < 0:
+            raise ValueError(f"replica count cannot be negative: {replicas}")
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1]: {failure_rate}")
+        if accesses_per_shard < 1:
+            raise ValueError(
+                f"accesses_per_shard must be positive: {accesses_per_shard}"
+            )
+        rng = random.Random(seed)
+        faults: list[NodeFault] = []
+        for shard in range(num_shards):
+            candidates = [
+                node for node in range(replicas + 1)
+                if rng.random() < failure_rate
+            ]
+            # Never fault the whole group: drop the last-drawn extras.
+            del candidates[max(0, replicas):]
+            for node in candidates:
+                crash_at = rng.randrange(1, accesses_per_shard)
+                permanent = rng.random() < permanent_fraction
+                rejoin: int | None = None
+                if not permanent and rng.random() < rejoin_fraction:
+                    rejoin = rng.randrange(
+                        1, max(2, accesses_per_shard - crash_at + 1)
+                    )
+                faults.append(NodeFault(
+                    shard=shard,
+                    node=node,
+                    crash_at_access=crash_at,
+                    permanent=permanent,
+                    rejoin_after_accesses=rejoin,
+                ))
+        return cls(seed=seed, faults=tuple(faults))
+
+    def describe(self) -> str:
+        """Short human-readable form (used by the failover bench tables)."""
+        if self.is_null:
+            return "no node faults"
+        parts = [fault.describe() for fault in self.faults[:4]]
+        if len(self.faults) > 4:
+            parts.append(f"+{len(self.faults) - 4} more")
+        return "; ".join(parts) + f" seed={self.seed}"

@@ -1,0 +1,22 @@
+"""R014 fixture: writing to replica stacks outside the replication module.
+
+Every call below mutates a replica's pool/device/WAL directly, forking
+the replica from the shipped durable prefix: the divergence only
+surfaces after a failover, as a failed promotion audit.
+"""
+
+
+def poke_pool(replica, page):
+    replica.manager.access(page, is_write=True)
+
+
+def poke_device(group, page, payload):
+    group.replicas[1].device.write_page(page, payload=payload)
+
+
+def poke_dirty(replica_node, page):
+    replica_node.manager.mark_dirty(page)
+
+
+def poke_batch(shard):
+    shard.replica_stack.write_batch([(3, b"x"), (4, b"y")])

@@ -1,0 +1,21 @@
+"""R014 fixture: sanctioned replica interactions.
+
+Reading a replica, writing through the *primary*, and a deliberate test
+probe under the escape hatch are all clean.
+"""
+
+
+def inspect(replica, page):
+    return replica.device.peek(page)
+
+
+def serve(primary, page):
+    primary.manager.access(page, is_write=True)
+
+
+def ship(group, records):
+    return group.commit_shipment(records)
+
+
+def probe(replica, page):
+    replica.manager.access(page, is_write=True)  # lint: allow-replica-write

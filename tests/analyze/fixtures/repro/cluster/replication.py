@@ -1,0 +1,15 @@
+"""R014 fixture: the home module is exempt by definition.
+
+This file's module name resolves to ``repro.cluster.replication`` — the
+shipping/apply machinery itself — so the very writes flagged elsewhere
+are its job here.
+"""
+
+
+def apply_shipment(replica, records):
+    for page, payload in records:
+        replica.device.write_page(page, payload=payload)
+
+
+def catch_up(replica, page):
+    replica.manager.access(page, is_write=True)

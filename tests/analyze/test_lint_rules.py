@@ -1,4 +1,4 @@
-"""Tests for the repo-specific AST lint rules (R001-R013).
+"""Tests for the repo-specific AST lint rules (R001-R014).
 
 Each rule gets at least one positive test (a fixture file written to
 violate it, laid out under ``fixtures/repro/...`` so package scoping
@@ -80,7 +80,7 @@ class TestFramework:
     def test_rule_catalogue_complete(self):
         assert [rule.code for rule in DEFAULT_RULES] == [
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
-            "R008", "R009", "R010", "R011", "R012", "R013",
+            "R008", "R009", "R010", "R011", "R012", "R013", "R014",
         ]
         for rule in DEFAULT_RULES:
             assert rule.name and rule.description
@@ -453,6 +453,43 @@ class TestWorkerSharedStateRule:
         assert violations == []
 
 
+class TestReplicaWritePathRule:
+    def test_replica_mutations_fire(self):
+        violations = lint_file(
+            FIXTURES / "cluster" / "r014_replica_poke.py"
+        )
+        assert codes(violations) == {"R014"}
+        assert len(violations) == 4
+        messages = " | ".join(violation.message for violation in violations)
+        # Pool access, device write, dirty marking and batched writes on
+        # replica-named receivers (attribute chains, subscripts) all fire.
+        assert ".access()" in messages
+        assert ".write_page()" in messages
+        assert ".mark_dirty()" in messages
+        assert ".write_batch()" in messages
+
+    def test_reads_primary_writes_and_hatch_are_clean(self):
+        assert lint_file(
+            FIXTURES / "cluster" / "r014_wal_apply_ok.py"
+        ) == []
+
+    def test_replication_module_itself_is_exempt(self):
+        # The fixture resolves to repro.cluster.replication — the
+        # shipping/apply machinery owns the replica write path.
+        assert lint_file(FIXTURES / "cluster" / "replication.py") == []
+
+    def test_scoped_to_repro_package(self, tmp_path):
+        # The same source outside repro.* (scripts, tests) is not the
+        # rule's business.
+        source = (
+            FIXTURES / "cluster" / "r014_replica_poke.py"
+        ).read_text()
+        free = tmp_path / "r014_replica_poke.py"
+        free.write_text(source)
+        violations, _ = run_lint([free], select=["R014"])
+        assert violations == []
+
+
 class TestShippedTree:
     def test_src_is_clean(self):
         violations, files = run_lint([REPO_ROOT / "src"])
@@ -476,7 +513,7 @@ class TestLintCli:
         assert main(["lint", str(FIXTURES)]) == 1
         out = capsys.readouterr().out
         for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
-                     "R008", "R009", "R010", "R011", "R012", "R013"):
+                     "R008", "R009", "R010", "R011", "R012", "R013", "R014"):
             assert code in out
         assert "violation(s)" in out
 
@@ -488,5 +525,5 @@ class TestLintCli:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
-                     "R008", "R009", "R010", "R011", "R012", "R013"):
+                     "R008", "R009", "R010", "R011", "R012", "R013", "R014"):
             assert code in out

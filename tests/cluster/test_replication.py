@@ -1,0 +1,329 @@
+"""Tests for replica groups: WAL shipping, failover, rejoin, divergence.
+
+The load-bearing claims: a replicated cluster survives any storm that
+leaves one live node per group with zero committed loss and zero phantom
+redo; a stranded group dies loudly as a structured
+:class:`~repro.errors.NodeFailure`; replay is byte-identical at any
+worker count; and a promoted replica's durable state is byte-identical
+to a never-crashed reference's durable prefix at the same commit point
+(the divergence battery).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bufferpool.recovery import recover, simulate_crash
+from repro.cluster.engine import (
+    ClusterConfig,
+    run_cluster,
+    run_cluster_transactions,
+)
+from repro.cluster.replication import build_replica_stack
+from repro.engine.executor import ExecutionOptions
+from repro.errors import ClusterReplayError, NodeFailure
+from repro.faults.nodes import NodeFault, NodeFaultPlan
+from repro.storage.profiles import PCIE_SSD
+from repro.workloads.synthetic import MS, generate_trace
+
+OPTIONS = ExecutionOptions(cpu_us_per_op=2.0, commit_every_ops=32)
+NUM_PAGES = 1_200
+NUM_OPS = 2_400
+
+
+def make_config(
+    policy="lru",
+    variant="ace",
+    num_shards=2,
+    replication_factor=1,
+    faults=(),
+    seed=0,
+    capture=False,
+):
+    plan = NodeFaultPlan(seed=seed, faults=tuple(faults)) if faults else None
+    return ClusterConfig(
+        profile=PCIE_SSD,
+        policy=policy,
+        variant=variant,
+        num_pages=NUM_PAGES,
+        num_shards=num_shards,
+        options=OPTIONS,
+        replication_factor=replication_factor,
+        node_faults=plan,
+        capture_promotion_images=capture,
+    )
+
+
+def make_trace(seed=42, num_ops=NUM_OPS):
+    return generate_trace(MS, NUM_PAGES, num_ops, seed=seed)
+
+
+class TestConfig:
+    def test_label_gains_replication_suffix(self):
+        assert make_config(replication_factor=2).label.endswith("/r2")
+        base = ClusterConfig(
+            profile=PCIE_SSD, policy="lru", variant="baseline",
+            num_pages=NUM_PAGES, num_shards=2,
+        )
+        assert "/r" not in base.label
+
+    def test_fault_plan_must_fit_the_cluster(self):
+        with pytest.raises(ValueError):
+            make_config(num_shards=2, faults=[
+                NodeFault(shard=2, node=0, crash_at_access=1),
+            ])
+        with pytest.raises(ValueError):
+            make_config(replication_factor=1, faults=[
+                NodeFault(shard=0, node=2, crash_at_access=1),
+            ])
+
+    def test_negative_replication_rejected(self):
+        with pytest.raises(ValueError):
+            make_config(replication_factor=-1)
+
+    def test_transactions_refuse_replication(self):
+        with pytest.raises(ValueError):
+            run_cluster_transactions(make_config(), [])
+
+
+class TestFailover:
+    def test_single_primary_crash_fails_over_and_audits_clean(self):
+        config = make_config(faults=[
+            NodeFault(shard=0, node=0, crash_at_access=101),
+        ])
+        metrics = run_cluster(config, make_trace(), workers=1)
+        summary = metrics.replication
+        assert summary is not None
+        assert summary.failovers == 1
+        assert summary.node_crashes == 1
+        assert summary.lost_updates == 0
+        assert summary.phantom_pages == 0
+        assert summary.ok
+        assert summary.final_epoch == 1
+        assert summary.final_primaries == (1, 0)
+        assert summary.max_failover_latency_us > 0
+        # The in-flight window died with the primary and was retried:
+        # 101 = 3 full commits of 32 plus 5 in-flight accesses.
+        shard0 = summary.per_shard[0]
+        assert shard0.retried_accesses == 5
+        assert 0 < summary.availability < 1
+        assert metrics.ops == NUM_OPS
+
+    def test_no_faults_means_no_failovers_but_real_shipping(self):
+        metrics = run_cluster(make_config(), make_trace(), workers=1)
+        summary = metrics.replication
+        assert summary.failovers == 0
+        assert summary.availability == 1.0
+        assert summary.final_epoch == 0
+        assert all(r.shipped_records > 0 for r in summary.per_shard)
+        assert summary.ok
+
+    def test_unreplicated_config_has_no_summary(self):
+        config = ClusterConfig(
+            profile=PCIE_SSD, policy="lru", variant="baseline",
+            num_pages=NUM_PAGES, num_shards=2, options=OPTIONS,
+        )
+        metrics = run_cluster(config, make_trace(), workers=1)
+        assert metrics.replication is None
+
+    def test_virtual_time_trigger(self):
+        config = make_config(faults=[
+            NodeFault(shard=0, node=0, crash_at_us=30_000.0),
+        ])
+        summary = run_cluster(config, make_trace(), workers=1).replication
+        assert summary.failovers == 1
+        event = summary.per_shard[0].failovers[0]
+        assert event.virtual_time_us >= 30_000.0
+        assert summary.ok
+
+    def test_double_failure_falls_through_to_second_replica(self):
+        config = make_config(replication_factor=2, faults=[
+            NodeFault(shard=0, node=0, crash_at_access=101),
+            NodeFault(shard=0, node=1, crash_at_access=101),
+        ])
+        summary = run_cluster(config, make_trace(), workers=1).replication
+        shard0 = summary.per_shard[0]
+        assert len(shard0.failovers) == 1
+        event = shard0.failovers[0]
+        assert event.promoted_node == 2
+        assert event.candidates_lost == 1
+        assert shard0.node_crashes == 2
+        assert summary.final_primaries[0] == 2
+        assert summary.ok
+
+    def test_rejoin_and_fail_back(self):
+        config = make_config(faults=[
+            NodeFault(shard=0, node=0, crash_at_access=60,
+                      rejoin_after_accesses=100),
+            NodeFault(shard=0, node=1, crash_at_access=400),
+        ])
+        summary = run_cluster(config, make_trace(), workers=1).replication
+        shard0 = summary.per_shard[0]
+        assert len(shard0.failovers) == 2
+        assert shard0.rejoins == 1
+        # Node 0 crashed, rejoined via anti-entropy, and took back over
+        # when the promoted node 1 died in turn.
+        assert shard0.final_primary == 0
+        assert summary.ok
+
+
+class TestNodeFailurePath:
+    def test_stranded_group_raises_structured_failure(self):
+        # R=0 with a primary fault: nobody to fail over to.
+        config = ClusterConfig(
+            profile=PCIE_SSD, policy="lru", variant="baseline",
+            num_pages=NUM_PAGES, num_shards=2, options=OPTIONS,
+            node_faults=NodeFaultPlan(faults=(
+                NodeFault(shard=0, node=0, crash_at_access=101),
+            )),
+        )
+        with pytest.raises(ClusterReplayError) as excinfo:
+            run_cluster(config, make_trace(), workers=1)
+        failure = excinfo.value.failure
+        assert isinstance(failure, NodeFailure)
+        assert failure.shard == 0
+        assert failure.node == 0
+        assert failure.virtual_time_us > 0
+        assert "no live replica" in failure.cause
+        # Partial metrics cover exactly the committed prefix (the last
+        # commit boundary before the crash: 3 full commits of 32).
+        assert failure.partial_metrics is not None
+        assert failure.partial_metrics.ops == 96
+
+    def test_parallel_workers_raise_the_same_failure(self):
+        config = ClusterConfig(
+            profile=PCIE_SSD, policy="lru", variant="baseline",
+            num_pages=NUM_PAGES, num_shards=2, options=OPTIONS,
+            node_faults=NodeFaultPlan(faults=(
+                NodeFault(shard=0, node=0, crash_at_access=101),
+            )),
+        )
+        with pytest.raises(ClusterReplayError) as excinfo:
+            run_cluster(config, make_trace(), workers=2)
+        assert excinfo.value.failure.partial_metrics.ops == 96
+
+
+class TestWorkerDeterminism:
+    def test_merged_metrics_identical_across_worker_counts(self):
+        config = make_config(replication_factor=2, faults=[
+            NodeFault(shard=0, node=0, crash_at_access=101),
+            NodeFault(shard=1, node=0, crash_at_access=300,
+                      rejoin_after_accesses=200),
+        ], seed=3)
+        trace = make_trace()
+        serial = run_cluster(config, trace, workers=1)
+        parallel = run_cluster(config, trace, workers=2)
+        # Wall-clock fields aside, the merged metrics and the complete
+        # failover history must be byte-identical.
+        a = dataclasses.asdict(serial)
+        b = dataclasses.asdict(parallel)
+        for entry in (a, b):
+            entry.pop("replay_wall_s", None)
+            entry.pop("elapsed_wall_s", None)
+            entry.pop("replication", None)
+        assert a == b
+        assert serial.replication.per_shard == parallel.replication.per_shard
+        assert serial.replication.final_primaries == \
+            parallel.replication.final_primaries
+
+
+def reference_durable_images(config, pages, writes, committed):
+    """A never-crashed single-stack replay of the committed prefix.
+
+    Replays exactly ``committed`` accesses on a fresh WAL-bearing stack,
+    flushes, then crashes and recovers it — the durable images are the
+    ground truth a promoted replica must match byte-for-byte.
+    """
+    manager = build_replica_stack(config, 0)
+    for index in range(committed):
+        manager.access(pages[index], writes[index])
+    manager.wal.flush()
+    image = simulate_crash(manager)
+    recover(image)
+    return tuple(
+        (page, image.device.peek(page))
+        for page in range(config.num_pages)
+        if image.device.peek(page) != 0
+    )
+
+
+class TestDivergenceBattery:
+    """Satellite 3: promoted replicas never diverge from the reference.
+
+    Every swept policy x variant, with the crash point deliberately
+    inside an ACE batch window (101 = 3 x 32 + 5), plus a double-failure
+    sweep at R=2 — the second-choice candidate's promotion images must
+    match the reference too.
+    """
+
+    POLICIES = ("lru", "clock", "cflru")
+    VARIANTS = ("baseline", "ace")
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_promoted_images_match_reference_prefix(self, policy, variant):
+        config = make_config(
+            policy=policy, variant=variant, num_shards=1,
+            faults=[NodeFault(shard=0, node=0, crash_at_access=101)],
+            capture=True,
+        )
+        trace = make_trace(num_ops=600)
+        summary = run_cluster(config, trace, workers=1).replication
+        shard0 = summary.per_shard[0]
+        assert len(shard0.promotion_images) == 1
+        committed, node, images = shard0.promotion_images[0]
+        assert node == 1
+        assert committed == 96  # the last commit boundary before 101
+        reference = reference_durable_images(
+            config, trace.pages, trace.writes, committed
+        )
+        assert images == reference
+        assert summary.ok
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_double_failure_second_choice_matches_reference(self, policy):
+        config = make_config(
+            policy=policy, variant="ace", num_shards=1,
+            replication_factor=2,
+            faults=[
+                NodeFault(shard=0, node=0, crash_at_access=101),
+                NodeFault(shard=0, node=1, crash_at_access=101),
+            ],
+            capture=True,
+        )
+        trace = make_trace(num_ops=600)
+        summary = run_cluster(config, trace, workers=1).replication
+        shard0 = summary.per_shard[0]
+        committed, node, images = shard0.promotion_images[0]
+        assert node == 2
+        assert shard0.failovers[0].candidates_lost == 1
+        reference = reference_durable_images(
+            config, trace.pages, trace.writes, committed
+        )
+        assert images == reference
+        assert summary.ok
+
+    def test_rejoined_node_promotes_to_reference_state(self):
+        # Anti-entropy catch-up then promotion: the rebuilt node's
+        # durable images must equal the reference at the *second* crash
+        # point, proving the catch-up shipped the whole history.
+        config = make_config(
+            policy="lru", variant="ace", num_shards=1,
+            faults=[
+                NodeFault(shard=0, node=0, crash_at_access=60,
+                          rejoin_after_accesses=100),
+                NodeFault(shard=0, node=1, crash_at_access=400),
+            ],
+            capture=True,
+        )
+        trace = make_trace(num_ops=600)
+        summary = run_cluster(config, trace, workers=1).replication
+        shard0 = summary.per_shard[0]
+        assert len(shard0.promotion_images) == 2
+        committed, node, images = shard0.promotion_images[1]
+        assert node == 0  # the rejoiner took back over
+        reference = reference_durable_images(
+            config, trace.pages, trace.writes, committed
+        )
+        assert images == reference
+        assert summary.ok

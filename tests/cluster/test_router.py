@@ -7,6 +7,7 @@ from repro.cluster.router import (
     HashShardRouter,
     MappedShardRouter,
     ShardRouter,
+    StaleRouteError,
 )
 from repro.workloads.trace import PageRequest
 
@@ -106,3 +107,88 @@ class TestSplitTransactions:
     def test_base_router_is_abstract(self):
         with pytest.raises(NotImplementedError):
             ShardRouter(2).shard_of(1)
+
+
+class TestRemapEpochs:
+    def test_fresh_router_is_epoch_zero_node_zero(self):
+        router = HashShardRouter(3)
+        assert router.epoch == 0
+        assert [router.node_of(s) for s in range(3)] == [0, 0, 0]
+
+    def test_route_checks_the_epoch(self):
+        router = HashShardRouter(2)
+        assert router.route(5, epoch=0) == router.shard_of(5)
+        with pytest.raises(StaleRouteError) as excinfo:
+            router.route(5, epoch=1)
+        assert excinfo.value.presented == 1
+        assert excinfo.value.current == 0
+
+    def test_with_failover_bumps_epoch_not_ownership(self):
+        router = HashShardRouter(2)
+        promoted = router.with_failover(1, 2)
+        assert promoted.epoch == 1
+        assert promoted.node_of(1) == 2
+        assert promoted.node_of(0) == 0
+        # Page ownership is unchanged; the old router is intact but stale.
+        assert [promoted.shard_of(p) for p in range(20)] == [
+            router.shard_of(p) for p in range(20)
+        ]
+        assert router.epoch == 0
+        assert router.node_of(1) == 0
+        with pytest.raises(StaleRouteError):
+            promoted.route(5, epoch=0)
+
+    def test_failover_chain_accumulates(self):
+        router = HashShardRouter(2)
+        twice = router.with_failover(0, 1).with_failover(1, 2)
+        assert twice.epoch == 2
+        assert twice.node_of(0) == 1
+        assert twice.node_of(1) == 2
+
+    def test_with_failover_validation(self):
+        router = HashShardRouter(2)
+        with pytest.raises(ValueError):
+            router.with_failover(2, 1)
+        with pytest.raises(ValueError):
+            router.with_failover(0, -1)
+
+    def test_node_of_validates_shard(self):
+        with pytest.raises(ValueError):
+            HashShardRouter(2).node_of(2)
+
+    def test_with_reassignment_moves_exactly_the_range(self):
+        router = MappedShardRouter([0, 0, 1, 1], 2)
+        moved = router.with_reassignment(range(2, 4), 0)
+        assert moved.epoch == 1
+        assert [moved.shard_of(p) for p in range(4)] == [0, 0, 0, 0]
+        # The old router still answers (its view is consistent), but its
+        # epoch no longer routes.
+        assert [router.shard_of(p) for p in range(4)] == [0, 0, 1, 1]
+        with pytest.raises(StaleRouteError):
+            moved.route(0, epoch=0)
+
+    def test_with_reassignment_materializes_hash_fallback(self):
+        # Extending the vector must freeze the previous (hash) owner of
+        # newly covered pages, so only the requested range changes owner.
+        router = MappedShardRouter([0, 0], 2)
+        before = [router.shard_of(p) for p in range(10)]
+        moved = router.with_reassignment(range(6, 8), 0)
+        after = [moved.shard_of(p) for p in range(10)]
+        for page in range(10):
+            expected = 0 if page in (6, 7) else before[page]
+            assert after[page] == expected
+
+    def test_with_reassignment_preserves_primary_map(self):
+        router = MappedShardRouter([0, 1], 2).with_failover(1, 2)
+        moved = router.with_reassignment(range(0, 1), 1)
+        assert moved.epoch == 2
+        assert moved.node_of(1) == 2
+
+    def test_with_reassignment_validation(self):
+        router = MappedShardRouter([0, 1], 2)
+        with pytest.raises(ValueError):
+            router.with_reassignment(range(0, 1), 2)
+        with pytest.raises(ValueError):
+            router.with_reassignment(range(3, 3), 0)
+        with pytest.raises(ValueError):
+            router.with_reassignment(range(-2, 1), 0)

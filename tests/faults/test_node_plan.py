@@ -1,0 +1,129 @@
+"""Tests for NodeFault / NodeFaultPlan: validation, ordering, seeding."""
+
+import pickle
+
+import pytest
+
+from repro.faults.nodes import NodeFault, NodeFaultPlan
+
+
+class TestNodeFault:
+    def test_requires_exactly_one_trigger(self):
+        with pytest.raises(ValueError):
+            NodeFault(shard=0, node=0)
+        with pytest.raises(ValueError):
+            NodeFault(shard=0, node=0, crash_at_access=5, crash_at_us=9.0)
+
+    def test_trigger_bounds(self):
+        with pytest.raises(ValueError):
+            NodeFault(shard=0, node=0, crash_at_access=-1)
+        with pytest.raises(ValueError):
+            NodeFault(shard=0, node=0, crash_at_us=-1.0)
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            NodeFault(shard=-1, node=0, crash_at_access=1)
+        with pytest.raises(ValueError):
+            NodeFault(shard=0, node=-1, crash_at_access=1)
+
+    def test_permanent_excludes_rejoin(self):
+        with pytest.raises(ValueError):
+            NodeFault(
+                shard=0, node=0, crash_at_access=1,
+                permanent=True, rejoin_after_accesses=10,
+            )
+
+    def test_rejoin_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NodeFault(
+                shard=0, node=0, crash_at_access=1, rejoin_after_accesses=0
+            )
+
+    def test_describe_names_the_trigger(self):
+        fault = NodeFault(shard=1, node=2, crash_at_access=7)
+        assert "s1/n2" in fault.describe()
+        assert "@access 7" in fault.describe()
+        timed = NodeFault(shard=0, node=0, crash_at_us=50.0, permanent=True)
+        assert "50us" in timed.describe()
+        assert "permanent" in timed.describe()
+        rejoiner = NodeFault(
+            shard=0, node=1, crash_at_access=3, rejoin_after_accesses=9
+        )
+        assert "rejoin+9" in rejoiner.describe()
+
+
+class TestNodeFaultPlan:
+    def test_defaults_are_null(self):
+        plan = NodeFaultPlan()
+        assert plan.is_null
+        assert plan.max_shard() == -1
+        assert plan.max_node() == -1
+        assert plan.describe() == "no node faults"
+
+    def test_faults_for_filters_and_orders(self):
+        plan = NodeFaultPlan(faults=(
+            NodeFault(shard=1, node=1, crash_at_access=90),
+            NodeFault(shard=1, node=0, crash_at_access=10),
+            NodeFault(shard=0, node=0, crash_at_access=5),
+            NodeFault(shard=1, node=2, crash_at_us=1.0),
+        ))
+        ordered = plan.faults_for(1)
+        assert [fault.node for fault in ordered] == [0, 1, 2]
+        assert plan.faults_for(2) == ()
+
+    def test_extrema(self):
+        plan = NodeFaultPlan(faults=(
+            NodeFault(shard=3, node=1, crash_at_access=2),
+            NodeFault(shard=0, node=2, crash_at_access=2),
+        ))
+        assert plan.max_shard() == 3
+        assert plan.max_node() == 2
+
+    def test_plan_is_picklable_and_hashable(self):
+        plan = NodeFaultPlan(seed=4, faults=(
+            NodeFault(shard=0, node=0, crash_at_access=3),
+        ))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        assert hash(plan) == hash(
+            NodeFaultPlan(seed=4, faults=(
+                NodeFault(shard=0, node=0, crash_at_access=3),
+            ))
+        )
+
+
+class TestRandomPlan:
+    def test_same_seed_same_plan(self):
+        a = NodeFaultPlan.random(4, 2, 1.0, 500, seed=9)
+        b = NodeFaultPlan.random(4, 2, 1.0, 500, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = NodeFaultPlan.random(4, 2, 1.0, 500, seed=9)
+        b = NodeFaultPlan.random(4, 2, 1.0, 500, seed=10)
+        assert a != b
+
+    def test_zero_rate_is_null(self):
+        assert NodeFaultPlan.random(4, 2, 0.0, 500, seed=1).is_null
+
+    def test_never_faults_a_whole_group(self):
+        # With R replicas a group has R+1 nodes; at rate 1.0 every shard
+        # still keeps at least one survivor, so replicated replay always
+        # completes.
+        for replicas in (1, 2, 3):
+            plan = NodeFaultPlan.random(
+                6, replicas, 1.0, 1000, seed=13
+            )
+            for shard in range(6):
+                faulted = {f.node for f in plan.faults_for(shard)}
+                assert len(faulted) <= replicas
+
+    def test_crash_points_inside_trace(self):
+        plan = NodeFaultPlan.random(3, 2, 1.0, 250, seed=5)
+        for fault in plan.faults:
+            assert 1 <= fault.crash_at_access < 250
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            NodeFaultPlan.random(2, 1, -0.5, 100)
+        with pytest.raises(ValueError):
+            NodeFaultPlan.random(2, 1, 1.5, 100)
